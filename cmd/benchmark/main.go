@@ -1,0 +1,87 @@
+// Command benchmark regenerates the paper's evaluation tables and
+// figures on the simulated testbed (see DESIGN.md §3 for the experiment
+// index and EXPERIMENTS.md for measured-vs-paper results).
+//
+//	benchmark -experiment all
+//	benchmark -experiment fig4 -iterations 10
+//	benchmark -experiment fig6 -scale 0.5
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"globedoc/internal/bench"
+	"globedoc/internal/netsim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | all")
+		scale      = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
+		iterations = flag.Int("iterations", 5, "samples per measured point")
+	)
+	flag.Parse()
+	if err := run(*experiment, *scale, *iterations); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, iterations int) error {
+	cfg := bench.Config{TimeScale: scale, Iterations: iterations}
+	start := time.Now()
+	switch experiment {
+	case "table1":
+		fmt.Println(bench.RunTable1(scale))
+	case "fig4":
+		if err := runFig4(cfg); err != nil {
+			return err
+		}
+	case "fig5", "fig6", "fig7":
+		client := map[string]string{
+			"fig5": netsim.AmsterdamSecondary,
+			"fig6": netsim.Paris,
+			"fig7": netsim.Ithaca,
+		}[experiment]
+		if err := runFig5(client, cfg); err != nil {
+			return err
+		}
+	case "all":
+		fmt.Println(bench.RunTable1(scale))
+		if err := runFig4(cfg); err != nil {
+			return err
+		}
+		for _, client := range netsim.ClientHosts {
+			if err := runFig5(client, cfg); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	fmt.Printf("\n(total benchmark wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFig4(cfg bench.Config) error {
+	res, err := bench.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runFig5(client string, cfg bench.Config) error {
+	res, err := bench.RunFig5(client, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format(bench.FigureNumber(client)))
+	return nil
+}

@@ -1,0 +1,169 @@
+// Command globedoc-get is the wget of GlobeDoc: it fetches one page
+// element (or a whole object) through the full security pipeline and
+// prints the per-phase timing breakdown the paper instrumented — without
+// needing a running proxy.
+//
+//	globedoc-get -naming 127.0.0.1:7001 -rootkey root.pub \
+//	    -location 127.0.0.1:7002 -site paris \
+//	    -name home.vu.nl -element index.html -o index.html
+//
+//	globedoc-get ... -name home.vu.nl -all -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"globedoc/internal/core"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keyfile"
+	"globedoc/internal/location"
+	"globedoc/internal/naming"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+func main() {
+	var (
+		namingAddr = flag.String("naming", "127.0.0.1:7001", "naming service address")
+		rootKey    = flag.String("rootkey", "naming-root.pub", "naming root public key file")
+		locAddr    = flag.String("location", "127.0.0.1:7002", "location service address")
+		site       = flag.String("site", "", "client site for nearest-replica lookups")
+		name       = flag.String("name", "", "object name")
+		oidHex     = flag.String("oid", "", "object ID (hex), alternative to -name")
+		element    = flag.String("element", "", "page element to fetch")
+		all        = flag.Bool("all", false, "fetch every element in the integrity certificate")
+		out        = flag.String("o", "", "write element content to this file (default: stdout summary only)")
+		timing     = flag.Bool("timing", true, "print the per-phase timing breakdown")
+	)
+	flag.Parse()
+	if err := run(*namingAddr, *rootKey, *locAddr, *site, *name, *oidHex, *element, *out, *all, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, "globedoc-get:", err)
+		os.Exit(1)
+	}
+}
+
+func tcpDial(addr string) transport.DialFunc {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func run(namingAddr, rootKeyPath, locAddr, site, name, oidHex, element, out string, all, timing bool) error {
+	rootKey, err := keyfile.LoadPublicKey(rootKeyPath)
+	if err != nil {
+		return fmt.Errorf("loading naming root key: %w", err)
+	}
+	client := core.NewClient(&object.Binder{
+		Names:   naming.NewResolver(tcpDial(namingAddr), rootKey),
+		Locator: location.NewClient(tcpDial(locAddr)),
+		Dial:    tcpDial,
+		Site:    site,
+	})
+	defer client.Close()
+
+	if all {
+		return fetchAll(client, name, oidHex)
+	}
+	if element == "" {
+		return fmt.Errorf("pass -element <name> or -all")
+	}
+	var res core.FetchResult
+	switch {
+	case name != "":
+		res, err = client.FetchNamed(name, element)
+	case oidHex != "":
+		oid, perr := parseOID(oidHex)
+		if perr != nil {
+			return perr
+		}
+		res, err = client.Fetch(oid, element)
+	default:
+		return fmt.Errorf("pass -name or -oid")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verified %s (%d bytes, %s) from %s\n",
+		res.Element.Name, res.Element.Size(), res.Element.ContentType, res.ReplicaAddr)
+	if res.CertifiedAs != "" {
+		fmt.Printf("certified as: %q\n", res.CertifiedAs)
+	}
+	if timing {
+		printTiming(res.Timing)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, res.Element.Data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func fetchAll(client *core.Client, name, oidHex string) error {
+	oid, err := resolveOID(client, name, oidHex)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results, err := client.FetchAll(oid)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range results {
+		fmt.Printf("  %-40s %8d bytes  fetched+verified in %s\n",
+			r.Element.Name, r.Element.Size(),
+			(r.Timing.ElementFetch + r.Timing.ElementVerify).Round(time.Microsecond))
+		total += r.Element.Size()
+	}
+	fmt.Printf("verified %d elements, %d bytes total, in %s\n",
+		len(results), total, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func resolveOID(client *core.Client, name, oidHex string) (oid globeid.OID, err error) {
+	if oidHex != "" {
+		return parseOID(oidHex)
+	}
+	if name == "" {
+		return oid, fmt.Errorf("pass -name or -oid")
+	}
+	resolved, err := client.Binder.Names.Resolve(name)
+	if err != nil {
+		return oid, err
+	}
+	return resolved, nil
+}
+
+func parseOID(hexStr string) (globeid.OID, error) {
+	return globeid.Parse(hexStr)
+}
+
+func printTiming(t core.Timing) {
+	fmt.Printf("timing: total=%s, security=%s (%.1f%% overhead)\n",
+		t.Total().Round(time.Microsecond),
+		t.Security().Round(time.Microsecond),
+		t.OverheadPercent())
+	rows := []struct {
+		label string
+		d     time.Duration
+	}{
+		{"name resolve", t.NameResolve},
+		{"bind (locate+connect)", t.Bind},
+		{"key fetch", t.KeyFetch},
+		{"key verify (OID)", t.KeyVerify},
+		{"identity cert fetch", t.NameCertFetch},
+		{"identity cert verify", t.NameCertVerify},
+		{"integrity cert fetch", t.CertFetch},
+		{"integrity cert verify", t.CertVerify},
+		{"element fetch", t.ElementFetch},
+		{"element verify", t.ElementVerify},
+	}
+	for _, row := range rows {
+		fmt.Printf("  %-24s %s\n", row.label, row.d.Round(time.Microsecond))
+	}
+}

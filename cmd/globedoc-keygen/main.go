@@ -1,0 +1,102 @@
+// Command globedoc-keygen generates GlobeDoc key pairs and manages
+// keystores.
+//
+// Generate an owner key pair (written as a hex-encoded secret file) and
+// print its self-certifying OID:
+//
+//	globedoc-keygen -out owner.key
+//	globedoc-keygen -out owner.key -algo ed25519
+//
+// Add the public half of a key to a keystore (creating it if needed):
+//
+//	globedoc-keygen -key owner.key -keystore server-keystore.json -add alice
+//
+// Inspect a keystore:
+//
+//	globedoc-keygen -keystore server-keystore.json -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/keyfile"
+	"globedoc/internal/keys"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "generate a key pair and write it (hex) to this file")
+		algo     = flag.String("algo", "rsa-2048", "key algorithm: rsa-2048 or ed25519")
+		keyFile  = flag.String("key", "", "existing key pair file to operate on")
+		keystore = flag.String("keystore", "", "keystore JSON file")
+		add      = flag.String("add", "", "add -key's public half to -keystore under this name")
+		remove   = flag.String("remove", "", "remove this name from -keystore")
+		list     = flag.Bool("list", false, "list -keystore entries")
+	)
+	flag.Parse()
+	if err := run(*out, *algo, *keyFile, *keystore, *add, *remove, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "globedoc-keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, algo, keyFile, keystorePath, add, remove string, list bool) error {
+	if out != "" {
+		alg, err := keys.ParseAlgorithm(algo)
+		if err != nil {
+			return err
+		}
+		kp, err := keys.Generate(alg)
+		if err != nil {
+			return err
+		}
+		if err := keyfile.SaveKeyPair(out, kp); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s key pair to %s\n", alg, out)
+		fmt.Printf("self-certifying OID: %s\n", globeid.FromPublicKey(kp.Public()))
+		return nil
+	}
+
+	if keystorePath == "" {
+		return fmt.Errorf("nothing to do: pass -out to generate or -keystore to manage (see -h)")
+	}
+	ks, err := keys.LoadKeystore(keystorePath)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		ks = keys.NewKeystore()
+	}
+	changed := false
+	if add != "" {
+		if keyFile == "" {
+			return fmt.Errorf("-add requires -key")
+		}
+		kp, err := keyfile.LoadKeyPair(keyFile)
+		if err != nil {
+			return err
+		}
+		ks.Add(add, kp.Public())
+		changed = true
+		fmt.Printf("added %q (%s)\n", add, kp.Algorithm())
+	}
+	if remove != "" {
+		ks.Remove(remove)
+		changed = true
+		fmt.Printf("removed %q\n", remove)
+	}
+	if list {
+		for _, name := range ks.Names() {
+			pk, _ := ks.Get(name)
+			fmt.Printf("%-24s %-10s oid-if-object=%s\n", name, pk.Algorithm(), globeid.FromPublicKey(pk).Short())
+		}
+	}
+	if changed {
+		return ks.SaveFile(keystorePath)
+	}
+	return nil
+}

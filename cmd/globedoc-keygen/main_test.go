@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"globedoc/internal/keyfile"
+	"globedoc/internal/keys"
+)
+
+func TestGenerateAndKeystoreFlow(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "owner.key")
+	ksPath := filepath.Join(dir, "ks.json")
+
+	if err := run(keyPath, "ed25519", "", "", "", "", false); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	kp, err := keyfile.LoadKeyPair(keyPath)
+	if err != nil {
+		t.Fatalf("LoadKeyPair: %v", err)
+	}
+	if kp.Algorithm() != keys.Ed25519 {
+		t.Errorf("algorithm = %v", kp.Algorithm())
+	}
+
+	if err := run("", "", keyPath, ksPath, "alice", "", true); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	ks, err := keys.LoadKeystore(ksPath)
+	if err != nil {
+		t.Fatalf("LoadKeystore: %v", err)
+	}
+	got, ok := ks.Get("alice")
+	if !ok || !got.Equal(kp.Public()) {
+		t.Fatal("keystore entry missing or wrong")
+	}
+
+	if err := run("", "", "", ksPath, "", "alice", false); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	ks, _ = keys.LoadKeystore(ksPath)
+	if _, ok := ks.Get("alice"); ok {
+		t.Fatal("entry still present after remove")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "rsa-2048", "", "", "", "", false); err == nil {
+		t.Error("no-op invocation succeeded")
+	}
+	if err := run(filepath.Join(t.TempDir(), "x.key"), "dsa", "", "", "", "", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("", "", "", filepath.Join(t.TempDir(), "ks.json"), "alice", "", false); err == nil {
+		t.Error("-add without -key accepted")
+	}
+}

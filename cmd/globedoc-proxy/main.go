@@ -1,0 +1,95 @@
+// Command globedoc-proxy runs the GlobeDoc client proxy over TCP: point
+// a browser (or curl) at it and request hybrid URLs.
+//
+//	globedoc-proxy -listen :8080 \
+//	    -naming 127.0.0.1:7001 -rootkey naming-root.pub \
+//	    -location 127.0.0.1:7002 -site amsterdam \
+//	    -ca-keystore trusted-cas.json
+//
+//	curl -x '' http://127.0.0.1:8080/GlobeDoc/home.vu.nl/index.html
+//
+// Every fetched element passes the full security pipeline: secure name
+// resolution against the root key, replica location, self-certification
+// of the object key, integrity-certificate verification and per-element
+// authenticity/freshness/consistency checks. Failures render the
+// "Security Check Failed" page.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/core"
+	"globedoc/internal/keyfile"
+	"globedoc/internal/keys"
+	"globedoc/internal/location"
+	"globedoc/internal/naming"
+	"globedoc/internal/object"
+	"globedoc/internal/proxy"
+	"globedoc/internal/transport"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "proxy listen address")
+		namingAddr = flag.String("naming", "127.0.0.1:7001", "naming service address")
+		rootKey    = flag.String("rootkey", "naming-root.pub", "naming root public key file")
+		locAddr    = flag.String("location", "127.0.0.1:7002", "location service address")
+		site       = flag.String("site", "", "this client's site (for nearest-replica lookups)")
+		caStore    = flag.String("ca-keystore", "", "keystore of CAs the user trusts for identity certificates")
+		requireID  = flag.Bool("require-identity", false, "refuse objects without a trusted identity certificate")
+		warm       = flag.Bool("cache-bindings", true, "reuse verified bindings across requests")
+	)
+	flag.Parse()
+	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore, *requireID, *warm); err != nil {
+		fmt.Fprintln(os.Stderr, "globedoc-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func tcpDial(addr string) transport.DialFunc {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool) error {
+	rootKey, err := keyfile.LoadPublicKey(rootKeyPath)
+	if err != nil {
+		return fmt.Errorf("loading naming root key: %w", err)
+	}
+	binder := &object.Binder{
+		Names:   naming.NewResolver(tcpDial(namingAddr), rootKey),
+		Locator: location.NewClient(tcpDial(locAddr)),
+		Dial:    tcpDial,
+		Site:    site,
+	}
+	secure := core.NewClient(binder)
+	secure.CacheBindings = warm
+	secure.RequireIdentity = requireID
+	if caStore != "" {
+		ks, err := keys.LoadKeystore(caStore)
+		if err != nil {
+			return fmt.Errorf("loading CA keystore: %w", err)
+		}
+		trust := cert.NewTrustStore()
+		for _, name := range ks.Names() {
+			pk, _ := ks.Get(name)
+			trust.TrustCA(name, pk)
+		}
+		secure.Trust = trust
+	}
+
+	p := proxy.New(secure)
+	p.PassthroughDial = func(host string) transport.DialFunc {
+		return tcpDial(host + ":80")
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("globedoc proxy on %s (site %q, naming %s, location %s)\n",
+		l.Addr(), site, namingAddr, locAddr)
+	return p.Serve(l)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"globedoc/internal/location"
+)
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,, c ")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitNonEmpty = %v, want %v", got, want)
+	}
+	if got := splitNonEmpty(""); got != nil {
+		t.Errorf("splitNonEmpty(\"\") = %v", got)
+	}
+}
+
+func TestParseDomains(t *testing.T) {
+	spec := parseDomains("world/europe/amsterdam,world/europe/paris,world/northamerica/ithaca")
+	tree, err := location.NewTree(spec)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	sites := tree.Sites()
+	want := []string{"amsterdam", "ithaca", "paris"}
+	if !reflect.DeepEqual(sites, want) {
+		t.Errorf("Sites = %v, want %v", sites, want)
+	}
+}
+
+func TestParseDomainsImplicitWorldPrefix(t *testing.T) {
+	// Paths without the leading "world" segment still nest under it.
+	spec := parseDomains("europe/ams,europe/paris")
+	tree, err := location.NewTree(spec)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	if got := tree.Sites(); len(got) != 2 {
+		t.Errorf("Sites = %v", got)
+	}
+}
+
+func TestParseDomainsDeduplicatesSharedRegions(t *testing.T) {
+	spec := parseDomains("world/eu/a,world/eu/b")
+	if len(spec.Children) != 1 || spec.Children[0].Name != "eu" || len(spec.Children[0].Children) != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+}

@@ -1,0 +1,136 @@
+// Negotiation: the hosting-negotiation mechanism the paper proposes as
+// future work (§6). An object owner expresses QoS requirements in the
+// policy language; candidate object servers advertise resource offers;
+// the owner places a replica on the best acceptable server — and the
+// server's enforced limits actually reject over-quota placements.
+//
+// Run with:
+//
+//	go run ./examples/negotiation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"globedoc/internal/deploy"
+	"globedoc/internal/netsim"
+	"globedoc/internal/policy"
+	"globedoc/internal/server"
+	"globedoc/internal/workload"
+)
+
+const ownerPolicy = `
+# Replication requirements for a 600KB news object.
+require disk >= 1MB
+require bandwidth >= 2Mbps
+require region == europe
+prefer max_staleness <= 60s
+prefer replicas >= 2
+`
+
+var serverOffers = map[string]string{
+	"paris-big": `
+offer disk = 64MB
+offer bandwidth = 8Mbps
+offer region = europe
+offer max_staleness = 30s
+offer replicas = 8
+`,
+	"paris-small": `
+offer disk = 512KB          # not enough for this object
+offer bandwidth = 8Mbps
+offer region = europe
+`,
+	"ithaca-fast": `
+offer disk = 64MB
+offer bandwidth = 10Mbps
+offer region = northamerica # wrong region
+`,
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	owner, err := policy.Parse(ownerPolicy)
+	if err != nil {
+		return err
+	}
+	offers := make(map[string]*policy.Policy, len(serverOffers))
+	for name, src := range serverOffers {
+		p, err := policy.Parse(src)
+		if err != nil {
+			return fmt.Errorf("offer %q: %w", name, err)
+		}
+		offers[name] = p
+	}
+
+	fmt.Println("owner requirements:")
+	for _, c := range owner.Clauses {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Println("\nnegotiating against each server offer:")
+	for name, offer := range offers {
+		agr := policy.Negotiate(owner, offer)
+		if agr.Accepted {
+			fmt.Printf("  %-12s ACCEPTED (preferences %d/%d, score %.2f)\n",
+				name, agr.PreferencesMet, agr.PreferencesTotal, agr.Score())
+		} else {
+			fmt.Printf("  %-12s rejected:\n", name)
+			for _, v := range agr.Violations {
+				fmt.Printf("      %s\n", v)
+			}
+		}
+	}
+
+	ranked := policy.RankServers(owner, offers)
+	if len(ranked) == 0 {
+		return fmt.Errorf("no acceptable server")
+	}
+	fmt.Printf("\nbest placement: %s\n", ranked[0])
+
+	// Now place the replica for real: the chosen server's limits match
+	// its advertised offer, and the server ENFORCES them.
+	world, err := deploy.NewWorld(deploy.Options{TimeScale: 0})
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+	if _, err := world.StartServer(netsim.AmsterdamPrimary, "home", nil, nil, server.Limits{}); err != nil {
+		return err
+	}
+	// paris-big advertises 64MB — configure exactly that.
+	if _, err := world.StartServer(netsim.Paris, "paris-big", nil, nil, server.Limits{MaxBytes: 64 << 20}); err != nil {
+		return err
+	}
+
+	doc := workload.SingleElementDoc(600*workload.KB, 3)
+	pub, err := world.Publish(doc, deploy.PublishOptions{Name: "news.nl", TTL: time.Minute})
+	if err != nil {
+		return err
+	}
+	if err := world.ReplicateTo(pub, netsim.Paris); err != nil {
+		return err
+	}
+	fmt.Printf("replica of %s placed on paris-big (600KB of 64MB quota used)\n", pub.OID.Short())
+
+	// A server whose real limits are below the object size refuses.
+	tiny, err := world.StartServer(netsim.AmsterdamSecondary, "tiny", nil, nil, server.Limits{MaxBytes: 512 * workload.KB})
+	if err != nil {
+		return err
+	}
+	bundle, err := world.Servers[netsim.AmsterdamPrimary].ExportBundle(pub.OID)
+	if err != nil {
+		return err
+	}
+	if err := tiny.Install(bundle, "owner:news.nl"); err != nil {
+		fmt.Printf("under-provisioned server correctly refused: %v\n", err)
+		return nil
+	}
+	return fmt.Errorf("tiny server accepted an over-quota replica")
+}

@@ -1,0 +1,3 @@
+module globedoc
+
+go 1.22

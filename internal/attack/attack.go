@@ -1,0 +1,268 @@
+// Package attack implements the adversaries of the paper's threat model
+// (§3.2.1): malicious replica servers that tamper with content, replay
+// stale versions, or substitute elements, and a malicious location
+// service that directs clients to rogue replicas.
+//
+// Each adversary is a wire-compatible wrapper: it speaks the genuine
+// GlobeDoc protocol, holds genuine (or once-genuine) object state, and
+// lies in a specific way. The integration tests and the attacks example
+// drive the real security pipeline against them and assert the paper's
+// claim: every attack is detected, so untrusted infrastructure can cause
+// at most denial of service, never undetected corruption.
+package attack
+
+import (
+	"net"
+	"sync"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/location"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+// Mode selects how a malicious replica lies.
+type Mode int
+
+// Attack modes.
+const (
+	// Honest serves genuine state (control case).
+	Honest Mode = iota
+	// TamperContent flips bytes in every element served.
+	TamperContent
+	// SubstituteElement answers every element request with a different
+	// (genuine, fresh) element of the same object.
+	SubstituteElement
+	// StaleReplay serves an old version of the state with its old (but
+	// genuinely signed) integrity certificate.
+	StaleReplay
+	// ForgeCertificate rewrites the integrity certificate to match
+	// tampered content, re-signing with the attacker's own key.
+	ForgeCertificate
+	// WrongObject serves a completely different object's state and key
+	// (content masquerading).
+	WrongObject
+)
+
+// String names the mode for logs and reports.
+func (m Mode) String() string {
+	switch m {
+	case Honest:
+		return "honest"
+	case TamperContent:
+		return "tamper-content"
+	case SubstituteElement:
+		return "substitute-element"
+	case StaleReplay:
+		return "stale-replay"
+	case ForgeCertificate:
+		return "forge-certificate"
+	case WrongObject:
+		return "wrong-object"
+	default:
+		return "unknown"
+	}
+}
+
+// AllModes lists every adversarial mode (excluding Honest).
+var AllModes = []Mode{TamperContent, SubstituteElement, StaleReplay, ForgeCertificate, WrongObject}
+
+// ReplicaState is the (possibly stale) object state a malicious replica
+// serves from.
+type ReplicaState struct {
+	OID       globeid.OID
+	Key       keys.PublicKey
+	Doc       *document.Document
+	Cert      *cert.IntegrityCertificate
+	NameCerts []*cert.NameCertificate
+}
+
+// MaliciousServer is a wire-compatible object server that lies according
+// to its Mode.
+type MaliciousServer struct {
+	Mode Mode
+
+	mu      sync.RWMutex
+	state   ReplicaState
+	stale   *ReplicaState // old state for StaleReplay
+	forged  *forgedState  // for ForgeCertificate
+	decoy   *ReplicaState // for WrongObject
+	srv     *transport.Server
+	tampers func([]byte) []byte
+}
+
+type forgedState struct {
+	key  *keys.KeyPair
+	cert *cert.IntegrityCertificate
+}
+
+// NewMaliciousServer builds an adversarial replica around genuine state.
+func NewMaliciousServer(mode Mode, state ReplicaState) *MaliciousServer {
+	m := &MaliciousServer{
+		Mode:  mode,
+		state: state,
+		srv:   transport.NewServer(),
+		tampers: func(data []byte) []byte {
+			out := append([]byte(nil), data...)
+			if len(out) > 0 {
+				out[0] ^= 0xff
+			} else {
+				out = []byte{0x66}
+			}
+			return out
+		},
+	}
+	m.srv.Handle(object.OpPing, func([]byte) ([]byte, error) { return nil, nil })
+	m.srv.Handle(object.OpGetKey, m.handleGetKey)
+	m.srv.Handle(object.OpGetCert, m.handleGetCert)
+	m.srv.Handle(object.OpGetNameCerts, m.handleGetNameCerts)
+	m.srv.Handle(object.OpGetElement, m.handleGetElement)
+	m.srv.Handle(object.OpListElements, m.handleList)
+	m.srv.Handle(object.OpVersion, m.handleVersion)
+	return m
+}
+
+// SetStale gives a StaleReplay server the old state to replay.
+func (m *MaliciousServer) SetStale(old ReplicaState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stale = &old
+}
+
+// SetDecoy gives a WrongObject server the foreign object to masquerade
+// with.
+func (m *MaliciousServer) SetDecoy(decoy ReplicaState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decoy = &decoy
+}
+
+// SetForgery equips a ForgeCertificate server with the attacker's key and
+// a certificate covering the tampered content, signed by that key.
+func (m *MaliciousServer) SetForgery(attackerKey *keys.KeyPair, forgedCert *cert.IntegrityCertificate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.forged = &forgedState{key: attackerKey, cert: forgedCert}
+}
+
+// Serve accepts connections on l.
+func (m *MaliciousServer) Serve(l net.Listener) error { return m.srv.Serve(l) }
+
+// Start serves on a background goroutine.
+func (m *MaliciousServer) Start(l net.Listener) { m.srv.Start(l) }
+
+// Close shuts the server down.
+func (m *MaliciousServer) Close() { m.srv.Close() }
+
+func (m *MaliciousServer) current() ReplicaState {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	switch m.Mode {
+	case StaleReplay:
+		if m.stale != nil {
+			return *m.stale
+		}
+	case WrongObject:
+		if m.decoy != nil {
+			return *m.decoy
+		}
+	}
+	return m.state
+}
+
+func (m *MaliciousServer) handleGetKey(body []byte) ([]byte, error) {
+	st := m.current()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.Mode == ForgeCertificate && m.forged != nil {
+		// The forger must also offer its own key, hoping the client
+		// skips self-certification.
+		return m.forged.key.Public().Marshal(), nil
+	}
+	return st.Key.Marshal(), nil
+}
+
+func (m *MaliciousServer) handleGetCert(body []byte) ([]byte, error) {
+	st := m.current()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.Mode == ForgeCertificate && m.forged != nil {
+		return m.forged.cert.Marshal(), nil
+	}
+	return st.Cert.Marshal(), nil
+}
+
+func (m *MaliciousServer) handleGetNameCerts(body []byte) ([]byte, error) {
+	st := m.current()
+	return object.EncodeCertList(st.NameCerts), nil
+}
+
+func (m *MaliciousServer) handleGetElement(body []byte) ([]byte, error) {
+	_, name, _, err := object.DecodeElementRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	st := m.current()
+	switch m.Mode {
+	case TamperContent, ForgeCertificate:
+		e, err := st.Doc.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		e.Data = m.tampers(e.Data)
+		return object.EncodeElement(e), nil
+	case SubstituteElement:
+		// Serve some OTHER genuine element under the requested name.
+		for _, other := range st.Doc.Names() {
+			if other != name {
+				e, err := st.Doc.Get(other)
+				if err != nil {
+					return nil, err
+				}
+				e.Name = name // lie about which element this is
+				return object.EncodeElement(e), nil
+			}
+		}
+		fallthrough
+	default:
+		e, err := st.Doc.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return object.EncodeElement(e), nil
+	}
+}
+
+func (m *MaliciousServer) handleList(body []byte) ([]byte, error) {
+	return object.EncodeStringList(m.current().Doc.Names()), nil
+}
+
+func (m *MaliciousServer) handleVersion(body []byte) ([]byte, error) {
+	st := m.current()
+	w := make([]byte, 0, 8)
+	v := st.Doc.Version()
+	for v >= 0x80 {
+		w = append(w, byte(v)|0x80)
+		v >>= 7
+	}
+	w = append(w, byte(v))
+	return w, nil
+}
+
+// MaliciousLocation wraps a genuine location resolver and redirects every
+// lookup to a fixed rogue address — the "malicious Location Service
+// server returning false contact points" of §3.1.2.
+type MaliciousLocation struct {
+	// Rogue is the contact address handed to every client.
+	Rogue location.ContactAddress
+}
+
+// Lookup implements location.Resolver by lying.
+func (m MaliciousLocation) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+	return location.LookupResult{Addresses: []location.ContactAddress{m.Rogue}}, nil
+}
+
+var _ location.Resolver = MaliciousLocation{}

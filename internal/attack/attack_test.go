@@ -1,0 +1,392 @@
+package attack_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"globedoc/internal/attack"
+	"globedoc/internal/cert"
+	"globedoc/internal/core"
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/location"
+	"globedoc/internal/netsim"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+var t0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+// genuineState builds a signed replica state for a fresh object.
+func genuineState(t *testing.T, owner *keys.KeyPair, elems map[string][]byte, issued time.Time, ttl time.Duration) attack.ReplicaState {
+	t.Helper()
+	oid := globeid.FromPublicKey(owner.Public())
+	doc := document.New()
+	for name, data := range elems {
+		if err := doc.Put(document.Element{Name: name, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	icert, err := document.IssueCertificate(doc, oid, owner, issued, document.UniformTTL(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attack.ReplicaState{OID: oid, Key: owner.Public(), Doc: doc, Cert: icert}
+}
+
+// newVictimClient stands up a malicious server on the testbed and returns
+// a secure client whose (malicious) location service directs every lookup
+// to it. now fixes the client clock.
+func newVictimClient(t *testing.T, srv *attack.MaliciousServer, now time.Time) *core.Client {
+	t.Helper()
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	l, err := n.Listen(netsim.Paris, "evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+
+	rogue := location.ContactAddress{Address: "paris:evil", Protocol: object.Protocol}
+	binder := &object.Binder{
+		Locator: attack.MaliciousLocation{Rogue: rogue},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+	}
+	client := core.NewClient(binder)
+	client.Now = func() time.Time { return now }
+	t.Cleanup(client.Close)
+	return client
+}
+
+func TestHonestControlPasses(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine")}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.Honest, state)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	res, err := client.Fetch(state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("honest replica rejected: %v", err)
+	}
+	if string(res.Element.Data) != "genuine" {
+		t.Errorf("Data = %q", res.Element.Data)
+	}
+}
+
+func TestTamperedContentDetected(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine content")}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.TamperContent, state)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	_, err := client.Fetch(state.OID, "index.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) {
+		t.Fatalf("err = %v, want security check failure", err)
+	}
+	if !errors.Is(err, cert.ErrAuthenticity) {
+		t.Fatalf("err = %v, want authenticity violation", err)
+	}
+}
+
+func TestElementSubstitutionDetected(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{
+		"index.html": []byte("the real index"),
+		"other.html": []byte("a different genuine page"),
+	}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.SubstituteElement, state)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	_, err := client.Fetch(state.OID, "index.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrAuthenticity) {
+		t.Fatalf("err = %v, want authenticity violation (consistency attack)", err)
+	}
+}
+
+func TestStaleReplayDetectedAfterExpiry(t *testing.T) {
+	owner := keytest.RSA()
+	// v1 with a short TTL; the owner later publishes v2.
+	v1 := genuineState(t, owner, map[string][]byte{"news.html": []byte("old news")}, t0, time.Minute)
+	v2doc := document.New()
+	v2doc.Put(document.Element{Name: "news.html", Data: []byte("fresh news")})
+	v2cert, err := document.IssueCertificate(v2doc, v1.OID, owner, t0.Add(2*time.Minute), document.UniformTTL(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := attack.ReplicaState{OID: v1.OID, Key: owner.Public(), Doc: v2doc, Cert: v2cert}
+
+	srv := attack.NewMaliciousServer(attack.StaleReplay, current)
+	srv.SetStale(v1)
+	// The client asks after v1's certificate expired: replaying v1 must
+	// fail the freshness check.
+	client := newVictimClient(t, srv, t0.Add(2*time.Minute+30*time.Second))
+	_, err = client.Fetch(v1.OID, "news.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrFreshness) {
+		t.Fatalf("err = %v, want freshness violation", err)
+	}
+}
+
+func TestStaleReplayWithinValiditySucceeds(t *testing.T) {
+	// The paper's freshness guarantee is bounded by the validity
+	// interval: replaying a version that is still inside its interval is
+	// undetectable BY DESIGN — owners bound staleness via per-element
+	// TTLs. This test pins that documented semantics.
+	owner := keytest.RSA()
+	v1 := genuineState(t, owner, map[string][]byte{"news.html": []byte("old news")}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.StaleReplay, v1)
+	srv.SetStale(v1)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	res, err := client.Fetch(v1.OID, "news.html")
+	if err != nil {
+		t.Fatalf("in-validity replay rejected: %v", err)
+	}
+	if string(res.Element.Data) != "old news" {
+		t.Errorf("Data = %q", res.Element.Data)
+	}
+}
+
+func TestForgedCertificateDetected(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine")}, t0, time.Hour)
+
+	// The attacker crafts a certificate matching the tampered content
+	// ("genuine" with first byte flipped) and signs it with their own key.
+	attacker := keytest.Ed()
+	tampered := append([]byte(nil), []byte("genuine")...)
+	tampered[0] ^= 0xff
+	forgedCert := &cert.IntegrityCertificate{ObjectID: state.OID, Version: 99, Issued: t0}
+	forgedCert.Entries = []cert.ElementEntry{{
+		Name:      "index.html",
+		Hash:      globeid.HashElement(tampered),
+		NotBefore: t0,
+		Expires:   t0.Add(time.Hour),
+	}}
+	if err := forgedCert.Sign(attacker); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := attack.NewMaliciousServer(attack.ForgeCertificate, state)
+	srv.SetForgery(attacker, forgedCert)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	_, err := client.Fetch(state.OID, "index.html")
+	// The attacker's key does not hash to the OID, so the pipeline dies
+	// at self-certification — before the forged certificate is even
+	// consulted.
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, globeid.ErrKeyMismatch) {
+		t.Fatalf("err = %v, want self-certification failure", err)
+	}
+}
+
+func TestWrongObjectMasqueradeDetected(t *testing.T) {
+	victim := keytest.RSA()
+	state := genuineState(t, victim, map[string][]byte{"index.html": []byte("victim site")}, t0, time.Hour)
+	// A completely different, internally consistent object.
+	decoyOwner := keytest.Ed()
+	decoy := genuineState(t, decoyOwner, map[string][]byte{"index.html": []byte("decoy site")}, t0, time.Hour)
+
+	srv := attack.NewMaliciousServer(attack.WrongObject, state)
+	srv.SetDecoy(decoy)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	_, err := client.Fetch(state.OID, "index.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, globeid.ErrKeyMismatch) {
+		t.Fatalf("err = %v, want self-certification failure", err)
+	}
+}
+
+func TestAllAttackModesAtMostDoS(t *testing.T) {
+	// The paper's bottom line (§3.1.2): whatever the untrusted
+	// infrastructure does, the client either gets verified data or an
+	// error — never silently wrong data.
+	owner := keytest.RSA()
+	genuineContent := []byte("the one true content")
+	for _, mode := range attack.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			state := genuineState(t, owner, map[string][]byte{
+				"index.html": genuineContent,
+				"other.html": []byte("another element"),
+			}, t0, time.Hour)
+			srv := attack.NewMaliciousServer(mode, state)
+			switch mode {
+			case attack.StaleReplay:
+				old := genuineState(t, owner, map[string][]byte{"index.html": []byte("ancient")}, t0.Add(-2*time.Hour), time.Hour)
+				srv.SetStale(old)
+			case attack.WrongObject:
+				srv.SetDecoy(genuineState(t, keytest.Ed(), map[string][]byte{"index.html": []byte("decoy")}, t0, time.Hour))
+			case attack.ForgeCertificate:
+				attacker := keytest.Ed()
+				forged := &cert.IntegrityCertificate{ObjectID: state.OID, Issued: t0}
+				forged.Entries = []cert.ElementEntry{{Name: "index.html", Hash: globeid.HashElement([]byte("x")), Expires: t0.Add(time.Hour)}}
+				if err := forged.Sign(attacker); err != nil {
+					t.Fatal(err)
+				}
+				srv.SetForgery(attacker, forged)
+			}
+			client := newVictimClient(t, srv, t0.Add(time.Minute))
+			res, err := client.Fetch(state.OID, "index.html")
+			if err == nil && string(res.Element.Data) != string(genuineContent) {
+				t.Fatalf("mode %s: client ACCEPTED wrong data %q", mode, res.Element.Data)
+			}
+		})
+	}
+}
+
+// multiReplicaLocator returns several fixed contact addresses in order.
+type multiReplicaLocator struct {
+	addrs []location.ContactAddress
+}
+
+func (m multiReplicaLocator) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+	return location.LookupResult{Addresses: m.addrs}, nil
+}
+
+func TestFailoverPastMaliciousReplica(t *testing.T) {
+	// The NEAREST replica is malicious (tampering); an honest replica
+	// exists one ring out. The client must detect the tampering and
+	// transparently recover via the honest replica — an attack degrades
+	// to a slower fetch, not a failure.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("the real thing")}, t0, time.Hour)
+
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	evilL, err := n.Listen(netsim.Paris, "evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := attack.NewMaliciousServer(attack.TamperContent, state)
+	evil.Start(evilL)
+	t.Cleanup(evil.Close)
+	honestL, err := n.Listen(netsim.AmsterdamPrimary, "honest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := attack.NewMaliciousServer(attack.Honest, state)
+	honest.Start(honestL)
+	t.Cleanup(honest.Close)
+
+	client := core.NewClient(&object.Binder{
+		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
+			{Address: "paris:evil", Protocol: object.Protocol},
+			{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
+		}},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+	})
+	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	t.Cleanup(client.Close)
+
+	res, err := client.Fetch(state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("fetch with honest fallback failed: %v", err)
+	}
+	if string(res.Element.Data) != "the real thing" {
+		t.Fatalf("Data = %q", res.Element.Data)
+	}
+	if res.ReplicaAddr != "amsterdam-primary:honest" {
+		t.Errorf("served from %q, want honest replica", res.ReplicaAddr)
+	}
+}
+
+func TestFailoverPastMasqueradingReplica(t *testing.T) {
+	// The nearest replica fails self-certification (wrong object); the
+	// establish loop must move on without ever fetching an element.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine")}, t0, time.Hour)
+	decoy := genuineState(t, keytest.Ed(), map[string][]byte{"index.html": []byte("decoy")}, t0, time.Hour)
+
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	evilL, _ := n.Listen(netsim.Paris, "evil")
+	evil := attack.NewMaliciousServer(attack.WrongObject, state)
+	evil.SetDecoy(decoy)
+	evil.Start(evilL)
+	t.Cleanup(evil.Close)
+	honestL, _ := n.Listen(netsim.AmsterdamPrimary, "honest")
+	honest := attack.NewMaliciousServer(attack.Honest, state)
+	honest.Start(honestL)
+	t.Cleanup(honest.Close)
+
+	client := core.NewClient(&object.Binder{
+		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
+			{Address: "paris:evil", Protocol: object.Protocol},
+			{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
+		}},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+	})
+	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	t.Cleanup(client.Close)
+
+	res, err := client.Fetch(state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if string(res.Element.Data) != "genuine" {
+		t.Fatalf("Data = %q", res.Element.Data)
+	}
+}
+
+func TestAllReplicasMaliciousIsDoS(t *testing.T) {
+	// With no honest replica anywhere, the fetch fails — but never
+	// returns wrong data.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine")}, t0, time.Hour)
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	for i, host := range []string{netsim.Paris, netsim.AmsterdamPrimary} {
+		l, err := n.Listen(host, "evil")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := attack.NewMaliciousServer(attack.TamperContent, state)
+		srv.Start(l)
+		t.Cleanup(srv.Close)
+		_ = i
+	}
+	client := core.NewClient(&object.Binder{
+		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
+			{Address: "paris:evil", Protocol: object.Protocol},
+			{Address: "amsterdam-primary:evil", Protocol: object.Protocol},
+		}},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+	})
+	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	t.Cleanup(client.Close)
+
+	_, err := client.Fetch(state.OID, "index.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) {
+		t.Fatalf("err = %v, want security failure", err)
+	}
+}
+
+func TestMaliciousLocationIsOnlyDoS(t *testing.T) {
+	// A malicious location service pointing at a dead address causes
+	// denial of service, nothing worse.
+	owner := keytest.RSA()
+	oid := globeid.FromPublicKey(owner.Public())
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	binder := &object.Binder{
+		Locator: attack.MaliciousLocation{Rogue: location.ContactAddress{Address: "paris:void", Protocol: object.Protocol}},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+	}
+	client := core.NewClient(binder)
+	defer client.Close()
+	if _, err := client.Fetch(oid, "index.html"); err == nil {
+		t.Fatal("fetch through dead rogue address succeeded")
+	}
+}

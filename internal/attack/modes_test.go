@@ -1,0 +1,79 @@
+package attack_test
+
+import (
+	"testing"
+	"time"
+
+	"globedoc/internal/attack"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/netsim"
+	"globedoc/internal/object"
+)
+
+func TestModeStrings(t *testing.T) {
+	want := map[attack.Mode]string{
+		attack.Honest:            "honest",
+		attack.TamperContent:     "tamper-content",
+		attack.SubstituteElement: "substitute-element",
+		attack.StaleReplay:       "stale-replay",
+		attack.ForgeCertificate:  "forge-certificate",
+		attack.WrongObject:       "wrong-object",
+		attack.Mode(99):          "unknown",
+	}
+	for mode, name := range want {
+		if got := mode.String(); got != name {
+			t.Errorf("Mode(%d).String() = %q, want %q", mode, got, name)
+		}
+	}
+	if len(attack.AllModes) != 5 {
+		t.Errorf("AllModes = %v", attack.AllModes)
+	}
+}
+
+func TestMaliciousServerAuxiliaryOps(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"a": []byte("1"), "b": []byte("2")}, t0, time.Hour)
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	l, err := n.Listen(netsim.Paris, "evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := attack.NewMaliciousServer(attack.Honest, state)
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+
+	c := object.NewClient(state.OID, "paris:evil", n.Dialer(netsim.Ithaca, "paris:evil"))
+	t.Cleanup(c.Close)
+	names, err := c.ListElements()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("ListElements = %v, %v", names, err)
+	}
+	v, err := c.Version()
+	if err != nil || v == 0 {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	ncs, err := c.GetNameCerts()
+	if err != nil || len(ncs) != 0 {
+		t.Fatalf("GetNameCerts = %v, %v", ncs, err)
+	}
+	if _, err := c.GetElement("absent"); err == nil {
+		t.Fatal("GetElement(absent) succeeded")
+	}
+}
+
+func TestSubstituteSingleElementFallsBack(t *testing.T) {
+	// With only one element there is nothing to substitute; the server
+	// serves the genuine element (and the client accepts it).
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"only.html": []byte("single")}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.SubstituteElement, state)
+	client := newVictimClient(t, srv, t0.Add(time.Minute))
+	res, err := client.Fetch(state.OID, "only.html")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if string(res.Element.Data) != "single" {
+		t.Errorf("Data = %q", res.Element.Data)
+	}
+}

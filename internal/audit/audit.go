@@ -1,0 +1,240 @@
+// Package audit implements the paper's proposed approach to dynamic Web
+// content on untrusted servers (§6): since the owner cannot pre-sign the
+// result of every possible query, untrusted servers sign the responses
+// they generate, and the owner probabilistically double-checks them
+// against a trusted evaluator. A server that serves bogus dynamic content
+// is "eventually caught red-handed" — the Gemini-style accountability
+// model of ref [12] — yielding a transferable proof of misbehaviour.
+//
+// The pieces:
+//
+//   - Handler: the dynamic-content function (query -> response) run by
+//     both the untrusted server and the owner's trusted copy;
+//   - Receipt: a server-signed statement "I answered query Q with a
+//     response hashing to H at time T";
+//   - Auditor: the owner-side checker that re-executes a fraction of
+//     audited queries and, on mismatch, emits a Proof;
+//   - Proof: receipt + the owner-signed correct answer, verifiable by
+//     any third party that knows both public keys.
+package audit
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/workload"
+)
+
+// Errors reported by the auditing machinery.
+var (
+	ErrBadReceipt = errors.New("audit: receipt signature invalid")
+	ErrBadProof   = errors.New("audit: misbehaviour proof invalid")
+)
+
+// Handler evaluates a dynamic-content query against the current document
+// state. Implementations must be deterministic in (state version, query)
+// for auditing to be sound.
+type Handler func(query string) ([]byte, error)
+
+// Receipt is a server-signed record of one dynamic response.
+type Receipt struct {
+	ObjectID     globeid.OID
+	ServerName   string
+	Query        string
+	ResponseHash [sha256.Size]byte
+	Served       time.Time
+	Sig          []byte
+}
+
+func (r *Receipt) signedBytes() []byte {
+	w := enc.NewWriter(128)
+	w.String("globedoc-audit-receipt")
+	w.Raw(r.ObjectID[:])
+	w.String(r.ServerName)
+	w.String(r.Query)
+	w.Raw(r.ResponseHash[:])
+	w.Time(r.Served)
+	return w.Bytes()
+}
+
+// Verify checks the receipt against the server's public key and that it
+// covers the given response bytes.
+func (r *Receipt) Verify(serverKey keys.PublicKey, response []byte) error {
+	if sha256.Sum256(response) != r.ResponseHash {
+		return fmt.Errorf("%w: response does not match receipt hash", ErrBadReceipt)
+	}
+	if err := serverKey.Verify(r.signedBytes(), r.Sig); err != nil {
+		return ErrBadReceipt
+	}
+	return nil
+}
+
+// DynamicServer is an (untrusted) server-side evaluator that answers
+// queries and signs receipts with the server's own key. Its Handler may
+// lie — that is the point.
+type DynamicServer struct {
+	ObjectID globeid.OID
+	Name     string
+	Key      *keys.KeyPair
+	Handler  Handler
+	// Now stamps receipts; tests may replace it.
+	Now func() time.Time
+}
+
+// NewDynamicServer builds a dynamic-content server.
+func NewDynamicServer(oid globeid.OID, name string, key *keys.KeyPair, h Handler) *DynamicServer {
+	return &DynamicServer{ObjectID: oid, Name: name, Key: key, Handler: h, Now: time.Now}
+}
+
+// Serve answers one query, returning the response and a signed receipt.
+func (s *DynamicServer) Serve(query string) ([]byte, *Receipt, error) {
+	resp, err := s.Handler(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Receipt{
+		ObjectID:     s.ObjectID,
+		ServerName:   s.Name,
+		Query:        query,
+		ResponseHash: sha256.Sum256(resp),
+		Served:       s.Now(),
+	}
+	sig, err := s.Key.Sign(r.signedBytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Sig = sig
+	return resp, r, nil
+}
+
+// Proof is a transferable demonstration that a server signed a wrong
+// answer: the server's receipt plus the owner-signed correct response.
+type Proof struct {
+	Receipt  Receipt
+	Response []byte // what the server actually returned
+	Correct  []byte // what the trusted evaluator returns
+	OwnerSig []byte // owner signature over the whole statement
+}
+
+func (p *Proof) signedBytes() []byte {
+	w := enc.NewWriter(256 + len(p.Response) + len(p.Correct))
+	w.String("globedoc-audit-proof")
+	w.BytesPrefixed(p.Receipt.signedBytes())
+	w.BytesPrefixed(p.Receipt.Sig)
+	w.BytesPrefixed(p.Response)
+	w.BytesPrefixed(p.Correct)
+	return w.Bytes()
+}
+
+// Verify lets any third party check the proof: the receipt is genuinely
+// signed by the accused server, the served response matches the receipt,
+// the owner vouches for the correct answer, and the two differ.
+func (p *Proof) Verify(serverKey, ownerKey keys.PublicKey) error {
+	if err := p.Receipt.Verify(serverKey, p.Response); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	if err := ownerKey.Verify(p.signedBytes(), p.OwnerSig); err != nil {
+		return fmt.Errorf("%w: owner signature invalid", ErrBadProof)
+	}
+	if string(p.Response) == string(p.Correct) {
+		return fmt.Errorf("%w: served response equals correct response", ErrBadProof)
+	}
+	return nil
+}
+
+// Stats summarizes an auditor's activity.
+type Stats struct {
+	Observed int // responses seen
+	Audited  int // responses re-executed
+	Caught   int // misbehaviour proofs produced
+	BadSig   int // receipts with invalid signatures
+}
+
+// Auditor is the owner-side probabilistic double-checker.
+type Auditor struct {
+	ObjectID globeid.OID
+	OwnerKey *keys.KeyPair
+	// Trusted evaluates queries against the owner's authoritative copy.
+	Trusted Handler
+	// ServerKeys maps server names to their public keys.
+	ServerKeys *keys.Keystore
+	// Probability is the audit sampling rate in [0,1].
+	Probability float64
+
+	rng *workload.Rand
+	mu  sync.Mutex
+	st  Stats
+}
+
+// NewAuditor builds an auditor with a deterministic sampling stream.
+func NewAuditor(oid globeid.OID, ownerKey *keys.KeyPair, trusted Handler, serverKeys *keys.Keystore, probability float64, seed uint64) *Auditor {
+	return &Auditor{
+		ObjectID:    oid,
+		OwnerKey:    ownerKey,
+		Trusted:     trusted,
+		ServerKeys:  serverKeys,
+		Probability: probability,
+		rng:         workload.NewRand(seed),
+	}
+}
+
+// Stats returns a snapshot of the audit counters.
+func (a *Auditor) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.st
+}
+
+// Observe inspects one (response, receipt) pair. With probability
+// Probability it re-executes the query on the trusted copy; a mismatch
+// yields a signed misbehaviour Proof. A nil proof with nil error means
+// the response passed (or was not sampled).
+func (a *Auditor) Observe(response []byte, receipt *Receipt) (*Proof, error) {
+	a.mu.Lock()
+	a.st.Observed++
+	sample := a.rng.Float64() < a.Probability
+	a.mu.Unlock()
+
+	serverKey, ok := a.ServerKeys.Get(receipt.ServerName)
+	if !ok {
+		a.count(func(s *Stats) { s.BadSig++ })
+		return nil, fmt.Errorf("%w: unknown server %q", ErrBadReceipt, receipt.ServerName)
+	}
+	if err := receipt.Verify(serverKey, response); err != nil {
+		a.count(func(s *Stats) { s.BadSig++ })
+		return nil, err
+	}
+	if !sample {
+		return nil, nil
+	}
+	a.count(func(s *Stats) { s.Audited++ })
+
+	correct, err := a.Trusted(receipt.Query)
+	if err != nil {
+		return nil, fmt.Errorf("audit: trusted evaluation: %w", err)
+	}
+	if string(correct) == string(response) {
+		return nil, nil
+	}
+	// Caught red-handed: assemble the transferable proof.
+	proof := &Proof{Receipt: *receipt, Response: response, Correct: correct}
+	sig, err := a.OwnerKey.Sign(proof.signedBytes())
+	if err != nil {
+		return nil, err
+	}
+	proof.OwnerSig = sig
+	a.count(func(s *Stats) { s.Caught++ })
+	return proof, nil
+}
+
+func (a *Auditor) count(f func(*Stats)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f(&a.st)
+}

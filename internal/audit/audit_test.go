@@ -1,0 +1,189 @@
+package audit_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"globedoc/internal/audit"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+)
+
+// trusted is the owner's authoritative dynamic-content function.
+func trusted(query string) ([]byte, error) {
+	return []byte("result(" + query + ")"), nil
+}
+
+// lying returns wrong answers for queries containing "victim".
+func lying(query string) ([]byte, error) {
+	if strings.Contains(query, "victim") {
+		return []byte("forged(" + query + ")"), nil
+	}
+	return trusted(query)
+}
+
+type fixture struct {
+	oid      globeid.OID
+	ownerKey *keys.KeyPair
+	server   *audit.DynamicServer
+	auditor  *audit.Auditor
+}
+
+func newFixture(t *testing.T, handler audit.Handler, probability float64) *fixture {
+	t.Helper()
+	ownerKey := keytest.Ed()
+	serverKey := keytest.Ed()
+	if ownerKey == serverKey {
+		serverKey = keytest.Ed()
+	}
+	oid := globeid.FromPublicKey(ownerKey.Public())
+	srv := audit.NewDynamicServer(oid, "cache-7", serverKey, handler)
+	srv.Now = func() time.Time { return time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC) }
+	ks := keys.NewKeystore()
+	ks.Add("cache-7", serverKey.Public())
+	aud := audit.NewAuditor(oid, ownerKey, trusted, ks, probability, 42)
+	return &fixture{oid: oid, ownerKey: ownerKey, server: srv, auditor: aud}
+}
+
+func TestHonestServerNeverCaught(t *testing.T) {
+	f := newFixture(t, trusted, 1.0) // audit everything
+	for i := 0; i < 50; i++ {
+		resp, receipt, err := f.server.Serve(fmt.Sprintf("q%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := f.auditor.Observe(resp, receipt)
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if proof != nil {
+			t.Fatal("honest server caught")
+		}
+	}
+	st := f.auditor.Stats()
+	if st.Observed != 50 || st.Audited != 50 || st.Caught != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLyingServerCaughtWithFullAudit(t *testing.T) {
+	f := newFixture(t, lying, 1.0)
+	resp, receipt, err := f.server.Serve("query-victim-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := f.auditor.Observe(resp, receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof == nil {
+		t.Fatal("lying server not caught at p=1")
+	}
+	// The proof convinces a third party.
+	if err := proof.Verify(f.server.Key.Public(), f.ownerKey.Public()); err != nil {
+		t.Fatalf("proof rejected by third party: %v", err)
+	}
+}
+
+func TestProbabilisticAuditEventuallyCatches(t *testing.T) {
+	f := newFixture(t, lying, 0.2)
+	caught := 0
+	for i := 0; i < 200; i++ {
+		resp, receipt, err := f.server.Serve(fmt.Sprintf("victim-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := f.auditor.Observe(resp, receipt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proof != nil {
+			caught++
+		}
+	}
+	st := f.auditor.Stats()
+	// ~20% of 200 = ~40 audits, all of which catch.
+	if st.Audited < 20 || st.Audited > 80 {
+		t.Errorf("Audited = %d, want around 40", st.Audited)
+	}
+	if caught != st.Audited {
+		t.Errorf("caught %d of %d audited lying responses", caught, st.Audited)
+	}
+	if caught == 0 {
+		t.Error("probabilistic audit never caught a persistent liar")
+	}
+}
+
+func TestForgedReceiptRejected(t *testing.T) {
+	f := newFixture(t, trusted, 1.0)
+	resp, receipt, err := f.server.Serve("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the response after the receipt was issued.
+	resp = append(resp, 'x')
+	_, err = f.auditor.Observe(resp, receipt)
+	if !errors.Is(err, audit.ErrBadReceipt) {
+		t.Fatalf("err = %v, want ErrBadReceipt", err)
+	}
+	if f.auditor.Stats().BadSig != 1 {
+		t.Errorf("BadSig = %d", f.auditor.Stats().BadSig)
+	}
+}
+
+func TestUnknownServerRejected(t *testing.T) {
+	f := newFixture(t, trusted, 1.0)
+	rogueKey := keytest.RSA()
+	rogue := audit.NewDynamicServer(f.oid, "rogue", rogueKey, trusted)
+	resp, receipt, err := rogue.Serve("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.auditor.Observe(resp, receipt); !errors.Is(err, audit.ErrBadReceipt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProofCannotBeForged(t *testing.T) {
+	f := newFixture(t, lying, 1.0)
+	resp, receipt, _ := f.server.Serve("victim-q")
+	proof, err := f.auditor.Observe(resp, receipt)
+	if err != nil || proof == nil {
+		t.Fatal("setup failed")
+	}
+	// Wrong owner key: verification fails.
+	if err := proof.Verify(f.server.Key.Public(), keytest.RSA().Public()); err == nil {
+		t.Error("proof verified under wrong owner key")
+	}
+	// Tampered "correct" answer: owner signature fails.
+	mutated := *proof
+	mutated.Correct = append([]byte(nil), proof.Correct...)
+	mutated.Correct[0] ^= 1
+	if err := mutated.Verify(f.server.Key.Public(), f.ownerKey.Public()); err == nil {
+		t.Error("tampered proof verified")
+	}
+	// A proof where served == correct is no proof at all.
+	same := *proof
+	same.Response = proof.Correct
+	if err := same.Verify(f.server.Key.Public(), f.ownerKey.Public()); err == nil {
+		t.Error("vacuous proof verified")
+	}
+}
+
+func TestReceiptVerifyDirect(t *testing.T) {
+	f := newFixture(t, trusted, 0)
+	resp, receipt, err := f.server.Serve("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := receipt.Verify(f.server.Key.Public(), resp); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := receipt.Verify(keytest.RSA().Public(), resp); !errors.Is(err, audit.ErrBadReceipt) {
+		t.Fatalf("wrong-key Verify = %v", err)
+	}
+}

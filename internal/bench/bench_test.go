@@ -1,0 +1,132 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"globedoc/internal/bench"
+	"globedoc/internal/keys"
+	"globedoc/internal/netsim"
+	"globedoc/internal/workload"
+)
+
+// quickCfg keeps harness tests fast: tiny sizes, no sleeping, Ed25519.
+func quickCfg() bench.Config {
+	return bench.Config{
+		TimeScale:    0,
+		Iterations:   2,
+		Sizes:        []int{1 * workload.KB, 10 * workload.KB},
+		ImageSizes:   []int{1 * workload.KB},
+		Clients:      []string{netsim.Paris},
+		KeyAlgorithm: keys.Ed25519,
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s := bench.Collect([]time.Duration{time.Second, 3 * time.Second})
+	if s.N != 2 || s.Mean != 2*time.Second || s.Std != time.Second {
+		t.Errorf("Sample = %+v", s)
+	}
+	if z := bench.Collect(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Sample = %+v", z)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out := bench.RunTable1(0)
+	for _, want := range []string{"Table 1", "ginger.cs.vu.nl", "amsterdam-primary", "paris", "ithaca"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4Quick(t *testing.T) {
+	res, err := bench.RunFig4(quickCfg())
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	if len(res.Sizes) != 2 || len(res.Clients) != 1 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, size := range res.Sizes {
+		p := res.Points[size][netsim.Paris]
+		if p.OverheadPercent <= 0 || p.OverheadPercent >= 100 {
+			t.Errorf("size %d: overhead = %v", size, p.OverheadPercent)
+		}
+		if p.Total.Mean <= 0 || p.Security.Mean <= 0 {
+			t.Errorf("size %d: samples = %+v", size, p)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "1KB") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	res, err := bench.RunFig5(netsim.Paris, quickCfg())
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.TotalBytes != 15*workload.KB {
+		t.Errorf("TotalBytes = %d", row.TotalBytes)
+	}
+	if row.GlobeDoc.Mean <= 0 || row.HTTP.Mean <= 0 || row.HTTPS.Mean <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	out := res.Format(6)
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "Paris") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}
+
+func TestFigureNumber(t *testing.T) {
+	if bench.FigureNumber(netsim.AmsterdamSecondary) != 5 ||
+		bench.FigureNumber(netsim.Paris) != 6 ||
+		bench.FigureNumber(netsim.Ithaca) != 7 {
+		t.Error("figure numbering wrong")
+	}
+	if bench.FigureNumber("mars") != 0 {
+		t.Error("unknown client should map to 0")
+	}
+}
+
+// TestFig4ShapeAtScale runs Figure 4 at a reduced but non-zero time scale
+// and asserts the paper's qualitative shape: overhead falls as size
+// grows, and at the largest size the LAN client has the highest relative
+// overhead.
+func TestFig4ShapeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-latency experiment")
+	}
+	cfg := bench.Config{
+		TimeScale:  0.05, // 5% of real latencies keeps the test quick
+		Iterations: 3,
+		Sizes:      []int{1 * workload.KB, 1024 * workload.KB},
+		Clients:    []string{netsim.AmsterdamSecondary, netsim.Paris, netsim.Ithaca},
+	}
+	res, err := bench.RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, client := range cfg.Clients {
+		small := res.Points[1*workload.KB][client].OverheadPercent
+		large := res.Points[1024*workload.KB][client].OverheadPercent
+		if small <= large {
+			t.Errorf("%s: overhead did not fall with size: %.1f%% -> %.1f%%",
+				netsim.ClientLabel(client), small, large)
+		}
+	}
+	largeAms := res.Points[1024*workload.KB][netsim.AmsterdamSecondary].OverheadPercent
+	largeIth := res.Points[1024*workload.KB][netsim.Ithaca].OverheadPercent
+	if largeAms <= largeIth {
+		t.Errorf("at 1MB, LAN overhead (%.2f%%) should exceed transatlantic (%.2f%%)",
+			largeAms, largeIth)
+	}
+}

@@ -1,0 +1,170 @@
+package cert_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+)
+
+func newTestCA(t *testing.T, name string) *cert.CA {
+	t.Helper()
+	return &cert.CA{Name: name, Key: keytest.Ed()}
+}
+
+func TestIssueAndVerifyNameCertificate(t *testing.T) {
+	ca := newTestCA(t, "Root CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, err := ca.IssueNameCertificate(oid, "Vrije Universiteit", t0, t1)
+	if err != nil {
+		t.Fatalf("IssueNameCertificate: %v", err)
+	}
+	ts := cert.NewTrustStore()
+	ts.TrustCA("Root CA", ca.Key.Public())
+	subject, err := ts.Verify(nc, oid, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if subject != "Vrije Universiteit" {
+		t.Errorf("subject = %q", subject)
+	}
+}
+
+func TestVerifyRejectsUntrustedCA(t *testing.T) {
+	ca := newTestCA(t, "Shady CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, err := ca.IssueNameCertificate(oid, "Fake Bank", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cert.NewTrustStore() // empty: user trusts nobody
+	if _, err := ts.Verify(nc, oid, t0); !errors.Is(err, cert.ErrUntrustedCA) {
+		t.Fatalf("err = %v, want ErrUntrustedCA", err)
+	}
+}
+
+func TestVerifyRejectsImpersonatedCA(t *testing.T) {
+	// Mallory signs a certificate claiming to be "Root CA".
+	mallory := newTestCA(t, "Root CA")
+	real := newTestCA(t, "Root CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, err := mallory.IssueNameCertificate(oid, "Victim Corp", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cert.NewTrustStore()
+	ts.TrustCA("Root CA", real.Key.Public()) // user trusts the real key
+	if _, err := ts.Verify(nc, oid, t0); !errors.Is(err, cert.ErrNameCertInvalid) {
+		t.Fatalf("err = %v, want ErrNameCertInvalid", err)
+	}
+}
+
+func TestVerifyRejectsWrongObject(t *testing.T) {
+	ca := newTestCA(t, "Root CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	otherOID := globeid.FromPublicKey(keytest.Ed().Public())
+	nc, err := ca.IssueNameCertificate(oid, "Subject", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cert.NewTrustStore()
+	ts.TrustCA("Root CA", ca.Key.Public())
+	if _, err := ts.Verify(nc, otherOID, t0); !errors.Is(err, cert.ErrNameCertInvalid) {
+		t.Fatalf("err = %v, want ErrNameCertInvalid", err)
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	ca := newTestCA(t, "Root CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, err := ca.IssueNameCertificate(oid, "Subject", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cert.NewTrustStore()
+	ts.TrustCA("Root CA", ca.Key.Public())
+	if _, err := ts.Verify(nc, oid, t1.Add(time.Hour)); !errors.Is(err, cert.ErrNameCertInvalid) {
+		t.Fatalf("err = %v, want ErrNameCertInvalid (expired)", err)
+	}
+}
+
+func TestFirstTrustedPicksFirstMatch(t *testing.T) {
+	caA := newTestCA(t, "CA-A")
+	caB := newTestCA(t, "CA-B")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	ncA, _ := caA.IssueNameCertificate(oid, "Subject via A", t0, t1)
+	ncB, _ := caB.IssueNameCertificate(oid, "Subject via B", t0, t1)
+
+	ts := cert.NewTrustStore()
+	ts.TrustCA("CA-B", caB.Key.Public()) // user only trusts B
+	subject, err := ts.FirstTrusted([]*cert.NameCertificate{ncA, ncB}, oid, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("FirstTrusted: %v", err)
+	}
+	if subject != "Subject via B" {
+		t.Errorf("subject = %q", subject)
+	}
+}
+
+func TestFirstTrustedNoneMatch(t *testing.T) {
+	ca := newTestCA(t, "CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, _ := ca.IssueNameCertificate(oid, "Subject", t0, t1)
+	ts := cert.NewTrustStore()
+	if _, err := ts.FirstTrusted([]*cert.NameCertificate{nc}, oid, t0); err == nil {
+		t.Fatal("FirstTrusted succeeded with empty trust store")
+	}
+	if _, err := ts.FirstTrusted(nil, oid, t0); err == nil {
+		t.Fatal("FirstTrusted succeeded with no certificates")
+	}
+}
+
+func TestNameCertificateMarshalRoundTrip(t *testing.T) {
+	ca := newTestCA(t, "Root CA")
+	oid := globeid.FromPublicKey(keytest.RSA().Public())
+	nc, err := ca.IssueNameCertificate(oid, "Vrije Universiteit", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cert.UnmarshalNameCertificate(nc.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	ts := cert.NewTrustStore()
+	ts.TrustCA("Root CA", ca.Key.Public())
+	subject, err := ts.Verify(got, oid, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("round-tripped certificate rejected: %v", err)
+	}
+	if subject != "Vrije Universiteit" {
+		t.Errorf("subject = %q", subject)
+	}
+}
+
+func TestTrustStoreManagement(t *testing.T) {
+	ts := cert.NewTrustStore()
+	ts.TrustCA("B", keytest.Ed().Public())
+	ts.TrustCA("A", keytest.Ed().Public())
+	got := ts.TrustedCAs()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("TrustedCAs = %v", got)
+	}
+	ts.RevokeCA("A")
+	if got := ts.TrustedCAs(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("after revoke: %v", got)
+	}
+}
+
+func TestNewCA(t *testing.T) {
+	ca, err := cert.NewCA("Fresh CA", keys.Ed25519)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	if ca.Name != "Fresh CA" || ca.Key == nil {
+		t.Fatalf("NewCA returned %+v", ca)
+	}
+}

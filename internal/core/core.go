@@ -1,0 +1,523 @@
+// Package core implements the GlobeDoc security architecture — the
+// paper's primary contribution (§3): end-to-end integrity guarantees for
+// Web documents replicated on untrusted servers.
+//
+// The exported Client runs the complete secure-browsing pipeline of
+// Figure 3 for every fetch:
+//
+//  1. resolve the object name to a self-certifying OID (secure naming
+//     service);
+//  2. find the closest replica (untrusted location service);
+//  3. retrieve the object's public key from the replica and check
+//     SHA-1(key) == OID — self-certification, no CA involved;
+//  4. optionally retrieve CA-signed identity certificates and match
+//     them against the user's trusted-CA list ("Certified as: ...");
+//  5. retrieve the integrity certificate and verify its signature
+//     under the object key;
+//  6. retrieve the requested page element;
+//  7. verify authenticity (hash), consistency (requested name) and
+//     freshness (validity interval).
+//
+// Every phase is individually timed; the security-specific phases are
+// exactly the set the paper instruments for Figure 4, so the benchmark
+// harness reads the overhead directly from a fetch's Timing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/object"
+)
+
+// ErrSecurityCheckFailed wraps every verification failure: whatever the
+// replica or the intermediate services did, the client refused the data.
+// The paper's proxy renders this as the "Security Check Failed" page.
+var ErrSecurityCheckFailed = errors.New("core: security check failed")
+
+// SecurityError carries which phase of the pipeline rejected the fetch.
+type SecurityError struct {
+	Phase string // e.g. "self-certification", "integrity-certificate", "element"
+	Err   error
+}
+
+func (e *SecurityError) Error() string {
+	return fmt.Sprintf("core: security check failed at %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap makes errors.Is(err, ErrSecurityCheckFailed) and errors.Is
+// against the underlying cert/globeid errors both work.
+func (e *SecurityError) Unwrap() []error { return []error{ErrSecurityCheckFailed, e.Err} }
+
+func secErr(phase string, err error) error { return &SecurityError{Phase: phase, Err: err} }
+
+// Timing is the per-phase breakdown of one secure fetch, mirroring the
+// timers the paper placed "in various parts of the proxy and server code".
+type Timing struct {
+	NameResolve    time.Duration // hybrid name -> OID
+	Bind           time.Duration // location lookup + connect
+	KeyFetch       time.Duration // retrieve object public key
+	KeyVerify      time.Duration // SHA-1(key) == OID
+	NameCertFetch  time.Duration // retrieve CA identity certificates
+	NameCertVerify time.Duration // match against trusted CAs
+	CertFetch      time.Duration // retrieve integrity certificate
+	CertVerify     time.Duration // verify certificate signature
+	ElementFetch   time.Duration // retrieve page element content
+	ElementVerify  time.Duration // hash + freshness + consistency checks
+}
+
+// Security returns the time spent on security-specific operations — the
+// paper's Figure 4 numerator: "retrieving the object's public key,
+// verifying its SHA-1 hash matches the object Id, retrieving the object
+// certificate and verifying it, computing the hash of the page element
+// and verifying it against the hash in the certificate".
+func (t Timing) Security() time.Duration {
+	return t.KeyFetch + t.KeyVerify + t.NameCertFetch + t.NameCertVerify +
+		t.CertFetch + t.CertVerify + t.ElementVerify
+}
+
+// Total returns the full client-perceived fetch time.
+func (t Timing) Total() time.Duration {
+	return t.NameResolve + t.Bind + t.Security() + t.ElementFetch
+}
+
+// OverheadPercent returns security time as a percentage of total.
+func (t Timing) OverheadPercent() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(t.Security()) / float64(total)
+}
+
+// Add accumulates u into t (for averaging across iterations).
+func (t *Timing) Add(u Timing) {
+	t.NameResolve += u.NameResolve
+	t.Bind += u.Bind
+	t.KeyFetch += u.KeyFetch
+	t.KeyVerify += u.KeyVerify
+	t.NameCertFetch += u.NameCertFetch
+	t.NameCertVerify += u.NameCertVerify
+	t.CertFetch += u.CertFetch
+	t.CertVerify += u.CertVerify
+	t.ElementFetch += u.ElementFetch
+	t.ElementVerify += u.ElementVerify
+}
+
+// Scale divides every phase by n (for averaging).
+func (t Timing) Scale(n int) Timing {
+	if n <= 0 {
+		return t
+	}
+	d := time.Duration(n)
+	return Timing{
+		NameResolve:    t.NameResolve / d,
+		Bind:           t.Bind / d,
+		KeyFetch:       t.KeyFetch / d,
+		KeyVerify:      t.KeyVerify / d,
+		NameCertFetch:  t.NameCertFetch / d,
+		NameCertVerify: t.NameCertVerify / d,
+		CertFetch:      t.CertFetch / d,
+		CertVerify:     t.CertVerify / d,
+		ElementFetch:   t.ElementFetch / d,
+		ElementVerify:  t.ElementVerify / d,
+	}
+}
+
+// FetchResult is one securely fetched page element.
+type FetchResult struct {
+	Element document.Element
+	// CertifiedAs is the real-world subject from the first identity
+	// certificate matching the user's trust list, or "" when identity
+	// certification was not requested.
+	CertifiedAs string
+	// ReplicaAddr is the contact address the element came from.
+	ReplicaAddr string
+	// Timing is the per-phase breakdown.
+	Timing Timing
+	// WarmBinding reports whether the verified binding cache was used
+	// (skipping phases 1–5).
+	WarmBinding bool
+}
+
+// verifiedBinding is a cached, fully verified attachment to one object
+// replica: connection, self-certified key, and checked certificate.
+type verifiedBinding struct {
+	client      *object.Client
+	key         keys.PublicKey
+	icert       *cert.IntegrityCertificate
+	certifiedAs string
+}
+
+// Client runs the GlobeDoc security pipeline. Construct with a configured
+// object.Binder; zero out Trust to skip CA identity certification.
+type Client struct {
+	// Binder performs name resolution, location and connection.
+	Binder *object.Binder
+	// Trust is the user's trusted-CA store; nil disables the identity
+	// step entirely.
+	Trust *cert.TrustStore
+	// RequireIdentity makes fetches fail unless some identity
+	// certificate matches the trust store (the e-commerce posture of
+	// §3.1.2). When false, identity is best-effort: the subject is
+	// reported when available.
+	RequireIdentity bool
+	// CacheBindings keeps verified bindings warm across fetches; each
+	// element access then costs one round trip plus verification.
+	CacheBindings bool
+	// Now is the clock used for freshness checks; tests replace it.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	cache map[globeid.OID]*verifiedBinding
+}
+
+// NewClient returns a security client over binder with the default clock.
+func NewClient(binder *object.Binder) *Client {
+	return &Client{
+		Binder: binder,
+		Now:    time.Now,
+		cache:  make(map[globeid.OID]*verifiedBinding),
+	}
+}
+
+// Close drops all cached bindings and their connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for oid, vb := range c.cache {
+		vb.client.Close()
+		delete(c.cache, oid)
+	}
+}
+
+// FlushBindings drops cached bindings (cold-path benchmarks).
+func (c *Client) FlushBindings() { c.Close() }
+
+// FetchNamed securely fetches one element of the object bound to name.
+func (c *Client) FetchNamed(name, element string) (FetchResult, error) {
+	var timing Timing
+	start := time.Now()
+	oid, err := c.Binder.Names.Resolve(name)
+	timing.NameResolve = time.Since(start)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("core: resolving %q: %w", name, err)
+	}
+	return c.fetch(oid, element, timing)
+}
+
+// Fetch securely fetches one element of the object identified by oid.
+func (c *Client) Fetch(oid globeid.OID, element string) (FetchResult, error) {
+	return c.fetch(oid, element, Timing{})
+}
+
+func (c *Client) fetch(oid globeid.OID, element string, timing Timing) (FetchResult, error) {
+	return c.fetchExcluding(oid, element, timing, nil)
+}
+
+// fetchExcluding is fetch with a set of replica addresses already caught
+// misbehaving during this operation; they are skipped when re-binding.
+func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, excluded map[string]bool) (FetchResult, error) {
+	now := c.Now()
+
+	vb, warm := c.cachedBinding(oid, now)
+	if !warm {
+		var err error
+		vb, err = c.establish(oid, now, &timing, excluded)
+		if err != nil {
+			return FetchResult{}, err
+		}
+		if c.CacheBindings {
+			c.storeBinding(oid, vb)
+		}
+	}
+
+	// Phase 6: retrieve the page element from the (untrusted) replica.
+	start := time.Now()
+	elem, err := vb.client.GetElement(element)
+	timing.ElementFetch = time.Since(start)
+	if err != nil {
+		if !warm {
+			c.dropBinding(oid, vb)
+		}
+		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
+	}
+
+	// Phase 7: authenticity, consistency, freshness (paper §3.2.2).
+	start = time.Now()
+	err = vb.icert.VerifyElement(element, elem.Data, now)
+	timing.ElementVerify = time.Since(start)
+	if err != nil {
+		if warm && errors.Is(err, cert.ErrFreshness) {
+			// The cached certificate may simply have expired; re-bind
+			// once and retry with a fresh certificate.
+			c.dropBinding(oid, vb)
+			return c.fetchExcluding(oid, element, Timing{}, excluded)
+		}
+		if !warm && (errors.Is(err, cert.ErrAuthenticity) || errors.Is(err, cert.ErrConsistency)) {
+			// The replica served bogus content despite genuine
+			// credentials: blacklist it for this operation and try the
+			// next candidate. Detection thereby degrades an attack to a
+			// slower fetch instead of a failure, as long as any honest
+			// replica remains.
+			addr := vb.client.Addr()
+			c.dropBinding(oid, vb)
+			next := make(map[string]bool, len(excluded)+1)
+			for a := range excluded {
+				next[a] = true
+			}
+			next[addr] = true
+			res, retryErr := c.fetchExcluding(oid, element, Timing{}, next)
+			if retryErr == nil {
+				return res, nil
+			}
+			return FetchResult{}, secErr("element", err)
+		}
+		return FetchResult{}, secErr("element", err)
+	}
+
+	res := FetchResult{
+		Element:     elem,
+		CertifiedAs: vb.certifiedAs,
+		ReplicaAddr: vb.client.Addr(),
+		Timing:      timing,
+		WarmBinding: warm,
+	}
+	if !warm && !c.CacheBindings {
+		vb.client.Close()
+	}
+	return res, nil
+}
+
+// establish performs phases 2–5: locate candidate replicas, then for
+// each (nearest first) connect, self-certify the key, optionally certify
+// identity, and verify the integrity certificate. A replica that fails
+// ANY check — unreachable or malicious — is abandoned and the next
+// candidate is tried, so a compromised near replica degrades a fetch to
+// the next-nearest honest one rather than to an error. Only when every
+// candidate fails does the fetch fail (the paper's worst case: denial of
+// service).
+func (c *Client) establish(oid globeid.OID, now time.Time, timing *Timing, excluded map[string]bool) (*verifiedBinding, error) {
+	start := time.Now()
+	candidates, _, err := c.Binder.Candidates(oid)
+	timing.Bind = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	lastErr := error(object.ErrNoReplica)
+	for _, ca := range candidates {
+		if excluded[ca.Address] {
+			continue
+		}
+		vb, err := c.verifyReplica(oid, ca.Address, now, timing)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return vb, nil
+	}
+	return nil, lastErr
+}
+
+// verifyReplica runs phases 2b–5 against one replica address. The timing
+// phases record the most recent attempt; Bind accumulates across
+// attempts.
+func (c *Client) verifyReplica(oid globeid.OID, addr string, now time.Time, timing *Timing) (*verifiedBinding, error) {
+	// Phase 2b: connect to the (untrusted) replica.
+	start := time.Now()
+	client, err := c.Binder.Connect(oid, addr)
+	timing.Bind += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	client.Site = c.Binder.Site
+
+	fail := func(phase string, cause error) (*verifiedBinding, error) {
+		client.Close()
+		return nil, secErr(phase, cause)
+	}
+
+	// Phase 3: retrieve the object's public key and self-certify it.
+	start = time.Now()
+	pk, err := client.GetPublicKey()
+	timing.KeyFetch = time.Since(start)
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("core: fetching object key: %w", err)
+	}
+	start = time.Now()
+	err = oid.Verify(pk)
+	timing.KeyVerify = time.Since(start)
+	if err != nil {
+		return fail("self-certification", err)
+	}
+
+	// Phase 4 (optional): identity certificates against the user's CAs.
+	certifiedAs := ""
+	if c.Trust != nil {
+		start = time.Now()
+		nameCerts, err := client.GetNameCerts()
+		timing.NameCertFetch = time.Since(start)
+		if err != nil {
+			client.Close()
+			return nil, fmt.Errorf("core: fetching identity certificates: %w", err)
+		}
+		start = time.Now()
+		subject, err := c.Trust.FirstTrusted(nameCerts, oid, now)
+		timing.NameCertVerify = time.Since(start)
+		if err == nil {
+			certifiedAs = subject
+		} else if c.RequireIdentity {
+			return fail("identity-certificate", err)
+		}
+	}
+
+	// Phase 5: integrity certificate, verified under the object key.
+	start = time.Now()
+	icert, err := client.GetIntegrityCert()
+	timing.CertFetch = time.Since(start)
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("core: fetching integrity certificate: %w", err)
+	}
+	start = time.Now()
+	err = icert.VerifySignature(oid, pk)
+	timing.CertVerify = time.Since(start)
+	if err != nil {
+		return fail("integrity-certificate", err)
+	}
+
+	return &verifiedBinding{
+		client:      client,
+		key:         pk,
+		icert:       icert,
+		certifiedAs: certifiedAs,
+	}, nil
+}
+
+func (c *Client) cachedBinding(oid globeid.OID, now time.Time) (*verifiedBinding, bool) {
+	if !c.CacheBindings {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vb, ok := c.cache[oid]
+	return vb, ok
+}
+
+func (c *Client) storeBinding(oid globeid.OID, vb *verifiedBinding) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.cache[oid]; ok && old != vb {
+		old.client.Close()
+	}
+	c.cache[oid] = vb
+}
+
+func (c *Client) dropBinding(oid globeid.OID, vb *verifiedBinding) {
+	c.mu.Lock()
+	if cur, ok := c.cache[oid]; ok && cur == vb {
+		delete(c.cache, oid)
+	}
+	c.mu.Unlock()
+	vb.client.Close()
+}
+
+// ElementsNamed resolves name and returns the verified integrity
+// certificate's entries — the authenticated table of contents of the
+// object. No element content is transferred.
+func (c *Client) ElementsNamed(name string) ([]cert.ElementEntry, error) {
+	oid, err := c.Binder.Names.Resolve(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: resolving %q: %w", name, err)
+	}
+	return c.Elements(oid)
+}
+
+// Elements returns the verified certificate entries for oid.
+func (c *Client) Elements(oid globeid.OID) ([]cert.ElementEntry, error) {
+	now := c.Now()
+	vb, warm := c.cachedBinding(oid, now)
+	if !warm {
+		var timing Timing
+		var err error
+		vb, err = c.establish(oid, now, &timing, nil)
+		if err != nil {
+			return nil, err
+		}
+		if c.CacheBindings {
+			c.storeBinding(oid, vb)
+		} else {
+			defer vb.client.Close()
+		}
+	}
+	return append([]cert.ElementEntry(nil), vb.icert.Entries...), nil
+}
+
+// FetchAll securely fetches every element listed in the object's
+// integrity certificate, returning elements in certificate order. It is
+// the "download the whole document" operation the paper's Figures 5–7
+// time against Apache.
+func (c *Client) FetchAll(oid globeid.OID) ([]FetchResult, error) {
+	// Bind once (cold or cached), then fetch each element.
+	now := c.Now()
+	vb, warm := c.cachedBinding(oid, now)
+	if !warm {
+		var timing Timing
+		var err error
+		vb, err = c.establish(oid, now, &timing, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.storeBindingIfEnabled(oid, vb)
+		defer func() {
+			if !c.CacheBindings {
+				vb.client.Close()
+			}
+		}()
+	}
+	var out []FetchResult
+	for _, entry := range vb.icert.Entries {
+		res, err := c.fetchVia(vb, entry.Name, now, warm)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (c *Client) storeBindingIfEnabled(oid globeid.OID, vb *verifiedBinding) {
+	if c.CacheBindings {
+		c.storeBinding(oid, vb)
+	}
+}
+
+func (c *Client) fetchVia(vb *verifiedBinding, element string, now time.Time, warm bool) (FetchResult, error) {
+	var timing Timing
+	start := time.Now()
+	elem, err := vb.client.GetElement(element)
+	timing.ElementFetch = time.Since(start)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
+	}
+	start = time.Now()
+	err = vb.icert.VerifyElement(element, elem.Data, now)
+	timing.ElementVerify = time.Since(start)
+	if err != nil {
+		return FetchResult{}, secErr("element", err)
+	}
+	return FetchResult{
+		Element:     elem,
+		CertifiedAs: vb.certifiedAs,
+		ReplicaAddr: vb.client.Addr(),
+		Timing:      timing,
+		WarmBinding: warm,
+	}, nil
+}

@@ -1,0 +1,51 @@
+package document_test
+
+import (
+	"strings"
+	"testing"
+
+	"globedoc/internal/document"
+)
+
+// FuzzParseHybrid checks hybrid-URL parsing never panics and that any
+// accepted parse round-trips through the reference when re-rendered.
+func FuzzParseHybrid(f *testing.F) {
+	f.Add("/GlobeDoc/vu.nl/home/index.html")
+	f.Add("/GlobeDoc/site!img/logo.png")
+	f.Add("/GlobeDoc/")
+	f.Add("not-a-hybrid")
+	f.Add("/GlobeDoc/a!")
+	f.Fuzz(func(t *testing.T, path string) {
+		ref, ok := document.ParseHybrid(path)
+		if !ok {
+			return
+		}
+		if ref.ObjectName == "" || ref.Element == "" {
+			t.Fatalf("accepted ref with empty component: %+v from %q", ref, path)
+		}
+		// A ref without the explicit separator must re-render to a path
+		// that parses back to itself.
+		if !strings.Contains(path, "!") && !strings.Contains(ref.Element, "/") {
+			back, ok := document.ParseHybrid(ref.String())
+			if !ok || back != ref {
+				t.Fatalf("round trip failed: %+v -> %q -> %+v (%v)", ref, ref.String(), back, ok)
+			}
+		}
+	})
+}
+
+// FuzzExtractLinks checks the HTML link scanner never panics on
+// arbitrary input.
+func FuzzExtractLinks(f *testing.F) {
+	f.Add([]byte(`<a href="x.html">x</a>`))
+	f.Add([]byte(`<img src='y.png'>`))
+	f.Add([]byte(`href=`))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, html []byte) {
+		for _, link := range document.ExtractLinks(html) {
+			if link.Target == "" {
+				t.Fatal("extracted empty link target")
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package document
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HybridPrefix is the path prefix that marks a URL as referring to a
+// GlobeDoc object. Standard browsers do not understand GlobeDoc names, so
+// hybrid URLs embed the object name and page-element name in an ordinary
+// URL that the user's proxy intercepts (paper §2.1).
+const HybridPrefix = "/GlobeDoc/"
+
+// HybridRef is a parsed hybrid URL: which GlobeDoc object and which page
+// element inside it.
+type HybridRef struct {
+	ObjectName string // human-readable object name resolved by the naming service
+	Element    string // page element within the object
+}
+
+// String renders the reference as a hybrid URL path.
+func (h HybridRef) String() string {
+	return HybridPrefix + h.ObjectName + "/" + h.Element
+}
+
+// ParseHybrid parses a URL path of the form /GlobeDoc/<object>/<element>.
+// The object name may itself contain slashes; the element is the final
+// path component unless the object name is registered with an explicit
+// separator "!": /GlobeDoc/a/b!x/y.html names object "a/b" and element
+// "x/y.html".
+func ParseHybrid(urlPath string) (HybridRef, bool) {
+	if !strings.HasPrefix(urlPath, HybridPrefix) {
+		return HybridRef{}, false
+	}
+	rest := strings.TrimPrefix(urlPath, HybridPrefix)
+	if rest == "" {
+		return HybridRef{}, false
+	}
+	if obj, elem, ok := strings.Cut(rest, "!"); ok {
+		elem = strings.TrimPrefix(elem, "/")
+		if obj == "" || elem == "" {
+			return HybridRef{}, false
+		}
+		return HybridRef{ObjectName: obj, Element: elem}, true
+	}
+	i := strings.LastIndex(rest, "/")
+	if i <= 0 || i == len(rest)-1 {
+		return HybridRef{}, false
+	}
+	return HybridRef{ObjectName: rest[:i], Element: rest[i+1:]}, true
+}
+
+// Link is a hyperlink found in an HTML page element. A relative link
+// refers to another element of the same GlobeDoc object; an absolute link
+// (one that parses as a hybrid URL) refers to an element of another
+// object (paper §2).
+type Link struct {
+	Target   string     // raw href/src attribute value
+	Relative bool       // true if the target names an element of the same object
+	Hybrid   *HybridRef // non-nil if the target is an absolute hybrid URL
+}
+
+// ExtractLinks scans HTML content for href and src attributes and
+// classifies each as relative (same object) or absolute. It is a
+// deliberately small scanner, not a full HTML parser: GlobeDoc only needs
+// link topology, not the DOM.
+func ExtractLinks(html []byte) []Link {
+	var links []Link
+	s := string(html)
+	for _, attr := range []string{"href=", "src="} {
+		rest := s
+		for {
+			// asciiLower preserves byte offsets (unlike strings.ToLower,
+			// which may resize non-ASCII runes), so i indexes rest too.
+			i := strings.Index(asciiLower(rest), attr)
+			if i < 0 {
+				break
+			}
+			rest = rest[i+len(attr):]
+			if len(rest) == 0 {
+				break
+			}
+			quote := rest[0]
+			if quote != '"' && quote != '\'' {
+				continue
+			}
+			end := strings.IndexByte(rest[1:], quote)
+			if end < 0 {
+				break
+			}
+			target := rest[1 : 1+end]
+			rest = rest[1+end:]
+			if target == "" {
+				continue
+			}
+			links = append(links, classifyLink(target))
+		}
+	}
+	return links
+}
+
+// asciiLower lowercases only ASCII letters, preserving string length so
+// indices into the result are valid in the original.
+func asciiLower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func classifyLink(target string) Link {
+	if ref, ok := ParseHybrid(pathOf(target)); ok {
+		return Link{Target: target, Relative: false, Hybrid: &ref}
+	}
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "//") {
+		return Link{Target: target, Relative: false}
+	}
+	return Link{Target: target, Relative: true}
+}
+
+// pathOf strips scheme and host from an absolute URL, returning the path.
+func pathOf(target string) string {
+	if i := strings.Index(target, "://"); i >= 0 {
+		rest := target[i+3:]
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			return rest[j:]
+		}
+		return "/"
+	}
+	return target
+}
+
+// Site is a collection of related Web documents under a common name
+// prefix, mirroring the paper's site/document distinction (§2).
+type Site struct {
+	Name      string
+	Documents map[string]*Document // object name -> document
+}
+
+// NewSite returns an empty site.
+func NewSite(name string) *Site {
+	return &Site{Name: name, Documents: make(map[string]*Document)}
+}
+
+// Add registers doc under objectName. Registering the same name twice is
+// an error.
+func (s *Site) Add(objectName string, doc *Document) error {
+	if _, ok := s.Documents[objectName]; ok {
+		return fmt.Errorf("document: site %q already has object %q", s.Name, objectName)
+	}
+	s.Documents[objectName] = doc
+	return nil
+}
+
+// DanglingLinks returns, for every HTML element in every document of the
+// site, the relative links that do not resolve to an element of the same
+// document — the site-integrity check a publisher runs before signing.
+func (s *Site) DanglingLinks() map[string][]string {
+	dangling := make(map[string][]string)
+	for objName, doc := range s.Documents {
+		for _, elemName := range doc.Names() {
+			e, err := doc.Get(elemName)
+			if err != nil || !strings.HasPrefix(e.ContentType, "text/html") {
+				continue
+			}
+			for _, link := range ExtractLinks(e.Data) {
+				if !link.Relative {
+					continue
+				}
+				target := strings.TrimPrefix(link.Target, "./")
+				if _, err := doc.Get(target); err != nil {
+					key := objName + "/" + elemName
+					dangling[key] = append(dangling[key], link.Target)
+				}
+			}
+		}
+	}
+	return dangling
+}

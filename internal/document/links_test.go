@@ -1,0 +1,106 @@
+package document_test
+
+import (
+	"testing"
+
+	"globedoc/internal/document"
+)
+
+func TestParseHybrid(t *testing.T) {
+	cases := []struct {
+		path    string
+		wantOK  bool
+		wantObj string
+		wantEl  string
+	}{
+		{"/GlobeDoc/vu.nl/home/index.html", true, "vu.nl/home", "index.html"},
+		{"/GlobeDoc/site!img/logo.png", true, "site", "img/logo.png"},
+		{"/GlobeDoc/a/b", true, "a", "b"},
+		{"/GlobeDoc/", false, "", ""},
+		{"/GlobeDoc/noelement", false, "", ""},
+		{"/GlobeDoc/obj/", false, "", ""},
+		{"/regular/path.html", false, "", ""},
+		{"", false, "", ""},
+		{"/GlobeDoc/!x", false, "", ""},
+		{"/GlobeDoc/x!", false, "", ""},
+	}
+	for _, c := range cases {
+		ref, ok := document.ParseHybrid(c.path)
+		if ok != c.wantOK {
+			t.Errorf("ParseHybrid(%q) ok = %v, want %v", c.path, ok, c.wantOK)
+			continue
+		}
+		if ok && (ref.ObjectName != c.wantObj || ref.Element != c.wantEl) {
+			t.Errorf("ParseHybrid(%q) = %+v, want {%q %q}", c.path, ref, c.wantObj, c.wantEl)
+		}
+	}
+}
+
+func TestHybridRefString(t *testing.T) {
+	ref := document.HybridRef{ObjectName: "vu.nl/home", Element: "index.html"}
+	if got := ref.String(); got != "/GlobeDoc/vu.nl/home/index.html" {
+		t.Errorf("String = %q", got)
+	}
+	back, ok := document.ParseHybrid(ref.String())
+	if !ok || back != ref {
+		t.Errorf("round trip = %+v, %v", back, ok)
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	html := []byte(`<html>
+		<a href="other.html">rel</a>
+		<img src='img/logo.png'>
+		<a href="http://proxy.example/GlobeDoc/vu.nl/news/story.html">abs hybrid</a>
+		<a href="https://example.com/plain.html">abs plain</a>
+	</html>`)
+	links := document.ExtractLinks(html)
+	var rel, hybrid, plainAbs int
+	for _, l := range links {
+		switch {
+		case l.Relative:
+			rel++
+		case l.Hybrid != nil:
+			hybrid++
+			if l.Hybrid.ObjectName != "vu.nl/news" || l.Hybrid.Element != "story.html" {
+				t.Errorf("hybrid ref = %+v", l.Hybrid)
+			}
+		default:
+			plainAbs++
+		}
+	}
+	if rel != 2 || hybrid != 1 || plainAbs != 1 {
+		t.Errorf("rel=%d hybrid=%d plainAbs=%d, links=%v", rel, hybrid, plainAbs, links)
+	}
+}
+
+func TestExtractLinksEmptyAndMalformed(t *testing.T) {
+	if got := document.ExtractLinks(nil); len(got) != 0 {
+		t.Errorf("links from nil = %v", got)
+	}
+	if got := document.ExtractLinks([]byte(`<a href=>`)); len(got) != 0 {
+		t.Errorf("links from malformed = %v", got)
+	}
+	if got := document.ExtractLinks([]byte(`<a href="unterminated`)); len(got) != 0 {
+		t.Errorf("links from unterminated = %v", got)
+	}
+}
+
+func TestSiteDanglingLinks(t *testing.T) {
+	site := document.NewSite("vu.nl")
+	doc := document.New()
+	doc.Put(document.Element{Name: "index.html", ContentType: "text/html",
+		Data: []byte(`<a href="present.html">ok</a><a href="missing.html">bad</a>`)})
+	doc.Put(document.Element{Name: "present.html", ContentType: "text/html", Data: []byte("x")})
+	if err := site.Add("home", doc); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := site.Add("home", doc); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	dangling := site.DanglingLinks()
+	got := dangling["home/index.html"]
+	if len(got) != 1 || got[0] != "missing.html" {
+		t.Errorf("dangling = %v", dangling)
+	}
+}

@@ -1,0 +1,221 @@
+// Package httpbase implements the baselines of the paper's second
+// experiment (Figures 5–7): a plain-HTTP file server standing in for
+// Apache and a TLS file server standing in for Apache+mod_ssl, both
+// serving the same page elements as the GlobeDoc object servers, over the
+// same simulated wide-area links.
+//
+// The substitution is documented in DESIGN.md: the baselines' role in the
+// evaluation is "a conventional (secure) single-server Web fetch of the
+// same bytes", which net/http and crypto/tls provide faithfully. The TLS
+// baseline performs a real handshake per connection with a self-signed
+// certificate chain the client verifies, reproducing SSL's asymmetric
+// crypto cost that the paper contrasts with GlobeDoc's verify-only
+// design.
+package httpbase
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"globedoc/internal/document"
+	"globedoc/internal/transport"
+)
+
+// FileServer serves a document's page elements over plain HTTP — the
+// Apache stand-in.
+type FileServer struct {
+	doc *document.Document
+	srv *http.Server
+}
+
+// NewFileServer creates a file server over doc.
+func NewFileServer(doc *document.Document) *FileServer {
+	fs := &FileServer{doc: doc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", fs.serveElement)
+	fs.srv = &http.Server{Handler: mux}
+	return fs
+}
+
+func (fs *FileServer) serveElement(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/")
+	if name == "" {
+		name = "index.html"
+	}
+	e, err := fs.doc.Get(name)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", e.ContentType)
+	w.Header().Set("Content-Length", fmt.Sprint(len(e.Data)))
+	w.Write(e.Data)
+}
+
+// Serve accepts connections on l until l is closed.
+func (fs *FileServer) Serve(l net.Listener) error { return fs.srv.Serve(l) }
+
+// Start serves on a background goroutine.
+func (fs *FileServer) Start(l net.Listener) { go fs.srv.Serve(l) }
+
+// Close shuts the server down.
+func (fs *FileServer) Close() { fs.srv.Close() }
+
+// SelfSignedCert generates a throwaway ECDSA certificate for host — the
+// baseline's "certified Web server public key". ECDSA P-256 keeps
+// handshakes representative without multi-second RSA test setup.
+func SelfSignedCert(host string) (tls.Certificate, *x509.CertPool, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, nil, err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+	if err != nil {
+		return tls.Certificate{}, nil, err
+	}
+	template := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: host, Organization: []string{"GlobeDoc Baseline"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		DNSNames:              []string{host},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &template, &template, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}, pool, nil
+}
+
+// TLSFileServer serves a document's elements over HTTPS — the Apache+SSL
+// stand-in.
+type TLSFileServer struct {
+	inner *FileServer
+	cert  tls.Certificate
+	// Pool verifies the server's self-signed chain; hand it to clients.
+	Pool *x509.CertPool
+	// Host is the certificate's server name.
+	Host string
+}
+
+// NewTLSFileServer creates an HTTPS file server over doc, generating a
+// self-signed certificate for host.
+func NewTLSFileServer(doc *document.Document, host string) (*TLSFileServer, error) {
+	cert, pool, err := SelfSignedCert(host)
+	if err != nil {
+		return nil, err
+	}
+	return &TLSFileServer{inner: NewFileServer(doc), cert: cert, Pool: pool, Host: host}, nil
+}
+
+// Serve accepts TLS connections on l until l is closed.
+func (ts *TLSFileServer) Serve(l net.Listener) error {
+	tlsListener := tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{ts.cert}})
+	return ts.inner.Serve(tlsListener)
+}
+
+// Start serves on a background goroutine.
+func (ts *TLSFileServer) Start(l net.Listener) { go ts.Serve(l) }
+
+// Close shuts the server down.
+func (ts *TLSFileServer) Close() { ts.inner.Close() }
+
+// Client fetches elements from the baseline servers over a fixed dialer,
+// timing each request the way the paper's wget runs did.
+type Client struct {
+	httpClient *http.Client
+	host       string
+}
+
+// NewClient builds a baseline HTTP client. dial connects to the server;
+// pool is nil for plain HTTP or the server's certificate pool for HTTPS;
+// host is the URL host (and TLS server name).
+func NewClient(dial transport.DialFunc, pool *x509.CertPool, host string) *Client {
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return dial()
+		},
+		// One request per fetch, like the paper's wget: still allow
+		// keep-alive within a composite-object download.
+		MaxIdleConns:        4,
+		IdleConnTimeout:     30 * time.Second,
+		TLSHandshakeTimeout: 30 * time.Second,
+	}
+	if pool != nil {
+		tr.TLSClientConfig = &tls.Config{RootCAs: pool, ServerName: host}
+	}
+	return &Client{httpClient: &http.Client{Transport: tr}, host: host}
+}
+
+// scheme returns the URL scheme matching the client configuration.
+func (c *Client) scheme() string {
+	if tr, ok := c.httpClient.Transport.(*http.Transport); ok && tr.TLSClientConfig != nil {
+		return "https"
+	}
+	return "http"
+}
+
+// Get fetches one element and returns its bytes.
+func (c *Client) Get(element string) ([]byte, error) {
+	url := fmt.Sprintf("%s://%s/%s", c.scheme(), c.host, element)
+	resp, err := c.httpClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpbase: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// GetAll fetches every named element sequentially (wget-style) and
+// returns the total bytes transferred.
+func (c *Client) GetAll(elements []string) (int, error) {
+	total := 0
+	for _, name := range elements {
+		data, err := c.Get(name)
+		if err != nil {
+			return total, err
+		}
+		total += len(data)
+	}
+	return total, nil
+}
+
+// TimedGetAll fetches every element and reports the elapsed wall time,
+// the measurement of Figures 5–7.
+func (c *Client) TimedGetAll(elements []string) (time.Duration, int, error) {
+	start := time.Now()
+	n, err := c.GetAll(elements)
+	return time.Since(start), n, err
+}
+
+// CloseIdle drops pooled connections so the next fetch pays connection
+// (and TLS handshake) setup again — each Figure 5–7 sample is a fresh
+// wget run.
+func (c *Client) CloseIdle() {
+	c.httpClient.CloseIdleConnections()
+}

@@ -1,0 +1,158 @@
+package httpbase_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"globedoc/internal/document"
+	"globedoc/internal/httpbase"
+	"globedoc/internal/netsim"
+)
+
+func testDoc() *document.Document {
+	d := document.New()
+	d.Put(document.Element{Name: "index.html", Data: []byte("<html>baseline</html>")})
+	d.Put(document.Element{Name: "img/logo.png", Data: bytes.Repeat([]byte{7}, 1000)})
+	return d
+}
+
+func TestPlainHTTPServesElements(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	l, err := n.Listen(netsim.AmsterdamPrimary, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := httpbase.NewFileServer(testDoc())
+	fs.Start(l)
+	defer fs.Close()
+
+	client := httpbase.NewClient(n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":http"), nil, "amsterdam-primary")
+	data, err := client.Get("index.html")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(data) != "<html>baseline</html>" {
+		t.Errorf("data = %q", data)
+	}
+	nested, err := client.Get("img/logo.png")
+	if err != nil || len(nested) != 1000 {
+		t.Fatalf("nested Get = %d bytes, %v", len(nested), err)
+	}
+}
+
+func TestPlainHTTPMissingElement(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	l, _ := n.Listen(netsim.AmsterdamPrimary, "http")
+	fs := httpbase.NewFileServer(testDoc())
+	fs.Start(l)
+	defer fs.Close()
+	client := httpbase.NewClient(n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":http"), nil, "amsterdam-primary")
+	if _, err := client.Get("ghost.html"); err == nil {
+		t.Fatal("Get of missing element succeeded")
+	}
+}
+
+func TestTLSServesElements(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	l, err := n.Listen(netsim.AmsterdamPrimary, "https")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := httpbase.NewTLSFileServer(testDoc(), "amsterdam-primary")
+	if err != nil {
+		t.Fatalf("NewTLSFileServer: %v", err)
+	}
+	ts.Start(l)
+	defer ts.Close()
+
+	client := httpbase.NewClient(n.Dialer(netsim.Ithaca, netsim.AmsterdamPrimary+":https"), ts.Pool, "amsterdam-primary")
+	data, err := client.Get("index.html")
+	if err != nil {
+		t.Fatalf("Get over TLS: %v", err)
+	}
+	if string(data) != "<html>baseline</html>" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestTLSRejectsUnknownCA(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	l, _ := n.Listen(netsim.AmsterdamPrimary, "https")
+	ts, err := httpbase.NewTLSFileServer(testDoc(), "amsterdam-primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Start(l)
+	defer ts.Close()
+
+	// A client with a DIFFERENT trust pool must refuse the handshake.
+	other, err := httpbase.NewTLSFileServer(testDoc(), "amsterdam-primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := httpbase.NewClient(n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":https"), other.Pool, "amsterdam-primary")
+	if _, err := client.Get("index.html"); err == nil {
+		t.Fatal("TLS handshake succeeded against unknown CA")
+	}
+}
+
+func TestGetAllAndTiming(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	l, _ := n.Listen(netsim.AmsterdamPrimary, "http")
+	fs := httpbase.NewFileServer(testDoc())
+	fs.Start(l)
+	defer fs.Close()
+	client := httpbase.NewClient(n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":http"), nil, "amsterdam-primary")
+
+	elems := []string{"index.html", "img/logo.png"}
+	elapsed, total, err := client.TimedGetAll(elems)
+	if err != nil {
+		t.Fatalf("TimedGetAll: %v", err)
+	}
+	if total != len("<html>baseline</html>")+1000 {
+		t.Errorf("total = %d", total)
+	}
+	if elapsed <= 0 {
+		t.Errorf("elapsed = %v", elapsed)
+	}
+	client.CloseIdle()
+}
+
+func TestHTTPLatencyCharged(t *testing.T) {
+	// With TimeScale 1 and a 30ms one-way link, a single HTTP GET must
+	// cost at least 2 RTTs (TCP-free pipe: request + response = 1 RTT;
+	// allow 1) but well under a pathological per-chunk charge.
+	n := netsim.NewNetwork()
+	n.TimeScale = 1
+	lat := 20 * time.Millisecond
+	n.SetLink("a", "b", netsim.LinkProfile{Latency: lat})
+	defer n.Close()
+	l, err := n.Listen("b", "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := document.New()
+	doc.Put(document.Element{Name: "big.bin", Data: bytes.Repeat([]byte{1}, 256*1024)})
+	fs := httpbase.NewFileServer(doc)
+	fs.Start(l)
+	defer fs.Close()
+	client := httpbase.NewClient(n.Dialer("a", "b:http"), nil, "b")
+	start := time.Now()
+	if _, err := client.Get("big.bin"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 2*lat {
+		t.Errorf("GET took %v, want >= 1 RTT (%v)", elapsed, 2*lat)
+	}
+	// A 256KB body written in ~64 chunks must NOT pay latency per chunk.
+	if elapsed > 20*lat {
+		t.Errorf("GET took %v — looks like per-chunk latency charging", elapsed)
+	}
+}

@@ -1,0 +1,54 @@
+// Package keyfile reads and writes GlobeDoc key material as hex-encoded
+// files, the on-disk format shared by the command-line tools. Key-pair
+// files contain private keys: they are written 0600 and must be treated
+// as secrets.
+package keyfile
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"globedoc/internal/keys"
+)
+
+// SaveKeyPair writes kp (including the private key) to path.
+func SaveKeyPair(path string, kp *keys.KeyPair) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(kp.Marshal())+"\n"), 0o600)
+}
+
+// LoadKeyPair reads a key pair written by SaveKeyPair.
+func LoadKeyPair(path string) (*keys.KeyPair, error) {
+	data, err := readHex(path)
+	if err != nil {
+		return nil, err
+	}
+	return keys.UnmarshalKeyPair(data)
+}
+
+// SavePublicKey writes only the public half of a key to path.
+func SavePublicKey(path string, pk keys.PublicKey) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(pk.Marshal())+"\n"), 0o644)
+}
+
+// LoadPublicKey reads a public key written by SavePublicKey.
+func LoadPublicKey(path string) (keys.PublicKey, error) {
+	data, err := readHex(path)
+	if err != nil {
+		return keys.PublicKey{}, err
+	}
+	return keys.UnmarshalPublicKey(data)
+}
+
+func readHex(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: decoding %s: %w", path, err)
+	}
+	return data, nil
+}

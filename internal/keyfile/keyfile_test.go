@@ -1,0 +1,54 @@
+package keyfile_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"globedoc/internal/keyfile"
+	"globedoc/internal/keys/keytest"
+)
+
+func TestKeyPairRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owner.key")
+	kp := keytest.RSA()
+	if err := keyfile.SaveKeyPair(path, kp); err != nil {
+		t.Fatalf("SaveKeyPair: %v", err)
+	}
+	got, err := keyfile.LoadKeyPair(path)
+	if err != nil {
+		t.Fatalf("LoadKeyPair: %v", err)
+	}
+	if !got.Public().Equal(kp.Public()) {
+		t.Fatal("round trip changed key")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "root.pub")
+	pk := keytest.Ed().Public()
+	if err := keyfile.SavePublicKey(path, pk); err != nil {
+		t.Fatalf("SavePublicKey: %v", err)
+	}
+	got, err := keyfile.LoadPublicKey(path)
+	if err != nil {
+		t.Fatalf("LoadPublicKey: %v", err)
+	}
+	if !got.Equal(pk) {
+		t.Fatal("round trip changed key")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := keyfile.LoadKeyPair(filepath.Join(dir, "absent")); err == nil {
+		t.Error("LoadKeyPair on missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not-hex!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keyfile.LoadPublicKey(bad); err == nil {
+		t.Error("LoadPublicKey on garbage succeeded")
+	}
+}

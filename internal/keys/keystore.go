@@ -1,0 +1,147 @@
+package keys
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Keystore is a named collection of trusted public keys.
+//
+// The paper uses keystores in two places (§4): object servers keep a
+// keystore of the entities allowed to create replicas on them (owners and
+// peer object servers), and user proxies keep a keystore of the CAs the
+// user trusts for name certificates.
+type Keystore struct {
+	mu      sync.RWMutex
+	entries map[string]PublicKey
+}
+
+// NewKeystore returns an empty keystore.
+func NewKeystore() *Keystore {
+	return &Keystore{entries: make(map[string]PublicKey)}
+}
+
+// Add records pk under name, replacing any previous key with that name.
+func (ks *Keystore) Add(name string, pk PublicKey) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.entries[name] = pk
+}
+
+// Remove deletes the key stored under name, if any.
+func (ks *Keystore) Remove(name string) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	delete(ks.entries, name)
+}
+
+// Get returns the key stored under name.
+func (ks *Keystore) Get(name string) (PublicKey, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	pk, ok := ks.entries[name]
+	return pk, ok
+}
+
+// Contains reports whether any stored key equals pk.
+func (ks *Keystore) Contains(pk PublicKey) bool {
+	_, ok := ks.NameOf(pk)
+	return ok
+}
+
+// NameOf returns the name under which pk is stored.
+func (ks *Keystore) NameOf(pk PublicKey) (string, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	for name, k := range ks.entries {
+		if k.Equal(pk) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Names returns the sorted list of entry names.
+func (ks *Keystore) Names() []string {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	names := make([]string, 0, len(ks.entries))
+	for name := range ks.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of stored keys.
+func (ks *Keystore) Len() int {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return len(ks.entries)
+}
+
+// keystoreFile is the on-disk JSON representation of a keystore.
+type keystoreFile struct {
+	Entries map[string]string `json:"entries"` // name -> hex(PublicKey.Marshal())
+}
+
+// MarshalJSON encodes the keystore as a JSON document.
+func (ks *Keystore) MarshalJSON() ([]byte, error) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	f := keystoreFile{Entries: make(map[string]string, len(ks.entries))}
+	for name, pk := range ks.entries {
+		f.Entries[name] = hex.EncodeToString(pk.Marshal())
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON decodes a JSON document produced by MarshalJSON.
+func (ks *Keystore) UnmarshalJSON(data []byte) error {
+	var f keystoreFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	entries := make(map[string]PublicKey, len(f.Entries))
+	for name, hexKey := range f.Entries {
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return fmt.Errorf("keys: keystore entry %q: %w", name, err)
+		}
+		pk, err := UnmarshalPublicKey(raw)
+		if err != nil {
+			return fmt.Errorf("keys: keystore entry %q: %w", name, err)
+		}
+		entries[name] = pk
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.entries = entries
+	return nil
+}
+
+// SaveFile writes the keystore to path as JSON.
+func (ks *Keystore) SaveFile(path string) error {
+	data, err := json.MarshalIndent(ks, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadKeystore reads a keystore previously written by SaveFile.
+func LoadKeystore(path string) (*Keystore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ks := NewKeystore()
+	if err := json.Unmarshal(data, ks); err != nil {
+		return nil, err
+	}
+	return ks, nil
+}

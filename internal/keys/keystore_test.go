@@ -1,0 +1,90 @@
+package keys_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+)
+
+func TestKeystoreAddGetRemove(t *testing.T) {
+	ks := keys.NewKeystore()
+	pk := keytest.RSA().Public()
+	ks.Add("alice", pk)
+
+	got, ok := ks.Get("alice")
+	if !ok || !got.Equal(pk) {
+		t.Fatal("Get did not return stored key")
+	}
+	if _, ok := ks.Get("bob"); ok {
+		t.Fatal("Get returned key for absent name")
+	}
+	ks.Remove("alice")
+	if _, ok := ks.Get("alice"); ok {
+		t.Fatal("key still present after Remove")
+	}
+}
+
+func TestKeystoreContainsAndNameOf(t *testing.T) {
+	ks := keys.NewKeystore()
+	a := keytest.RSA().Public()
+	b := keytest.Ed().Public()
+	ks.Add("alice", a)
+
+	if !ks.Contains(a) {
+		t.Error("Contains(a) = false")
+	}
+	if ks.Contains(b) {
+		t.Error("Contains(b) = true for unstored key")
+	}
+	name, ok := ks.NameOf(a)
+	if !ok || name != "alice" {
+		t.Errorf("NameOf = %q, %v", name, ok)
+	}
+}
+
+func TestKeystoreNamesSorted(t *testing.T) {
+	ks := keys.NewKeystore()
+	ks.Add("zoe", keytest.Ed().Public())
+	ks.Add("alice", keytest.RSA().Public())
+	ks.Add("mallory", keytest.Ed().Public())
+	want := []string{"alice", "mallory", "zoe"}
+	if got := ks.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+	if ks.Len() != 3 {
+		t.Errorf("Len = %d, want 3", ks.Len())
+	}
+}
+
+func TestKeystoreSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keystore.json")
+	ks := keys.NewKeystore()
+	a := keytest.RSA().Public()
+	b := keytest.Ed().Public()
+	ks.Add("owner", a)
+	ks.Add("server-2", b)
+	if err := ks.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := keys.LoadKeystore(path)
+	if err != nil {
+		t.Fatalf("LoadKeystore: %v", err)
+	}
+	got, ok := loaded.Get("owner")
+	if !ok || !got.Equal(a) {
+		t.Fatal("owner key did not survive round trip")
+	}
+	got, ok = loaded.Get("server-2")
+	if !ok || !got.Equal(b) {
+		t.Fatal("server-2 key did not survive round trip")
+	}
+}
+
+func TestKeystoreLoadMissingFile(t *testing.T) {
+	if _, err := keys.LoadKeystore(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("LoadKeystore succeeded on missing file")
+	}
+}

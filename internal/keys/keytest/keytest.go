@@ -1,0 +1,61 @@
+// Package keytest provides shared, lazily generated key pairs for tests
+// and benchmarks.
+//
+// RSA key generation costs tens of milliseconds; tests that each generate
+// fresh keys dominate suite runtime. keytest generates a small pool of
+// pairs per algorithm once per process and hands them out round-robin, so
+// distinct callers still get distinct keys without paying generation cost
+// repeatedly.
+package keytest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"globedoc/internal/keys"
+)
+
+const poolSize = 8
+
+type pool struct {
+	once  sync.Once
+	pairs [poolSize]*keys.KeyPair
+	next  atomic.Uint64
+}
+
+var pools = map[keys.Algorithm]*pool{
+	keys.RSA2048: {},
+	keys.Ed25519: {},
+}
+
+// Pair returns a key pair of the given algorithm from the shared pool.
+// Successive calls cycle through a fixed number of distinct pairs.
+func Pair(alg keys.Algorithm) *keys.KeyPair {
+	p, ok := pools[alg]
+	if !ok {
+		panic(fmt.Sprintf("keytest: unsupported algorithm %v", alg))
+	}
+	p.once.Do(func() {
+		var wg sync.WaitGroup
+		for i := range p.pairs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				kp, err := keys.Generate(alg)
+				if err != nil {
+					panic(fmt.Sprintf("keytest: generate %v: %v", alg, err))
+				}
+				p.pairs[i] = kp
+			}()
+		}
+		wg.Wait()
+	})
+	return p.pairs[p.next.Add(1)%poolSize]
+}
+
+// RSA returns a pooled RSA-2048 key pair.
+func RSA() *keys.KeyPair { return Pair(keys.RSA2048) }
+
+// Ed returns a pooled Ed25519 key pair.
+func Ed() *keys.KeyPair { return Pair(keys.Ed25519) }

@@ -1,0 +1,101 @@
+package location
+
+import (
+	"sync"
+	"time"
+
+	"globedoc/internal/globeid"
+)
+
+// CachingResolver wraps any Resolver with a client-side cache of lookup
+// results. Replica sets change on replication-system timescales (minutes)
+// while a browsing session issues many lookups per second, so caching
+// amortizes the location round trip the same way the verified-binding
+// cache amortizes the security exchanges.
+//
+// Because the location service is untrusted anyway, caching it weakens
+// nothing: a stale (or poisoned) cached address at worst fails the
+// security pipeline, whose failover then calls Invalidate and re-queries.
+type CachingResolver struct {
+	// Backend answers cache misses.
+	Backend Resolver
+	// TTL bounds entry lifetime.
+	TTL time.Duration
+	// Now is the clock; tests may replace it.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]map[globeid.OID]cachedLookup
+
+	hits, misses uint64
+}
+
+type cachedLookup struct {
+	res     LookupResult
+	expires time.Time
+}
+
+// NewCachingResolver wraps backend with a TTL-bounded cache.
+func NewCachingResolver(backend Resolver, ttl time.Duration) *CachingResolver {
+	return &CachingResolver{
+		Backend: backend,
+		TTL:     ttl,
+		Now:     time.Now,
+		entries: make(map[string]map[globeid.OID]cachedLookup),
+	}
+}
+
+// Lookup implements Resolver with caching.
+func (c *CachingResolver) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
+	now := c.Now()
+	c.mu.Lock()
+	if bySite := c.entries[fromSite]; bySite != nil {
+		if e, ok := bySite[oid]; ok && now.Before(e.expires) {
+			c.hits++
+			c.mu.Unlock()
+			return e.res, nil
+		}
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	res, err := c.Backend.Lookup(fromSite, oid)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	c.mu.Lock()
+	bySite := c.entries[fromSite]
+	if bySite == nil {
+		bySite = make(map[globeid.OID]cachedLookup)
+		c.entries[fromSite] = bySite
+	}
+	bySite[oid] = cachedLookup{res: res, expires: now.Add(c.TTL)}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Invalidate drops any cached entry for oid (all sites) — called when a
+// cached address turned out dead or malicious.
+func (c *CachingResolver) Invalidate(oid globeid.OID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, bySite := range c.entries {
+		delete(bySite, oid)
+	}
+}
+
+// Flush empties the cache.
+func (c *CachingResolver) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]map[globeid.OID]cachedLookup)
+}
+
+// Stats returns (hits, misses).
+func (c *CachingResolver) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+var _ Resolver = (*CachingResolver)(nil)

@@ -1,0 +1,114 @@
+package location_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/location"
+)
+
+// countingResolver counts backend lookups.
+type countingResolver struct {
+	tree  *location.Tree
+	calls int
+}
+
+func (c *countingResolver) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+	c.calls++
+	return c.tree.Lookup(fromSite, oid)
+}
+
+func newCachingFixture(t *testing.T) (*location.CachingResolver, *countingResolver, globeid.OID, func(time.Duration)) {
+	t.Helper()
+	tree := newPaperTree(t)
+	oid := testOID(50)
+	if err := tree.Insert("amsterdam-primary", oid, addr("amsterdam-primary:objsvc")); err != nil {
+		t.Fatal(err)
+	}
+	backend := &countingResolver{tree: tree}
+	c := location.NewCachingResolver(backend, time.Minute)
+	now := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	c.Now = func() time.Time { return now }
+	advance := func(d time.Duration) { now = now.Add(d) }
+	return c, backend, oid, advance
+}
+
+func TestCachingResolverHitsAndMisses(t *testing.T) {
+	c, backend, oid, _ := newCachingFixture(t)
+	for i := 0; i < 5; i++ {
+		res, err := c.Lookup("paris", oid)
+		if err != nil || len(res.Addresses) != 1 {
+			t.Fatalf("lookup %d: %v %v", i, res, err)
+		}
+	}
+	if backend.calls != 1 {
+		t.Errorf("backend calls = %d, want 1", backend.calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCachingResolverTTLExpiry(t *testing.T) {
+	c, backend, oid, advance := newCachingFixture(t)
+	if _, err := c.Lookup("paris", oid); err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Minute)
+	if _, err := c.Lookup("paris", oid); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls != 2 {
+		t.Errorf("backend calls = %d, want 2 after TTL expiry", backend.calls)
+	}
+}
+
+func TestCachingResolverPerSiteEntries(t *testing.T) {
+	c, backend, oid, _ := newCachingFixture(t)
+	if _, err := c.Lookup("paris", oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("ithaca", oid); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls != 2 {
+		t.Errorf("backend calls = %d, want 2 (distinct sites)", backend.calls)
+	}
+}
+
+func TestCachingResolverInvalidate(t *testing.T) {
+	c, backend, oid, _ := newCachingFixture(t)
+	c.Lookup("paris", oid)
+	c.Invalidate(oid)
+	c.Lookup("paris", oid)
+	if backend.calls != 2 {
+		t.Errorf("backend calls = %d, want 2 after Invalidate", backend.calls)
+	}
+}
+
+func TestCachingResolverFlush(t *testing.T) {
+	c, backend, oid, _ := newCachingFixture(t)
+	c.Lookup("paris", oid)
+	c.Flush()
+	c.Lookup("paris", oid)
+	if backend.calls != 2 {
+		t.Errorf("backend calls = %d, want 2 after Flush", backend.calls)
+	}
+}
+
+func TestCachingResolverErrorNotCached(t *testing.T) {
+	c, backend, _, _ := newCachingFixture(t)
+	ghost := testOID(51)
+	if _, err := c.Lookup("paris", ghost); !errors.Is(err, location.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Lookup("paris", ghost); !errors.Is(err, location.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if backend.calls != 2 {
+		t.Errorf("backend calls = %d; negative results must not be cached", backend.calls)
+	}
+}

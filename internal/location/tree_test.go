@@ -1,0 +1,296 @@
+package location_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/location"
+)
+
+func testOID(b byte) globeid.OID {
+	var oid globeid.OID
+	for i := range oid {
+		oid[i] = b
+	}
+	return oid
+}
+
+func newPaperTree(t *testing.T) *location.Tree {
+	t.Helper()
+	tree, err := location.NewTree(location.PaperDomains())
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	return tree
+}
+
+func addr(s string) location.ContactAddress {
+	return location.ContactAddress{Address: s, Protocol: "globedoc"}
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	cases := []location.DomainSpec{
+		{},             // empty name
+		{Name: "root"}, // no ... wait, single node IS a site
+	}
+	_ = cases
+	if _, err := location.NewTree(location.DomainSpec{}); !errors.Is(err, location.ErrBadSpec) {
+		t.Error("empty spec accepted")
+	}
+	dup := location.DomainSpec{Name: "r", Children: []location.DomainSpec{{Name: "a"}, {Name: "a"}}}
+	if _, err := location.NewTree(dup); !errors.Is(err, location.ErrBadSpec) {
+		t.Error("duplicate children accepted")
+	}
+	dupSite := location.DomainSpec{Name: "r", Children: []location.DomainSpec{
+		{Name: "x", Children: []location.DomainSpec{{Name: "s"}}},
+		{Name: "y", Children: []location.DomainSpec{{Name: "s"}}},
+	}}
+	if _, err := location.NewTree(dupSite); !errors.Is(err, location.ErrBadSpec) {
+		t.Error("duplicate site names accepted")
+	}
+}
+
+func TestSites(t *testing.T) {
+	tree := newPaperTree(t)
+	sites := tree.Sites()
+	want := []string{"amsterdam-primary", "amsterdam-secondary", "ithaca", "paris"}
+	if len(sites) != len(want) {
+		t.Fatalf("Sites = %v", sites)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Errorf("Sites[%d] = %q, want %q", i, sites[i], want[i])
+		}
+	}
+}
+
+func TestInsertAndLocalLookup(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(1)
+	a := addr("amsterdam-primary:objsrv")
+	if err := tree.Insert("amsterdam-primary", oid, a); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	res, err := tree.Lookup("amsterdam-primary", oid)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if res.Rings != 0 {
+		t.Errorf("Rings = %d, want 0 (local hit)", res.Rings)
+	}
+	if len(res.Addresses) != 1 || res.Addresses[0] != a {
+		t.Errorf("Addresses = %v", res.Addresses)
+	}
+}
+
+func TestExpandingRingSearch(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(2)
+	a := addr("amsterdam-primary:objsrv")
+	if err := tree.Insert("amsterdam-primary", oid, a); err != nil {
+		t.Fatal(err)
+	}
+	// Paris is in the same region (europe): expect the hit at ring 1.
+	res, err := tree.Lookup("paris", oid)
+	if err != nil {
+		t.Fatalf("Lookup from paris: %v", err)
+	}
+	if res.Rings != 1 {
+		t.Errorf("paris Rings = %d, want 1", res.Rings)
+	}
+	// Ithaca must climb to the world root: ring 2.
+	res, err = tree.Lookup("ithaca", oid)
+	if err != nil {
+		t.Fatalf("Lookup from ithaca: %v", err)
+	}
+	if res.Rings != 2 {
+		t.Errorf("ithaca Rings = %d, want 2", res.Rings)
+	}
+	if len(res.Addresses) != 1 || res.Addresses[0] != a {
+		t.Errorf("Addresses = %v", res.Addresses)
+	}
+}
+
+func TestNearestFirstOrdering(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(3)
+	amsAddr := addr("amsterdam-primary:objsrv")
+	parisAddr := addr("paris:objsrv")
+	if err := tree.Insert("amsterdam-primary", oid, amsAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert("paris", oid, parisAddr); err != nil {
+		t.Fatal(err)
+	}
+	// From paris, the local replica is ring 0 and must come first; the
+	// amsterdam replica follows as a fallback candidate.
+	res, err := tree.Lookup("paris", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rings != 0 || len(res.Addresses) != 2 || res.Addresses[0] != parisAddr || res.Addresses[1] != amsAddr {
+		t.Errorf("paris lookup = %+v", res)
+	}
+	// From amsterdam-secondary both are in ring 1 (europe).
+	res, err = tree.Lookup("amsterdam-secondary", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rings != 1 || len(res.Addresses) != 2 {
+		t.Errorf("secondary lookup = %+v", res)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tree := newPaperTree(t)
+	_, err := tree.Lookup("paris", testOID(9))
+	if !errors.Is(err, location.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUnknownSite(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(4)
+	if err := tree.Insert("atlantis", oid, addr("x:y")); !errors.Is(err, location.ErrUnknownSite) {
+		t.Errorf("Insert: %v", err)
+	}
+	if _, err := tree.Lookup("atlantis", oid); !errors.Is(err, location.ErrUnknownSite) {
+		t.Errorf("Lookup: %v", err)
+	}
+	if err := tree.Delete("atlantis", oid, addr("x:y")); !errors.Is(err, location.ErrUnknownSite) {
+		t.Errorf("Delete: %v", err)
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(5)
+	a := addr("paris:objsrv")
+	for i := 0; i < 3; i++ {
+		if err := tree.Insert("paris", oid, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tree.Lookup("paris", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Addresses) != 1 {
+		t.Errorf("Addresses = %v, want exactly one", res.Addresses)
+	}
+}
+
+func TestDeleteRemovesAndPrunes(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(6)
+	a := addr("amsterdam-primary:objsrv")
+	if err := tree.Insert("amsterdam-primary", oid, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Delete("amsterdam-primary", oid, a); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := tree.Lookup("ithaca", oid); !errors.Is(err, location.ErrNotFound) {
+		t.Fatalf("lookup after delete: %v (pointers not pruned?)", err)
+	}
+	// Deleting again fails.
+	if err := tree.Delete("amsterdam-primary", oid, a); !errors.Is(err, location.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestDeleteKeepsOtherReplicas(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(7)
+	a1 := addr("amsterdam-primary:objsrv")
+	a2 := addr("paris:objsrv")
+	tree.Insert("amsterdam-primary", oid, a1)
+	tree.Insert("paris", oid, a2)
+	if err := tree.Delete("amsterdam-primary", oid, a1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tree.Lookup("ithaca", oid)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if len(res.Addresses) != 1 || res.Addresses[0] != a2 {
+		t.Errorf("Addresses = %v", res.Addresses)
+	}
+}
+
+func TestAllAddressesAndSiteOf(t *testing.T) {
+	tree := newPaperTree(t)
+	oid := testOID(8)
+	a1 := addr("amsterdam-primary:objsrv")
+	a2 := addr("ithaca:objsrv")
+	tree.Insert("amsterdam-primary", oid, a1)
+	tree.Insert("ithaca", oid, a2)
+	all := tree.AllAddresses(oid)
+	if len(all) != 2 {
+		t.Errorf("AllAddresses = %v", all)
+	}
+	site, ok := tree.SiteOf(oid, a2)
+	if !ok || site != "ithaca" {
+		t.Errorf("SiteOf = %q, %v", site, ok)
+	}
+	if _, ok := tree.SiteOf(oid, addr("mars:x")); ok {
+		t.Error("SiteOf found unrecorded address")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tree := newPaperTree(t)
+	s := tree.String()
+	for _, want := range []string{"world", "europe", "northamerica", "paris", "[site"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQuickInsertLookupDelete(t *testing.T) {
+	tree := newPaperTree(t)
+	sites := tree.Sites()
+	f := func(seed byte, siteIdx uint8, fromIdx uint8) bool {
+		oid := testOID(seed)
+		site := sites[int(siteIdx)%len(sites)]
+		from := sites[int(fromIdx)%len(sites)]
+		a := addr(site + ":objsrv-" + string('a'+rune(seed%26)))
+		if tree.Insert(site, oid, a) != nil {
+			return false
+		}
+		res, err := tree.Lookup(from, oid)
+		if err != nil {
+			return false
+		}
+		found := false
+		for _, got := range res.Addresses {
+			if got == a {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		if tree.Delete(site, oid, a) != nil {
+			return false
+		}
+		// After deletion the address must be unreachable.
+		res, err = tree.Lookup(from, oid)
+		if err == nil {
+			for _, got := range res.Addresses {
+				if got == a {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package merkle_test
+
+import (
+	"fmt"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/merkle"
+)
+
+// Example shows the r-oSFS-style flow the paper compares against (§5):
+// build a hash tree over the element set, sign only the root, and verify
+// one element with its authentication path.
+func Example() {
+	owner, _ := keys.Generate(keys.Ed25519)
+	oid := globeid.FromPublicKey(owner.Public())
+	elements := map[string][]byte{
+		"index.html": []byte("<html>home</html>"),
+		"logo.png":   {0x89, 'P', 'N', 'G'},
+		"faq.html":   []byte("<html>faq</html>"),
+	}
+	tree, _ := merkle.Build(elements)
+	issued := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	root, _ := merkle.SignRoot(tree, oid, owner, 1, issued, issued.Add(time.Hour))
+
+	proof, _ := tree.Prove("logo.png")
+	err := root.VerifyElement(oid, owner.Public(), proof, elements["logo.png"], issued.Add(time.Minute))
+	fmt.Println("genuine element verifies:", err == nil)
+
+	err = root.VerifyElement(oid, owner.Public(), proof, []byte("forged"), issued.Add(time.Minute))
+	fmt.Println("forged element verifies:", err == nil)
+	// Output:
+	// genuine element verifies: true
+	// forged element verifies: false
+}

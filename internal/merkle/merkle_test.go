@@ -1,0 +1,207 @@
+package merkle_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/merkle"
+)
+
+var (
+	t0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	t1 = t0.Add(time.Hour)
+)
+
+func elementSet(n int) map[string][]byte {
+	m := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("element-%03d.html", i)] = []byte(fmt.Sprintf("content of element %d", i))
+	}
+	return m
+}
+
+func TestBuildAndProveAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 11, 16, 33} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			elems := elementSet(n)
+			tree, err := merkle.Build(elems)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			root := tree.Root()
+			for name, content := range elems {
+				proof, err := tree.Prove(name)
+				if err != nil {
+					t.Fatalf("Prove(%q): %v", name, err)
+				}
+				if err := merkle.VerifyProof(root, proof, content); err != nil {
+					t.Errorf("VerifyProof(%q): %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	if _, err := merkle.Build(nil); err == nil {
+		t.Fatal("Build(nil) succeeded")
+	}
+}
+
+func TestProveUnknownLeaf(t *testing.T) {
+	tree, _ := merkle.Build(elementSet(4))
+	if _, err := tree.Prove("ghost"); !errors.Is(err, merkle.ErrNoLeaf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyProofRejectsTamperedContent(t *testing.T) {
+	elems := elementSet(8)
+	tree, _ := merkle.Build(elems)
+	proof, _ := tree.Prove("element-003.html")
+	err := merkle.VerifyProof(tree.Root(), proof, []byte("forged"))
+	if !errors.Is(err, merkle.ErrBadProof) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyProofRejectsCrossElementProof(t *testing.T) {
+	// Using element A's proof with element B's (genuine) content must fail.
+	elems := elementSet(8)
+	tree, _ := merkle.Build(elems)
+	proofA, _ := tree.Prove("element-000.html")
+	err := merkle.VerifyProof(tree.Root(), proofA, elems["element-001.html"])
+	if !errors.Is(err, merkle.ErrBadProof) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRootChangesWithAnyElement(t *testing.T) {
+	elems := elementSet(6)
+	tree1, _ := merkle.Build(elems)
+	elems["element-004.html"] = []byte("changed")
+	tree2, _ := merkle.Build(elems)
+	if tree1.Root() == tree2.Root() {
+		t.Fatal("root unchanged after element mutation")
+	}
+}
+
+func TestSignedRootVerify(t *testing.T) {
+	owner := keytest.Ed()
+	oid := globeid.FromPublicKey(owner.Public())
+	elems := elementSet(5)
+	tree, _ := merkle.Build(elems)
+	sr, err := merkle.SignRoot(tree, oid, owner, 1, t0, t1)
+	if err != nil {
+		t.Fatalf("SignRoot: %v", err)
+	}
+	if err := sr.Verify(oid, owner.Public(), t0.Add(time.Minute)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	proof, _ := tree.Prove("element-002.html")
+	if err := sr.VerifyElement(oid, owner.Public(), proof, elems["element-002.html"], t0.Add(time.Minute)); err != nil {
+		t.Fatalf("VerifyElement: %v", err)
+	}
+}
+
+func TestSignedRootRejectsWrongKey(t *testing.T) {
+	owner := keytest.Ed()
+	other := keytest.RSA()
+	oid := globeid.FromPublicKey(owner.Public())
+	tree, _ := merkle.Build(elementSet(3))
+	sr, _ := merkle.SignRoot(tree, oid, owner, 1, t0, t1)
+	if err := sr.Verify(oid, other.Public(), t0); !errors.Is(err, merkle.ErrBadRoot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSignedRootGlobalExpiry(t *testing.T) {
+	// The r-oSFS limitation: ONE interval for everything. After expiry
+	// every element fails, regardless of how static it is.
+	owner := keytest.Ed()
+	oid := globeid.FromPublicKey(owner.Public())
+	elems := elementSet(4)
+	tree, _ := merkle.Build(elems)
+	sr, _ := merkle.SignRoot(tree, oid, owner, 1, t0, t0.Add(time.Minute))
+	late := t0.Add(time.Hour)
+	for name, content := range elems {
+		proof, _ := tree.Prove(name)
+		if err := sr.VerifyElement(oid, owner.Public(), proof, content, late); !errors.Is(err, merkle.ErrExpired) {
+			t.Errorf("element %q: err = %v, want ErrExpired", name, err)
+		}
+	}
+}
+
+func TestSignedRootMarshalRoundTrip(t *testing.T) {
+	owner := keytest.Ed()
+	oid := globeid.FromPublicKey(owner.Public())
+	tree, _ := merkle.Build(elementSet(3))
+	sr, _ := merkle.SignRoot(tree, oid, owner, 7, t0, t1)
+	got, err := merkle.UnmarshalSignedRoot(sr.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := got.Verify(oid, owner.Public(), t0.Add(time.Minute)); err != nil {
+		t.Fatalf("round-tripped root rejected: %v", err)
+	}
+	if got.Version != 7 {
+		t.Errorf("Version = %d", got.Version)
+	}
+}
+
+func TestProofMarshalRoundTrip(t *testing.T) {
+	elems := elementSet(9)
+	tree, _ := merkle.Build(elems)
+	proof, _ := tree.Prove("element-005.html")
+	got, err := merkle.UnmarshalProof(merkle.MarshalProof(proof))
+	if err != nil {
+		t.Fatalf("UnmarshalProof: %v", err)
+	}
+	if err := merkle.VerifyProof(tree.Root(), got, elems["element-005.html"]); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := merkle.UnmarshalSignedRoot([]byte{1, 2, 3}); err == nil {
+		t.Error("UnmarshalSignedRoot accepted garbage")
+	}
+	if _, err := merkle.UnmarshalProof([]byte{0xff, 0xff}); err == nil {
+		t.Error("UnmarshalProof accepted garbage")
+	}
+}
+
+func TestQuickProofBitFlipRejected(t *testing.T) {
+	elems := elementSet(16)
+	tree, _ := merkle.Build(elems)
+	proof, _ := tree.Prove("element-007.html")
+	content := elems["element-007.html"]
+	root := tree.Root()
+	f := func(step uint, bytePos uint, bit uint) bool {
+		mutated := proof
+		mutated.Steps = append([]merkle.ProofStep(nil), proof.Steps...)
+		i := int(step % uint(len(mutated.Steps)))
+		mutated.Steps[i].Sibling[bytePos%20] ^= 1 << (bit % 8)
+		return merkle.VerifyProof(root, mutated, content) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesSortedCopy(t *testing.T) {
+	tree, _ := merkle.Build(elementSet(3))
+	names := tree.Names()
+	if len(names) != 3 || names[0] != "element-000.html" {
+		t.Fatalf("Names = %v", names)
+	}
+	names[0] = "mutated"
+	if tree.Names()[0] == "mutated" {
+		t.Fatal("Names returned internal slice")
+	}
+}

@@ -1,0 +1,237 @@
+package naming_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/naming"
+)
+
+var clock = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+func newAuthority(t *testing.T) *naming.Authority {
+	t.Helper()
+	a, err := naming.NewAuthority(keys.Ed25519)
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	a.Now = func() time.Time { return clock }
+	return a
+}
+
+func testOID(b byte) globeid.OID {
+	var oid globeid.OID
+	for i := range oid {
+		oid[i] = b
+	}
+	return oid
+}
+
+func TestRegisterResolveRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	oid := testOID(1)
+	if err := a.Register("home.vu.nl", oid); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	chain, err := a.ResolveChain("home.vu.nl")
+	if err != nil {
+		t.Fatalf("ResolveChain: %v", err)
+	}
+	got, err := naming.VerifyChain(chain, "home.vu.nl", a.RootKey(), clock)
+	if err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if got != oid {
+		t.Errorf("OID = %s, want %s", got, oid)
+	}
+}
+
+func TestDelegatedZoneChain(t *testing.T) {
+	a := newAuthority(t)
+	if err := a.CreateZone(naming.Root, "nl"); err != nil {
+		t.Fatalf("CreateZone nl: %v", err)
+	}
+	if err := a.CreateZone("nl", "vu.nl"); err != nil {
+		t.Fatalf("CreateZone vu.nl: %v", err)
+	}
+	oid := testOID(2)
+	if err := a.Register("home.science.vu.nl", oid); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := a.ResolveChain("home.science.vu.nl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Delegations) != 2 {
+		t.Fatalf("delegations = %d, want 2 (root->nl->vu.nl)", len(chain.Delegations))
+	}
+	if chain.Delegations[0].Child != "nl" || chain.Delegations[1].Child != "vu.nl" {
+		t.Fatalf("chain order wrong: %+v", chain.Delegations)
+	}
+	got, err := naming.VerifyChain(chain, "home.science.vu.nl", a.RootKey(), clock)
+	if err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if got != oid {
+		t.Errorf("OID mismatch")
+	}
+}
+
+func TestVerifyChainRejectsForgedRecord(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("victim.nl", testOID(3))
+	chain, _ := a.ResolveChain("victim.nl")
+	// Attacker swaps the OID but cannot re-sign.
+	chain.Record.OID = testOID(66)
+	if _, err := naming.VerifyChain(chain, "victim.nl", a.RootKey(), clock); !errors.Is(err, naming.ErrRecordInvalid) {
+		t.Fatalf("err = %v, want ErrRecordInvalid", err)
+	}
+}
+
+func TestVerifyChainRejectsForgedDelegation(t *testing.T) {
+	a := newAuthority(t)
+	a.CreateZone(naming.Root, "nl")
+	a.Register("x.nl", testOID(4))
+	chain, _ := a.ResolveChain("x.nl")
+	if len(chain.Delegations) != 1 {
+		t.Fatalf("delegations = %d", len(chain.Delegations))
+	}
+	// Attacker substitutes their own zone key.
+	mallory, _ := naming.NewAuthority(keys.Ed25519)
+	chain.Delegations[0].ChildKey = mallory.RootKey()
+	if _, err := naming.VerifyChain(chain, "x.nl", a.RootKey(), clock); !errors.Is(err, naming.ErrChainInvalid) {
+		t.Fatalf("err = %v, want ErrChainInvalid", err)
+	}
+}
+
+func TestVerifyChainRejectsWrongRoot(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("x.nl", testOID(5))
+	chain, _ := a.ResolveChain("x.nl")
+	other := newAuthority(t)
+	if _, err := naming.VerifyChain(chain, "x.nl", other.RootKey(), clock); err == nil {
+		t.Fatal("chain verified under a different trust anchor")
+	}
+}
+
+func TestVerifyChainRejectsNameMismatch(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("a.nl", testOID(6))
+	chain, _ := a.ResolveChain("a.nl")
+	if _, err := naming.VerifyChain(chain, "b.nl", a.RootKey(), clock); !errors.Is(err, naming.ErrRecordInvalid) {
+		t.Fatalf("err = %v, want ErrRecordInvalid", err)
+	}
+}
+
+func TestVerifyChainRejectsExpiredRecord(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("x.nl", testOID(7))
+	chain, _ := a.ResolveChain("x.nl")
+	late := clock.Add(48 * time.Hour) // past the 24h record TTL
+	if _, err := naming.VerifyChain(chain, "x.nl", a.RootKey(), late); !errors.Is(err, naming.ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestReRegisterReplacesBinding(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("x.nl", testOID(8))
+	a.Register("x.nl", testOID(9))
+	chain, _ := a.ResolveChain("x.nl")
+	got, err := naming.VerifyChain(chain, "x.nl", a.RootKey(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testOID(9) {
+		t.Error("re-registration did not replace binding")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	a := newAuthority(t)
+	a.Register("x.nl", testOID(10))
+	if err := a.Unregister("x.nl"); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	if _, err := a.ResolveChain("x.nl"); !errors.Is(err, naming.ErrNoSuchName) {
+		t.Fatalf("ResolveChain after Unregister: %v", err)
+	}
+	if err := a.Unregister("x.nl"); !errors.Is(err, naming.ErrNoSuchName) {
+		t.Fatalf("double Unregister: %v", err)
+	}
+}
+
+func TestCreateZoneValidation(t *testing.T) {
+	a := newAuthority(t)
+	if err := a.CreateZone("absent", "x.nl"); !errors.Is(err, naming.ErrNoSuchZone) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.CreateZone(naming.Root, "nl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateZone(naming.Root, "nl"); !errors.Is(err, naming.ErrZoneExists) {
+		t.Errorf("duplicate zone: %v", err)
+	}
+	if err := a.CreateZone("nl", "example.com"); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("out-of-zone child: %v", err)
+	}
+	if err := a.CreateZone("nl", ""); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("empty child: %v", err)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	good := []string{"a", "a.b", "home.science.vu.nl"}
+	for _, name := range good {
+		if err := naming.ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v", name, err)
+		}
+	}
+	bad := []string{"", ".", "a..b", ".a", "a."}
+	for _, name := range bad {
+		if err := naming.ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) succeeded", name)
+		}
+	}
+}
+
+func TestZonesListing(t *testing.T) {
+	a := newAuthority(t)
+	a.CreateZone(naming.Root, "nl")
+	a.CreateZone("nl", "vu.nl")
+	zones := a.Zones()
+	if len(zones) != 3 { // ".", "nl", "vu.nl"
+		t.Errorf("Zones = %v", zones)
+	}
+}
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	a := newAuthority(t)
+	if err := a.Register("", testOID(1)); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.Register(".", testOID(1)); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLongestSuffixZoneWins(t *testing.T) {
+	a := newAuthority(t)
+	a.CreateZone(naming.Root, "nl")
+	a.CreateZone("nl", "vu.nl")
+	a.Register("www.vu.nl", testOID(21))
+	chain, err := a.ResolveChain("www.vu.nl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record must be signed by vu.nl, i.e. the chain ends with that zone.
+	if len(chain.Delegations) != 2 || chain.Delegations[1].Child != "vu.nl" {
+		t.Fatalf("chain = %+v", chain.Delegations)
+	}
+	if _, err := naming.VerifyChain(chain, "www.vu.nl", a.RootKey(), clock); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"globedoc/internal/netsim"
+)
+
+func TestHostDownBlocksDials(t *testing.T) {
+	n := newTestNet()
+	defer n.Close()
+	if _, err := n.Listen("b", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetHostDown("b")
+	if _, err := n.Dial("a", "b:svc"); err == nil {
+		t.Fatal("dial to down host succeeded")
+	}
+	n.SetHostUp("b")
+	conn, err := n.Dial("a", "b:svc")
+	if err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDownDialerCannotDialOut(t *testing.T) {
+	n := newTestNet()
+	defer n.Close()
+	if _, err := n.Listen("b", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetHostDown("a")
+	if _, err := n.Dial("a", "b:svc"); err == nil {
+		t.Fatal("dial from down host succeeded")
+	}
+}
+
+func TestLinkDownIsPairwise(t *testing.T) {
+	n := netsim.PaperTestbed(0)
+	defer n.Close()
+	if _, err := n.Listen(netsim.AmsterdamPrimary, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDown(netsim.Paris, netsim.AmsterdamPrimary)
+	if _, err := n.Dial(netsim.Paris, netsim.AmsterdamPrimary+":svc"); err == nil {
+		t.Fatal("dial over down link succeeded")
+	}
+	// Other pairs unaffected.
+	conn, err := n.Dial(netsim.Ithaca, netsim.AmsterdamPrimary+":svc")
+	if err != nil {
+		t.Fatalf("unrelated pair affected: %v", err)
+	}
+	conn.Close()
+	n.SetLinkUp(netsim.Paris, netsim.AmsterdamPrimary)
+	conn, err = n.Dial(netsim.Paris, netsim.AmsterdamPrimary+":svc")
+	if err != nil {
+		t.Fatalf("dial after link recovery: %v", err)
+	}
+	conn.Close()
+}
+
+func TestLocalDialUnaffectedByLinkFailures(t *testing.T) {
+	n := newTestNet()
+	defer n.Close()
+	if _, err := n.Listen("a", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDown("a", "b")
+	conn, err := n.Dial("a", "a:svc")
+	if err != nil {
+		t.Fatalf("same-host dial failed: %v", err)
+	}
+	conn.Close()
+}

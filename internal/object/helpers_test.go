@@ -1,0 +1,19 @@
+package object_test
+
+import (
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/location"
+	"globedoc/internal/object"
+)
+
+// binderTestOID derives an OID for a key pair that has no published
+// object behind it.
+func binderTestOID(kp *keys.KeyPair) globeid.OID {
+	return globeid.FromPublicKey(kp.Public())
+}
+
+// locAddr builds a GlobeDoc-protocol contact address.
+func locAddr(addr string) location.ContactAddress {
+	return location.ContactAddress{Address: addr, Protocol: object.Protocol}
+}

@@ -1,0 +1,277 @@
+// Package object implements the client-side half of Globe distributed
+// shared objects for GlobeDoc (paper §2).
+//
+// A process accesses a GlobeDoc object by binding to it: (1) resolve the
+// object name to an OID via the naming service, (2) resolve the OID to
+// contact addresses via the location service, (3) install a local
+// representative (LR) in the binding process's address space. The LR
+// installed here is an object proxy — it forwards method invocations over
+// the GlobeDoc wire protocol to a replica LR hosted on some object
+// server. (Full replica LRs live in object servers; see internal/server.)
+//
+// This package deliberately performs NO security checks: it is the plain
+// Globe machinery. The GlobeDoc security architecture (internal/core)
+// wraps a bound Client with the self-certification, integrity and
+// freshness pipeline of paper §3.
+package object
+
+import (
+	"errors"
+	"fmt"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/transport"
+)
+
+// Protocol is the protocol tag recorded in location-service contact
+// addresses for GlobeDoc object servers.
+const Protocol = "globedoc/1"
+
+// Public wire operations served by every object replica. These are
+// answerable to ANYONE — clients are anonymous in GlobeDoc's read path —
+// and therefore return only signed or self-certifying data.
+const (
+	OpGetKey       = "obj.getkey"
+	OpGetCert      = "obj.getcert"
+	OpGetNameCerts = "obj.getnamecerts"
+	OpGetElement   = "obj.getelement"
+	OpListElements = "obj.list"
+	OpVersion      = "obj.version"
+	OpPing         = "obj.ping"
+	// OpGetBundle returns the replica's complete state (elements +
+	// certificates + key) in one call — the transfer unit of replica
+	// consistency. Everything in it is public and verifiable.
+	OpGetBundle = "obj.getbundle"
+)
+
+// Errors reported during binding and invocation.
+var (
+	ErrNoReplica  = errors.New("object: no reachable replica")
+	ErrNotHosted  = errors.New("object: replica does not host this object")
+	ErrBadPayload = errors.New("object: malformed payload")
+)
+
+// EncodeOIDRequest encodes a request carrying just an OID.
+func EncodeOIDRequest(oid globeid.OID) []byte {
+	w := enc.NewWriter(globeid.Size)
+	w.Raw(oid[:])
+	return w.Bytes()
+}
+
+// DecodeOIDRequest decodes a request carrying just an OID.
+func DecodeOIDRequest(body []byte) (globeid.OID, error) {
+	r := enc.NewReader(body)
+	var oid globeid.OID
+	copy(oid[:], r.Raw(globeid.Size))
+	if err := r.Finish(); err != nil {
+		return globeid.Zero, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return oid, nil
+}
+
+// EncodeElementRequest encodes an (OID, element-name) request. fromSite
+// is an advisory hint naming the client's site; the replication subobject
+// on the server side uses it to detect flash crowds and place replicas
+// near demand (paper §2). It carries no security weight — lying about it
+// only mis-steers replica placement.
+func EncodeElementRequest(oid globeid.OID, name, fromSite string) []byte {
+	w := enc.NewWriter(globeid.Size + len(name) + len(fromSite) + 12)
+	w.Raw(oid[:])
+	w.String(name)
+	w.String(fromSite)
+	return w.Bytes()
+}
+
+// DecodeElementRequest decodes an (OID, element-name, site-hint) request.
+func DecodeElementRequest(body []byte) (globeid.OID, string, string, error) {
+	r := enc.NewReader(body)
+	var oid globeid.OID
+	copy(oid[:], r.Raw(globeid.Size))
+	name := r.String()
+	fromSite := r.String()
+	if err := r.Finish(); err != nil {
+		return globeid.Zero, "", "", fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return oid, name, fromSite, nil
+}
+
+// EncodeElement encodes an element for the wire.
+func EncodeElement(e document.Element) []byte {
+	w := enc.NewWriter(32 + len(e.Name) + len(e.Data))
+	w.String(e.Name)
+	w.String(e.ContentType)
+	w.BytesPrefixed(e.Data)
+	return w.Bytes()
+}
+
+// DecodeElement decodes an element from the wire.
+func DecodeElement(body []byte) (document.Element, error) {
+	r := enc.NewReader(body)
+	var e document.Element
+	e.Name = r.String()
+	e.ContentType = r.String()
+	e.Data = append([]byte(nil), r.BytesPrefixed()...)
+	if err := r.Finish(); err != nil {
+		return document.Element{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return e, nil
+}
+
+// EncodeStringList encodes a list of strings.
+func EncodeStringList(names []string) []byte {
+	w := enc.NewWriter(16 * (len(names) + 1))
+	w.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+	}
+	return w.Bytes()
+}
+
+// DecodeStringList decodes a list of strings.
+func DecodeStringList(body []byte) ([]string, error) {
+	r := enc.NewReader(body)
+	n := r.Uvarint()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible list length %d", ErrBadPayload, n)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.String())
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// EncodeCertList encodes a list of name certificates.
+func EncodeCertList(certs []*cert.NameCertificate) []byte {
+	w := enc.NewWriter(256)
+	w.Uvarint(uint64(len(certs)))
+	for _, nc := range certs {
+		w.BytesPrefixed(nc.Marshal())
+	}
+	return w.Bytes()
+}
+
+// DecodeCertList decodes a list of name certificates.
+func DecodeCertList(body []byte) ([]*cert.NameCertificate, error) {
+	r := enc.NewReader(body)
+	n := r.Uvarint()
+	if n > 1024 {
+		return nil, fmt.Errorf("%w: implausible certificate count %d", ErrBadPayload, n)
+	}
+	out := make([]*cert.NameCertificate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		nc, err := cert.UnmarshalNameCertificate(r.BytesPrefixed())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nc)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// Client is an object-proxy local representative: the in-process stand-in
+// for one GlobeDoc object, forwarding invocations to a replica at a fixed
+// contact address.
+type Client struct {
+	oid  globeid.OID
+	addr string
+	c    *transport.Client
+	// Site, when set, is sent as the placement hint on element reads.
+	Site string
+}
+
+// NewClient creates a proxy LR for oid talking to the replica at addr,
+// connecting with dial.
+func NewClient(oid globeid.OID, addr string, dial transport.DialFunc) *Client {
+	return &Client{oid: oid, addr: addr, c: transport.NewClient(dial)}
+}
+
+// OID returns the object the proxy is bound to.
+func (c *Client) OID() globeid.OID { return c.oid }
+
+// Addr returns the replica contact address the proxy forwards to.
+func (c *Client) Addr() string { return c.addr }
+
+// Transport exposes the underlying transport client (for byte counters).
+func (c *Client) Transport() *transport.Client { return c.c }
+
+// Close releases the connection.
+func (c *Client) Close() { c.c.Close() }
+
+// GetPublicKey fetches the object's public key from the replica. The
+// caller MUST verify it against the self-certifying OID.
+func (c *Client) GetPublicKey() (keys.PublicKey, error) {
+	body, err := c.c.Call(OpGetKey, EncodeOIDRequest(c.oid))
+	if err != nil {
+		return keys.PublicKey{}, err
+	}
+	return keys.UnmarshalPublicKey(body)
+}
+
+// GetIntegrityCert fetches the object's integrity certificate. The caller
+// MUST verify its signature under the (verified) object key.
+func (c *Client) GetIntegrityCert() (*cert.IntegrityCertificate, error) {
+	body, err := c.c.Call(OpGetCert, EncodeOIDRequest(c.oid))
+	if err != nil {
+		return nil, err
+	}
+	return cert.UnmarshalIntegrityCertificate(body)
+}
+
+// GetNameCerts fetches any CA-issued identity certificates the object can
+// provide (the object's "security interface" of §3.1.2).
+func (c *Client) GetNameCerts() ([]*cert.NameCertificate, error) {
+	body, err := c.c.Call(OpGetNameCerts, EncodeOIDRequest(c.oid))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCertList(body)
+}
+
+// GetElement fetches one page element's raw content.
+func (c *Client) GetElement(name string) (document.Element, error) {
+	body, err := c.c.Call(OpGetElement, EncodeElementRequest(c.oid, name, c.Site))
+	if err != nil {
+		return document.Element{}, err
+	}
+	return DecodeElement(body)
+}
+
+// ListElements fetches the element names of the object.
+func (c *Client) ListElements() ([]string, error) {
+	body, err := c.c.Call(OpListElements, EncodeOIDRequest(c.oid))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStringList(body)
+}
+
+// Version fetches the replica's state version.
+func (c *Client) Version() (uint64, error) {
+	body, err := c.c.Call(OpVersion, EncodeOIDRequest(c.oid))
+	if err != nil {
+		return 0, err
+	}
+	r := enc.NewReader(body)
+	v := r.Uvarint()
+	if err := r.Finish(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return v, nil
+}
+
+// Ping checks liveness of the replica endpoint.
+func (c *Client) Ping() error {
+	_, err := c.c.Call(OpPing, nil)
+	return err
+}

@@ -1,0 +1,35 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"globedoc/internal/policy"
+)
+
+// ExampleNegotiate shows a hosting negotiation (paper §6): the owner's
+// QoS requirements against a server's resource offer.
+func ExampleNegotiate() {
+	owner, _ := policy.Parse(`
+require disk >= 2MB
+require region == europe
+prefer replicas >= 2
+`)
+	offer, _ := policy.Parse(`
+offer disk = 10MB
+offer region = europe
+offer replicas = 4
+`)
+	agr := policy.Negotiate(owner, offer)
+	fmt.Println("accepted:", agr.Accepted)
+	fmt.Printf("preferences: %d/%d\n", agr.PreferencesMet, agr.PreferencesTotal)
+
+	weak, _ := policy.Parse("offer disk = 1MB\noffer region = europe")
+	rejected := policy.Negotiate(owner, weak)
+	fmt.Println("weak offer accepted:", rejected.Accepted)
+	fmt.Println("violation:", rejected.Violations[0])
+	// Output:
+	// accepted: true
+	// preferences: 1/1
+	// weak offer accepted: false
+	// violation: require disk >= 2MB: offer is 1MB
+}

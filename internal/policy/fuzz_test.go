@@ -1,0 +1,33 @@
+package policy_test
+
+import (
+	"testing"
+
+	"globedoc/internal/policy"
+)
+
+// FuzzParse checks the policy parser never panics and that every parsed
+// clause renders back to a string the parser accepts again (print/parse
+// stability).
+func FuzzParse(f *testing.F) {
+	f.Add("require disk >= 2MB")
+	f.Add("offer region = europe")
+	f.Add("prefer replicas >= 2 # comment")
+	f.Add("")
+	f.Add("require a == \"x y\"")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := policy.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, c := range p.Clauses {
+			again, err := policy.Parse(c.String())
+			if err != nil {
+				t.Fatalf("clause %q does not re-parse: %v", c.String(), err)
+			}
+			if len(again.Clauses) != 1 {
+				t.Fatalf("clause %q re-parsed to %d clauses", c.String(), len(again.Clauses))
+			}
+		}
+	})
+}

@@ -1,0 +1,375 @@
+// Package policy implements the hosting-negotiation policy language the
+// paper sketches as future work (§6): "a policy language that would allow
+// object owners to express quality of service requirements before
+// instantiating new object replicas. At the same time server
+// administrators will be able to specify resource limitations ... for the
+// replicas they are willing to host."
+//
+// The language is deliberately small and declarative. An owner policy is
+// a sequence of clauses:
+//
+//	require disk >= 2MB
+//	require bandwidth >= 1Mbps
+//	require region == "europe"
+//	prefer replicas >= 2
+//
+// and a server offer is a sequence of attribute bindings:
+//
+//	offer disk = 10MB
+//	offer bandwidth = 5Mbps
+//	offer region = "europe"
+//	offer replicas = 4
+//
+// Negotiate checks every require clause against the offer (any violation
+// rejects the placement) and scores prefer clauses (soft constraints used
+// to rank acceptable servers). Quantities carry units: bytes (KB, MB,
+// GB), durations (s, m, h) and rates (Kbps, Mbps, Gbps), all normalized
+// before comparison.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors reported by the parser and evaluator.
+var (
+	ErrSyntax      = errors.New("policy: syntax error")
+	ErrUnknownUnit = errors.New("policy: unknown unit")
+	ErrTypeClash   = errors.New("policy: incomparable value types")
+)
+
+// Kind distinguishes clause kinds.
+type Kind int
+
+// Clause kinds.
+const (
+	Require Kind = iota // hard constraint (owner side)
+	Prefer              // soft constraint (owner side)
+	Offer               // attribute binding (server side)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Require:
+		return "require"
+	case Prefer:
+		return "prefer"
+	case Offer:
+		return "offer"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is a comparison operator.
+type Op string
+
+// Supported operators.
+const (
+	OpGE Op = ">="
+	OpLE Op = "<="
+	OpGT Op = ">"
+	OpLT Op = "<"
+	OpEQ Op = "=="
+	OpNE Op = "!="
+)
+
+// Value is a typed policy value: either a normalized quantity or a string.
+type Value struct {
+	// Num is the normalized magnitude (bytes, seconds, or bits/second);
+	// valid when IsNum.
+	Num   float64
+	Str   string
+	IsNum bool
+	// Unit records the dimension ("bytes", "seconds", "bps", "") for
+	// type checking.
+	Unit string
+}
+
+// String renders the value in its source-ish form.
+func (v Value) String() string {
+	if !v.IsNum {
+		return fmt.Sprintf("%q", v.Str)
+	}
+	switch v.Unit {
+	case "bytes":
+		return fmtQuantity(v.Num, []unitDef{{1 << 30, "GB"}, {1 << 20, "MB"}, {1 << 10, "KB"}, {1, "B"}})
+	case "seconds":
+		return fmtQuantity(v.Num, []unitDef{{3600, "h"}, {60, "m"}, {1, "s"}})
+	case "bps":
+		return fmtQuantity(v.Num, []unitDef{{1e9, "Gbps"}, {1e6, "Mbps"}, {1e3, "Kbps"}, {1, "bps"}})
+	default:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+}
+
+type unitDef struct {
+	factor float64
+	suffix string
+}
+
+func fmtQuantity(n float64, units []unitDef) string {
+	for _, u := range units {
+		if n >= u.factor {
+			return strconv.FormatFloat(n/u.factor, 'g', 4, 64) + u.suffix
+		}
+	}
+	return strconv.FormatFloat(n, 'g', -1, 64)
+}
+
+// Clause is one parsed policy line.
+type Clause struct {
+	Kind  Kind
+	Attr  string
+	Op    Op
+	Value Value
+	Line  int
+}
+
+func (c Clause) String() string {
+	return fmt.Sprintf("%s %s %s %s", c.Kind, c.Attr, c.Op, c.Value)
+}
+
+// Policy is a parsed policy document.
+type Policy struct {
+	Clauses []Clause
+}
+
+// unit suffix table, longest-first so "Mbps" wins over "s".
+var unitTable = []struct {
+	suffix string
+	factor float64
+	dim    string
+}{
+	{"Gbps", 1e9, "bps"},
+	{"Mbps", 1e6, "bps"},
+	{"Kbps", 1e3, "bps"},
+	{"bps", 1, "bps"},
+	{"GB", 1 << 30, "bytes"},
+	{"MB", 1 << 20, "bytes"},
+	{"KB", 1 << 10, "bytes"},
+	{"B", 1, "bytes"},
+	{"ms", 1e-3, "seconds"},
+	{"h", 3600, "seconds"},
+	{"m", 60, "seconds"},
+	{"s", 1, "seconds"},
+}
+
+// parseValue interprets a token as a quoted string, a number with an
+// optional unit suffix, or a bare word (treated as a string).
+func parseValue(tok string, line int) (Value, error) {
+	if len(tok) >= 2 && tok[0] == '"' && tok[len(tok)-1] == '"' {
+		return Value{Str: tok[1 : len(tok)-1]}, nil
+	}
+	for _, u := range unitTable {
+		if strings.HasSuffix(tok, u.suffix) {
+			numPart := strings.TrimSuffix(tok, u.suffix)
+			if numPart == "" {
+				continue
+			}
+			n, err := strconv.ParseFloat(numPart, 64)
+			if err != nil {
+				continue // "Bob" ends in "B" but isn't a quantity
+			}
+			return Value{Num: n * u.factor, IsNum: true, Unit: u.dim}, nil
+		}
+	}
+	if n, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Value{Num: n, IsNum: true}, nil
+	}
+	// Bare word: a string like europe.
+	if strings.ContainsAny(tok, "<>=!") {
+		return Value{}, fmt.Errorf("%w: line %d: bad value %q", ErrSyntax, line, tok)
+	}
+	return Value{Str: tok}, nil
+}
+
+var validOps = map[Op]bool{OpGE: true, OpLE: true, OpGT: true, OpLT: true, OpEQ: true, OpNE: true}
+
+// Parse parses a policy document. Lines are clauses; blank lines and
+// #-comments are skipped. Offer clauses accept "=" as sugar for "==".
+func Parse(src string) (*Policy, error) {
+	p := &Policy{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := strings.TrimSpace(raw)
+		if idx := strings.Index(text, "#"); idx >= 0 {
+			text = strings.TrimSpace(text[:idx])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%w: line %d: want `<kind> <attr> <op> <value>`, got %q", ErrSyntax, line, text)
+		}
+		if len(fields) > 4 {
+			// Quoted strings may contain (single) spaces.
+			fields = append(fields[:3], strings.Join(fields[3:], " "))
+		}
+		var kind Kind
+		switch fields[0] {
+		case "require":
+			kind = Require
+		case "prefer":
+			kind = Prefer
+		case "offer":
+			kind = Offer
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown clause kind %q", ErrSyntax, line, fields[0])
+		}
+		op := Op(fields[2])
+		if op == "=" {
+			op = OpEQ
+		}
+		if !validOps[op] {
+			return nil, fmt.Errorf("%w: line %d: unknown operator %q", ErrSyntax, line, fields[2])
+		}
+		if kind == Offer && op != OpEQ {
+			return nil, fmt.Errorf("%w: line %d: offers must bind with `=`", ErrSyntax, line)
+		}
+		val, err := parseValue(fields[3], line)
+		if err != nil {
+			return nil, err
+		}
+		p.Clauses = append(p.Clauses, Clause{Kind: kind, Attr: fields[1], Op: op, Value: val, Line: line})
+	}
+	return p, nil
+}
+
+// Offers extracts the attribute bindings of a server-side policy.
+func (p *Policy) Offers() map[string]Value {
+	out := make(map[string]Value)
+	for _, c := range p.Clauses {
+		if c.Kind == Offer {
+			out[c.Attr] = c.Value
+		}
+	}
+	return out
+}
+
+// compare evaluates `have <op> want`.
+func compare(have, want Value, op Op) (bool, error) {
+	if have.IsNum != want.IsNum {
+		return false, fmt.Errorf("%w: %s vs %s", ErrTypeClash, have, want)
+	}
+	if have.IsNum {
+		if have.Unit != want.Unit && have.Unit != "" && want.Unit != "" {
+			return false, fmt.Errorf("%w: %s vs %s", ErrTypeClash, have.Unit, want.Unit)
+		}
+		switch op {
+		case OpGE:
+			return have.Num >= want.Num, nil
+		case OpLE:
+			return have.Num <= want.Num, nil
+		case OpGT:
+			return have.Num > want.Num, nil
+		case OpLT:
+			return have.Num < want.Num, nil
+		case OpEQ:
+			return have.Num == want.Num, nil
+		case OpNE:
+			return have.Num != want.Num, nil
+		default:
+			return false, fmt.Errorf("policy: unknown operator %q", op)
+		}
+	}
+	switch op {
+	case OpEQ:
+		return have.Str == want.Str, nil
+	case OpNE:
+		return have.Str != want.Str, nil
+	default:
+		return false, fmt.Errorf("%w: ordering strings with %s", ErrTypeClash, op)
+	}
+}
+
+// Agreement is the outcome of a negotiation.
+type Agreement struct {
+	// Accepted is true when every require clause holds.
+	Accepted bool
+	// Violations lists failed (or unanswerable) require clauses.
+	Violations []string
+	// PreferencesMet / PreferencesTotal score the soft constraints.
+	PreferencesMet   int
+	PreferencesTotal int
+}
+
+// Score ranks acceptable agreements: higher is better. Rejected
+// agreements score negative.
+func (a Agreement) Score() float64 {
+	if !a.Accepted {
+		return -1
+	}
+	if a.PreferencesTotal == 0 {
+		return 1
+	}
+	return 1 + float64(a.PreferencesMet)/float64(a.PreferencesTotal)
+}
+
+// Negotiate evaluates an owner's requirements against a server's offer.
+func Negotiate(owner, srv *Policy) Agreement {
+	offers := srv.Offers()
+	var agr Agreement
+	agr.Accepted = true
+	for _, c := range owner.Clauses {
+		switch c.Kind {
+		case Require:
+			have, ok := offers[c.Attr]
+			if !ok {
+				agr.Accepted = false
+				agr.Violations = append(agr.Violations, fmt.Sprintf("%s: attribute not offered", c))
+				continue
+			}
+			holds, err := compare(have, c.Value, c.Op)
+			if err != nil {
+				agr.Accepted = false
+				agr.Violations = append(agr.Violations, fmt.Sprintf("%s: %v", c, err))
+				continue
+			}
+			if !holds {
+				agr.Accepted = false
+				agr.Violations = append(agr.Violations, fmt.Sprintf("%s: offer is %s", c, have))
+			}
+		case Prefer:
+			agr.PreferencesTotal++
+			if have, ok := offers[c.Attr]; ok {
+				if holds, err := compare(have, c.Value, c.Op); err == nil && holds {
+					agr.PreferencesMet++
+				}
+			}
+		}
+	}
+	return agr
+}
+
+// RankServers negotiates owner against every named offer and returns the
+// acceptable server names, best score first (ties broken by name).
+func RankServers(owner *Policy, offers map[string]*Policy) []string {
+	type ranked struct {
+		name  string
+		score float64
+	}
+	var acc []ranked
+	for name, offer := range offers {
+		agr := Negotiate(owner, offer)
+		if agr.Accepted {
+			acc = append(acc, ranked{name, agr.Score()})
+		}
+	}
+	sort.Slice(acc, func(i, j int) bool {
+		if acc[i].score != acc[j].score {
+			return acc[i].score > acc[j].score
+		}
+		return acc[i].name < acc[j].name
+	})
+	names := make([]string, len(acc))
+	for i, r := range acc {
+		names[i] = r.name
+	}
+	return names
+}

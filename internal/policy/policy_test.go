@@ -1,0 +1,207 @@
+package policy_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"globedoc/internal/policy"
+)
+
+const ownerSrc = `
+# QoS requirements for replicas of home.vu.nl
+require disk >= 2MB
+require bandwidth >= 1Mbps
+require region == europe
+prefer max_staleness <= 30s
+prefer replicas >= 2
+`
+
+const goodOffer = `
+offer disk = 10MB
+offer bandwidth = 5Mbps
+offer region = europe
+offer max_staleness = 10s
+offer replicas = 4
+`
+
+const weakOffer = `
+offer disk = 1MB            # too small
+offer bandwidth = 5Mbps
+offer region = europe
+`
+
+func mustParse(t *testing.T, src string) *policy.Policy {
+	t.Helper()
+	p, err := policy.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseClauses(t *testing.T) {
+	p := mustParse(t, ownerSrc)
+	if len(p.Clauses) != 5 {
+		t.Fatalf("clauses = %d", len(p.Clauses))
+	}
+	if p.Clauses[0].Kind != policy.Require || p.Clauses[0].Attr != "disk" {
+		t.Errorf("clause 0 = %+v", p.Clauses[0])
+	}
+	if p.Clauses[3].Kind != policy.Prefer {
+		t.Errorf("clause 3 = %+v", p.Clauses[3])
+	}
+	// 2MB normalizes to bytes.
+	if got := p.Clauses[0].Value; !got.IsNum || got.Num != 2<<20 || got.Unit != "bytes" {
+		t.Errorf("disk value = %+v", got)
+	}
+	// 1Mbps normalizes to bits/second.
+	if got := p.Clauses[1].Value; !got.IsNum || got.Num != 1e6 || got.Unit != "bps" {
+		t.Errorf("bandwidth value = %+v", got)
+	}
+	// 30s normalizes to seconds.
+	if got := p.Clauses[3].Value; !got.IsNum || got.Num != 30 || got.Unit != "seconds" {
+		t.Errorf("staleness value = %+v", got)
+	}
+	// bare word is a string.
+	if got := p.Clauses[2].Value; got.IsNum || got.Str != "europe" {
+		t.Errorf("region value = %+v", got)
+	}
+}
+
+func TestParseQuotedStringsAndComments(t *testing.T) {
+	p := mustParse(t, `require region == "north america" # inline comment`)
+	if p.Clauses[0].Value.Str != "north america" {
+		t.Errorf("value = %+v", p.Clauses[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"require disk",        // too few fields
+		"banana disk >= 2MB",  // unknown kind
+		"require disk ~= 2MB", // unknown op
+		"offer disk >= 2MB",   // offers must use =
+		"require disk >= >=",  // bad value
+	}
+	for _, src := range bad {
+		if _, err := policy.Parse(src); !errors.Is(err, policy.ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestNegotiateAccepts(t *testing.T) {
+	agr := policy.Negotiate(mustParse(t, ownerSrc), mustParse(t, goodOffer))
+	if !agr.Accepted {
+		t.Fatalf("rejected: %v", agr.Violations)
+	}
+	if agr.PreferencesMet != 2 || agr.PreferencesTotal != 2 {
+		t.Errorf("preferences = %d/%d", agr.PreferencesMet, agr.PreferencesTotal)
+	}
+	if agr.Score() != 2 {
+		t.Errorf("Score = %v", agr.Score())
+	}
+}
+
+func TestNegotiateRejectsInsufficientOffer(t *testing.T) {
+	agr := policy.Negotiate(mustParse(t, ownerSrc), mustParse(t, weakOffer))
+	if agr.Accepted {
+		t.Fatal("weak offer accepted")
+	}
+	// disk too small + max_staleness/replicas not offered are
+	// preference misses (not violations); only disk violates.
+	if len(agr.Violations) != 1 || !strings.Contains(agr.Violations[0], "disk") {
+		t.Errorf("violations = %v", agr.Violations)
+	}
+	if agr.Score() >= 0 {
+		t.Errorf("Score = %v, want negative", agr.Score())
+	}
+}
+
+func TestNegotiateMissingRequiredAttr(t *testing.T) {
+	owner := mustParse(t, "require disk >= 1MB")
+	offer := mustParse(t, "offer region = europe")
+	agr := policy.Negotiate(owner, offer)
+	if agr.Accepted || len(agr.Violations) != 1 {
+		t.Errorf("agr = %+v", agr)
+	}
+}
+
+func TestNegotiateTypeClash(t *testing.T) {
+	owner := mustParse(t, "require region >= 5")
+	offer := mustParse(t, "offer region = europe")
+	agr := policy.Negotiate(owner, offer)
+	if agr.Accepted {
+		t.Fatal("type clash accepted")
+	}
+}
+
+func TestStringOrderingRejected(t *testing.T) {
+	owner := mustParse(t, "require region >= europe")
+	offer := mustParse(t, "offer region = europe")
+	agr := policy.Negotiate(owner, offer)
+	if agr.Accepted {
+		t.Fatal("string ordering comparison accepted")
+	}
+}
+
+func TestNegotiateNotEqual(t *testing.T) {
+	owner := mustParse(t, "require region != asia")
+	offer := mustParse(t, "offer region = europe")
+	if agr := policy.Negotiate(owner, offer); !agr.Accepted {
+		t.Fatalf("rejected: %v", agr.Violations)
+	}
+}
+
+func TestRankServers(t *testing.T) {
+	owner := mustParse(t, ownerSrc)
+	offers := map[string]*policy.Policy{
+		"full-service": mustParse(t, goodOffer),
+		"too-small":    mustParse(t, weakOffer),
+		"no-prefs": mustParse(t, `
+offer disk = 4MB
+offer bandwidth = 2Mbps
+offer region = europe
+`),
+	}
+	ranked := policy.RankServers(owner, offers)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0] != "full-service" || ranked[1] != "no-prefs" {
+		t.Errorf("order = %v", ranked)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	p := mustParse(t, "offer disk = 10MB\noffer rate = 5Mbps\noffer ttl = 90s\noffer region = europe")
+	offers := p.Offers()
+	cases := map[string]string{
+		"disk":   "10MB",
+		"rate":   "5Mbps",
+		"ttl":    "1.5m",
+		"region": `"europe"`,
+	}
+	for attr, want := range cases {
+		if got := offers[attr].String(); got != want {
+			t.Errorf("%s.String() = %q, want %q", attr, got, want)
+		}
+	}
+}
+
+func TestUnitSuffixDisambiguation(t *testing.T) {
+	// "5Mbps" must parse as a rate, not "5Mbp" + "s" seconds; "3ms" as
+	// milliseconds, not meters-something.
+	p := mustParse(t, "offer a = 5Mbps\noffer b = 3ms\noffer c = 2m")
+	offers := p.Offers()
+	if v := offers["a"]; v.Unit != "bps" || v.Num != 5e6 {
+		t.Errorf("a = %+v", v)
+	}
+	if v := offers["b"]; v.Unit != "seconds" || v.Num != 0.003 {
+		t.Errorf("b = %+v", v)
+	}
+	if v := offers["c"]; v.Unit != "seconds" || v.Num != 120 {
+		t.Errorf("c = %+v", v)
+	}
+}

@@ -1,0 +1,259 @@
+// Package proxy implements the GlobeDoc client proxy (paper §2.1, §4):
+// the HTTP intermediary every client installs to browse GlobeDoc objects
+// with a standard Web browser.
+//
+// The proxy recognizes hybrid URLs — ordinary URLs whose path starts with
+// /GlobeDoc/ and embeds an object name and page-element name — and runs
+// the full secure browsing pipeline (Figure 3) for them: secure name
+// resolution, replica location, self-certification, optional CA identity
+// display, integrity-certificate verification and the per-element
+// authenticity/freshness/consistency checks. Verified elements are served
+// to the browser with a "X-GlobeDoc-Certified-As" header (the paper's
+// "Certified as:" window); failed checks produce the "Security Check
+// Failed" HTML page. All other requests are transparently forwarded as
+// regular HTTP.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"globedoc/internal/core"
+	"globedoc/internal/document"
+	"globedoc/internal/transport"
+)
+
+// Headers added by the proxy to verified responses.
+const (
+	HeaderOID         = "X-GlobeDoc-OID"
+	HeaderCertifiedAs = "X-GlobeDoc-Certified-As"
+	HeaderReplica     = "X-GlobeDoc-Replica"
+	HeaderWarm        = "X-GlobeDoc-Warm-Binding"
+)
+
+// Proxy is an http.Handler implementing the GlobeDoc client proxy.
+type Proxy struct {
+	// Secure runs the GlobeDoc security pipeline.
+	Secure *core.Client
+	// PassthroughDial opens a connection to a plain-HTTP origin host for
+	// non-GlobeDoc requests; nil disables passthrough.
+	PassthroughDial func(host string) transport.DialFunc
+
+	mu         sync.Mutex
+	transports map[string]*http.Transport
+
+	// Stats
+	secureOK, secureFail, passthrough uint64
+}
+
+// New creates a proxy around a security client.
+func New(secure *core.Client) *Proxy {
+	return &Proxy{Secure: secure, transports: make(map[string]*http.Transport)}
+}
+
+// Counters returns (verified fetches, failed security checks, passthrough
+// requests).
+func (p *Proxy) Counters() (ok, failed, passthrough uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.secureOK, p.secureFail, p.passthrough
+}
+
+func (p *Proxy) bump(counter *uint64) {
+	p.mu.Lock()
+	*counter++
+	p.mu.Unlock()
+}
+
+// ServeHTTP dispatches hybrid URLs to the secure pipeline and everything
+// else to passthrough.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if ref, ok := document.ParseHybrid(r.URL.Path); ok {
+		p.serveSecure(w, r, ref)
+		return
+	}
+	if objectName, ok := parseIndexURL(r.URL.Path); ok {
+		p.serveIndex(w, objectName)
+		return
+	}
+	if r.URL.IsAbs() && p.PassthroughDial != nil {
+		p.servePassthrough(w, r)
+		return
+	}
+	http.Error(w, "globedoc proxy: not a hybrid URL and no passthrough origin", http.StatusBadRequest)
+}
+
+// parseIndexURL recognizes /GlobeDoc/<object>/ — a request for the
+// object's verified table of contents.
+func parseIndexURL(path string) (string, bool) {
+	if !strings.HasPrefix(path, document.HybridPrefix) || !strings.HasSuffix(path, "/") {
+		return "", false
+	}
+	objectName := strings.TrimSuffix(strings.TrimPrefix(path, document.HybridPrefix), "/")
+	if objectName == "" || strings.Contains(objectName, "!") {
+		return "", false
+	}
+	return objectName, true
+}
+
+// serveIndex renders the object's verified element list as an HTML index
+// page — the certificate entries, so the listing itself is authenticated.
+func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
+	entries, err := p.Secure.ElementsNamed(objectName)
+	if err != nil {
+		p.bump(&p.secureFail)
+		p.serveSecurityFailure(w, document.HybridRef{ObjectName: objectName, Element: "(index)"}, err)
+		return
+	}
+	p.bump(&p.secureOK)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>Index of %s</title></head><body>
+<h1>Index of GlobeDoc object %s</h1>
+<p>%d page elements, from the verified integrity certificate:</p><ul>
+`, html.EscapeString(objectName), html.EscapeString(objectName), len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(w, `<li><a href="%s">%s</a> (valid until %s)</li>
+`,
+			html.EscapeString(HybridURL(objectName, e.Name)),
+			html.EscapeString(e.Name),
+			e.Expires.UTC().Format("2006-01-02 15:04:05 MST"))
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document.HybridRef) {
+	res, err := p.Secure.FetchNamed(ref.ObjectName, ref.Element)
+	if err != nil {
+		p.bump(&p.secureFail)
+		p.serveSecurityFailure(w, ref, err)
+		return
+	}
+	p.bump(&p.secureOK)
+	h := w.Header()
+	h.Set(HeaderReplica, res.ReplicaAddr)
+	if res.CertifiedAs != "" {
+		h.Set(HeaderCertifiedAs, res.CertifiedAs)
+	}
+	if res.WarmBinding {
+		h.Set(HeaderWarm, "true")
+	}
+	// Conditional GET: the ETag is the element's verified content hash,
+	// so a browser revalidation costs no body transfer when the (still
+	// fully verified) content is unchanged.
+	etag := elementETag(res.Element)
+	h.Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", res.Element.ContentType)
+	h.Set("Content-Length", fmt.Sprint(len(res.Element.Data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.Element.Data)
+}
+
+// elementETag derives a strong ETag from the element's verified SHA-1
+// content hash.
+func elementETag(e document.Element) string {
+	hash := e.Hash()
+	return fmt.Sprintf("%q", fmt.Sprintf("%x", hash))
+}
+
+// etagMatches implements the If-None-Match comparison for strong ETags,
+// including the "*" wildcard and comma-separated lists.
+func etagMatches(headerValue, etag string) bool {
+	if strings.TrimSpace(headerValue) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(headerValue, ",") {
+		if strings.TrimSpace(candidate) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveSecurityFailure renders the paper's "Security Check Failed" page.
+func (p *Proxy) serveSecurityFailure(w http.ResponseWriter, ref document.HybridRef, err error) {
+	status := http.StatusBadGateway
+	title := "GlobeDoc Error"
+	if errors.Is(err, core.ErrSecurityCheckFailed) {
+		status = http.StatusForbidden
+		title = "Security Check Failed"
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><title>%s</title></head><body>
+<h1>%s</h1>
+<p>The GlobeDoc proxy refused to deliver <code>%s</code> of object
+<code>%s</code>.</p>
+<p><b>Reason:</b> %s</p>
+<p>The data offered by the replica did not pass the authenticity,
+freshness and consistency checks, or the object could not be reached.
+No unverified content has been shown.</p>
+</body></html>`,
+		title, title,
+		html.EscapeString(ref.Element), html.EscapeString(ref.ObjectName),
+		html.EscapeString(err.Error()))
+}
+
+func (p *Proxy) transportFor(host string) *http.Transport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tr, ok := p.transports[host]
+	if !ok {
+		dial := p.PassthroughDial(host)
+		tr = &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return dial()
+			},
+		}
+		p.transports[host] = tr
+	}
+	return tr
+}
+
+// servePassthrough forwards a regular HTTP request unchanged.
+func (p *Proxy) servePassthrough(w http.ResponseWriter, r *http.Request) {
+	p.bump(&p.passthrough)
+	outReq := r.Clone(r.Context())
+	outReq.RequestURI = ""
+	tr := p.transportFor(r.URL.Host)
+	resp, err := tr.RoundTrip(outReq)
+	if err != nil {
+		http.Error(w, "globedoc proxy: origin unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for key, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(key, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// Serve runs the proxy's HTTP server on l.
+func (p *Proxy) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: p}
+	return srv.Serve(l)
+}
+
+// HybridURL builds the hybrid URL path for an object/element pair —
+// convenience for examples and tests. Elements with slashes in their
+// names use the explicit "!" separator so parsing stays unambiguous.
+func HybridURL(objectName, element string) string {
+	if strings.Contains(element, "/") {
+		return document.HybridPrefix + objectName + "!" + element
+	}
+	return document.HybridRef{ObjectName: objectName, Element: element}.String()
+}

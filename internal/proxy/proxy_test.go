@@ -1,0 +1,286 @@
+package proxy_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"globedoc/internal/deploy"
+	"globedoc/internal/document"
+	"globedoc/internal/httpbase"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/netsim"
+	"globedoc/internal/proxy"
+	"globedoc/internal/server"
+	"globedoc/internal/transport"
+)
+
+// proxyWorld publishes a document and runs a proxy for a Paris user; it
+// returns the world and an http.Client that routes everything through the
+// proxy (as a browser configured with an HTTP proxy would).
+func proxyWorld(t *testing.T) (*deploy.World, *proxy.Proxy, *http.Client) {
+	t.Helper()
+	w, err := deploy.NewWorld(deploy.Options{TimeScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if _, err := w.StartServer(netsim.AmsterdamPrimary, "srv", nil, nil, server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := document.New()
+	doc.Put(document.Element{Name: "index.html", Data: []byte("<html>secure home</html>")})
+	doc.Put(document.Element{Name: "img/logo.png", Data: []byte{1, 2, 3}})
+	if _, err := w.Publish(doc, deploy.PublishOptions{
+		Name: "home.vu.nl", Subject: "Vrije Universiteit", OwnerKey: keytest.RSA(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	secure := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(secure.Close)
+	secure.CacheBindings = true
+	p := proxy.New(secure)
+	p.PassthroughDial = func(host string) transport.DialFunc {
+		return w.Net.Dialer(netsim.Paris, host+":http")
+	}
+
+	pl, err := w.Net.Listen(netsim.Paris, "proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(pl)
+
+	// The browser is configured to use the proxy for everything, like
+	// the paper's wget runs: requests arrive in absolute-URI form.
+	proxyURL, err := url.Parse("http://paris-proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	browser := &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyURL(proxyURL),
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return w.Net.Dial(netsim.Paris, "paris:proxy")
+		},
+	}}
+	return w, p, browser
+}
+
+func TestProxyServesVerifiedElement(t *testing.T) {
+	_, p, browser := proxyWorld(t)
+	resp, err := browser.Get("http://proxy" + proxy.HybridURL("home.vu.nl", "index.html"))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "<html>secure home</html>" {
+		t.Errorf("body = %q", body)
+	}
+	if got := resp.Header.Get(proxy.HeaderCertifiedAs); got != "Vrije Universiteit" {
+		t.Errorf("Certified-As = %q", got)
+	}
+	if resp.Header.Get(proxy.HeaderReplica) == "" {
+		t.Error("Replica header missing")
+	}
+	ok, failed, _ := p.Counters()
+	if ok != 1 || failed != 0 {
+		t.Errorf("counters = %d ok, %d failed", ok, failed)
+	}
+}
+
+func TestProxySlashElementName(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	resp, err := browser.Get("http://proxy" + proxy.HybridURL("home.vu.nl", "img/logo.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 3 {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestProxySecurityFailedPage(t *testing.T) {
+	_, p, browser := proxyWorld(t)
+	// Unknown object: resolution fails; unknown element of a known
+	// object would fail later in the pipeline.
+	resp, err := browser.Get("http://proxy" + proxy.HybridURL("ghost.vu.nl", "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("unknown object served OK")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "GlobeDoc") {
+		t.Errorf("error page = %q", body)
+	}
+	_, failed, _ := p.Counters()
+	if failed != 1 {
+		t.Errorf("failed counter = %d", failed)
+	}
+}
+
+func TestProxyWarmBindingHeader(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	url := "http://proxy" + proxy.HybridURL("home.vu.nl", "index.html")
+	if _, err := browser.Get(url); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := browser.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get(proxy.HeaderWarm) != "true" {
+		t.Error("second fetch not warm")
+	}
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	w, p, browser := proxyWorld(t)
+	// A plain HTTP origin at ithaca.
+	origin := document.New()
+	origin.Put(document.Element{Name: "plain.html", Data: []byte("plain old web")})
+	ol, err := w.Net.Listen(netsim.Ithaca, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := httpbase.NewFileServer(origin)
+	fs.Start(ol)
+	t.Cleanup(fs.Close)
+
+	resp, err := browser.Get("http://ithaca/plain.html")
+	if err != nil {
+		t.Fatalf("passthrough GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "plain old web" {
+		t.Errorf("body = %q", body)
+	}
+	_, _, pass := p.Counters()
+	if pass != 1 {
+		t.Errorf("passthrough counter = %d", pass)
+	}
+}
+
+func TestProxyRejectsRelativeNonHybrid(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	resp, err := browser.Get("http://proxy/not-globedoc.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("non-hybrid relative path served OK")
+	}
+}
+
+func TestProxyObjectIndexPage(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	resp, err := browser.Get("http://proxy/GlobeDoc/home.vu.nl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	html := string(body)
+	for _, want := range []string{"Index of GlobeDoc object home.vu.nl", "index.html", "img/logo.png", "valid until"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("index page missing %q:\n%s", want, html)
+		}
+	}
+	// The index links must themselves be fetchable hybrid URLs.
+	ref, ok := document.ParseHybrid(proxy.HybridURL("home.vu.nl", "img/logo.png"))
+	if !ok || ref.Element != "img/logo.png" {
+		t.Errorf("index link does not parse: %+v", ref)
+	}
+}
+
+func TestProxyIndexUnknownObject(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	resp, err := browser.Get("http://proxy/GlobeDoc/ghost.vu.nl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("index of unknown object served OK")
+	}
+}
+
+func TestProxyConditionalGet(t *testing.T) {
+	_, _, browser := proxyWorld(t)
+	url := "http://proxy" + proxy.HybridURL("home.vu.nl", "index.html")
+	first, err := browser.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on verified response")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	second, err := browser.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %s, want 304", second.Status)
+	}
+	body, _ := io.ReadAll(second.Body)
+	if len(body) != 0 {
+		t.Errorf("304 carried a body: %q", body)
+	}
+
+	// A stale ETag gets the full body again.
+	req2, _ := http.NewRequest(http.MethodGet, url, nil)
+	req2.Header.Set("If-None-Match", `"deadbeef"`)
+	third, err := browser.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Body.Close()
+	if third.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s, want 200", third.Status)
+	}
+}
+
+func TestHybridURLHelper(t *testing.T) {
+	if got := proxy.HybridURL("a.nl", "x.html"); got != "/GlobeDoc/a.nl/x.html" {
+		t.Errorf("HybridURL = %q", got)
+	}
+	if got := proxy.HybridURL("a.nl", "img/x.png"); got != "/GlobeDoc/a.nl!img/x.png" {
+		t.Errorf("HybridURL = %q", got)
+	}
+	for _, c := range []struct{ obj, elem string }{
+		{"a.nl", "x.html"}, {"a.nl", "img/x.png"}, {"deep/name", "e.css"},
+	} {
+		ref, ok := document.ParseHybrid(proxy.HybridURL(c.obj, c.elem))
+		if !ok || ref.ObjectName != c.obj || ref.Element != c.elem {
+			t.Errorf("round trip %v -> %+v ok=%v", c, ref, ok)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package replication
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlashCrowdDetector is the runtime half of dynamic replication: it
+// watches the per-site request rate of one document and reports when a
+// site is hot enough to deserve its own replica (and when a replica has
+// gone cold and should be withdrawn).
+//
+// The object server feeds it every access; when RecordAccess returns
+// true, the server asks a peer object server at that site to create a
+// replica (paper §4 notes that object servers may create replicas on each
+// other precisely "to support dynamic replication algorithms").
+type FlashCrowdDetector struct {
+	mu sync.Mutex
+	// CreateThreshold is the number of accesses within Window that
+	// triggers replica creation at a site.
+	CreateThreshold int
+	// DeleteThreshold is the access count within Window below which an
+	// existing replica is considered cold.
+	DeleteThreshold int
+	// Window is the sliding observation window.
+	Window time.Duration
+
+	accesses map[string][]time.Time // site -> recent access times
+	replicas map[string]bool        // sites currently holding a replica
+}
+
+// NewFlashCrowdDetector returns a detector with the given trigger: create
+// a replica at a site once it produces createThreshold accesses within
+// window.
+func NewFlashCrowdDetector(createThreshold int, window time.Duration) *FlashCrowdDetector {
+	return &FlashCrowdDetector{
+		CreateThreshold: createThreshold,
+		DeleteThreshold: 1,
+		Window:          window,
+		accesses:        make(map[string][]time.Time),
+		replicas:        make(map[string]bool),
+	}
+}
+
+// RecordAccess notes a request from site at time now and reports whether
+// a replica should be created there.
+func (d *FlashCrowdDetector) RecordAccess(site string, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recent := prune(d.accesses[site], now.Add(-d.Window))
+	recent = append(recent, now)
+	d.accesses[site] = recent
+	if d.replicas[site] {
+		return false
+	}
+	if len(recent) >= d.CreateThreshold {
+		d.replicas[site] = true
+		return true
+	}
+	return false
+}
+
+// ColdReplicas returns the sites whose replicas have fallen below
+// DeleteThreshold accesses within the window ending at now. The caller
+// decides whether to withdraw them; MarkRemoved records the outcome.
+func (d *FlashCrowdDetector) ColdReplicas(now time.Time) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var cold []string
+	cutoff := now.Add(-d.Window)
+	for site, have := range d.replicas {
+		if !have {
+			continue
+		}
+		d.accesses[site] = prune(d.accesses[site], cutoff)
+		if len(d.accesses[site]) < d.DeleteThreshold {
+			cold = append(cold, site)
+		}
+	}
+	sort.Strings(cold)
+	return cold
+}
+
+// MarkRemoved records that the replica at site was withdrawn.
+func (d *FlashCrowdDetector) MarkRemoved(site string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.replicas, site)
+}
+
+// ReplicaSites returns the sites currently believed to hold replicas,
+// sorted.
+func (d *FlashCrowdDetector) ReplicaSites() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sites := make([]string, 0, len(d.replicas))
+	for site, have := range d.replicas {
+		if have {
+			sites = append(sites, site)
+		}
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// prune drops timestamps at or before cutoff (the slice is
+// chronologically ordered).
+func prune(times []time.Time, cutoff time.Time) []time.Time {
+	i := sort.Search(len(times), func(i int) bool { return times[i].After(cutoff) })
+	return append(times[:0:0], times[i:]...)
+}

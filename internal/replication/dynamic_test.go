@@ -1,0 +1,82 @@
+package replication_test
+
+import (
+	"testing"
+	"time"
+
+	"globedoc/internal/replication"
+)
+
+var dt0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+func TestFlashCrowdTriggersOnce(t *testing.T) {
+	d := replication.NewFlashCrowdDetector(3, time.Minute)
+	if d.RecordAccess("paris", dt0) {
+		t.Fatal("triggered on first access")
+	}
+	if d.RecordAccess("paris", dt0.Add(time.Second)) {
+		t.Fatal("triggered on second access")
+	}
+	if !d.RecordAccess("paris", dt0.Add(2*time.Second)) {
+		t.Fatal("did not trigger on third access within window")
+	}
+	// Already replicated: no re-trigger.
+	if d.RecordAccess("paris", dt0.Add(3*time.Second)) {
+		t.Fatal("re-triggered for a site that already has a replica")
+	}
+	sites := d.ReplicaSites()
+	if len(sites) != 1 || sites[0] != "paris" {
+		t.Errorf("ReplicaSites = %v", sites)
+	}
+}
+
+func TestFlashCrowdWindowExpiry(t *testing.T) {
+	d := replication.NewFlashCrowdDetector(3, time.Minute)
+	d.RecordAccess("paris", dt0)
+	d.RecordAccess("paris", dt0.Add(time.Second))
+	// Third access far outside the window: earlier ones are pruned.
+	if d.RecordAccess("paris", dt0.Add(10*time.Minute)) {
+		t.Fatal("triggered on accesses spread outside the window")
+	}
+}
+
+func TestFlashCrowdPerSiteIndependence(t *testing.T) {
+	d := replication.NewFlashCrowdDetector(2, time.Minute)
+	d.RecordAccess("paris", dt0)
+	if d.RecordAccess("ithaca", dt0) {
+		t.Fatal("ithaca triggered by paris traffic")
+	}
+	if !d.RecordAccess("paris", dt0.Add(time.Second)) {
+		t.Fatal("paris did not trigger")
+	}
+}
+
+func TestColdReplicasAndRemoval(t *testing.T) {
+	d := replication.NewFlashCrowdDetector(2, time.Minute)
+	d.RecordAccess("paris", dt0)
+	d.RecordAccess("paris", dt0.Add(time.Second)) // replica created
+	// No further traffic: an hour later the replica is cold.
+	cold := d.ColdReplicas(dt0.Add(time.Hour))
+	if len(cold) != 1 || cold[0] != "paris" {
+		t.Fatalf("ColdReplicas = %v", cold)
+	}
+	d.MarkRemoved("paris")
+	if got := d.ReplicaSites(); len(got) != 0 {
+		t.Errorf("ReplicaSites after removal = %v", got)
+	}
+	// And the site can trigger again later.
+	d.RecordAccess("paris", dt0.Add(2*time.Hour))
+	if !d.RecordAccess("paris", dt0.Add(2*time.Hour+time.Second)) {
+		t.Error("site cannot re-trigger after removal")
+	}
+}
+
+func TestHotReplicaNotCold(t *testing.T) {
+	d := replication.NewFlashCrowdDetector(2, time.Minute)
+	d.RecordAccess("paris", dt0)
+	d.RecordAccess("paris", dt0.Add(time.Second))
+	d.RecordAccess("paris", dt0.Add(30*time.Second))
+	if cold := d.ColdReplicas(dt0.Add(40 * time.Second)); len(cold) != 0 {
+		t.Errorf("ColdReplicas = %v for active site", cold)
+	}
+}

@@ -1,0 +1,44 @@
+package replication_test
+
+import (
+	"fmt"
+	"time"
+
+	"globedoc/internal/replication"
+)
+
+// ExampleSelect shows per-document strategy selection (ref [13]): a hot
+// read-only document and a write-heavy document pick different winners.
+func ExampleSelect() {
+	env := replication.Env{
+		PrimarySite: "amsterdam",
+		Sites:       []string{"amsterdam", "ithaca"},
+		DocSize:     100 << 10,
+		RTT: func(a, b string) time.Duration {
+			if a == b {
+				return 0
+			}
+			return 90 * time.Millisecond
+		},
+		Bandwidth: func(a, b string) float64 { return 1e6 },
+	}
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+	var hot []replication.Event
+	for i := 0; i < 500; i++ {
+		hot = append(hot, replication.Event{T: t0.Add(time.Duration(i) * time.Second), Site: "ithaca"})
+	}
+	var churny []replication.Event
+	for i := 0; i < 200; i++ {
+		churny = append(churny, replication.Event{T: t0.Add(time.Duration(i) * time.Second), Update: true})
+	}
+	churny = append(churny, replication.Event{T: t0.Add(time.Hour), Site: "ithaca"})
+
+	candidates := replication.DefaultCandidates()
+	w := replication.DefaultWeights
+	fmt.Println("hot read-only picks:", replication.Select(hot, env, candidates, w)[0].Strategy.Name())
+	fmt.Println("write-heavy picks: ", replication.Select(churny, env, candidates, w)[0].Strategy.Name())
+	// Output:
+	// hot read-only picks: FullRepl
+	// write-heavy picks:  NoRepl
+}

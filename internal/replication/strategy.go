@@ -1,0 +1,316 @@
+// Package replication implements per-document replication strategies and
+// the adaptive strategy selector of Pierre, van Steen & Tanenbaum,
+// "Dynamically Selecting Optimal Distribution Strategies for Web
+// Documents" (the paper's ref [13]).
+//
+// GlobeDoc's distinguishing feature over one-size-fits-all CDNs is that
+// every document carries its own replication policy as part of the object
+// (paper §2). This package provides:
+//
+//   - a trace-driven cost model that evaluates candidate strategies on a
+//     document's recent access trace (Simulate), reporting client
+//     latency, consumed bandwidth and stale documents served;
+//   - a selector that picks the strategy minimizing a weighted cost
+//     (Select), mirroring ref [13]'s approach;
+//   - a runtime flash-crowd detector (dynamic.go) that the object server
+//     uses to trigger replica creation while a document is live.
+package replication
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is one entry of a document access trace.
+type Event struct {
+	T    time.Time
+	Site string // client site issuing the request
+	// Update marks a write by the owner rather than a client read.
+	Update bool
+}
+
+// Env describes the world a strategy is evaluated in.
+type Env struct {
+	// PrimarySite hosts the master copy.
+	PrimarySite string
+	// Sites lists every site where replicas could be placed.
+	Sites []string
+	// RTT returns the round-trip time between two sites.
+	RTT func(a, b string) time.Duration
+	// DocSize is the document transfer size in bytes.
+	DocSize int
+	// Bandwidth returns bytes/second between two sites (0 = unlimited).
+	Bandwidth func(a, b string) float64
+}
+
+// transfer returns the client-perceived time to move size bytes from a to
+// b: one RTT plus serialization.
+func (e Env) transfer(a, b string, size int) time.Duration {
+	d := e.RTT(a, b)
+	if bw := e.Bandwidth(a, b); bw > 0 {
+		d += time.Duration(float64(size) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// Metrics aggregates what a strategy cost on a trace. They correspond to
+// the three axes of ref [13]: client-perceived latency r, network
+// bandwidth b, and served-stale documents w.
+type Metrics struct {
+	// TotalLatency sums client-perceived retrieval latency over reads.
+	TotalLatency time.Duration
+	// Bandwidth sums bytes moved over wide-area links.
+	Bandwidth int64
+	// Stale counts reads served from a copy older than the latest update.
+	Stale int
+	// Replicas is the peak number of full replicas maintained.
+	Replicas int
+}
+
+// Reads returns latency averaged over n reads.
+func (m Metrics) MeanLatency(reads int) time.Duration {
+	if reads == 0 {
+		return 0
+	}
+	return m.TotalLatency / time.Duration(reads)
+}
+
+// Strategy evaluates itself over a trace. Implementations are
+// deterministic and side-effect free.
+type Strategy interface {
+	Name() string
+	Simulate(trace []Event, env Env) Metrics
+}
+
+// NoReplication serves every request from the primary.
+type NoReplication struct{}
+
+// Name implements Strategy.
+func (NoReplication) Name() string { return "NoRepl" }
+
+// Simulate implements Strategy.
+func (NoReplication) Simulate(trace []Event, env Env) Metrics {
+	var m Metrics
+	m.Replicas = 1
+	for _, ev := range trace {
+		if ev.Update {
+			continue
+		}
+		m.TotalLatency += env.transfer(env.PrimarySite, ev.Site, env.DocSize)
+		if ev.Site != env.PrimarySite {
+			m.Bandwidth += int64(env.DocSize)
+		}
+	}
+	return m
+}
+
+// CacheTTL places a cache at every client site; a cached copy is reused
+// until its TTL lapses, with no regard to updates (the classic Alex/TTL
+// web-cache policy). Cheap, but serves stale documents.
+type CacheTTL struct {
+	TTL time.Duration
+}
+
+// Name implements Strategy.
+func (s CacheTTL) Name() string { return fmt.Sprintf("CacheTTL(%s)", s.TTL) }
+
+// Simulate implements Strategy.
+func (s CacheTTL) Simulate(trace []Event, env Env) Metrics {
+	var m Metrics
+	m.Replicas = 1
+	type cacheState struct {
+		fetched time.Time
+		version int
+		valid   bool
+	}
+	caches := make(map[string]*cacheState)
+	version := 0
+	for _, ev := range trace {
+		if ev.Update {
+			version++
+			continue
+		}
+		c := caches[ev.Site]
+		if c == nil {
+			c = &cacheState{}
+			caches[ev.Site] = c
+		}
+		if c.valid && ev.T.Sub(c.fetched) < s.TTL {
+			// Local cache hit: LAN-speed, charge no wide-area traffic.
+			if c.version != version {
+				m.Stale++
+			}
+			continue
+		}
+		m.TotalLatency += env.transfer(env.PrimarySite, ev.Site, env.DocSize)
+		if ev.Site != env.PrimarySite {
+			m.Bandwidth += int64(env.DocSize)
+		}
+		*c = cacheState{fetched: ev.T, version: version, valid: true}
+	}
+	return m
+}
+
+// CacheVerify places a cache at every client site and revalidates each
+// hit with the primary (an If-Modified-Since round trip): never stale,
+// but every access pays at least one RTT.
+type CacheVerify struct{}
+
+// Name implements Strategy.
+func (CacheVerify) Name() string { return "CacheVerify" }
+
+// Simulate implements Strategy.
+func (CacheVerify) Simulate(trace []Event, env Env) Metrics {
+	const checkSize = 256 // revalidation request+response bytes
+	var m Metrics
+	m.Replicas = 1
+	cached := make(map[string]int) // site -> version held
+	version := 0
+	for _, ev := range trace {
+		if ev.Update {
+			version++
+			continue
+		}
+		held, ok := cached[ev.Site]
+		if ok && held == version {
+			// Revalidation round trip only.
+			m.TotalLatency += env.transfer(env.PrimarySite, ev.Site, checkSize)
+			if ev.Site != env.PrimarySite {
+				m.Bandwidth += checkSize
+			}
+			continue
+		}
+		m.TotalLatency += env.transfer(env.PrimarySite, ev.Site, env.DocSize)
+		if ev.Site != env.PrimarySite {
+			m.Bandwidth += int64(env.DocSize)
+		}
+		cached[ev.Site] = version
+	}
+	return m
+}
+
+// ServerInvalidation places a cache at every client site; the primary
+// pushes invalidations on update. Reads are never stale; each update
+// costs one small message per caching site.
+type ServerInvalidation struct{}
+
+// Name implements Strategy.
+func (ServerInvalidation) Name() string { return "ServerInval" }
+
+// Simulate implements Strategy.
+func (ServerInvalidation) Simulate(trace []Event, env Env) Metrics {
+	const invalSize = 128
+	var m Metrics
+	m.Replicas = 1
+	valid := make(map[string]bool)
+	for _, ev := range trace {
+		if ev.Update {
+			for site, ok := range valid {
+				if ok && site != env.PrimarySite {
+					m.Bandwidth += invalSize
+				}
+				valid[site] = false
+			}
+			continue
+		}
+		if valid[ev.Site] {
+			continue // local hit, fresh by construction
+		}
+		m.TotalLatency += env.transfer(env.PrimarySite, ev.Site, env.DocSize)
+		if ev.Site != env.PrimarySite {
+			m.Bandwidth += int64(env.DocSize)
+		}
+		valid[ev.Site] = true
+	}
+	return m
+}
+
+// FullReplication keeps a full replica at every site and pushes the whole
+// document to all of them on each update. Reads are local and fresh;
+// updates are expensive.
+type FullReplication struct{}
+
+// Name implements Strategy.
+func (FullReplication) Name() string { return "FullRepl" }
+
+// Simulate implements Strategy.
+func (FullReplication) Simulate(trace []Event, env Env) Metrics {
+	var m Metrics
+	m.Replicas = len(env.Sites)
+	pushed := make(map[string]bool)
+	for _, site := range env.Sites {
+		if site == env.PrimarySite {
+			continue
+		}
+		// Initial placement.
+		m.Bandwidth += int64(env.DocSize)
+		pushed[site] = true
+	}
+	for _, ev := range trace {
+		if ev.Update {
+			m.Bandwidth += int64(len(pushed)) * int64(env.DocSize)
+			continue
+		}
+		// Read is local: no wide-area latency or bandwidth.
+	}
+	return m
+}
+
+// Weights expresses the relative importance of the three cost axes when
+// selecting a strategy, as in ref [13].
+type Weights struct {
+	// LatencyPerSecond is cost units per second of summed client latency.
+	LatencyPerSecond float64
+	// PerMegabyte is cost units per MB of wide-area traffic.
+	PerMegabyte float64
+	// PerStaleRead is cost units per stale document served.
+	PerStaleRead float64
+}
+
+// DefaultWeights reproduce ref [13]'s bias: staleness is heavily
+// penalized, client latency and wide-area bandwidth are both first-class
+// costs (bandwidth must be priced high enough that blind full replication
+// does not dominate write-heavy documents).
+var DefaultWeights = Weights{LatencyPerSecond: 1.0, PerMegabyte: 2.0, PerStaleRead: 5.0}
+
+// Cost collapses metrics to a scalar under w.
+func (w Weights) Cost(m Metrics) float64 {
+	return w.LatencyPerSecond*m.TotalLatency.Seconds() +
+		w.PerMegabyte*float64(m.Bandwidth)/1e6 +
+		w.PerStaleRead*float64(m.Stale)
+}
+
+// Evaluation records one strategy's simulated outcome.
+type Evaluation struct {
+	Strategy Strategy
+	Metrics  Metrics
+	Cost     float64
+}
+
+// DefaultCandidates returns the standard candidate set evaluated for
+// every document.
+func DefaultCandidates() []Strategy {
+	return []Strategy{
+		NoReplication{},
+		CacheTTL{TTL: time.Minute},
+		CacheTTL{TTL: time.Hour},
+		CacheVerify{},
+		ServerInvalidation{},
+		FullReplication{},
+	}
+}
+
+// Select simulates every candidate on the trace and returns the full
+// ranking, cheapest first. This is the per-document decision of ref
+// [13]: different documents (different traces) select different
+// strategies.
+func Select(trace []Event, env Env, candidates []Strategy, w Weights) []Evaluation {
+	evals := make([]Evaluation, 0, len(candidates))
+	for _, s := range candidates {
+		m := s.Simulate(trace, env)
+		evals = append(evals, Evaluation{Strategy: s, Metrics: m, Cost: w.Cost(m)})
+	}
+	sort.SliceStable(evals, func(i, j int) bool { return evals[i].Cost < evals[j].Cost })
+	return evals
+}

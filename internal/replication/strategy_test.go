@@ -1,0 +1,234 @@
+package replication_test
+
+import (
+	"testing"
+	"time"
+
+	"globedoc/internal/replication"
+)
+
+var sites = []string{"primary", "paris", "ithaca"}
+
+func testEnv(docSize int) replication.Env {
+	rtt := map[[2]string]time.Duration{
+		{"primary", "paris"}:  20 * time.Millisecond,
+		{"primary", "ithaca"}: 90 * time.Millisecond,
+		{"paris", "ithaca"}:   100 * time.Millisecond,
+	}
+	return replication.Env{
+		PrimarySite: "primary",
+		Sites:       sites,
+		DocSize:     docSize,
+		RTT: func(a, b string) time.Duration {
+			if a == b {
+				return 0
+			}
+			if a > b {
+				a, b = b, a
+			}
+			return rtt[[2]string{a, b}]
+		},
+		Bandwidth: func(a, b string) float64 {
+			if a == b {
+				return 0
+			}
+			return 1e6
+		},
+	}
+}
+
+// readTrace produces n reads from site, secs apart.
+func readTrace(site string, n int, gap time.Duration) []replication.Event {
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	out := make([]replication.Event, n)
+	for i := range out {
+		out[i] = replication.Event{T: t0.Add(time.Duration(i) * gap), Site: site}
+	}
+	return out
+}
+
+func TestNoReplicationChargesEveryRead(t *testing.T) {
+	env := testEnv(10_000)
+	trace := readTrace("paris", 10, time.Second)
+	m := replication.NoReplication{}.Simulate(trace, env)
+	if m.Bandwidth != 10*10_000 {
+		t.Errorf("Bandwidth = %d", m.Bandwidth)
+	}
+	if m.Stale != 0 {
+		t.Errorf("Stale = %d", m.Stale)
+	}
+	perRead := env.RTT("primary", "paris") + 10*time.Millisecond // 10KB at 1MB/s
+	if m.TotalLatency != 10*perRead {
+		t.Errorf("TotalLatency = %v, want %v", m.TotalLatency, 10*perRead)
+	}
+}
+
+func TestCacheTTLHitsAreFree(t *testing.T) {
+	env := testEnv(10_000)
+	trace := readTrace("paris", 10, time.Second)
+	m := replication.CacheTTL{TTL: time.Hour}.Simulate(trace, env)
+	if m.Bandwidth != 10_000 {
+		t.Errorf("Bandwidth = %d, want one fetch", m.Bandwidth)
+	}
+}
+
+func TestCacheTTLServesStaleAfterUpdate(t *testing.T) {
+	env := testEnv(10_000)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	trace := []replication.Event{
+		{T: t0, Site: "paris"},                      // cold fetch
+		{T: t0.Add(time.Second), Update: true},      // owner update
+		{T: t0.Add(2 * time.Second), Site: "paris"}, // stale hit
+		{T: t0.Add(3 * time.Second), Site: "paris"}, // stale hit
+	}
+	m := replication.CacheTTL{TTL: time.Hour}.Simulate(trace, env)
+	if m.Stale != 2 {
+		t.Errorf("Stale = %d, want 2", m.Stale)
+	}
+}
+
+func TestCacheVerifyNeverStale(t *testing.T) {
+	env := testEnv(10_000)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	trace := []replication.Event{
+		{T: t0, Site: "paris"},
+		{T: t0.Add(time.Second), Update: true},
+		{T: t0.Add(2 * time.Second), Site: "paris"}, // must re-fetch
+	}
+	m := replication.CacheVerify{}.Simulate(trace, env)
+	if m.Stale != 0 {
+		t.Errorf("Stale = %d", m.Stale)
+	}
+	if m.Bandwidth != 2*10_000 {
+		t.Errorf("Bandwidth = %d, want two full fetches", m.Bandwidth)
+	}
+}
+
+func TestCacheVerifyPaysRevalidation(t *testing.T) {
+	env := testEnv(10_000)
+	trace := readTrace("paris", 5, time.Second)
+	m := replication.CacheVerify{}.Simulate(trace, env)
+	// 1 full fetch + 4 revalidations of 256B.
+	if m.Bandwidth != 10_000+4*256 {
+		t.Errorf("Bandwidth = %d", m.Bandwidth)
+	}
+	if m.TotalLatency <= env.RTT("primary", "paris") {
+		t.Error("revalidation latency not charged")
+	}
+}
+
+func TestServerInvalidationFreshAndCheapReads(t *testing.T) {
+	env := testEnv(10_000)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	trace := []replication.Event{
+		{T: t0, Site: "paris"},
+		{T: t0.Add(time.Second), Site: "paris"}, // free local hit
+		{T: t0.Add(2 * time.Second), Update: true},
+		{T: t0.Add(3 * time.Second), Site: "paris"}, // re-fetch
+	}
+	m := replication.ServerInvalidation{}.Simulate(trace, env)
+	if m.Stale != 0 {
+		t.Errorf("Stale = %d", m.Stale)
+	}
+	if m.Bandwidth != 2*10_000+128 {
+		t.Errorf("Bandwidth = %d, want 2 fetches + 1 invalidation", m.Bandwidth)
+	}
+}
+
+func TestFullReplicationLocalReads(t *testing.T) {
+	env := testEnv(10_000)
+	trace := readTrace("ithaca", 100, time.Second)
+	m := replication.FullReplication{}.Simulate(trace, env)
+	if m.TotalLatency != 0 {
+		t.Errorf("TotalLatency = %v, want 0 (local reads)", m.TotalLatency)
+	}
+	if m.Replicas != len(sites) {
+		t.Errorf("Replicas = %d", m.Replicas)
+	}
+	// Placement cost: 2 non-primary sites.
+	if m.Bandwidth != 2*10_000 {
+		t.Errorf("Bandwidth = %d", m.Bandwidth)
+	}
+}
+
+func TestFullReplicationUpdateCost(t *testing.T) {
+	env := testEnv(10_000)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	trace := []replication.Event{
+		{T: t0, Update: true},
+		{T: t0.Add(time.Second), Update: true},
+	}
+	m := replication.FullReplication{}.Simulate(trace, env)
+	// 2 placements + 2 updates * 2 replicas.
+	if m.Bandwidth != (2+4)*10_000 {
+		t.Errorf("Bandwidth = %d", m.Bandwidth)
+	}
+}
+
+func TestSelectPrefersReplicationForHotReadOnlyDoc(t *testing.T) {
+	env := testEnv(100_000)
+	trace := readTrace("ithaca", 500, time.Second) // hot, never updated
+	evals := replication.Select(trace, env, replication.DefaultCandidates(), replication.DefaultWeights)
+	best := evals[0].Strategy.Name()
+	if best == "NoRepl" {
+		t.Errorf("hot read-only doc selected %q; expected a caching/replicating strategy", best)
+	}
+	// NoRepl must be the worst or near-worst.
+	if evals[0].Cost >= evals[len(evals)-1].Cost {
+		t.Error("ranking not sorted by cost")
+	}
+}
+
+func TestSelectPrefersPrimaryForWriteHeavyDoc(t *testing.T) {
+	env := testEnv(100_000)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	var trace []replication.Event
+	for i := 0; i < 200; i++ {
+		trace = append(trace, replication.Event{T: t0.Add(time.Duration(i) * time.Second), Update: true})
+	}
+	// One lonely read.
+	trace = append(trace, replication.Event{T: t0.Add(300 * time.Second), Site: "paris"})
+	evals := replication.Select(trace, env, replication.DefaultCandidates(), replication.DefaultWeights)
+	if evals[0].Strategy.Name() == "FullRepl" {
+		t.Error("write-heavy doc selected FullRepl; push cost should dominate")
+	}
+}
+
+func TestSelectDisagreesAcrossDocuments(t *testing.T) {
+	// The core claim of ref [13]: different documents pick different
+	// strategies. A hot static document and a frequently-updated one
+	// must not select the same winner.
+	env := testEnv(50_000)
+	hotStatic := readTrace("ithaca", 300, time.Second)
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	var churny []replication.Event
+	for i := 0; i < 150; i++ {
+		churny = append(churny,
+			replication.Event{T: t0.Add(time.Duration(2*i) * time.Second), Update: true},
+			replication.Event{T: t0.Add(time.Duration(2*i+1) * time.Second), Site: "paris"})
+	}
+	w := replication.DefaultWeights
+	bestStatic := replication.Select(hotStatic, env, replication.DefaultCandidates(), w)[0].Strategy.Name()
+	bestChurny := replication.Select(churny, env, replication.DefaultCandidates(), w)[0].Strategy.Name()
+	if bestStatic == bestChurny {
+		t.Errorf("both documents selected %q; per-document selection is pointless", bestStatic)
+	}
+}
+
+func TestWeightsCost(t *testing.T) {
+	w := replication.Weights{LatencyPerSecond: 1, PerMegabyte: 2, PerStaleRead: 3}
+	m := replication.Metrics{TotalLatency: 2 * time.Second, Bandwidth: 5e6, Stale: 4}
+	if got := w.Cost(m); got != 2+10+12 {
+		t.Errorf("Cost = %v", got)
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	m := replication.Metrics{TotalLatency: time.Second}
+	if got := m.MeanLatency(4); got != 250*time.Millisecond {
+		t.Errorf("MeanLatency = %v", got)
+	}
+	if got := m.MeanLatency(0); got != 0 {
+		t.Errorf("MeanLatency(0) = %v", got)
+	}
+}

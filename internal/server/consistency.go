@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+// handleGetBundle serves a replica's complete state for consistency
+// transfers. Everything in the bundle is public data the anonymous read
+// protocol already exposes piecewise.
+func (s *Server) handleGetBundle(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.ExportBundle(oid)
+	if err != nil {
+		return nil, err
+	}
+	return b.Marshal(), nil
+}
+
+// Puller implements pull-based replica consistency — the replication
+// subobject of a secondary replica LR. It periodically asks the primary
+// replica for its state version and, when the local copy is stale,
+// transfers and validates the new bundle. Combined with the owner's
+// certificate re-issuing this yields the "cache with TTL refresh"
+// strategies of internal/replication at runtime.
+type Puller struct {
+	server      *Server
+	oid         globeid.OID
+	owner       string // principal the local replica is managed under
+	primaryAddr string
+	client      *transport.Client
+	// Interval between version checks.
+	Interval time.Duration
+
+	checks   atomic.Uint64
+	pulls    atomic.Uint64
+	failures atomic.Uint64
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewPuller builds a consistency puller keeping s's replica of oid in
+// sync with the primary replica at primaryAddr. owner must be the
+// principal the local replica was installed under.
+func NewPuller(s *Server, oid globeid.OID, owner, primaryAddr string, dial object.DialTo, interval time.Duration) *Puller {
+	return &Puller{
+		server:      s,
+		oid:         oid,
+		owner:       owner,
+		primaryAddr: primaryAddr,
+		client:      transport.NewClient(dial(primaryAddr)),
+		Interval:    interval,
+	}
+}
+
+// Checks returns how many version probes the puller has made.
+func (p *Puller) Checks() uint64 { return p.checks.Load() }
+
+// Pulls returns how many state transfers the puller has performed.
+func (p *Puller) Pulls() uint64 { return p.pulls.Load() }
+
+// Failures returns how many check/pull attempts errored.
+func (p *Puller) Failures() uint64 { return p.failures.Load() }
+
+// CheckOnce probes the primary's version and pulls the new state if the
+// local replica is stale. It reports whether a transfer happened.
+func (p *Puller) CheckOnce() (bool, error) {
+	p.checks.Add(1)
+	remoteVersion, err := p.remoteVersion()
+	if err != nil {
+		p.failures.Add(1)
+		return false, err
+	}
+	h, err := p.server.replica(p.oid)
+	if err != nil {
+		p.failures.Add(1)
+		return false, err
+	}
+	if h.doc.Version() >= remoteVersion {
+		return false, nil
+	}
+	body, err := p.client.Call(object.OpGetBundle, object.EncodeOIDRequest(p.oid))
+	if err != nil {
+		p.failures.Add(1)
+		return false, fmt.Errorf("server: pulling bundle: %w", err)
+	}
+	bundle, err := UnmarshalBundle(body)
+	if err != nil {
+		p.failures.Add(1)
+		return false, err
+	}
+	if bundle.OID != p.oid {
+		p.failures.Add(1)
+		return false, fmt.Errorf("server: primary returned bundle for %s", bundle.OID.Short())
+	}
+	// Update validates the bundle (key vs OID, certificate signature,
+	// element hashes) before installing — a lying primary cannot poison
+	// the replica.
+	if err := p.server.Update(bundle, p.owner); err != nil {
+		p.failures.Add(1)
+		return false, err
+	}
+	p.pulls.Add(1)
+	return true, nil
+}
+
+func (p *Puller) remoteVersion() (uint64, error) {
+	body, err := p.client.Call(object.OpVersion, object.EncodeOIDRequest(p.oid))
+	if err != nil {
+		return 0, err
+	}
+	r := enc.NewReader(body)
+	v := r.Uvarint()
+	if err := r.Finish(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Start launches the periodic check loop. Calling Start twice without
+// Stop is a no-op.
+func (p *Puller) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	p.stop = stop
+	p.stopped.Add(1)
+	go func() {
+		defer p.stopped.Done()
+		ticker := time.NewTicker(p.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_, _ = p.CheckOnce() // failures are counted; loop continues
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and releases the connection.
+func (p *Puller) Stop() {
+	p.mu.Lock()
+	stop := p.stop
+	p.stop = nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		p.stopped.Wait()
+	}
+	p.client.Close()
+}

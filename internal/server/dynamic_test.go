@@ -1,0 +1,165 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"globedoc/internal/deploy"
+	"globedoc/internal/document"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/netsim"
+	"globedoc/internal/server"
+)
+
+// dynamicWorld builds a deployment where the amsterdam primary pushes
+// replicas to a paris peer under flash crowds.
+func dynamicWorld(t *testing.T, threshold int) (*deploy.World, *deploy.Publication, *server.Replicator) {
+	t.Helper()
+	w, err := deploy.NewWorld(deploy.Options{TimeScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	// The primary server has an identity key; the paris peer's keystore
+	// authorizes it — the server-to-server entry of paper §4.
+	primaryKey := keytest.Ed()
+	primary, err := w.StartServer(netsim.AmsterdamPrimary, "srv-ams", nil, primaryKey, server.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerKS := keys.NewKeystore()
+	peerKS.Add("srv-ams", primaryKey.Public())
+	if _, err := w.StartServer(netsim.Paris, "srv-paris", peerKS, nil, server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := document.New()
+	doc.Put(document.Element{Name: "hot.html", Data: []byte("suddenly popular")})
+	pub, err := w.Publish(doc, deploy.PublishOptions{Name: "hot.nl", OwnerKey: keytest.RSA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repl := server.NewReplicator(primary,
+		[]server.Peer{{Site: netsim.Paris, Addr: w.Addrs[netsim.Paris]}},
+		w.DialFrom(netsim.AmsterdamPrimary),
+		w.LocationTree,
+		threshold, time.Minute)
+	repl.Logf = t.Logf
+	return w, pub, repl
+}
+
+func TestFlashCrowdCreatesReplica(t *testing.T) {
+	w, pub, repl := dynamicWorld(t, 3)
+	parisSrv := w.Servers[netsim.Paris]
+
+	client := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client.Close)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if !parisSrv.Hosts(pub.OID) {
+		t.Fatal("flash crowd did not create paris replica")
+	}
+	sites := repl.ReplicaSites(pub.OID)
+	if len(sites) != 1 || sites[0] != netsim.Paris {
+		t.Errorf("ReplicaSites = %v", sites)
+	}
+	// The new replica is registered: a fresh binding from paris lands on
+	// the local replica.
+	client2 := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client2.Close)
+	res, err := client2.Fetch(pub.OID, "hot.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicaAddr != "paris:"+deploy.ObjectService {
+		t.Errorf("ReplicaAddr = %q, want paris replica", res.ReplicaAddr)
+	}
+	// The pushed replica still passes every security check (verified by
+	// the successful Fetch above), and the integrity certificate came
+	// through unmodified.
+}
+
+func TestNoReplicationBelowThreshold(t *testing.T) {
+	w, pub, _ := dynamicWorld(t, 100)
+	client := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client.Close)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Servers[netsim.Paris].Hosts(pub.OID) {
+		t.Fatal("replica created below threshold")
+	}
+}
+
+func TestLocalTrafficDoesNotTrigger(t *testing.T) {
+	w, pub, _ := dynamicWorld(t, 2)
+	// Traffic from the primary's own site must not push replicas.
+	client := w.NewSecureClient(netsim.AmsterdamPrimary)
+	t.Cleanup(client.Close)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Servers[netsim.Paris].Hosts(pub.OID) {
+		t.Fatal("replica created from primary-site traffic")
+	}
+}
+
+func TestWithdrawColdReplica(t *testing.T) {
+	w, pub, repl := dynamicWorld(t, 2)
+	now := time.Now()
+	repl.Now = func() time.Time { return now }
+
+	client := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client.Close)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.Servers[netsim.Paris].Hosts(pub.OID) {
+		t.Fatal("replica not created")
+	}
+	// An hour of silence: the replica is cold and withdrawn.
+	now = now.Add(time.Hour)
+	withdrawn := repl.WithdrawCold(pub.OID)
+	if len(withdrawn) != 1 || withdrawn[0] != netsim.Paris {
+		t.Fatalf("withdrawn = %v", withdrawn)
+	}
+	if w.Servers[netsim.Paris].Hosts(pub.OID) {
+		t.Fatal("replica still hosted after withdrawal")
+	}
+	// Location record is gone: a paris client now binds to amsterdam.
+	client2 := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client2.Close)
+	res, err := client2.Fetch(pub.OID, "hot.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicaAddr != netsim.AmsterdamPrimary+":"+deploy.ObjectService {
+		t.Errorf("ReplicaAddr = %q", res.ReplicaAddr)
+	}
+}
+
+func TestExportBundle(t *testing.T) {
+	w, pub, _ := dynamicWorld(t, 2)
+	b, err := w.Servers[netsim.AmsterdamPrimary].ExportBundle(pub.OID)
+	if err != nil {
+		t.Fatalf("ExportBundle: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("exported bundle invalid: %v", err)
+	}
+	if b.OID != pub.OID {
+		t.Error("OID mismatch")
+	}
+}

@@ -1,0 +1,43 @@
+package server_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/server"
+)
+
+// FuzzUnmarshalBundle checks the replica-bundle decoder — the surface an
+// untrusted peer server controls — never panics and only accepts
+// canonical encodings.
+func FuzzUnmarshalBundle(f *testing.F) {
+	owner := keytest.Ed()
+	oid := globeid.FromPublicKey(owner.Public())
+	doc := document.New()
+	if err := doc.Put(document.Element{Name: "index.html", Data: []byte("seed")}); err != nil {
+		f.Fatal(err)
+	}
+	icert, err := document.IssueCertificate(doc, oid, owner, time.Unix(1e9, 0), document.UniformTTL(time.Hour))
+	if err != nil {
+		f.Fatal(err)
+	}
+	bundle := server.BundleFromDocument(oid, owner.Public(), doc, icert, nil)
+	f.Add(bundle.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 21))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := server.UnmarshalBundle(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.Marshal(), data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+		// Validation must never panic either, whatever was decoded.
+		_ = got.Validate()
+	})
+}

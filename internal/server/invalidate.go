@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+)
+
+// OpWaitVersion is the long-poll consistency operation: the request
+// carries (OID, known version, timeout); the reply carries the current
+// version, sent immediately if it already exceeds the known version and
+// otherwise as soon as an update lands or the timeout lapses. Combined
+// with Puller this turns pull consistency into push-latency invalidation
+// — the "server invalidation" strategy of ref [13] — without giving the
+// untrusted server a channel to push unsolicited (unverifiable) data:
+// the reply is just a version number; the replica still pulls and
+// validates the bundle itself.
+const OpWaitVersion = "obj.waitversion"
+
+// MaxWaitVersion bounds how long a single long-poll may park.
+const MaxWaitVersion = 5 * time.Minute
+
+// versionWaiters tracks parked long-polls per object.
+type versionWaiters struct {
+	mu      sync.Mutex
+	waiters map[globeid.OID][]chan struct{}
+}
+
+func newVersionWaiters() *versionWaiters {
+	return &versionWaiters{waiters: make(map[globeid.OID][]chan struct{})}
+}
+
+// wait returns a channel closed at the next update notification for oid.
+func (v *versionWaiters) wait(oid globeid.OID) <-chan struct{} {
+	ch := make(chan struct{})
+	v.mu.Lock()
+	v.waiters[oid] = append(v.waiters[oid], ch)
+	v.mu.Unlock()
+	return ch
+}
+
+// notify wakes every parked waiter for oid.
+func (v *versionWaiters) notify(oid globeid.OID) {
+	v.mu.Lock()
+	chans := v.waiters[oid]
+	delete(v.waiters, oid)
+	v.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// handleWaitVersion parks until the hosted replica's version exceeds the
+// caller's, an update notification arrives, or the timeout lapses; it
+// always answers with the current version.
+func (s *Server) handleWaitVersion(body []byte) ([]byte, error) {
+	r := enc.NewReader(body)
+	var oid globeid.OID
+	copy(oid[:], r.Raw(globeid.Size))
+	known := r.Uvarint()
+	timeoutMillis := r.Uvarint()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(timeoutMillis) * time.Millisecond
+	if timeout <= 0 || timeout > MaxWaitVersion {
+		timeout = MaxWaitVersion
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		h, err := s.replica(oid)
+		if err != nil {
+			return nil, err
+		}
+		if v := h.doc.Version(); v > known {
+			w := enc.NewWriter(8)
+			w.Uvarint(v)
+			return w.Bytes(), nil
+		}
+		updated := s.waiters.wait(oid)
+		// Re-check after subscribing: an update may have landed between
+		// the version read and the subscription.
+		if v := h.doc.Version(); v > known {
+			w := enc.NewWriter(8)
+			w.Uvarint(v)
+			return w.Bytes(), nil
+		}
+		select {
+		case <-updated:
+			// Loop to read the fresh version.
+		case <-deadline.C:
+			w := enc.NewWriter(8)
+			w.Uvarint(h.doc.Version())
+			return w.Bytes(), nil
+		}
+	}
+}
+
+// WaitVersion long-polls the primary at the puller's address until its
+// version exceeds known (or the timeout lapses) and returns the current
+// remote version.
+func (p *Puller) WaitVersion(known uint64, timeout time.Duration) (uint64, error) {
+	w := enc.NewWriter(32)
+	w.Raw(p.oid[:])
+	w.Uvarint(known)
+	w.Uvarint(uint64(timeout / time.Millisecond))
+	body, err := p.client.Call(OpWaitVersion, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := enc.NewReader(body)
+	v := r.Uvarint()
+	if err := r.Finish(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// RunInvalidationLoop keeps the local replica synchronized with
+// push-latency: it long-polls the primary for version changes and pulls
+// (with full validation) whenever one is signalled. It returns when stop
+// is closed.
+func (p *Puller) RunInvalidationLoop(stop <-chan struct{}, pollTimeout time.Duration) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		h, err := p.server.replica(p.oid)
+		if err != nil {
+			return // replica withdrawn locally
+		}
+		local := h.doc.Version()
+		remote, err := p.WaitVersion(local, pollTimeout)
+		if err != nil {
+			p.failures.Add(1)
+			select {
+			case <-stop:
+				return
+			case <-time.After(pollTimeout / 4):
+				continue // back off briefly, then retry
+			}
+		}
+		if remote > local {
+			if _, err := p.CheckOnce(); err != nil {
+				p.failures.Add(1)
+			}
+		}
+	}
+}

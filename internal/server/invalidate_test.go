@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"globedoc/internal/document"
+)
+
+func TestWaitVersionImmediateWhenAhead(t *testing.T) {
+	_, pub, puller := pullWorld(t)
+	// The primary is at some version v; asking with known=v-1 returns
+	// immediately.
+	v := pub.Doc.Version()
+	got, err := puller.WaitVersion(v-1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("WaitVersion: %v", err)
+	}
+	if got != v {
+		t.Errorf("version = %d, want %d", got, v)
+	}
+}
+
+func TestWaitVersionTimesOutQuietly(t *testing.T) {
+	_, pub, puller := pullWorld(t)
+	v := pub.Doc.Version()
+	start := time.Now()
+	got, err := puller.WaitVersion(v, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitVersion: %v", err)
+	}
+	if got != v {
+		t.Errorf("version = %d, want unchanged %d", got, v)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("returned after %v, expected to park ~100ms", elapsed)
+	}
+}
+
+func TestWaitVersionWakesOnUpdate(t *testing.T) {
+	w, pub, puller := pullWorld(t)
+	v := pub.Doc.Version()
+
+	type outcome struct {
+		version uint64
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		got, err := puller.WaitVersion(v, 10*time.Second)
+		done <- outcome{got, err}
+	}()
+	// Give the long-poll a moment to park, then update the primary.
+	time.Sleep(50 * time.Millisecond)
+	pub.Doc.Put(document.Element{Name: "index.html", Data: []byte("v2 pushed")})
+	if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("WaitVersion: %v", res.err)
+		}
+		if res.version <= v {
+			t.Errorf("woke with version %d, want > %d", res.version, v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke on update")
+	}
+}
+
+func TestInvalidationLoopPropagatesUpdates(t *testing.T) {
+	w, pub, puller := pullWorld(t)
+	stop := make(chan struct{})
+	var loopDone atomic.Bool
+	go func() {
+		puller.RunInvalidationLoop(stop, 2*time.Second)
+		loopDone.Store(true)
+	}()
+	t.Cleanup(func() { close(stop) })
+
+	time.Sleep(50 * time.Millisecond) // let the loop park
+	pub.Doc.Put(document.Element{Name: "index.html", Data: []byte("pushed content")})
+	if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for puller.Pulls() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if puller.Pulls() == 0 {
+		t.Fatal("invalidation loop never pulled the update")
+	}
+	// The secondary replica converged.
+	b, err := w.Servers["paris"].ExportBundle(pub.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Elements[0].Data) != "pushed content" {
+		t.Errorf("replica content = %q", b.Elements[0].Data)
+	}
+	if loopDone.Load() {
+		t.Error("loop exited prematurely")
+	}
+}

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+// Errors reported by the object server.
+var (
+	ErrNotHosted     = errors.New("server: object not hosted here")
+	ErrAccessDenied  = errors.New("server: access denied")
+	ErrAlreadyHosted = errors.New("server: object already hosted")
+	ErrOverCapacity  = errors.New("server: resource limits exceeded")
+)
+
+// Limits bounds the resources a server commits to hosted replicas — the
+// raw material of the hosting-negotiation mechanism (paper §6).
+type Limits struct {
+	// MaxObjects caps the number of hosted replicas (0 = unlimited).
+	MaxObjects int
+	// MaxBytes caps the summed element storage (0 = unlimited).
+	MaxBytes int64
+}
+
+// hostedReplica is one replica local representative, decomposed into the
+// four classic Globe subobjects:
+//
+//	semantics     — the document state itself,
+//	replication   — the consistency bookkeeping (version),
+//	communication — handled by the shared transport server,
+//	control       — the handler glue in this package.
+type hostedReplica struct {
+	oid globeid.OID
+	key keys.PublicKey
+
+	// semantics subobject
+	doc *document.Document
+	// security state every replica must store (paper §3.2.2)
+	mu        sync.RWMutex
+	icert     *cert.IntegrityCertificate
+	nameCerts []*cert.NameCertificate
+
+	// administrative metadata
+	owner string // principal that created this replica (may manage it)
+
+	// access statistics feeding dynamic replication
+	reads atomic.Uint64
+}
+
+// Stats are cumulative per-category request counters, split the way the
+// paper's Figure 4 instrumentation splits time: security-specific
+// operations (key and certificate retrieval) versus data operations.
+type Stats struct {
+	KeyFetches     uint64
+	CertFetches    uint64
+	ElementFetches uint64
+	BytesServed    uint64
+}
+
+// Server is a Globe object server.
+type Server struct {
+	// Name identifies the server principal (for peer keystores).
+	Name string
+	// Site is the location-service site this server lives at.
+	Site string
+
+	keystore *keys.Keystore
+	identity *keys.KeyPair // the server's own key pair (for pushing to peers)
+	limits   Limits
+
+	mu     sync.RWMutex
+	hosted map[globeid.OID]*hostedReplica
+	bytes  int64
+
+	waiters *versionWaiters
+
+	nonceMu sync.Mutex
+	nonces  map[string][]byte
+
+	srv *transport.Server
+
+	statKeyFetches     atomic.Uint64
+	statCertFetches    atomic.Uint64
+	statElementFetches atomic.Uint64
+	statBytesServed    atomic.Uint64
+
+	// AccessObserver, if set, is called for every element read with the
+	// client's advisory site hint (empty when unknown); dynamic
+	// replication hooks in here.
+	AccessObserver func(oid globeid.OID, element, fromSite string)
+}
+
+// New creates an object server. keystore lists the principals allowed to
+// create replicas; identity is the server's own key pair, used when this
+// server pushes replicas to peers (may be nil for a leaf server).
+func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, limits Limits) *Server {
+	s := &Server{
+		Name:     name,
+		Site:     site,
+		keystore: keystore,
+		identity: identity,
+		limits:   limits,
+		hosted:   make(map[globeid.OID]*hostedReplica),
+		nonces:   make(map[string][]byte),
+		srv:      transport.NewServer(),
+		waiters:  newVersionWaiters(),
+	}
+	s.srv.Handle(object.OpPing, func(body []byte) ([]byte, error) { return nil, nil })
+	s.srv.Handle(object.OpGetKey, s.handleGetKey)
+	s.srv.Handle(object.OpGetCert, s.handleGetCert)
+	s.srv.Handle(object.OpGetNameCerts, s.handleGetNameCerts)
+	s.srv.Handle(object.OpGetElement, s.handleGetElement)
+	s.srv.Handle(object.OpListElements, s.handleListElements)
+	s.srv.Handle(object.OpVersion, s.handleVersion)
+	s.srv.Handle(object.OpGetBundle, s.handleGetBundle)
+	s.srv.Handle(OpWaitVersion, s.handleWaitVersion)
+	s.srv.Handle(OpChallenge, s.handleChallenge)
+	s.srv.Handle(OpAdmin, s.handleAdmin)
+	return s
+}
+
+// Serve accepts connections on l until closed.
+func (s *Server) Serve(l net.Listener) error { return s.srv.Serve(l) }
+
+// Start serves on a background goroutine.
+func (s *Server) Start(l net.Listener) { s.srv.Start(l) }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.srv.Close() }
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		KeyFetches:     s.statKeyFetches.Load(),
+		CertFetches:    s.statCertFetches.Load(),
+		ElementFetches: s.statElementFetches.Load(),
+		BytesServed:    s.statBytesServed.Load(),
+	}
+}
+
+// Hosted returns the OIDs of all hosted replicas, sorted by string form.
+func (s *Server) Hosted() []globeid.OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oids := make([]globeid.OID, 0, len(s.hosted))
+	for oid := range s.hosted {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i].String() < oids[j].String() })
+	return oids
+}
+
+// Hosts reports whether this server has a replica of oid.
+func (s *Server) Hosts(oid globeid.OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.hosted[oid]
+	return ok
+}
+
+// StoredBytes returns the element bytes currently hosted.
+func (s *Server) StoredBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Install hosts a validated bundle directly (the in-process path used by
+// owners co-located with their permanent-storage server; remote callers
+// go through the admin protocol). owner is the managing principal.
+func (s *Server) Install(b *Bundle, owner string) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.hosted[b.OID]; exists {
+		return fmt.Errorf("%w: %s", ErrAlreadyHosted, b.OID.Short())
+	}
+	size := int64(b.TotalBytes())
+	if s.limits.MaxObjects > 0 && len(s.hosted) >= s.limits.MaxObjects {
+		return fmt.Errorf("%w: object limit %d", ErrOverCapacity, s.limits.MaxObjects)
+	}
+	if s.limits.MaxBytes > 0 && s.bytes+size > s.limits.MaxBytes {
+		return fmt.Errorf("%w: byte limit %d", ErrOverCapacity, s.limits.MaxBytes)
+	}
+	doc := document.New()
+	doc.Replace(b.Elements, b.Version)
+	s.hosted[b.OID] = &hostedReplica{
+		oid:       b.OID,
+		key:       b.Key,
+		doc:       doc,
+		icert:     b.Cert,
+		nameCerts: b.NameCerts,
+		owner:     owner,
+	}
+	s.bytes += size
+	return nil
+}
+
+// Update replaces a hosted replica's state; principal must match the
+// owner recorded at Install time. This is the in-process owner path; the
+// remote path is AdminClient.UpdateReplica.
+func (s *Server) Update(b *Bundle, principal string) error {
+	return s.update(b, principal)
+}
+
+// update replaces a hosted replica's state; principal must be the owner.
+func (s *Server) update(b *Bundle, principal string) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hosted[b.OID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotHosted, b.OID.Short())
+	}
+	if h.owner != principal {
+		return fmt.Errorf("%w: replica owned by %q", ErrAccessDenied, h.owner)
+	}
+	oldSize := int64(h.doc.TotalSize())
+	newSize := int64(b.TotalBytes())
+	if s.limits.MaxBytes > 0 && s.bytes-oldSize+newSize > s.limits.MaxBytes {
+		return fmt.Errorf("%w: byte limit %d", ErrOverCapacity, s.limits.MaxBytes)
+	}
+	h.doc.Replace(b.Elements, b.Version)
+	h.mu.Lock()
+	h.icert = b.Cert
+	h.nameCerts = b.NameCerts
+	h.mu.Unlock()
+	s.bytes += newSize - oldSize
+	s.waiters.notify(b.OID)
+	return nil
+}
+
+// remove destroys a hosted replica; principal must be the owner.
+func (s *Server) remove(oid globeid.OID, principal string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hosted[oid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotHosted, oid.Short())
+	}
+	if h.owner != principal {
+		return fmt.Errorf("%w: replica owned by %q", ErrAccessDenied, h.owner)
+	}
+	s.bytes -= int64(h.doc.TotalSize())
+	delete(s.hosted, oid)
+	return nil
+}
+
+func (s *Server) replica(oid globeid.OID) (*hostedReplica, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.hosted[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotHosted, oid.Short())
+	}
+	return h, nil
+}
+
+// --- public (anonymous) handlers -----------------------------------------
+
+func (s *Server) handleGetKey(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	s.statKeyFetches.Add(1)
+	return h.key.Marshal(), nil
+}
+
+func (s *Server) handleGetCert(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	s.statCertFetches.Add(1)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.icert.Marshal(), nil
+}
+
+func (s *Server) handleGetNameCerts(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return object.EncodeCertList(h.nameCerts), nil
+}
+
+func (s *Server) handleGetElement(body []byte) ([]byte, error) {
+	oid, name, fromSite, err := object.DecodeElementRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	e, err := h.doc.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	h.reads.Add(1)
+	s.statElementFetches.Add(1)
+	s.statBytesServed.Add(uint64(len(e.Data)))
+	if obs := s.AccessObserver; obs != nil {
+		obs(oid, name, fromSite)
+	}
+	return object.EncodeElement(e), nil
+}
+
+func (s *Server) handleListElements(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	return object.EncodeStringList(h.doc.Names()), nil
+}
+
+func (s *Server) handleVersion(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	w := enc.NewWriter(8)
+	w.Uvarint(h.doc.Version())
+	return w.Bytes(), nil
+}
+
+// ReadCount returns how many element reads a hosted replica has served
+// (0 for objects not hosted here).
+func (s *Server) ReadCount(oid globeid.OID) uint64 {
+	h, err := s.replica(oid)
+	if err != nil {
+		return 0
+	}
+	return h.reads.Load()
+}

@@ -1,0 +1,225 @@
+// Package sitepub compiles a conventional Web-site directory tree into a
+// set of publishable GlobeDoc objects.
+//
+// The paper's document model (§2) splits a Web site into documents — "a
+// collection of logically related Web resources" — each encapsulated in
+// its own GlobeDoc object with its own key, certificate and replication
+// policy. Authors, however, write sites as one directory tree with
+// ordinary links. sitepub bridges the two:
+//
+//   - each top-level directory under the site root becomes one GlobeDoc
+//     object, named "<dir>.<domain>" (files at the root itself form the
+//     "home" object "<domain>");
+//   - links within a directory stay relative (same object — the paper's
+//     relative hyper-links);
+//   - site-absolute links ("/news/story.html") and parent-relative links
+//     ("../news/story.html") are rewritten to hybrid URLs
+//     ("/GlobeDoc/news.<domain>/story.html") so the proxy routes them to
+//     the right object (the paper's absolute hyper-links);
+//   - dangling intra-object links are reported as diagnostics before
+//     anything is signed.
+package sitepub
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"globedoc/internal/document"
+)
+
+// Compiled is the result of compiling a site tree.
+type Compiled struct {
+	// Domain is the site's name suffix, e.g. "vu.nl".
+	Domain string
+	// Objects maps object names to their documents, e.g.
+	// "news.vu.nl" -> the news document; "vu.nl" is the home object.
+	Objects map[string]*document.Document
+	// Diagnostics lists dangling intra-object links found after
+	// rewriting ("objectName/element: target").
+	Diagnostics []string
+}
+
+// ObjectNames returns the sorted object names.
+func (c *Compiled) ObjectNames() []string {
+	names := make([]string, 0, len(c.Objects))
+	for name := range c.Objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compile walks the site tree rooted at root in fsys and produces one
+// document per top-level directory, rewriting cross-document links.
+func Compile(fsys fs.FS, root, domain string) (*Compiled, error) {
+	if domain == "" {
+		return nil, fmt.Errorf("sitepub: empty domain")
+	}
+	c := &Compiled{Domain: domain, Objects: make(map[string]*document.Document)}
+	err := fs.WalkDir(fsys, root, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() {
+			return nil
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(p, root), "/")
+		if rel == "" {
+			rel = entry.Name()
+		}
+		objName, elemName := split(rel, domain)
+		doc := c.Objects[objName]
+		if doc == nil {
+			doc = document.New()
+			c.Objects[objName] = doc
+		}
+		data, err := fs.ReadFile(fsys, p)
+		if err != nil {
+			return err
+		}
+		elem := document.Element{Name: elemName, Data: data}
+		elem.ContentType = document.GuessContentType(elemName)
+		if strings.HasPrefix(elem.ContentType, "text/html") {
+			elem.Data = rewriteLinks(data, objName, domain)
+		}
+		return doc.Put(elem)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sitepub: walking site: %w", err)
+	}
+	if len(c.Objects) == 0 {
+		return nil, fmt.Errorf("sitepub: no files under %q", root)
+	}
+	c.checkLinks()
+	return c, nil
+}
+
+// split maps a site-relative path to (objectName, elementName).
+func split(rel, domain string) (string, string) {
+	dir, rest, ok := strings.Cut(rel, "/")
+	if !ok {
+		return domain, rel // root-level file -> home object
+	}
+	return dir + "." + domain, rest
+}
+
+// rewriteLinks rewrites cross-document href/src targets in HTML to hybrid
+// URLs. Targets beginning with "/" are site-absolute; targets beginning
+// with "../" climb out of the current object.
+func rewriteLinks(html []byte, objName, domain string) []byte {
+	s := string(html)
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		i := findAttr(s)
+		if i < 0 {
+			b.WriteString(s)
+			break
+		}
+		// i points at the first byte of the quoted value.
+		b.WriteString(s[:i])
+		quote := s[i]
+		end := strings.IndexByte(s[i+1:], quote)
+		if end < 0 {
+			b.WriteString(s[i:])
+			break
+		}
+		target := s[i+1 : i+1+end]
+		b.WriteByte(quote)
+		b.WriteString(rewriteTarget(target, domain))
+		b.WriteByte(quote)
+		s = s[i+1+end+1:]
+	}
+	return []byte(b.String())
+}
+
+// asciiLower lowercases ASCII letters only, preserving byte offsets
+// (strings.ToLower may resize non-ASCII runes, corrupting indices).
+func asciiLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// findAttr returns the index of the opening quote of the next href=/src=
+// attribute value, or -1.
+func findAttr(s string) int {
+	lower := asciiLower(s)
+	best := -1
+	for _, attr := range []string{"href=", "src="} {
+		from := 0
+		for {
+			j := strings.Index(lower[from:], attr)
+			if j < 0 {
+				break
+			}
+			k := from + j + len(attr)
+			if k < len(s) && (s[k] == '"' || s[k] == '\'') {
+				if best == -1 || k < best {
+					best = k
+				}
+				break
+			}
+			from = from + j + len(attr)
+		}
+	}
+	return best
+}
+
+// rewriteTarget maps one link target to its hybrid form if it crosses
+// document boundaries.
+func rewriteTarget(target, domain string) string {
+	switch {
+	case strings.Contains(target, "://") || strings.HasPrefix(target, "//"):
+		return target // external
+	case strings.HasPrefix(target, "/GlobeDoc/"):
+		return target // already hybrid
+	case strings.HasPrefix(target, "/"):
+		rel := strings.TrimPrefix(target, "/")
+		obj, elem := split(rel, domain)
+		return document.HybridRef{ObjectName: obj, Element: elem}.String()
+	case strings.HasPrefix(target, "../"):
+		rel := strings.TrimPrefix(target, "../")
+		obj, elem := split(rel, domain)
+		return document.HybridRef{ObjectName: obj, Element: elem}.String()
+	default:
+		return target // relative: same object
+	}
+}
+
+// checkLinks fills Diagnostics with dangling intra-object links.
+func (c *Compiled) checkLinks() {
+	site := document.NewSite(c.Domain)
+	for name, doc := range c.Objects {
+		_ = site.Add(name, doc)
+	}
+	dangling := site.DanglingLinks()
+	keys := make([]string, 0, len(dangling))
+	for k := range dangling {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, target := range dangling[k] {
+			c.Diagnostics = append(c.Diagnostics, fmt.Sprintf("%s: dangling link %q", k, target))
+		}
+	}
+}
+
+// PublishAll invokes publish for every compiled object in name order —
+// the caller supplies the actual publication mechanism (deploy.World,
+// admin client, ...).
+func (c *Compiled) PublishAll(publish func(objectName string, doc *document.Document) error) error {
+	for _, name := range c.ObjectNames() {
+		if err := publish(name, c.Objects[name]); err != nil {
+			return fmt.Errorf("sitepub: publishing %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package sitepub_test
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"globedoc/internal/deploy"
+	"globedoc/internal/document"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/netsim"
+	"globedoc/internal/server"
+	"globedoc/internal/sitepub"
+)
+
+var siteFS = fstest.MapFS{
+	"site/index.html": {Data: []byte(
+		`<html><a href="about.html">about</a> <a href="/news/story.html">news</a></html>`)},
+	"site/about.html": {Data: []byte(`<html>about us</html>`)},
+	"site/news/story.html": {Data: []byte(
+		`<html><img src="img/photo.png"> <a href="../index.html">home</a></html>`)},
+	"site/news/img/photo.png": {Data: []byte{0x89, 'P', 'N', 'G'}},
+}
+
+func compile(t *testing.T) *sitepub.Compiled {
+	t.Helper()
+	c, err := sitepub.Compile(siteFS, "site", "vu.nl")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestCompileObjectPartitioning(t *testing.T) {
+	c := compile(t)
+	names := c.ObjectNames()
+	if len(names) != 2 || names[0] != "news.vu.nl" || names[1] != "vu.nl" {
+		t.Fatalf("ObjectNames = %v", names)
+	}
+	home := c.Objects["vu.nl"]
+	if got := home.Names(); len(got) != 2 || got[0] != "about.html" || got[1] != "index.html" {
+		t.Errorf("home elements = %v", got)
+	}
+	news := c.Objects["news.vu.nl"]
+	if got := news.Names(); len(got) != 2 || got[0] != "img/photo.png" || got[1] != "story.html" {
+		t.Errorf("news elements = %v", got)
+	}
+}
+
+func TestCompileRewritesCrossDocumentLinks(t *testing.T) {
+	c := compile(t)
+	index, err := c.Objects["vu.nl"].Get("index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(index.Data)
+	if !strings.Contains(html, `href="/GlobeDoc/news.vu.nl/story.html"`) {
+		t.Errorf("site-absolute link not rewritten: %s", html)
+	}
+	if !strings.Contains(html, `href="about.html"`) {
+		t.Errorf("intra-object link damaged: %s", html)
+	}
+	story, err := c.Objects["news.vu.nl"].Get("story.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html = string(story.Data)
+	if !strings.Contains(html, `href="/GlobeDoc/vu.nl/index.html"`) {
+		t.Errorf("parent-relative link not rewritten: %s", html)
+	}
+	if !strings.Contains(html, `src="img/photo.png"`) {
+		t.Errorf("intra-object src damaged: %s", html)
+	}
+}
+
+func TestCompileExternalLinksUntouched(t *testing.T) {
+	fsys := fstest.MapFS{
+		"s/index.html": {Data: []byte(`<a href="https://example.com/x">x</a><a href="/GlobeDoc/other/e">e</a>`)},
+	}
+	c, err := sitepub.Compile(fsys, "s", "d.nl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := c.Objects["d.nl"].Get("index.html")
+	if !strings.Contains(string(idx.Data), `href="https://example.com/x"`) {
+		t.Errorf("external link rewritten: %s", idx.Data)
+	}
+	if !strings.Contains(string(idx.Data), `href="/GlobeDoc/other/e"`) {
+		t.Errorf("already-hybrid link rewritten: %s", idx.Data)
+	}
+}
+
+func TestCompileDiagnosesDanglingLinks(t *testing.T) {
+	fsys := fstest.MapFS{
+		"s/index.html": {Data: []byte(`<a href="missing.html">gone</a>`)},
+	}
+	c, err := sitepub.Compile(fsys, "s", "d.nl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Diagnostics) != 1 || !strings.Contains(c.Diagnostics[0], "missing.html") {
+		t.Errorf("Diagnostics = %v", c.Diagnostics)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := sitepub.Compile(fstest.MapFS{}, "s", "d.nl"); err == nil {
+		t.Error("empty site compiled")
+	}
+	if _, err := sitepub.Compile(siteFS, "site", ""); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestPublishAllEndToEnd(t *testing.T) {
+	// Compile the site, publish every object into a world, and browse
+	// across the rewritten link with the secure client.
+	c := compile(t)
+	w, err := deploy.NewWorld(deploy.Options{TimeScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if _, err := w.StartServer(netsim.AmsterdamPrimary, "srv", nil, nil, server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	err = c.PublishAll(func(objectName string, doc *document.Document) error {
+		_, err := w.Publish(doc, deploy.PublishOptions{Name: objectName, OwnerKey: keytest.RSA()})
+		return err
+	})
+	if err != nil {
+		t.Fatalf("PublishAll: %v", err)
+	}
+
+	client := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client.Close)
+	res, err := client.FetchNamed("vu.nl", "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow the rewritten hybrid link.
+	links := document.ExtractLinks(res.Element.Data)
+	var hybrid *document.HybridRef
+	for _, l := range links {
+		if l.Hybrid != nil {
+			hybrid = l.Hybrid
+		}
+	}
+	if hybrid == nil {
+		t.Fatalf("no hybrid link in %s", res.Element.Data)
+	}
+	story, err := client.FetchNamed(hybrid.ObjectName, hybrid.Element)
+	if err != nil {
+		t.Fatalf("following hybrid link: %v", err)
+	}
+	if !strings.Contains(string(story.Element.Data), "img/photo.png") {
+		t.Errorf("story = %s", story.Element.Data)
+	}
+}
+
+func TestPublishAllPropagatesErrors(t *testing.T) {
+	c := compile(t)
+	calls := 0
+	err := c.PublishAll(func(string, *document.Document) error {
+		calls++
+		return strings.NewReader("").UnreadByte() // any error
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (stop at first error)", calls)
+	}
+}

@@ -1,0 +1,317 @@
+// Package transport implements the length-prefixed binary RPC protocol
+// spoken between GlobeDoc proxies, object servers, the naming service and
+// the location service.
+//
+// A call is one framed request (operation name + opaque body) answered by
+// one framed response (status + error string + opaque body). Bodies are
+// encoded by the callers with package enc, keeping this layer free of any
+// knowledge of the messages it carries.
+//
+// The protocol is intentionally simple: one outstanding call per
+// connection, client-side connection reuse, and a hard frame-size limit
+// as a defence against malicious peers — remember that GlobeDoc clients
+// routinely talk to untrusted servers.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"globedoc/internal/enc"
+)
+
+// MaxFrame is the largest frame either side will accept. It bounds the
+// memory an untrusted peer can make us allocate.
+const MaxFrame = 16 << 20 // 16 MiB
+
+// Errors reported by the transport.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+	ErrClosed        = errors.New("transport: connection closed")
+)
+
+// RemoteError is an error string returned by the far side of a call. It
+// is distinguished from local transport failures so callers can tell "the
+// server refused" from "the network broke".
+type RemoteError struct {
+	Op      string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote error from %q: %s", e.Op, e.Message)
+}
+
+// writeFrame sends a length-prefixed payload with a single Write call, so
+// the network simulator charges one latency per frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame receives one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func encodeRequest(op string, body []byte) []byte {
+	w := enc.NewWriter(16 + len(op) + len(body))
+	w.String(op)
+	w.BytesPrefixed(body)
+	return w.Bytes()
+}
+
+func decodeRequest(payload []byte) (op string, body []byte, err error) {
+	r := enc.NewReader(payload)
+	op = r.String()
+	body = r.BytesPrefixed()
+	if err := r.Finish(); err != nil {
+		return "", nil, err
+	}
+	return op, body, nil
+}
+
+func encodeResponse(body []byte, callErr error) []byte {
+	w := enc.NewWriter(16 + len(body))
+	if callErr != nil {
+		w.Byte(1)
+		w.String(callErr.Error())
+		w.BytesPrefixed(nil)
+	} else {
+		w.Byte(0)
+		w.String("")
+		w.BytesPrefixed(body)
+	}
+	return w.Bytes()
+}
+
+func decodeResponse(op string, payload []byte) ([]byte, error) {
+	r := enc.NewReader(payload)
+	status := r.Byte()
+	msg := r.String()
+	body := r.BytesPrefixed()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		return nil, &RemoteError{Op: op, Message: msg}
+	}
+	return body, nil
+}
+
+// Handler processes one request body and returns a response body. Errors
+// are transported to the caller as RemoteError.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	listeners sync.Map // net.Listener -> struct{}
+	conns     sync.Map // net.Conn -> struct{}
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+
+	// Requests counts handled calls, for tests and load metrics.
+	Requests atomic.Uint64
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for the given operation name, replacing any previous
+// handler.
+func (s *Server) Handle(op string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op] = h
+}
+
+// Ops returns the registered operation names (unordered).
+func (s *Server) Ops() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ops := make([]string, 0, len(s.handlers))
+	for op := range s.handlers {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Serve accepts connections on l until l is closed or the server is shut
+// down. Each connection is served on its own goroutine; calls on a
+// connection are processed sequentially.
+func (s *Server) Serve(l net.Listener) error {
+	s.listeners.Store(l, struct{}{})
+	defer s.listeners.Delete(l)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Start runs Serve on its own goroutine and returns immediately.
+func (s *Server) Start(l net.Listener) {
+	go func() { _ = s.Serve(l) }()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	s.conns.Store(conn, struct{}{})
+	defer s.conns.Delete(conn)
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		op, body, err := decodeRequest(payload)
+		var respBody []byte
+		if err == nil {
+			s.mu.RLock()
+			h, ok := s.handlers[op]
+			s.mu.RUnlock()
+			if !ok {
+				err = fmt.Errorf("unknown operation %q", op)
+			} else {
+				s.Requests.Add(1)
+				respBody, err = h(body)
+			}
+		}
+		if werr := writeFrame(conn, encodeResponse(respBody, err)); werr != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting connections on all listeners passed to Serve,
+// closes every active connection, and waits for connection goroutines to
+// exit.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.listeners.Range(func(key, _ any) bool {
+		key.(net.Listener).Close()
+		return true
+	})
+	s.conns.Range(func(key, _ any) bool {
+		key.(net.Conn).Close()
+		return true
+	})
+	s.wg.Wait()
+}
+
+// DialFunc opens a connection to a fixed peer. The network simulator and
+// plain net.Dial both fit this shape.
+type DialFunc func() (net.Conn, error)
+
+// Client issues calls to one server, reusing a single connection and
+// transparently redialling after failures.
+type Client struct {
+	dial DialFunc
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	// BytesSent and BytesReceived count frame payload bytes, used by the
+	// benchmark harness to report protocol overhead.
+	BytesSent     atomic.Uint64
+	BytesReceived atomic.Uint64
+	// Calls counts completed calls.
+	Calls atomic.Uint64
+}
+
+// NewClient returns a client that connects lazily using dial.
+func NewClient(dial DialFunc) *Client {
+	return &Client{dial: dial}
+}
+
+// Call sends op with body and waits for the response. It retries once on
+// a stale pooled connection.
+func (c *Client) Call(op string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.callLocked(op, body, c.conn != nil)
+	if err != nil {
+		return nil, err
+	}
+	c.Calls.Add(1)
+	return resp, nil
+}
+
+func (c *Client) callLocked(op string, body []byte, mayRetry bool) ([]byte, error) {
+	if c.conn == nil {
+		conn, err := c.dial()
+		if err != nil {
+			return nil, fmt.Errorf("transport: dial: %w", err)
+		}
+		c.conn = conn
+	}
+	req := encodeRequest(op, body)
+	if err := writeFrame(c.conn, req); err != nil {
+		c.resetLocked()
+		if mayRetry {
+			return c.callLocked(op, body, false)
+		}
+		return nil, fmt.Errorf("transport: send %q: %w", op, err)
+	}
+	c.BytesSent.Add(uint64(len(req)) + 4)
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		c.resetLocked()
+		if mayRetry {
+			return c.callLocked(op, body, false)
+		}
+		return nil, fmt.Errorf("transport: receive %q: %w", op, err)
+	}
+	c.BytesReceived.Add(uint64(len(payload)) + 4)
+	return decodeResponse(op, payload)
+}
+
+func (c *Client) resetLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close drops the pooled connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+}

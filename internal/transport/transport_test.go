@@ -1,0 +1,262 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"globedoc/internal/transport"
+)
+
+// startServer launches a transport server on a real loopback listener and
+// returns a dialer for it plus a cleanup-registered server.
+func startServer(t *testing.T, setup func(*transport.Server)) transport.DialFunc {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := transport.NewServer()
+	setup(srv)
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+	addr := l.Addr().String()
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(body []byte) ([]byte, error) {
+			return append([]byte("echo:"), body...), nil
+		})
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	resp, err := c.Call("echo", []byte("hello"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("echo:hello")) {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("fail", func(body []byte) ([]byte, error) {
+			return nil, errors.New("deliberate failure")
+		})
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	_, err := c.Call("fail", nil)
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if remote.Op != "fail" || remote.Message != "deliberate failure" {
+		t.Errorf("remote = %+v", remote)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	_, err := c.Call("nonexistent", nil)
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	var mu sync.Mutex
+	conns := 0
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer()
+	srv.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong"), nil })
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+	addr := l.Addr().String()
+	c := transport.NewClient(func() (net.Conn, error) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		return net.Dial("tcp", addr)
+	})
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call("ping", nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if conns != 1 {
+		t.Errorf("dialed %d times, want 1", conns)
+	}
+	if c.Calls.Load() != 5 {
+		t.Errorf("Calls = %d, want 5", c.Calls.Load())
+	}
+}
+
+func TestRedialAfterServerRestart(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := transport.NewServer()
+	srv.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong"), nil })
+	srv.Start(l)
+
+	c := transport.NewClient(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+	defer c.Close()
+	if _, err := c.Call("ping", nil); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+
+	// Restart the server on the same port; the pooled connection dies.
+	srv.Close()
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := transport.NewServer()
+	srv2.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong2"), nil })
+	srv2.Start(l2)
+	t.Cleanup(srv2.Close)
+
+	resp, err := c.Call("ping", nil)
+	if err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("pong2")) {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("size", func(body []byte) ([]byte, error) {
+			return []byte(fmt.Sprint(len(body))), nil
+		})
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	body := make([]byte, 1<<20)
+	resp, err := c.Call("size", body)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != fmt.Sprint(len(body)) {
+		t.Errorf("resp = %s", resp)
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			resp, err := c.Call("echo", msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, msg) {
+				errs <- fmt.Errorf("resp %q for %q", resp, msg)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	if _, err := c.Call("echo", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent.Load() < 1000 {
+		t.Errorf("BytesSent = %d, want >= 1000", c.BytesSent.Load())
+	}
+	if c.BytesReceived.Load() < 1000 {
+		t.Errorf("BytesReceived = %d, want >= 1000", c.BytesReceived.Load())
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	c := transport.NewClient(func() (net.Conn, error) {
+		return nil, errors.New("network unreachable")
+	})
+	if _, err := c.Call("ping", nil); err == nil {
+		t.Fatal("Call succeeded with failing dialer")
+	}
+}
+
+func TestQuickEchoArbitraryBytes(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	f := func(body []byte) bool {
+		resp, err := c.Call("echo", body)
+		return err == nil && bytes.Equal(resp, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsListing(t *testing.T) {
+	srv := transport.NewServer()
+	srv.Handle("a", func([]byte) ([]byte, error) { return nil, nil })
+	srv.Handle("b", func([]byte) ([]byte, error) { return nil, nil })
+	ops := srv.Ops()
+	if len(ops) != 2 {
+		t.Errorf("Ops = %v", ops)
+	}
+}
+
+func TestServerRequestCounter(t *testing.T) {
+	var srv *transport.Server
+	dial := startServer(t, func(s *transport.Server) {
+		srv = s
+		s.Handle("ping", func(body []byte) ([]byte, error) { return nil, nil })
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call("ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Requests.Load() != 3 {
+		t.Errorf("Requests = %d, want 3", srv.Requests.Load())
+	}
+}

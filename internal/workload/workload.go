@@ -1,0 +1,172 @@
+// Package workload generates the deterministic documents and access
+// patterns used by the benchmark harness and examples.
+//
+// All content is produced by a seeded xorshift generator, so repeated
+// runs measure identical byte streams — the stand-in for the paper's
+// fixed image files.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"globedoc/internal/document"
+	"globedoc/internal/replication"
+)
+
+// Paper element sizes.
+const KB = 1024
+
+// Fig4Sizes are the single-element object sizes of Figure 4.
+var Fig4Sizes = []int{1 * KB, 10 * KB, 100 * KB, 300 * KB, 600 * KB, 1024 * KB}
+
+// Fig5ImageSizes are the per-image sizes of the three composite objects
+// of Figures 5–7 (10 images each, plus a 5 KB text element; totals 15 KB,
+// 105 KB and 1005 KB).
+var Fig5ImageSizes = []int{1 * KB, 10 * KB, 100 * KB}
+
+// Rand is a tiny deterministic xorshift64* generator.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next pseudorandom value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudorandom int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudorandom float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bytes fills a deterministic pseudorandom buffer of length n.
+func (r *Rand) Bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// SingleElementDoc builds a Figure-4 object: one image element of the
+// given size.
+func SingleElementDoc(size int, seed uint64) *document.Document {
+	r := NewRand(seed)
+	d := document.New()
+	d.Put(document.Element{
+		Name:        "image.bin",
+		ContentType: "application/octet-stream",
+		Data:        r.Bytes(size),
+	})
+	return d
+}
+
+// CompositeDoc builds a Figures-5–7 object: a 5 KB text element plus 10
+// images of imageSize bytes each.
+func CompositeDoc(imageSize int, seed uint64) *document.Document {
+	r := NewRand(seed)
+	d := document.New()
+	d.Put(document.Element{
+		Name:        "page.txt",
+		ContentType: "text/plain",
+		Data:        r.Bytes(5 * KB),
+	})
+	for i := 0; i < 10; i++ {
+		d.Put(document.Element{
+			Name:        fmt.Sprintf("img-%02d.bin", i),
+			ContentType: "application/octet-stream",
+			Data:        r.Bytes(imageSize),
+		})
+	}
+	return d
+}
+
+// FlashCrowd generates an access trace with a background request rate
+// from backgroundSite and a sudden spike from spikeSite: the scalability
+// scenario of the paper's introduction.
+type FlashCrowd struct {
+	Start          time.Time
+	Duration       time.Duration
+	BackgroundSite string
+	// BackgroundRPS is the steady request rate before/throughout.
+	BackgroundRPS float64
+	SpikeSite     string
+	// SpikeAfter is when the crowd arrives, SpikeRPS its request rate.
+	SpikeAfter time.Duration
+	SpikeRPS   float64
+}
+
+// Trace renders the flash crowd as a replication event trace.
+func (f FlashCrowd) Trace(seed uint64) []replication.Event {
+	r := NewRand(seed)
+	var events []replication.Event
+	emit := func(site string, rps float64, from, until time.Duration) {
+		if rps <= 0 {
+			return
+		}
+		interval := time.Duration(float64(time.Second) / rps)
+		for t := from; t < until; t += interval {
+			// Jitter within the interval keeps arrivals aperiodic.
+			jitter := time.Duration(r.Float64() * float64(interval) / 4)
+			events = append(events, replication.Event{
+				T:    f.Start.Add(t + jitter),
+				Site: site,
+			})
+		}
+	}
+	emit(f.BackgroundSite, f.BackgroundRPS, 0, f.Duration)
+	emit(f.SpikeSite, f.SpikeRPS, f.SpikeAfter, f.Duration)
+	sortEvents(events)
+	return events
+}
+
+func sortEvents(events []replication.Event) {
+	// Insertion sort is fine for the sizes involved and keeps the
+	// package dependency-free.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].T.Before(events[j-1].T); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// UpdateTrace interleaves owner updates every updateEvery into a copy of
+// trace, for strategy-selection experiments on mutable documents.
+func UpdateTrace(trace []replication.Event, updateEvery time.Duration) []replication.Event {
+	if len(trace) == 0 || updateEvery <= 0 {
+		return trace
+	}
+	out := make([]replication.Event, 0, len(trace)+len(trace)/4)
+	next := trace[0].T.Add(updateEvery)
+	for _, ev := range trace {
+		for !next.After(ev.T) {
+			out = append(out, replication.Event{T: next, Update: true})
+			next = next.Add(updateEvery)
+		}
+		out = append(out, ev)
+	}
+	return out
+}

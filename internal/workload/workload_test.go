@@ -1,0 +1,160 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"globedoc/internal/workload"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := workload.NewRand(42)
+	b := workload.NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := workload.NewRand(43)
+	if workload.NewRand(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := workload.NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := workload.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if workload.NewRand(1).Intn(0) != 0 {
+		t.Fatal("Intn(0) != 0")
+	}
+}
+
+func TestBytesDeterministicAndSized(t *testing.T) {
+	a := workload.NewRand(5).Bytes(1000)
+	b := workload.NewRand(5).Bytes(1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Bytes not deterministic")
+	}
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for _, n := range []int{0, 1, 7, 8, 9} {
+		if got := len(workload.NewRand(1).Bytes(n)); got != n {
+			t.Errorf("Bytes(%d) len = %d", n, got)
+		}
+	}
+}
+
+func TestSingleElementDoc(t *testing.T) {
+	for _, size := range workload.Fig4Sizes {
+		d := workload.SingleElementDoc(size, 1)
+		if d.Len() != 1 {
+			t.Fatalf("Len = %d", d.Len())
+		}
+		if d.TotalSize() != size {
+			t.Errorf("TotalSize = %d, want %d", d.TotalSize(), size)
+		}
+	}
+}
+
+func TestCompositeDocTotals(t *testing.T) {
+	// The paper's totals: 15 KB, 105 KB, 1005 KB.
+	wantTotals := []int{15 * workload.KB, 105 * workload.KB, 1005 * workload.KB}
+	for i, imgSize := range workload.Fig5ImageSizes {
+		d := workload.CompositeDoc(imgSize, 1)
+		if d.Len() != 11 {
+			t.Fatalf("Len = %d, want 11", d.Len())
+		}
+		if d.TotalSize() != wantTotals[i] {
+			t.Errorf("TotalSize = %d, want %d", d.TotalSize(), wantTotals[i])
+		}
+	}
+}
+
+func TestFlashCrowdTrace(t *testing.T) {
+	start := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	fc := workload.FlashCrowd{
+		Start:          start,
+		Duration:       time.Minute,
+		BackgroundSite: "paris",
+		BackgroundRPS:  1,
+		SpikeSite:      "ithaca",
+		SpikeAfter:     30 * time.Second,
+		SpikeRPS:       10,
+	}
+	trace := fc.Trace(1)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Chronologically ordered.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].T.Before(trace[i-1].T) {
+			t.Fatal("trace out of order")
+		}
+	}
+	// No spike traffic before SpikeAfter.
+	var before, after int
+	for _, ev := range trace {
+		if ev.Site != "ithaca" {
+			continue
+		}
+		if ev.T.Before(start.Add(30 * time.Second)) {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before != 0 {
+		t.Errorf("%d spike events before onset", before)
+	}
+	if after < 200 {
+		t.Errorf("spike events = %d, want ~300", after)
+	}
+	// Deterministic.
+	again := fc.Trace(1)
+	if len(again) != len(trace) {
+		t.Error("trace not deterministic")
+	}
+}
+
+func TestUpdateTrace(t *testing.T) {
+	start := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	fc := workload.FlashCrowd{Start: start, Duration: 10 * time.Second, BackgroundSite: "paris", BackgroundRPS: 1}
+	trace := fc.Trace(1)
+	withUpdates := workload.UpdateTrace(trace, 2*time.Second)
+	updates := 0
+	for _, ev := range withUpdates {
+		if ev.Update {
+			updates++
+		}
+	}
+	if updates < 3 {
+		t.Errorf("updates = %d", updates)
+	}
+	if len(withUpdates) != len(trace)+updates {
+		t.Error("reads lost while interleaving updates")
+	}
+	for i := 1; i < len(withUpdates); i++ {
+		if withUpdates[i].T.Before(withUpdates[i-1].T) {
+			t.Fatal("interleaved trace out of order")
+		}
+	}
+	if got := workload.UpdateTrace(nil, time.Second); got != nil {
+		t.Error("UpdateTrace(nil) != nil")
+	}
+}
