@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check vet build test test-short fuzz-smoke chaos
+
+## check: the tier-1 gate — vet, build, race-enabled tests, fuzz smoke.
+check: vet build test fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -race -short ./...
+
+## fuzz-smoke: a short budget per fuzz target over the wire decoders.
+## `go test -fuzz` accepts one target per invocation, hence one line each.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalIntegrityCertificate$$ -fuzztime=$(FUZZTIME) ./internal/cert/
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalNameCertificate$$ -fuzztime=$(FUZZTIME) ./internal/cert/
+	$(GO) test -run=^$$ -fuzz=FuzzParseHybrid$$ -fuzztime=$(FUZZTIME) ./internal/document/
+	$(GO) test -run=^$$ -fuzz=FuzzExtractLinks$$ -fuzztime=$(FUZZTIME) ./internal/document/
+
+## chaos: the seeded fault-injection suite (SEED overrides the schedule).
+SEED ?= 20050404
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/deploy/ -seed $(SEED)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"globedoc/internal/cert"
 	"globedoc/internal/core"
@@ -42,9 +43,19 @@ func main() {
 		caStore    = flag.String("ca-keystore", "", "keystore of CAs the user trusts for identity certificates")
 		requireID  = flag.Bool("require-identity", false, "refuse objects without a trusted identity certificate")
 		warm       = flag.Bool("cache-bindings", true, "reuse verified bindings across requests")
+		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "per-connection dial deadline (0 = unbounded)")
+		callTO     = flag.Duration("call-timeout", 10*time.Second, "per-RPC deadline, send through receive (0 = unbounded)")
+		retries    = flag.Int("retries", 3, "attempts per RPC against a flaky replica (1 = no retry)")
+		fetchTO    = flag.Duration("fetch-timeout", 30*time.Second, "whole-pipeline deadline per browser request (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore, *requireID, *warm); err != nil {
+	cfg := transport.Config{DialTimeout: *dialTO, CallTimeout: *callTO}
+	if *retries > 1 {
+		policy := transport.DefaultRetryPolicy()
+		policy.MaxAttempts = *retries
+		cfg.Retry = policy
+	}
+	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore, *requireID, *warm, cfg, *fetchTO); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-proxy:", err)
 		os.Exit(1)
 	}
@@ -54,18 +65,20 @@ func tcpDial(addr string) transport.DialFunc {
 	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
 }
 
-func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool) error {
+func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool, cfg transport.Config, fetchTO time.Duration) error {
 	rootKey, err := keyfile.LoadPublicKey(rootKeyPath)
 	if err != nil {
 		return fmt.Errorf("loading naming root key: %w", err)
 	}
 	binder := &object.Binder{
-		Names:   naming.NewResolver(tcpDial(namingAddr), rootKey),
-		Locator: location.NewClient(tcpDial(locAddr)),
-		Dial:    tcpDial,
-		Site:    site,
+		Names:     naming.NewResolver(tcpDial(namingAddr), rootKey).Configure(cfg),
+		Locator:   location.NewClient(tcpDial(locAddr)).Configure(cfg),
+		Dial:      tcpDial,
+		Site:      site,
+		Transport: cfg,
 	}
 	secure := core.NewClient(binder)
+	secure.Retry = cfg.Retry
 	secure.CacheBindings = warm
 	secure.RequireIdentity = requireID
 	if caStore != "" {
@@ -82,6 +95,7 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 	}
 
 	p := proxy.New(secure)
+	p.FetchTimeout = fetchTO
 	p.PassthroughDial = func(host string) transport.DialFunc {
 		return tcpDial(host + ":80")
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"globedoc/internal/keyfile"
 	"globedoc/internal/keys"
@@ -29,15 +30,16 @@ func main() {
 		identity = flag.String("identity", "", "this server's own key pair (enables pushing replicas to peers)")
 		maxObj   = flag.Int("max-objects", 0, "max hosted replicas (0 = unlimited)")
 		maxBytes = flag.Int64("max-bytes", 0, "max hosted element bytes (0 = unlimited)")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "drop client connections idle this long (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*listen, *name, *site, *ksPath, *identity, *maxObj, *maxBytes); err != nil {
+	if err := run(*listen, *name, *site, *ksPath, *identity, *maxObj, *maxBytes, *idleTO); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64) error {
+func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64, idleTO time.Duration) error {
 	ks := keys.NewKeystore()
 	if ksPath != "" {
 		loaded, err := keys.LoadKeystore(ksPath)
@@ -55,6 +57,7 @@ func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64
 		idKey = kp
 	}
 	srv := server.New(name, site, ks, idKey, server.Limits{MaxObjects: maxObj, MaxBytes: maxBytes})
+	srv.SetIdleTimeout(idleTO)
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err

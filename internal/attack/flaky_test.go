@@ -1,0 +1,159 @@
+package attack_test
+
+// Flaky (crashed or lossy, NOT malicious) replicas. The paper's failover
+// argument covers byzantine replicas; these tests prove the same
+// machinery absorbs plain fail-stop and fail-slow behaviour: a replica
+// that resets connections mid-transfer or silently swallows frames is
+// skipped like a detected attacker, and an honest replica one ring out
+// still serves a verified fetch within a bounded time.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"globedoc/internal/attack"
+	"globedoc/internal/core"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/location"
+	"globedoc/internal/netsim"
+	"globedoc/internal/object"
+	"globedoc/internal/transport"
+)
+
+// startFlakyHonest starts an honest replica at host whose accepted
+// connections are wrapped with the given fault plan (server side), so the
+// replica is genuine but its transport misbehaves.
+func startFlakyHonest(t *testing.T, n *netsim.Network, host, svc string, state attack.ReplicaState, plan netsim.FaultPlan) {
+	t.Helper()
+	l, err := n.Listen(host, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrapped net.Listener = netsim.FaultListener(l, plan, 7, nil)
+	srv := attack.NewMaliciousServer(attack.Honest, state)
+	srv.Start(wrapped)
+	t.Cleanup(srv.Close)
+}
+
+// flakyClient builds a secure client at amsterdam-secondary that sees the
+// given contact addresses in order, with tight transport deadlines so a
+// dead-air replica costs one timeout, not a hang.
+func flakyClient(t *testing.T, n *netsim.Network, addrs []location.ContactAddress) *core.Client {
+	t.Helper()
+	client := core.NewClient(&object.Binder{
+		Locator: multiReplicaLocator{addrs: addrs},
+		Dial: func(addr string) transport.DialFunc {
+			return n.Dialer(netsim.AmsterdamSecondary, addr)
+		},
+		Site: netsim.AmsterdamSecondary,
+		Transport: transport.Config{
+			DialTimeout: 200 * time.Millisecond,
+			CallTimeout: 200 * time.Millisecond,
+		},
+	})
+	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	t.Cleanup(client.Close)
+	return client
+}
+
+func TestFailoverPastCrashedMidTransferReplica(t *testing.T) {
+	// The nearest replica is honest but crashes mid-transfer: after a few
+	// hundred response bytes its connections reset. The client must treat
+	// that like a detected attack and recover via the healthy replica.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("survives crashes")}, t0, time.Hour)
+
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	// Budget of 200 bytes: enough for the ping exchange, dead before the
+	// object key (an RSA key alone overruns it) finishes transferring.
+	startFlakyHonest(t, n, netsim.Paris, "flaky", state, netsim.FaultPlan{ResetAfterBytes: 200})
+	honestL, err := n.Listen(netsim.AmsterdamPrimary, "honest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := attack.NewMaliciousServer(attack.Honest, state)
+	honest.Start(honestL)
+	t.Cleanup(honest.Close)
+
+	client := flakyClient(t, n, []location.ContactAddress{
+		{Address: "paris:flaky", Protocol: object.Protocol},
+		{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
+	})
+	res, err := client.Fetch(state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("fetch with healthy fallback failed: %v", err)
+	}
+	if string(res.Element.Data) != "survives crashes" {
+		t.Fatalf("Data = %q", res.Element.Data)
+	}
+	if res.ReplicaAddr != "amsterdam-primary:honest" {
+		t.Errorf("served from %q, want the healthy replica", res.ReplicaAddr)
+	}
+}
+
+func TestFailoverPastFrameDroppingReplica(t *testing.T) {
+	// The nearest replica swallows every response frame — dead air, not
+	// an error. Only the client's deadlines can unstick it; failover must
+	// then reach the healthy replica within a bounded time.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("still here")}, t0, time.Hour)
+
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	startFlakyHonest(t, n, netsim.Paris, "blackhole", state, netsim.FaultPlan{DropProb: 1})
+	honestL, err := n.Listen(netsim.AmsterdamPrimary, "honest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := attack.NewMaliciousServer(attack.Honest, state)
+	honest.Start(honestL)
+	t.Cleanup(honest.Close)
+
+	client := flakyClient(t, n, []location.ContactAddress{
+		{Address: "paris:blackhole", Protocol: object.Protocol},
+		{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
+	})
+	start := time.Now()
+	res, err := client.Fetch(state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("fetch past black-hole replica failed: %v", err)
+	}
+	if string(res.Element.Data) != "still here" {
+		t.Fatalf("Data = %q", res.Element.Data)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failover took %v; deadlines should bound it well under 5s", elapsed)
+	}
+}
+
+func TestAllReplicasFlakyIsBoundedDoS(t *testing.T) {
+	// Every replica crashes mid-transfer: the fetch must fail cleanly and
+	// promptly — flaky infrastructure is at worst denial of service,
+	// exactly like malicious infrastructure.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("unreachable")}, t0, time.Hour)
+
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	startFlakyHonest(t, n, netsim.Paris, "flaky", state, netsim.FaultPlan{ResetAfterBytes: 16})
+	startFlakyHonest(t, n, netsim.AmsterdamPrimary, "flaky", state, netsim.FaultPlan{ResetAfterBytes: 16})
+
+	client := flakyClient(t, n, []location.ContactAddress{
+		{Address: "paris:flaky", Protocol: object.Protocol},
+		{Address: "amsterdam-primary:flaky", Protocol: object.Protocol},
+	})
+	start := time.Now()
+	_, err := client.Fetch(state.OID, "index.html")
+	if err == nil {
+		t.Fatal("fetch succeeded with every replica crashing")
+	}
+	if errors.Is(err, core.ErrSecurityCheckFailed) {
+		t.Errorf("crash-only replicas misreported as security failure: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("clean failure took %v, want prompt bounded error", elapsed)
+	}
+}

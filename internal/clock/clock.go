@@ -1,0 +1,123 @@
+// Package clock provides an injectable time source shared by the network
+// simulator's fault schedules, the transport retry backoff, and the
+// client-side caches' TTL checks.
+//
+// Production code uses Real, which delegates to package time. Tests use
+// Fake, which only moves when Advance is called, so backoff sequences,
+// cache expirations and scripted fault schedules run instantly and
+// deterministically — no time.Sleep walls, no flakiness under -race.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the rest of the system needs.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock. Sleepers and After channels wake
+// only when Advance (or Set) moves the clock past their deadline.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a fake clock starting at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now returns the fake clock's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep blocks until the clock has been advanced by at least d.
+// A non-positive d returns immediately.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-f.After(d)
+}
+
+// After returns a channel that fires when the clock passes now+d.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, &waiter{deadline: f.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, waking every sleeper whose
+// deadline is reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.fireLocked()
+	f.mu.Unlock()
+}
+
+// Set jumps the clock to t (which must not move backwards) and wakes
+// sleepers accordingly.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	if t.After(f.now) {
+		f.now = t
+	}
+	f.fireLocked()
+	f.mu.Unlock()
+}
+
+// Waiters reports how many sleepers are currently blocked — used by
+// tests that must advance only once a sleeper has parked.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+func (f *Fake) fireLocked() {
+	remaining := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !f.now.Before(w.deadline) {
+			w.ch <- f.now
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+}
+
+var _ Clock = (*Fake)(nil)

@@ -1,0 +1,92 @@
+package clock_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"globedoc/internal/clock"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	a := clock.Real.Now()
+	clock.Real.Sleep(time.Millisecond)
+	if !clock.Real.Now().After(a) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestFakeNowIsFixed(t *testing.T) {
+	start := time.Date(2005, 4, 4, 0, 0, 0, 0, time.UTC)
+	f := clock.NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(time.Hour)
+	if !f.Now().Equal(start.Add(time.Hour)) {
+		t.Fatalf("Now after advance = %v", f.Now())
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := clock.NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(10 * time.Second)
+		close(done)
+	}()
+	for f.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("sleep returned before advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleep returned before its deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleep did not wake at deadline")
+	}
+}
+
+func TestFakeAfterZeroFiresImmediately(t *testing.T) {
+	f := clock.NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeSetNeverMovesBackwards(t *testing.T) {
+	f := clock.NewFake(time.Unix(100, 0))
+	f.Set(time.Unix(50, 0))
+	if !f.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("clock moved backwards to %v", f.Now())
+	}
+}
+
+func TestFakeConcurrentSleepers(t *testing.T) {
+	f := clock.NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			f.Sleep(time.Duration(n) * time.Second)
+		}(i)
+	}
+	for f.Waiters() < 8 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(8 * time.Second)
+	wg.Wait()
+}

@@ -34,6 +34,7 @@ import (
 	"globedoc/internal/globeid"
 	"globedoc/internal/keys"
 	"globedoc/internal/object"
+	"globedoc/internal/transport"
 )
 
 // ErrSecurityCheckFailed wraps every verification failure: whatever the
@@ -171,6 +172,11 @@ type Client struct {
 	// CacheBindings keeps verified bindings warm across fetches; each
 	// element access then costs one round trip plus verification.
 	CacheBindings bool
+	// Retry governs how often an expired cached certificate is
+	// refreshed before giving up (the re-bind after a freshness
+	// failure on a warm binding). Nil means one refresh attempt, the
+	// historical behaviour.
+	Retry *transport.RetryPolicy
 	// Now is the clock used for freshness checks; tests replace it.
 	Now func() time.Time
 
@@ -243,8 +249,26 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 	elem, err := vb.client.GetElement(element)
 	timing.ElementFetch = time.Since(start)
 	if err != nil {
+		// A replica that times out, resets, or otherwise fails mid-fetch
+		// is handled exactly like a detected attack: abandon it and move
+		// to the next candidate. A stalled replica thereby degrades a
+		// fetch to the next-nearest honest one instead of hanging the
+		// pipeline. Warm bindings get one clean re-bind first (the
+		// pooled connection may simply be stale); cold ones blacklist
+		// the address for this operation.
+		addr := vb.client.Addr()
+		c.dropBinding(oid, vb)
+		next := excluded
 		if !warm {
-			c.dropBinding(oid, vb)
+			next = make(map[string]bool, len(excluded)+1)
+			for a := range excluded {
+				next[a] = true
+			}
+			next[addr] = true
+		}
+		res, retryErr := c.fetchExcluding(oid, element, Timing{}, next)
+		if retryErr == nil {
+			return res, nil
 		}
 		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
 	}
@@ -256,9 +280,28 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 	if err != nil {
 		if warm && errors.Is(err, cert.ErrFreshness) {
 			// The cached certificate may simply have expired; re-bind
-			// once and retry with a fresh certificate.
+			// through the retry policy and retry with a fresh
+			// certificate. A freshly fetched certificate that is
+			// *still* stale is a security failure (a replica replaying
+			// old signed state), marked permanent so the policy stops
+			// instead of hammering the replica.
 			c.dropBinding(oid, vb)
-			return c.fetchExcluding(oid, element, Timing{}, excluded)
+			var res FetchResult
+			doErr := c.refreshPolicy().Do(func() error {
+				r, ferr := c.fetchExcluding(oid, element, Timing{}, excluded)
+				if ferr != nil {
+					if errors.Is(ferr, ErrSecurityCheckFailed) {
+						return transport.Permanent(ferr)
+					}
+					return ferr
+				}
+				res = r
+				return nil
+			})
+			if doErr != nil {
+				return FetchResult{}, doErr
+			}
+			return res, nil
 		}
 		if !warm && (errors.Is(err, cert.ErrAuthenticity) || errors.Is(err, cert.ErrConsistency)) {
 			// The replica served bogus content despite genuine
@@ -399,6 +442,16 @@ func (c *Client) verifyReplica(oid globeid.OID, addr string, now time.Time, timi
 		icert:       icert,
 		certifiedAs: certifiedAs,
 	}, nil
+}
+
+// refreshPolicy returns the certificate-refresh retry policy: the
+// configured one, or a two-attempt no-delay policy reproducing the
+// historical "refresh once" behaviour.
+func (c *Client) refreshPolicy() *transport.RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry
+	}
+	return &transport.RetryPolicy{MaxAttempts: 2}
 }
 
 func (c *Client) cachedBinding(oid globeid.OID, now time.Time) (*verifiedBinding, bool) {

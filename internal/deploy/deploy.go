@@ -49,6 +49,7 @@ type World struct {
 
 	CA *cert.CA
 
+	opts    Options
 	closers []func()
 }
 
@@ -64,6 +65,13 @@ type Options struct {
 	// Clock, if non-nil, replaces time.Now for certificate issuance in
 	// the naming authority.
 	Clock func() time.Time
+	// Client carries the transport robustness knobs — dial/call timeouts
+	// and retry policy — applied to every naming, location and object
+	// client this world builds. The zero value keeps unbounded waits.
+	Client transport.Config
+	// ServerIdleTimeout, when positive, makes every object server started
+	// by this world drop connections idle between frames for that long.
+	ServerIdleTimeout time.Duration
 }
 
 // NewWorld stands up the paper's testbed (Table 1) with naming and
@@ -76,6 +84,7 @@ func NewWorld(opts Options) (*World, error) {
 		Net:     netsim.PaperTestbed(opts.TimeScale),
 		Servers: make(map[string]*server.Server),
 		Addrs:   make(map[string]string),
+		opts:    opts,
 	}
 
 	auth, err := naming.NewAuthority(opts.KeyAlgorithm)
@@ -134,6 +143,9 @@ func (w *World) StartServer(site, name string, keystore *keys.Keystore, identity
 		keystore = keys.NewKeystore()
 	}
 	srv := server.New(name, site, keystore, identity, limits)
+	if w.opts.ServerIdleTimeout > 0 {
+		srv.SetIdleTimeout(w.opts.ServerIdleTimeout)
+	}
 	l, err := w.Net.Listen(site, ObjectService)
 	if err != nil {
 		return nil, err
@@ -154,22 +166,24 @@ func (w *World) DialFrom(host string) object.DialTo {
 
 // NewResolver returns a verifying naming resolver for a client at host.
 func (w *World) NewResolver(host string) *naming.Resolver {
-	return naming.NewResolver(w.Net.Dialer(host, w.NamingAddr), w.NamingAuthority.RootKey())
+	return naming.NewResolver(w.Net.Dialer(host, w.NamingAddr), w.NamingAuthority.RootKey()).
+		Configure(w.opts.Client)
 }
 
 // NewLocationClient returns a location-service client for a client at
 // host.
 func (w *World) NewLocationClient(host string) *location.Client {
-	return location.NewClient(w.Net.Dialer(host, w.LocationAddr))
+	return location.NewClient(w.Net.Dialer(host, w.LocationAddr)).Configure(w.opts.Client)
 }
 
 // NewBinder assembles the Globe binder for a client at host/site.
 func (w *World) NewBinder(host string) *object.Binder {
 	return &object.Binder{
-		Names:   w.NewResolver(host),
-		Locator: w.NewLocationClient(host),
-		Dial:    w.DialFrom(host),
-		Site:    host,
+		Names:     w.NewResolver(host),
+		Locator:   w.NewLocationClient(host),
+		Dial:      w.DialFrom(host),
+		Site:      host,
+		Transport: w.opts.Client,
 	}
 }
 
@@ -177,6 +191,7 @@ func (w *World) NewBinder(host string) *object.Binder {
 // at host whose proxy trusts the world CA.
 func (w *World) NewSecureClient(host string) *core.Client {
 	c := core.NewClient(w.NewBinder(host))
+	c.Retry = w.opts.Client.Retry
 	trust := cert.NewTrustStore()
 	trust.TrustCA(w.CA.Name, w.CA.Key.Public())
 	c.Trust = trust

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"globedoc/internal/clock"
 	"globedoc/internal/globeid"
 )
 
@@ -21,8 +22,9 @@ type CachingResolver struct {
 	Backend Resolver
 	// TTL bounds entry lifetime.
 	TTL time.Duration
-	// Now is the clock; tests may replace it.
-	Now func() time.Time
+	// Clock is the time source for TTL expiry (nil = real clock). Tests
+	// inject a fake clock to exercise expiry deterministically.
+	Clock clock.Clock
 
 	mu      sync.Mutex
 	entries map[string]map[globeid.OID]cachedLookup
@@ -40,14 +42,20 @@ func NewCachingResolver(backend Resolver, ttl time.Duration) *CachingResolver {
 	return &CachingResolver{
 		Backend: backend,
 		TTL:     ttl,
-		Now:     time.Now,
 		entries: make(map[string]map[globeid.OID]cachedLookup),
 	}
 }
 
+func (c *CachingResolver) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock.Now()
+	}
+	return clock.Real.Now()
+}
+
 // Lookup implements Resolver with caching.
 func (c *CachingResolver) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
-	now := c.Now()
+	now := c.now()
 	c.mu.Lock()
 	if bySite := c.entries[fromSite]; bySite != nil {
 		if e, ok := bySite[oid]; ok && now.Before(e.expires) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"globedoc/internal/clock"
 	"globedoc/internal/globeid"
 	"globedoc/internal/location"
 )
@@ -29,10 +30,9 @@ func newCachingFixture(t *testing.T) (*location.CachingResolver, *countingResolv
 	}
 	backend := &countingResolver{tree: tree}
 	c := location.NewCachingResolver(backend, time.Minute)
-	now := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
-	c.Now = func() time.Time { return now }
-	advance := func(d time.Duration) { now = now.Add(d) }
-	return c, backend, oid, advance
+	fake := clock.NewFake(time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC))
+	c.Clock = fake
+	return c, backend, oid, fake.Advance
 }
 
 func TestCachingResolverHitsAndMisses(t *testing.T) {

@@ -161,6 +161,17 @@ func NewClient(dial transport.DialFunc) *Client {
 // Close releases the pooled connection.
 func (c *Client) Close() { c.c.Close() }
 
+// Configure applies transport timeouts and retry policy to the
+// underlying RPC client and returns c for chaining.
+func (c *Client) Configure(cfg transport.Config) *Client {
+	c.c.Configure(cfg)
+	return c
+}
+
+// Transport exposes the underlying RPC client so callers can inspect
+// retry counters or tune it directly.
+func (c *Client) Transport() *transport.Client { return c.c }
+
 // Insert records addr for oid at site.
 func (c *Client) Insert(site string, oid globeid.OID, addr ContactAddress) error {
 	_, err := c.c.Call(OpInsert, encodeSiteOIDAddr(site, oid, addr))

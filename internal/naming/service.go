@@ -200,6 +200,17 @@ func NewResolver(dial transport.DialFunc, rootKey keys.PublicKey) *Resolver {
 // Close releases the pooled connection.
 func (r *Resolver) Close() { r.client.Close() }
 
+// Configure applies transport timeouts and retry policy to the
+// underlying RPC client and returns r for chaining.
+func (r *Resolver) Configure(cfg transport.Config) *Resolver {
+	r.client.Configure(cfg)
+	return r
+}
+
+// Transport exposes the underlying RPC client so callers can inspect
+// retry counters or tune it directly.
+func (r *Resolver) Transport() *transport.Client { return r.client }
+
 // Resolve returns the verified OID bound to name, consulting the cache
 // first.
 func (r *Resolver) Resolve(name string) (globeid.OID, error) {

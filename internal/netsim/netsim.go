@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"globedoc/internal/clock"
 )
 
 // LinkProfile describes one direction of a host-to-host link.
@@ -68,10 +70,21 @@ type Network struct {
 	downLinks map[[2]string]bool
 	closed    bool
 
+	// Fault injection state (see faults.go).
+	faults    map[[2]string]FaultPlan
+	faultSeed int64
+	connSeq   map[[2]string]uint64
+	trace     *FaultTrace
+
 	// TimeScale multiplies every simulated delay. 1.0 reproduces the
 	// configured latencies; tests typically use 0 (no sleeping) or a
 	// small factor. Set before traffic starts.
 	TimeScale float64
+
+	// Clock drives simulated delays, injected stalls and fault scripts.
+	// Defaults to the real clock; tests substitute a fake for fully
+	// deterministic schedules. Set before traffic starts.
+	Clock clock.Clock
 }
 
 // NewNetwork returns an empty network with TimeScale 1.
@@ -82,8 +95,18 @@ func NewNetwork() *Network {
 		listeners: make(map[string]*listener),
 		downHosts: make(map[string]bool),
 		downLinks: make(map[[2]string]bool),
+		connSeq:   make(map[[2]string]uint64),
 		TimeScale: 1.0,
+		Clock:     clock.Real,
 	}
+}
+
+// clockOrReal returns the configured clock, defaulting to the real one.
+func (n *Network) clockOrReal() clock.Clock {
+	if n.Clock != nil {
+		return n.Clock
+	}
+	return clock.Real
 }
 
 // SetHostDown marks a host as crashed: dials to and from it fail until
@@ -228,23 +251,40 @@ func (n *Network) Dial(fromHost, addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("netsim: link down between %q and %q", fromHost, toHost)
 	}
 	scale := n.TimeScale
+	key := linkKey(fromHost, toHost)
+	plan := n.faults[key]
+	seed := n.faultSeed
+	trace := n.trace
+	var connID uint64
+	if plan.Active() {
+		connID = n.connSeq[key]
+		n.connSeq[key]++
+	}
 	n.mu.Unlock()
 
+	clk := n.clockOrReal()
 	profile := n.Link(fromHost, HostOf(addr))
 	clientRaw, serverRaw := net.Pipe()
-	client := &shapedConn{
+	var client net.Conn = &shapedConn{
 		Conn:   clientRaw,
 		prof:   profile,
 		scale:  scale,
+		clk:    clk,
 		local:  Addr{Name: fromHost + ":client"},
 		remote: Addr{Name: addr},
 	}
-	server := &shapedConn{
+	var server net.Conn = &shapedConn{
 		Conn:   serverRaw,
 		prof:   profile,
 		scale:  scale,
+		clk:    clk,
 		local:  Addr{Name: addr},
 		remote: Addr{Name: fromHost + ":client"},
+	}
+	if plan.Active() {
+		link := key[0] + "<->" + key[1]
+		client = newFaultConn(client, plan, clk, scale, trace, link, connID, "client", seed)
+		server = newFaultConn(server, plan, clk, scale, trace, link, connID, "server", seed)
 	}
 	select {
 	case l.accept <- server:
@@ -329,6 +369,7 @@ type shapedConn struct {
 	net.Conn
 	prof   LinkProfile
 	scale  float64
+	clk    clock.Clock
 	local  Addr
 	remote Addr
 
@@ -345,7 +386,7 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 	}
 	c.mu.Unlock()
 	if c.scale > 0 && delay > 0 {
-		time.Sleep(time.Duration(float64(delay) * c.scale))
+		c.clk.Sleep(time.Duration(float64(delay) * c.scale))
 	}
 	return c.Conn.Write(p)
 }

@@ -29,6 +29,10 @@ type Binder struct {
 	// MaxCandidates bounds how many returned addresses are tried before
 	// giving up (0 = try all).
 	MaxCandidates int
+	// Transport carries dial/call timeouts and the retry policy applied
+	// to every replica connection this binder installs. The zero value
+	// keeps the historical no-deadline behaviour.
+	Transport transport.Config
 }
 
 // Binding is the outcome of a successful bind: the resolved identity and
@@ -90,6 +94,7 @@ func (b *Binder) Candidates(oid globeid.OID) ([]location.ContactAddress, int, er
 // liveness with a ping.
 func (b *Binder) Connect(oid globeid.OID, addr string) (*Client, error) {
 	client := NewClient(oid, addr, b.Dial(addr))
+	client.Transport().Configure(b.Transport)
 	if err := client.Ping(); err != nil {
 		client.Close()
 		return nil, err

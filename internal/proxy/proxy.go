@@ -24,7 +24,9 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
+	"globedoc/internal/cert"
 	"globedoc/internal/core"
 	"globedoc/internal/document"
 	"globedoc/internal/transport"
@@ -38,10 +40,20 @@ const (
 	HeaderWarm        = "X-GlobeDoc-Warm-Binding"
 )
 
+// ErrFetchTimeout is reported (on the failure page) when the secure
+// pipeline exceeds the proxy's FetchTimeout.
+var ErrFetchTimeout = errors.New("proxy: secure fetch timed out")
+
 // Proxy is an http.Handler implementing the GlobeDoc client proxy.
 type Proxy struct {
 	// Secure runs the GlobeDoc security pipeline.
 	Secure *core.Client
+	// FetchTimeout, when positive, bounds each secure pipeline run.
+	// Overrunning fetches get the failure page with ErrFetchTimeout
+	// instead of holding the browser connection open indefinitely. The
+	// abandoned fetch finishes (and is discarded) in the background; the
+	// transport-level deadlines keep that bounded too.
+	FetchTimeout time.Duration
 	// PassthroughDial opens a connection to a plain-HTTP origin host for
 	// non-GlobeDoc requests; nil disables passthrough.
 	PassthroughDial func(host string) transport.DialFunc
@@ -106,7 +118,9 @@ func parseIndexURL(path string) (string, bool) {
 // serveIndex renders the object's verified element list as an HTML index
 // page — the certificate entries, so the listing itself is authenticated.
 func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
-	entries, err := p.Secure.ElementsNamed(objectName)
+	entries, err := fetchBounded(p.FetchTimeout, func() ([]cert.ElementEntry, error) {
+		return p.Secure.ElementsNamed(objectName)
+	})
 	if err != nil {
 		p.bump(&p.secureFail)
 		p.serveSecurityFailure(w, document.HybridRef{ObjectName: objectName, Element: "(index)"}, err)
@@ -128,8 +142,35 @@ func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
 	fmt.Fprint(w, "</ul></body></html>")
 }
 
+// fetchBounded runs f, giving up after timeout (0 = no bound). The
+// abandoned f keeps running on its goroutine until the transport
+// deadlines below it fire; its result is discarded.
+func fetchBounded[T any](timeout time.Duration, f func() (T, error)) (T, error) {
+	if timeout <= 0 {
+		return f()
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-time.After(timeout):
+		var zero T
+		return zero, fmt.Errorf("%w after %v", ErrFetchTimeout, timeout)
+	}
+}
+
 func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document.HybridRef) {
-	res, err := p.Secure.FetchNamed(ref.ObjectName, ref.Element)
+	res, err := fetchBounded(p.FetchTimeout, func() (core.FetchResult, error) {
+		return p.Secure.FetchNamed(ref.ObjectName, ref.Element)
+	})
 	if err != nil {
 		p.bump(&p.secureFail)
 		p.serveSecurityFailure(w, ref, err)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"globedoc/internal/cert"
 	"globedoc/internal/document"
@@ -130,6 +131,11 @@ func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, lim
 	s.srv.Handle(OpAdmin, s.handleAdmin)
 	return s
 }
+
+// SetIdleTimeout bounds how long a client connection may sit silent
+// between frames before the server drops it, so stalled or half-dead
+// peers cannot pin handler goroutines forever. Call before Start/Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.srv.IdleTimeout = d }
 
 // Serve accepts connections on l until closed.
 func (s *Server) Serve(l net.Listener) error { return s.srv.Serve(l) }

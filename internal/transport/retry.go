@@ -1,0 +1,172 @@
+package transport
+
+// Retry-with-backoff policy shared by every RPC call site.
+//
+// GlobeDoc's client-side operations are all idempotent reads of signed or
+// self-certifying data, so retrying them is always safe: a repeated read
+// can at worst return the same verifiable answer twice. The only errors
+// NOT worth retrying are RemoteErrors — the server received the request
+// and consciously refused it; asking again changes nothing.
+//
+// Backoff is exponential with jitter, and both the clock and the jitter
+// randomness are injectable so tests replay retry schedules
+// deterministically.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"globedoc/internal/clock"
+)
+
+// RetryPolicy governs how many times an operation is attempted and how
+// long to wait between attempts. The zero value means "one attempt, no
+// retry"; use DefaultRetryPolicy for sensible production defaults. A
+// single policy may be shared by many clients; it is safe for concurrent
+// use.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	// Values below 1 behave as 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (0 = uncapped).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries
+	// (values <= 1 mean constant delay).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1]: the actual wait is delay * (1 - Jitter/2 + Jitter*u) for
+	// uniform u. Jitter de-synchronizes clients hammering a recovering
+	// replica.
+	Jitter float64
+	// Clock is the time source for backoff sleeps (nil = real clock).
+	Clock clock.Clock
+	// Seed fixes the jitter randomness (0 = a fixed default seed), so a
+	// chaos run's retry schedule is reproducible.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultRetryPolicy returns the policy used when callers enable retries
+// without tuning: 4 attempts, 2 ms initial backoff doubling to a 250 ms
+// cap, half-jittered.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// Attempts returns the effective number of attempts (at least 1).
+func (p *RetryPolicy) Attempts() int {
+	if p == nil || p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) clock() clock.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return clock.Real
+}
+
+func (p *RetryPolicy) random() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	return p.rng.Float64()
+}
+
+// Backoff returns the wait before the given retry (retry 1 is the wait
+// between the first and second attempts). Successive calls consume the
+// policy's jitter stream.
+func (p *RetryPolicy) Backoff(retry int) time.Duration {
+	if retry < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	d := float64(p.BaseDelay)
+	if p.Multiplier > 1 {
+		for i := 1; i < retry; i++ {
+			d *= p.Multiplier
+			if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+				d = float64(p.MaxDelay)
+				break
+			}
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter/2 + p.Jitter*p.random()
+	}
+	return time.Duration(d)
+}
+
+// Do runs f up to Attempts times, sleeping the backoff between attempts,
+// until f succeeds or fails with a non-retryable error. It returns the
+// last error.
+func (p *RetryPolicy) Do(f func() error) error {
+	var err error
+	for attempt := 0; attempt < p.Attempts(); attempt++ {
+		if attempt > 0 {
+			p.clock().Sleep(p.Backoff(attempt))
+		}
+		err = f()
+		if err == nil || !Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Retryable reports whether an error is worth retrying. Remote errors —
+// the server answered, refusing — are permanent: the replica holds its
+// answer and a retry buys nothing (failing over to a different replica is
+// the caller's job). So is anything wrapped by Permanent. Everything else
+// (dial failures, timeouts, resets, short reads, corrupted frames) is
+// transient network behaviour.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	var perm *permanentError
+	return !errors.As(err, &perm)
+}
+
+// permanentError marks an error that RetryPolicy.Do must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so RetryPolicy.Do (and Retryable) treat it as not
+// worth retrying — for callers whose closures can fail in ways
+// retrying cannot fix, like a security check rejecting a replica's data.
+// The wrapped error still matches errors.Is/As through Unwrap.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}

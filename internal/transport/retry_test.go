@@ -1,0 +1,130 @@
+package transport_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"globedoc/internal/clock"
+	"globedoc/internal/netsim"
+	"globedoc/internal/transport"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := &transport.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+	}
+	want := []time.Duration{10, 20, 40, 40}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if got := p.Backoff(0); got != 0 {
+		t.Errorf("Backoff(0) = %v, want 0", got)
+	}
+}
+
+func TestBackoffJitterIsSeededAndBounded(t *testing.T) {
+	mk := func(seed int64) *transport.RetryPolicy {
+		return &transport.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   100 * time.Millisecond,
+			Multiplier:  1,
+			Jitter:      0.5,
+			Seed:        seed,
+		}
+	}
+	a, b := mk(7), mk(7)
+	for i := 1; i <= 8; i++ {
+		da, db := a.Backoff(i), b.Backoff(i)
+		if da != db {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, da, db)
+		}
+		// delay * (1 - J/2 + J*u) with J=0.5 lies in [75ms, 125ms).
+		if da < 75*time.Millisecond || da >= 125*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [75ms, 125ms)", da)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"remote refusal", &transport.RemoteError{Op: "x", Message: "no"}, false},
+		{"conn reset", netsim.ErrConnReset, true},
+		{"deadline", os.ErrDeadlineExceeded, true},
+		{"dial timeout", transport.ErrDialTimeout, true},
+		{"frame too large", transport.ErrFrameTooLarge, true},
+	}
+	for _, tc := range cases {
+		if got := transport.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDoStopsOnSuccessAndOnPermanentError(t *testing.T) {
+	p := &transport.RetryPolicy{MaxAttempts: 5}
+
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success after 3", err, calls)
+	}
+
+	calls = 0
+	remote := &transport.RemoteError{Op: "op", Message: "denied"}
+	err = p.Do(func() error { calls++; return remote })
+	if !errors.Is(err, remote) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want immediate remote error", err, calls)
+	}
+
+	calls = 0
+	err = p.Do(func() error { calls++; return errors.New("always") })
+	if err == nil || calls != 5 {
+		t.Fatalf("Do = %v after %d calls, want failure after MaxAttempts", err, calls)
+	}
+}
+
+func TestDoSleepsBackoffOnInjectedClock(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	p := &transport.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		Clock:       fake,
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Do(func() error { return errors.New("transient") }) }()
+	for {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Do succeeded unexpectedly")
+			}
+			// 100ms + 200ms of backoff must have elapsed on the fake clock.
+			if got := fake.Now().Sub(time.Unix(0, 0)); got < 300*time.Millisecond {
+				t.Fatalf("fake clock advanced %v, want >= 300ms", got)
+			}
+			return
+		default:
+			fake.Advance(50 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

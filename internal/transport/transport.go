@@ -21,6 +21,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"globedoc/internal/enc"
 )
@@ -33,6 +34,7 @@ const MaxFrame = 16 << 20 // 16 MiB
 var (
 	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 	ErrClosed        = errors.New("transport: connection closed")
+	ErrDialTimeout   = errors.New("transport: dial timed out")
 )
 
 // RemoteError is an error string returned by the far side of a call. It
@@ -128,6 +130,12 @@ type Handler func(body []byte) ([]byte, error)
 
 // Server dispatches framed requests to registered handlers.
 type Server struct {
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between frames (and how long a response write may take) before the
+	// server drops it — a defence against stalled or half-dead peers
+	// pinning goroutines forever. Set before Serve.
+	IdleTimeout time.Duration
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 
@@ -196,6 +204,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.conns.Delete(conn)
 	defer conn.Close()
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		payload, err := readFrame(conn)
 		if err != nil {
 			return
@@ -212,6 +223,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.Requests.Add(1)
 				respBody, err = h(body)
 			}
+		}
+		if s.IdleTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.IdleTimeout))
 		}
 		if werr := writeFrame(conn, encodeResponse(respBody, err)); werr != nil {
 			return
@@ -244,6 +258,18 @@ type DialFunc func() (net.Conn, error)
 type Client struct {
 	dial DialFunc
 
+	// DialTimeout bounds each connection attempt (0 = unbounded).
+	DialTimeout time.Duration
+	// CallTimeout bounds each call attempt end to end — request write
+	// through response read (0 = unbounded). A stalled or half-dead
+	// replica then costs one timeout, not a hang.
+	CallTimeout time.Duration
+	// Retry, when set, governs redialling and re-issuing after transient
+	// failures with exponential backoff. When nil, the legacy behaviour
+	// applies: one immediate retry, and only when the failure hit a
+	// pooled (possibly stale) connection.
+	Retry *RetryPolicy
+
 	mu   sync.Mutex
 	conn net.Conn
 
@@ -253,6 +279,8 @@ type Client struct {
 	BytesReceived atomic.Uint64
 	// Calls counts completed calls.
 	Calls atomic.Uint64
+	// Retries counts extra attempts beyond the first, per call site.
+	Retries atomic.Uint64
 }
 
 // NewClient returns a client that connects lazily using dial.
@@ -260,12 +288,53 @@ func NewClient(dial DialFunc) *Client {
 	return &Client{dial: dial}
 }
 
-// Call sends op with body and waits for the response. It retries once on
-// a stale pooled connection.
+// Configure applies cfg's timeouts and retry policy to the client and
+// returns it.
+func (c *Client) Configure(cfg Config) *Client {
+	c.DialTimeout = cfg.DialTimeout
+	c.CallTimeout = cfg.CallTimeout
+	c.Retry = cfg.Retry
+	return c
+}
+
+// Config bundles the robustness knobs threaded through every RPC call
+// site: attempt timeouts and the retry policy. The zero Config leaves a
+// client with unbounded waits and legacy single-retry semantics.
+type Config struct {
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	Retry       *RetryPolicy
+}
+
+// Call sends op with body and waits for the response. With a RetryPolicy
+// configured it retries transient failures with backoff; otherwise it
+// retries once on a stale pooled connection.
 func (c *Client) Call(op string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.callLocked(op, body, c.conn != nil)
+	var resp []byte
+	var err error
+	if c.Retry == nil {
+		// Legacy semantics: one immediate retry, only for failures on a
+		// connection that might simply have gone stale in the pool.
+		pooled := c.conn != nil
+		resp, err = c.attemptLocked(op, body)
+		if err != nil && pooled && Retryable(err) {
+			c.Retries.Add(1)
+			resp, err = c.attemptLocked(op, body)
+		}
+	} else {
+		for attempt := 0; attempt < c.Retry.Attempts(); attempt++ {
+			if attempt > 0 {
+				c.Retries.Add(1)
+				c.Retry.clock().Sleep(c.Retry.Backoff(attempt))
+			}
+			resp, err = c.attemptLocked(op, body)
+			if err == nil || !Retryable(err) {
+				break
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -273,33 +342,71 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 	return resp, nil
 }
 
-func (c *Client) callLocked(op string, body []byte, mayRetry bool) ([]byte, error) {
+// attemptLocked performs one complete call attempt: dial if necessary,
+// arm the deadline, send, receive, decode. Any transport-level failure
+// drops the pooled connection so the next attempt redials.
+func (c *Client) attemptLocked(op string, body []byte) ([]byte, error) {
 	if c.conn == nil {
-		conn, err := c.dial()
+		conn, err := c.dialWithTimeout()
 		if err != nil {
 			return nil, fmt.Errorf("transport: dial: %w", err)
 		}
 		c.conn = conn
 	}
+	if c.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.CallTimeout))
+	}
 	req := encodeRequest(op, body)
 	if err := writeFrame(c.conn, req); err != nil {
 		c.resetLocked()
-		if mayRetry {
-			return c.callLocked(op, body, false)
-		}
 		return nil, fmt.Errorf("transport: send %q: %w", op, err)
 	}
 	c.BytesSent.Add(uint64(len(req)) + 4)
 	payload, err := readFrame(c.conn)
 	if err != nil {
 		c.resetLocked()
-		if mayRetry {
-			return c.callLocked(op, body, false)
-		}
 		return nil, fmt.Errorf("transport: receive %q: %w", op, err)
 	}
 	c.BytesReceived.Add(uint64(len(payload)) + 4)
-	return decodeResponse(op, payload)
+	if c.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+	resp, err := decodeResponse(op, payload)
+	if err != nil && Retryable(err) {
+		// A malformed (possibly corrupted) response leaves the stream
+		// in an unknown state; drop the connection before any retry.
+		c.resetLocked()
+	}
+	return resp, err
+}
+
+// dialWithTimeout runs dial, bounding it by DialTimeout. The underlying
+// DialFunc has no cancellation surface, so on timeout the late connection
+// (if any) is closed when it eventually arrives.
+func (c *Client) dialWithTimeout() (net.Conn, error) {
+	if c.DialTimeout <= 0 {
+		return c.dial()
+	}
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := c.dial()
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-time.After(c.DialTimeout):
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, fmt.Errorf("%w after %v", ErrDialTimeout, c.DialTimeout)
+	}
 }
 
 func (c *Client) resetLocked() {
