@@ -1,10 +1,11 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test test-short fuzz-smoke chaos
+.PHONY: check vet build test test-short fuzz-smoke chaos telemetry-smoke
 
-## check: the tier-1 gate — vet, build, race-enabled tests, fuzz smoke.
-check: vet build test fuzz-smoke
+## check: the tier-1 gate — vet, build, race-enabled tests, fuzz smoke,
+## and the end-to-end telemetry smoke.
+check: vet build test fuzz-smoke telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +31,8 @@ fuzz-smoke:
 SEED ?= 20050404
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/deploy/ -seed $(SEED)
+
+## telemetry-smoke: boot services + proxy with -debug-addr, curl /debugz,
+## validate the snapshot schema with cmd/globedoc-debugz.
+telemetry-smoke:
+	GO=$(GO) sh scripts/telemetry_smoke.sh

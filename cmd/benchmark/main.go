@@ -5,8 +5,13 @@
 //	benchmark -experiment all
 //	benchmark -experiment fig4 -iterations 10
 //	benchmark -experiment fig6 -scale 0.5
+//	benchmark -experiment all -json results.json
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, all.
+//
+// With -json the measured series are also written to the given file as a
+// machine-readable report (schema "globedoc-bench/1", see
+// internal/bench.Report); the human tables still print to stdout.
 package main
 
 import (
@@ -24,22 +29,24 @@ func main() {
 		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | all")
 		scale      = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations = flag.Int("iterations", 5, "samples per measured point")
+		jsonOut    = flag.String("json", "", "also write a machine-readable report to this file")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scale, *iterations); err != nil {
+	if err := run(*experiment, *scale, *iterations, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, iterations int) error {
+func run(experiment string, scale float64, iterations int, jsonOut string) error {
 	cfg := bench.Config{TimeScale: scale, Iterations: iterations}
 	start := time.Now()
+	report := bench.NewReport(cfg, start)
 	switch experiment {
 	case "table1":
 		fmt.Println(bench.RunTable1(scale))
 	case "fig4":
-		if err := runFig4(cfg); err != nil {
+		if err := runFig4(cfg, report); err != nil {
 			return err
 		}
 	case "fig5", "fig6", "fig7":
@@ -48,40 +55,56 @@ func run(experiment string, scale float64, iterations int) error {
 			"fig6": netsim.Paris,
 			"fig7": netsim.Ithaca,
 		}[experiment]
-		if err := runFig5(client, cfg); err != nil {
+		if err := runFig5(client, cfg, report); err != nil {
 			return err
 		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
-		if err := runFig4(cfg); err != nil {
+		if err := runFig4(cfg, report); err != nil {
 			return err
 		}
 		for _, client := range netsim.ClientHosts {
-			if err := runFig5(client, cfg); err != nil {
+			if err := runFig5(client, cfg, report); err != nil {
 				return err
 			}
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\n(machine-readable report written to %s)\n", jsonOut)
+	}
 	fmt.Printf("\n(total benchmark wall time: %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
-func runFig4(cfg bench.Config) error {
+func runFig4(cfg bench.Config, report *bench.Report) error {
 	res, err := bench.RunFig4(cfg)
 	if err != nil {
 		return err
 	}
+	report.Fig4 = res
 	fmt.Println(res.Format())
 	return nil
 }
 
-func runFig5(client string, cfg bench.Config) error {
+func runFig5(client string, cfg bench.Config, report *bench.Report) error {
 	res, err := bench.RunFig5(client, cfg)
 	if err != nil {
 		return err
 	}
+	report.Fig5 = append(report.Fig5, res)
 	fmt.Println(res.Format(bench.FigureNumber(client)))
 	return nil
 }

@@ -1,0 +1,87 @@
+// Command globedoc-debugz fetches a /debugz snapshot from a running
+// GlobeDoc binary and validates it against the documented schema — the
+// check behind `make telemetry-smoke`.
+//
+//	globedoc-debugz -addr 127.0.0.1:8081
+//	globedoc-debugz -addr 127.0.0.1:8081 -require-metric rpc_served_total
+//
+// Exit status is 0 only when the endpoint answers with a well-formed
+// snapshot (schema "globedoc-debugz/1") containing every required
+// metric. A summary of the snapshot is printed either way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"globedoc/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8081", "host:port serving /debugz")
+		require = flag.String("require-metric", "", "comma-separated metric names that must be present")
+		timeout = flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *require, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "globedoc-debugz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, require string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debugz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debugz returned %s", resp.Status)
+	}
+	var snap telemetry.DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("parsing snapshot: %w", err)
+	}
+	if snap.Schema != telemetry.DebugSchema {
+		return fmt.Errorf("schema %q, want %q", snap.Schema, telemetry.DebugSchema)
+	}
+	if snap.TakenAt.IsZero() {
+		return fmt.Errorf("snapshot has no taken_at timestamp")
+	}
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !hasMetric(snap.Metrics, name) {
+			return fmt.Errorf("required metric %q missing from snapshot", name)
+		}
+	}
+	fmt.Printf("debugz snapshot from %s ok: schema %s, %d counters, %d labeled counters, %d gauges, %d histograms, %d recent spans\n",
+		addr, snap.Schema,
+		len(snap.Metrics.Counters), len(snap.Metrics.LabeledCounters),
+		len(snap.Metrics.Gauges), len(snap.Metrics.Histograms),
+		len(snap.Spans))
+	return nil
+}
+
+func hasMetric(m telemetry.MetricsSnapshot, name string) bool {
+	if _, ok := m.Counters[name]; ok {
+		return true
+	}
+	if _, ok := m.LabeledCounters[name]; ok {
+		return true
+	}
+	if _, ok := m.Gauges[name]; ok {
+		return true
+	}
+	_, ok := m.Histograms[name]
+	return ok
+}

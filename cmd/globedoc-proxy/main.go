@@ -4,7 +4,7 @@
 //	globedoc-proxy -listen :8080 \
 //	    -naming 127.0.0.1:7001 -rootkey naming-root.pub \
 //	    -location 127.0.0.1:7002 -site amsterdam \
-//	    -ca-keystore trusted-cas.json
+//	    -ca-keystore trusted-cas.json -debug-addr 127.0.0.1:8081
 //
 //	curl -x '' http://127.0.0.1:8080/GlobeDoc/home.vu.nl/index.html
 //
@@ -13,6 +13,10 @@
 // of the object key, integrity-certificate verification and per-element
 // authenticity/freshness/consistency checks. Failures render the
 // "Security Check Failed" page.
+//
+// With -debug-addr the proxy serves /debugz (metrics + recent pipeline
+// spans as JSON, plus /debug/pprof) on a separate listener; -trace-out
+// appends every finished span to a JSON-lines file.
 package main
 
 import (
@@ -24,12 +28,14 @@ import (
 
 	"globedoc/internal/cert"
 	"globedoc/internal/core"
+	"globedoc/internal/deploy"
 	"globedoc/internal/keyfile"
 	"globedoc/internal/keys"
 	"globedoc/internal/location"
 	"globedoc/internal/naming"
 	"globedoc/internal/object"
 	"globedoc/internal/proxy"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -43,19 +49,15 @@ func main() {
 		caStore    = flag.String("ca-keystore", "", "keystore of CAs the user trusts for identity certificates")
 		requireID  = flag.Bool("require-identity", false, "refuse objects without a trusted identity certificate")
 		warm       = flag.Bool("cache-bindings", true, "reuse verified bindings across requests")
-		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "per-connection dial deadline (0 = unbounded)")
-		callTO     = flag.Duration("call-timeout", 10*time.Second, "per-RPC deadline, send through receive (0 = unbounded)")
-		retries    = flag.Int("retries", 3, "attempts per RPC against a flaky replica (1 = no retry)")
 		fetchTO    = flag.Duration("fetch-timeout", 30*time.Second, "whole-pipeline deadline per browser request (0 = unbounded)")
+		clientFl   = deploy.RegisterClientFlags(nil)
+		debugFl    = deploy.RegisterDebugFlags(nil)
 	)
 	flag.Parse()
-	cfg := transport.Config{DialTimeout: *dialTO, CallTimeout: *callTO}
-	if *retries > 1 {
-		policy := transport.DefaultRetryPolicy()
-		policy.MaxAttempts = *retries
-		cfg.Retry = policy
-	}
-	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore, *requireID, *warm, cfg, *fetchTO); err != nil {
+	tel := telemetry.New(nil)
+	cfg := clientFl.Config(tel)
+	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore,
+		*requireID, *warm, cfg, *fetchTO, tel, debugFl); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-proxy:", err)
 		os.Exit(1)
 	}
@@ -65,7 +67,8 @@ func tcpDial(addr string) transport.DialFunc {
 	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
 }
 
-func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool, cfg transport.Config, fetchTO time.Duration) error {
+func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool,
+	cfg transport.Config, fetchTO time.Duration, tel *telemetry.Telemetry, debugFl *deploy.DebugFlags) error {
 	rootKey, err := keyfile.LoadPublicKey(rootKeyPath)
 	if err != nil {
 		return fmt.Errorf("loading naming root key: %w", err)
@@ -81,6 +84,7 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 	secure.Retry = cfg.Retry
 	secure.CacheBindings = warm
 	secure.RequireIdentity = requireID
+	secure.Telemetry = tel
 	if caStore != "" {
 		ks, err := keys.LoadKeystore(caStore)
 		if err != nil {
@@ -94,8 +98,15 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 		secure.Trust = trust
 	}
 
+	stopDebug, err := debugFl.Start(tel)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+
 	p := proxy.New(secure)
 	p.FetchTimeout = fetchTO
+	p.Telemetry = tel
 	p.PassthroughDial = func(host string) transport.DialFunc {
 		return tcpDial(host + ":80")
 	}

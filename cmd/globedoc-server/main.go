@@ -7,6 +7,9 @@
 //
 // The keystore lists the principals (owners and peer servers) allowed to
 // create replicas here; manage it with globedoc-keygen.
+//
+// With -debug-addr the server serves /debugz (rpc_served_total per
+// operation, per-RPC spans, /debug/pprof) on a separate listener.
 package main
 
 import (
@@ -16,9 +19,11 @@ import (
 	"os"
 	"time"
 
+	"globedoc/internal/deploy"
 	"globedoc/internal/keyfile"
 	"globedoc/internal/keys"
 	"globedoc/internal/server"
+	"globedoc/internal/telemetry"
 )
 
 func main() {
@@ -31,15 +36,17 @@ func main() {
 		maxObj   = flag.Int("max-objects", 0, "max hosted replicas (0 = unlimited)")
 		maxBytes = flag.Int64("max-bytes", 0, "max hosted element bytes (0 = unlimited)")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "drop client connections idle this long (0 = never)")
+		debugFl  = deploy.RegisterDebugFlags(nil)
 	)
 	flag.Parse()
-	if err := run(*listen, *name, *site, *ksPath, *identity, *maxObj, *maxBytes, *idleTO); err != nil {
+	if err := run(*listen, *name, *site, *ksPath, *identity, *maxObj, *maxBytes, *idleTO, debugFl); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64, idleTO time.Duration) error {
+func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64,
+	idleTO time.Duration, debugFl *deploy.DebugFlags) error {
 	ks := keys.NewKeystore()
 	if ksPath != "" {
 		loaded, err := keys.LoadKeystore(ksPath)
@@ -56,8 +63,15 @@ func run(listen, name, site, ksPath, identity string, maxObj int, maxBytes int64
 		}
 		idKey = kp
 	}
+	tel := telemetry.New(nil)
+	stopDebug, err := debugFl.Start(tel)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	srv := server.New(name, site, ks, idKey, server.Limits{MaxObjects: maxObj, MaxBytes: maxBytes})
 	srv.SetIdleTimeout(idleTO)
+	srv.SetTelemetry(tel)
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err

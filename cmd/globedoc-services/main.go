@@ -19,10 +19,12 @@ import (
 	"os"
 	"strings"
 
+	"globedoc/internal/deploy"
 	"globedoc/internal/keyfile"
 	"globedoc/internal/keys"
 	"globedoc/internal/location"
 	"globedoc/internal/naming"
+	"globedoc/internal/telemetry"
 )
 
 func main() {
@@ -34,15 +36,16 @@ func main() {
 		zones        = flag.String("zones", "", "comma-separated zones to create under the root (e.g. nl,vu.nl)")
 		sites        = flag.String("sites", "world/europe/amsterdam,world/europe/paris,world/northamerica/ithaca",
 			"comma-separated site paths defining the location domain tree")
+		debugFl = deploy.RegisterDebugFlags(nil)
 	)
 	flag.Parse()
-	if err := run(*namingAddr, *locationAddr, *rootKeyOut, *algo, *zones, *sites); err != nil {
+	if err := run(*namingAddr, *locationAddr, *rootKeyOut, *algo, *zones, *sites, debugFl); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-services:", err)
 		os.Exit(1)
 	}
 }
 
-func run(namingAddr, locationAddr, rootKeyOut, algo, zones, sites string) error {
+func run(namingAddr, locationAddr, rootKeyOut, algo, zones, sites string, debugFl *deploy.DebugFlags) error {
 	alg, err := keys.ParseAlgorithm(algo)
 	if err != nil {
 		return err
@@ -86,9 +89,20 @@ func run(namingAddr, locationAddr, rootKeyOut, algo, zones, sites string) error 
 	fmt.Printf("naming service on %s (root key in %s, zones: %v)\n", nl.Addr(), rootKeyOut, auth.Zones())
 	fmt.Printf("location service on %s, sites: %v\n", ll.Addr(), tree.Sites())
 
-	naming.NewService(auth).Start(nl)
+	tel := telemetry.New(nil)
+	stopDebug, err := debugFl.Start(tel)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+
+	namingSvc := naming.NewService(auth)
+	namingSvc.SetTelemetry(tel)
+	namingSvc.Start(nl)
+	locationSvc := location.NewService(tree)
+	locationSvc.SetTelemetry(tel)
 	errCh := make(chan error, 1)
-	go func() { errCh <- location.NewService(tree).Serve(ll) }()
+	go func() { errCh <- locationSvc.Serve(ll) }()
 	return <-errCh
 }
 

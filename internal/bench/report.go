@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"globedoc/internal/keys"
+)
+
+// ReportSchema identifies the benchmark JSON payload layout. Bump it
+// whenever a field changes meaning; consumers must check it before
+// reading anything else.
+const ReportSchema = "globedoc-bench/1"
+
+// Meta records how a benchmark run was configured — enough to reproduce
+// it exactly on the deterministic testbed.
+type Meta struct {
+	// TimeScale is the simulated-link delay multiplier (1.0 = the
+	// paper's latencies).
+	TimeScale float64 `json:"time_scale"`
+	// Iterations is the sample count per measured point.
+	Iterations int `json:"iterations"`
+	// Seed is the workload generator base seed (per-object seeds are
+	// derived from it deterministically).
+	Seed uint64 `json:"seed"`
+	// KeyAlgorithm names the object key algorithm (keys.ParseAlgorithm
+	// round-trips it).
+	KeyAlgorithm string `json:"key_algorithm"`
+	// StartedAt is the wall-clock run start.
+	StartedAt time.Time `json:"started_at"`
+}
+
+// Report is the machine-readable output of a benchmark run: every
+// Figure-4 and Figure-5/6/7 series that was measured, plus run metadata.
+// Durations (inside Sample and core.Timing) marshal as nanoseconds.
+type Report struct {
+	Schema string `json:"schema"`
+	Meta   Meta   `json:"meta"`
+	// Fig4 is the security-overhead figure, when measured.
+	Fig4 *Fig4Result `json:"fig4,omitempty"`
+	// Fig5 holds one per-client comparison result per measured client
+	// site (the paper's Figures 5, 6 and 7).
+	Fig5 []*Fig5Result `json:"fig5,omitempty"`
+}
+
+// NewReport returns a Report shell for one run of cfg.
+func NewReport(cfg Config, startedAt time.Time) *Report {
+	cfg = cfg.withDefaults()
+	return &Report{
+		Schema: ReportSchema,
+		Meta: Meta{
+			TimeScale:    cfg.TimeScale,
+			Iterations:   cfg.Iterations,
+			Seed:         WorkloadSeed,
+			KeyAlgorithm: cfg.KeyAlgorithm.String(),
+			StartedAt:    startedAt.UTC(),
+		},
+	}
+}
+
+// WorkloadSeed is the base seed for the deterministic workload
+// generators (per-object seeds are small offsets from it, as the Run*
+// functions choose).
+const WorkloadSeed = 1
+
+// WriteJSON writes the report to w, indented.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a Report written by WriteJSON and checks its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: unsupported report schema %q (want %q)", r.Schema, ReportSchema)
+	}
+	if _, err := keys.ParseAlgorithm(r.Meta.KeyAlgorithm); err != nil {
+		return nil, fmt.Errorf("bench: report metadata: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,99 @@
+package bench_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"globedoc/internal/bench"
+	"globedoc/internal/core"
+	"globedoc/internal/netsim"
+)
+
+// sampleReport builds a report with representative Figure-4 and Figure-5
+// payloads, exercising the awkward JSON corners: map[int] keys, nested
+// maps, and time.Duration fields.
+func sampleReport(t *testing.T) *bench.Report {
+	t.Helper()
+	started := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	r := bench.NewReport(bench.Config{TimeScale: 0.01, Iterations: 3}, started)
+	r.Fig4 = &bench.Fig4Result{
+		Sizes:   []int{1024, 65536},
+		Clients: []string{netsim.Paris},
+		Points: map[int]map[string]bench.Fig4Point{
+			1024: {
+				netsim.Paris: {
+					Size:            1024,
+					Client:          netsim.Paris,
+					OverheadPercent: 42.5,
+					Security:        bench.Sample{N: 3, Mean: 30 * time.Millisecond, Std: time.Millisecond},
+					Total:           bench.Sample{N: 3, Mean: 70 * time.Millisecond, Std: 2 * time.Millisecond},
+					Breakdown: core.Timing{
+						NameResolve:  time.Millisecond,
+						Bind:         2 * time.Millisecond,
+						KeyFetch:     3 * time.Millisecond,
+						ElementFetch: 4 * time.Millisecond,
+					},
+				},
+			},
+		},
+	}
+	r.Fig5 = []*bench.Fig5Result{{
+		Client: netsim.Ithaca,
+		Rows: []bench.Fig5Row{{
+			TotalBytes: 40960,
+			GlobeDoc:   bench.Sample{N: 3, Mean: 120 * time.Millisecond},
+			HTTP:       bench.Sample{N: 3, Mean: 90 * time.Millisecond},
+			HTTPS:      bench.Sample{N: 3, Mean: 110 * time.Millisecond},
+		}},
+	}}
+	return r
+}
+
+func TestReportRoundTripsThroughJSON(t *testing.T) {
+	r := sampleReport(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bench.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("report did not round-trip:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestReportMetaDefaults(t *testing.T) {
+	r := sampleReport(t)
+	if r.Schema != bench.ReportSchema {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	if r.Meta.Seed != bench.WorkloadSeed {
+		t.Errorf("seed = %d, want %d", r.Meta.Seed, bench.WorkloadSeed)
+	}
+	if r.Meta.Iterations != 3 {
+		t.Errorf("iterations = %d", r.Meta.Iterations)
+	}
+	// withDefaults fills the algorithm; it must round-trip through
+	// ParseAlgorithm (ReadReport checks), so it cannot be empty.
+	if r.Meta.KeyAlgorithm == "" {
+		t.Error("key algorithm not recorded")
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := bench.ReadReport(strings.NewReader(`{"schema":"globedoc-bench/999"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := bench.ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	bad := `{"schema":"` + bench.ReportSchema + `","meta":{"key_algorithm":"rot13"}}`
+	if _, err := bench.ReadReport(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown key algorithm accepted")
+	}
+}

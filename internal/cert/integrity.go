@@ -132,27 +132,56 @@ func (c *IntegrityCertificate) Lookup(name string) (ElementEntry, error) {
 //  3. freshness — now falls inside the entry's validity interval.
 //
 // The certificate's own signature must have been verified beforehand with
-// VerifySignature.
+// VerifySignature. The three checks are also exported individually
+// (CheckConsistency / CheckAuthenticity / CheckFreshness) so the secure
+// pipeline can time each as its own tracing span; this method is their
+// composition and the single source of truth for their order.
 func (c *IntegrityCertificate) VerifyElement(requested string, content []byte, now time.Time) error {
-	entry, err := c.Lookup(requested)
+	entry, err := c.CheckConsistency(requested)
 	if err != nil {
 		return err
 	}
-	// Consistency: Lookup already keyed on the requested name; entry.Name
-	// is re-checked defensively in case the certificate was mutated.
+	if err := entry.CheckAuthenticity(content); err != nil {
+		return err
+	}
+	return entry.CheckFreshness(now)
+}
+
+// CheckConsistency performs the consistency half of VerifyElement: it
+// returns the certificate entry for the requested element, failing if the
+// certificate has no such entry or the entry names a different element.
+func (c *IntegrityCertificate) CheckConsistency(requested string) (ElementEntry, error) {
+	entry, err := c.Lookup(requested)
+	if err != nil {
+		return ElementEntry{}, err
+	}
+	// Lookup already keyed on the requested name; entry.Name is re-checked
+	// defensively in case the certificate was mutated.
 	if entry.Name != requested {
-		return fmt.Errorf("%w: certificate entry %q does not match request %q",
+		return ElementEntry{}, fmt.Errorf("%w: certificate entry %q does not match request %q",
 			ErrConsistency, entry.Name, requested)
 	}
+	return entry, nil
+}
+
+// CheckAuthenticity verifies that SHA-1(content) equals the hash signed
+// into this entry.
+func (e ElementEntry) CheckAuthenticity(content []byte) error {
 	h := globeid.HashElement(content)
-	if subtle.ConstantTimeCompare(h[:], entry.Hash[:]) != 1 {
-		return fmt.Errorf("%w: element %q content hash mismatch", ErrAuthenticity, requested)
+	if subtle.ConstantTimeCompare(h[:], e.Hash[:]) != 1 {
+		return fmt.Errorf("%w: element %q content hash mismatch", ErrAuthenticity, e.Name)
 	}
-	if !entry.NotBefore.IsZero() && now.Before(entry.NotBefore) {
-		return fmt.Errorf("%w: element %q not valid before %s", ErrFreshness, requested, entry.NotBefore)
+	return nil
+}
+
+// CheckFreshness verifies that now falls inside this entry's validity
+// interval.
+func (e ElementEntry) CheckFreshness(now time.Time) error {
+	if !e.NotBefore.IsZero() && now.Before(e.NotBefore) {
+		return fmt.Errorf("%w: element %q not valid before %s", ErrFreshness, e.Name, e.NotBefore)
 	}
-	if now.After(entry.Expires) {
-		return fmt.Errorf("%w: element %q expired at %s", ErrFreshness, requested, entry.Expires)
+	if now.After(e.Expires) {
+		return fmt.Errorf("%w: element %q expired at %s", ErrFreshness, e.Name, e.Expires)
 	}
 	return nil
 }

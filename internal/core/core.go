@@ -18,9 +18,11 @@
 //  7. verify authenticity (hash), consistency (requested name) and
 //     freshness (validity interval).
 //
-// Every phase is individually timed; the security-specific phases are
-// exactly the set the paper instruments for Figure 4, so the benchmark
-// harness reads the overhead directly from a fetch's Timing.
+// Every fetch is traced as one span tree: a root fetch.secure span with
+// one child per pipeline step (the 14 steps of PipelineSteps; DESIGN.md
+// §8 maps them to the paper's Figure 3). The per-phase Timing the
+// benchmark harness reads is derived from those spans' durations, so the
+// tracer and the Figure-4 numbers can never disagree.
 package core
 
 import (
@@ -33,9 +35,57 @@ import (
 	"globedoc/internal/document"
 	"globedoc/internal/globeid"
 	"globedoc/internal/keys"
+	"globedoc/internal/location"
 	"globedoc/internal/object"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
+
+// Root span names for the operations this client runs.
+const (
+	SpanSecureFetch = "fetch.secure"   // one FetchNamed/Fetch
+	SpanFetchAll    = "fetch.all"      // whole-object download
+	SpanElements    = "fetch.elements" // verified table of contents
+)
+
+// Span names for the secure-binding pipeline steps (paper §3.2, Fig. 3).
+// A cold, identity-checking fetch runs all fourteen; a warm fetch skips
+// steps 3–10 (that is the point of the verified-binding cache).
+const (
+	StepNameResolve        = "name.resolve"                // 1: hybrid name -> OID
+	StepBindingCache       = "binding.cache"               // 2: verified-binding cache consult
+	StepLocationLookup     = "location.lookup"             // 3: OID -> contact addresses
+	StepDial               = "replica.dial"                // 4: connect + liveness ping
+	StepKeyFetch           = "key.fetch"                   // 5: retrieve object public key
+	StepKeyVerify          = "key.verify"                  // 6: SHA-1(key) == OID
+	StepNameCertFetch      = "namecert.fetch"              // 7: retrieve identity certificates
+	StepNameCertVerify     = "namecert.verify"             // 8: match against trusted CAs
+	StepCertFetch          = "icert.fetch"                 // 9: retrieve integrity certificate
+	StepCertVerify         = "icert.verify"                // 10: verify signature under object key
+	StepElementFetch       = "element.fetch"               // 11: content transfer
+	StepVerifyConsistency  = "element.verify.consistency"  // 12: entry matches requested name
+	StepVerifyAuthenticity = "element.verify.authenticity" // 13: SHA-1(content) == entry hash
+	StepVerifyFreshness    = "element.verify.freshness"    // 14: validity interval covers now
+)
+
+// PipelineSteps lists the 14 binding-pipeline step span names in
+// execution order.
+var PipelineSteps = []string{
+	StepNameResolve,
+	StepBindingCache,
+	StepLocationLookup,
+	StepDial,
+	StepKeyFetch,
+	StepKeyVerify,
+	StepNameCertFetch,
+	StepNameCertVerify,
+	StepCertFetch,
+	StepCertVerify,
+	StepElementFetch,
+	StepVerifyConsistency,
+	StepVerifyAuthenticity,
+	StepVerifyFreshness,
+}
 
 // ErrSecurityCheckFailed wraps every verification failure: whatever the
 // replica or the intermediate services did, the client refused the data.
@@ -56,10 +106,11 @@ func (e *SecurityError) Error() string {
 // against the underlying cert/globeid errors both work.
 func (e *SecurityError) Unwrap() []error { return []error{ErrSecurityCheckFailed, e.Err} }
 
-func secErr(phase string, err error) error { return &SecurityError{Phase: phase, Err: err} }
-
 // Timing is the per-phase breakdown of one secure fetch, mirroring the
-// timers the paper placed "in various parts of the proxy and server code".
+// timers the paper placed "in various parts of the proxy and server
+// code". Each field is filled from the corresponding pipeline span's
+// duration (Bind sums location.lookup and replica.dial; ElementVerify
+// sums the three element.verify.* steps).
 type Timing struct {
 	NameResolve    time.Duration // hybrid name -> OID
 	Bind           time.Duration // location lookup + connect
@@ -156,6 +207,39 @@ type verifiedBinding struct {
 	certifiedAs string
 }
 
+// pipeline is the in-flight observability state of one secure operation:
+// the root span every step hangs off, and the Timing being accumulated.
+// Timing fields are credited from the step spans' own durations, so the
+// benchmark harness and the tracer always report the same intervals.
+type pipeline struct {
+	tel    *telemetry.Telemetry
+	root   *telemetry.Span
+	timing Timing
+}
+
+// step runs one named pipeline step under a child span, crediting the
+// span's duration to the given Timing field (nil to time without
+// crediting).
+func (p *pipeline) step(name string, field *time.Duration, f func() error) error {
+	sp := p.root.StartChild(name)
+	err := f()
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	sp.End()
+	if field != nil {
+		*field += sp.Duration()
+	}
+	return err
+}
+
+// fresh returns a pipeline sharing this one's trace but with zeroed
+// timing — the retry/failover paths report the timing of the attempt
+// that succeeded, not the sum of all attempts.
+func (p *pipeline) fresh() *pipeline {
+	return &pipeline{tel: p.tel, root: p.root}
+}
+
 // Client runs the GlobeDoc security pipeline. Construct with a configured
 // object.Binder; zero out Trust to skip CA identity certification.
 type Client struct {
@@ -177,6 +261,9 @@ type Client struct {
 	// failure on a warm binding). Nil means one refresh attempt, the
 	// historical behaviour.
 	Retry *transport.RetryPolicy
+	// Telemetry receives the pipeline spans, cache/failover counters and
+	// latency histograms; nil falls back to telemetry.Default().
+	Telemetry *telemetry.Telemetry
 	// Now is the clock used for freshness checks; tests replace it.
 	Now func() time.Time
 
@@ -191,6 +278,15 @@ func NewClient(binder *object.Binder) *Client {
 		Now:    time.Now,
 		cache:  make(map[globeid.OID]*verifiedBinding),
 	}
+}
+
+func (c *Client) tel() *telemetry.Telemetry { return telemetry.Or(c.Telemetry) }
+
+// secErr records the failed check in security_check_failures_total{phase}
+// and returns the wrapped SecurityError.
+func (c *Client) secErr(phase string, err error) error {
+	c.tel().SecurityCheckFailures.With(phase).Inc()
+	return &SecurityError{Phase: phase, Err: err}
 }
 
 // Close drops all cached bindings and their connections.
@@ -208,34 +304,86 @@ func (c *Client) FlushBindings() { c.Close() }
 
 // FetchNamed securely fetches one element of the object bound to name.
 func (c *Client) FetchNamed(name, element string) (FetchResult, error) {
-	var timing Timing
-	start := time.Now()
-	oid, err := c.Binder.Names.Resolve(name)
-	timing.NameResolve = time.Since(start)
+	p := c.newPipeline(SpanSecureFetch)
+	p.root.Annotate("object", name)
+	p.root.Annotate("element", element)
+	var oid globeid.OID
+	err := p.step(StepNameResolve, &p.timing.NameResolve, func() error {
+		var rerr error
+		oid, rerr = c.Binder.Names.Resolve(name)
+		return rerr
+	})
 	if err != nil {
+		p.finish("error")
 		return FetchResult{}, fmt.Errorf("core: resolving %q: %w", name, err)
 	}
-	return c.fetch(oid, element, timing)
+	return c.finishFetch(p, oid, element)
 }
 
 // Fetch securely fetches one element of the object identified by oid.
 func (c *Client) Fetch(oid globeid.OID, element string) (FetchResult, error) {
-	return c.fetch(oid, element, Timing{})
+	p := c.newPipeline(SpanSecureFetch)
+	p.root.Annotate("oid", oid.Short())
+	p.root.Annotate("element", element)
+	return c.finishFetch(p, oid, element)
 }
 
-func (c *Client) fetch(oid globeid.OID, element string, timing Timing) (FetchResult, error) {
-	return c.fetchExcluding(oid, element, timing, nil)
+func (c *Client) newPipeline(rootName string) *pipeline {
+	tel := c.tel()
+	return &pipeline{tel: tel, root: tel.Tracer.StartSpan(rootName)}
 }
 
-// fetchExcluding is fetch with a set of replica addresses already caught
-// misbehaving during this operation; they are skipped when re-binding.
-func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, excluded map[string]bool) (FetchResult, error) {
+func (p *pipeline) finish(outcome string) {
+	p.root.Annotate("outcome", outcome)
+	p.root.End()
+}
+
+// finishFetch runs the bind+fetch pipeline below name resolution, closes
+// the root span, and feeds the fetch-latency and security-overhead
+// histograms from the same Timing the caller receives.
+func (c *Client) finishFetch(p *pipeline, oid globeid.OID, element string) (FetchResult, error) {
+	res, err := c.fetchExcluding(p, oid, element, nil)
+	if err != nil {
+		p.finish("error")
+		return FetchResult{}, err
+	}
+	p.finish("ok")
+	p.tel.FetchLatency.Observe(res.Timing.Total().Seconds())
+	p.tel.SecurityOverhead.Observe(res.Timing.OverheadPercent())
+	return res, nil
+}
+
+// fetchExcluding is the bind+fetch pipeline with a set of replica
+// addresses already caught misbehaving during this operation; they are
+// skipped when re-binding.
+func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, excluded map[string]bool) (FetchResult, error) {
 	now := c.Now()
 
-	vb, warm := c.cachedBinding(oid, now)
+	// Step 2: consult the verified-binding cache.
+	var vb *verifiedBinding
+	var warm bool
+	cacheSp := p.root.StartChild(StepBindingCache)
+	vb, warm = c.cachedBinding(oid, now)
+	if warm {
+		cacheSp.Annotate("outcome", "hit")
+	} else {
+		cacheSp.Annotate("outcome", "miss")
+	}
+	if !c.CacheBindings {
+		cacheSp.Annotate("enabled", "false")
+	}
+	cacheSp.End()
+	if c.CacheBindings {
+		if warm {
+			p.tel.BindingCacheHits.Inc()
+		} else {
+			p.tel.BindingCacheMisses.Inc()
+		}
+	}
+
 	if !warm {
 		var err error
-		vb, err = c.establish(oid, now, &timing, excluded)
+		vb, err = c.establish(p, oid, now, excluded)
 		if err != nil {
 			return FetchResult{}, err
 		}
@@ -244,10 +392,13 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 		}
 	}
 
-	// Phase 6: retrieve the page element from the (untrusted) replica.
-	start := time.Now()
-	elem, err := vb.client.GetElement(element)
-	timing.ElementFetch = time.Since(start)
+	// Step 11: retrieve the page element from the (untrusted) replica.
+	var elem document.Element
+	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
+		var ferr error
+		elem, ferr = vb.client.GetElement(element)
+		return ferr
+	})
 	if err != nil {
 		// A replica that times out, resets, or otherwise fails mid-fetch
 		// is handled exactly like a detected attack: abandon it and move
@@ -258,6 +409,7 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 		// the address for this operation.
 		addr := vb.client.Addr()
 		c.dropBinding(oid, vb)
+		p.tel.Failovers.Inc()
 		next := excluded
 		if !warm {
 			next = make(map[string]bool, len(excluded)+1)
@@ -266,17 +418,15 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 			}
 			next[addr] = true
 		}
-		res, retryErr := c.fetchExcluding(oid, element, Timing{}, next)
+		res, retryErr := c.fetchExcluding(p.fresh(), oid, element, next)
 		if retryErr == nil {
 			return res, nil
 		}
 		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
 	}
 
-	// Phase 7: authenticity, consistency, freshness (paper §3.2.2).
-	start = time.Now()
-	err = vb.icert.VerifyElement(element, elem.Data, now)
-	timing.ElementVerify = time.Since(start)
+	// Steps 12–14: consistency, authenticity, freshness (paper §3.2.2).
+	err = c.verifyElement(p, vb, element, elem.Data, now)
 	if err != nil {
 		if warm && errors.Is(err, cert.ErrFreshness) {
 			// The cached certificate may simply have expired; re-bind
@@ -288,7 +438,7 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 			c.dropBinding(oid, vb)
 			var res FetchResult
 			doErr := c.refreshPolicy().Do(func() error {
-				r, ferr := c.fetchExcluding(oid, element, Timing{}, excluded)
+				r, ferr := c.fetchExcluding(p.fresh(), oid, element, excluded)
 				if ferr != nil {
 					if errors.Is(ferr, ErrSecurityCheckFailed) {
 						return transport.Permanent(ferr)
@@ -311,25 +461,26 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 			// replica remains.
 			addr := vb.client.Addr()
 			c.dropBinding(oid, vb)
+			p.tel.Failovers.Inc()
 			next := make(map[string]bool, len(excluded)+1)
 			for a := range excluded {
 				next[a] = true
 			}
 			next[addr] = true
-			res, retryErr := c.fetchExcluding(oid, element, Timing{}, next)
+			res, retryErr := c.fetchExcluding(p.fresh(), oid, element, next)
 			if retryErr == nil {
 				return res, nil
 			}
-			return FetchResult{}, secErr("element", err)
+			return FetchResult{}, c.secErr("element", err)
 		}
-		return FetchResult{}, secErr("element", err)
+		return FetchResult{}, c.secErr("element", err)
 	}
 
 	res := FetchResult{
 		Element:     elem,
 		CertifiedAs: vb.certifiedAs,
 		ReplicaAddr: vb.client.Addr(),
-		Timing:      timing,
+		Timing:      p.timing,
 		WarmBinding: warm,
 	}
 	if !warm && !c.CacheBindings {
@@ -338,18 +489,43 @@ func (c *Client) fetchExcluding(oid globeid.OID, element string, timing Timing, 
 	return res, nil
 }
 
+// verifyElement runs the three per-element checks as separate pipeline
+// steps, all credited to Timing.ElementVerify. The decomposed cert
+// methods are the same code VerifyElement composes, in the same order.
+func (c *Client) verifyElement(p *pipeline, vb *verifiedBinding, element string, content []byte, now time.Time) error {
+	var entry cert.ElementEntry
+	if err := p.step(StepVerifyConsistency, &p.timing.ElementVerify, func() error {
+		var cerr error
+		entry, cerr = vb.icert.CheckConsistency(element)
+		return cerr
+	}); err != nil {
+		return err
+	}
+	if err := p.step(StepVerifyAuthenticity, &p.timing.ElementVerify, func() error {
+		return entry.CheckAuthenticity(content)
+	}); err != nil {
+		return err
+	}
+	return p.step(StepVerifyFreshness, &p.timing.ElementVerify, func() error {
+		return entry.CheckFreshness(now)
+	})
+}
+
 // establish performs phases 2–5: locate candidate replicas, then for
 // each (nearest first) connect, self-certify the key, optionally certify
 // identity, and verify the integrity certificate. A replica that fails
-// ANY check — unreachable or malicious — is abandoned and the next
-// candidate is tried, so a compromised near replica degrades a fetch to
-// the next-nearest honest one rather than to an error. Only when every
-// candidate fails does the fetch fail (the paper's worst case: denial of
-// service).
-func (c *Client) establish(oid globeid.OID, now time.Time, timing *Timing, excluded map[string]bool) (*verifiedBinding, error) {
-	start := time.Now()
-	candidates, _, err := c.Binder.Candidates(oid)
-	timing.Bind = time.Since(start)
+// ANY check — unreachable or malicious — is abandoned (counted in
+// failovers_total) and the next candidate is tried, so a compromised
+// near replica degrades a fetch to the next-nearest honest one rather
+// than to an error. Only when every candidate fails does the fetch fail
+// (the paper's worst case: denial of service).
+func (c *Client) establish(p *pipeline, oid globeid.OID, now time.Time, excluded map[string]bool) (*verifiedBinding, error) {
+	var candidates []location.ContactAddress
+	err := p.step(StepLocationLookup, &p.timing.Bind, func() error {
+		var lerr error
+		candidates, _, lerr = c.Binder.Candidates(oid)
+		return lerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -358,9 +534,10 @@ func (c *Client) establish(oid globeid.OID, now time.Time, timing *Timing, exclu
 		if excluded[ca.Address] {
 			continue
 		}
-		vb, err := c.verifyReplica(oid, ca.Address, now, timing)
+		vb, err := c.verifyReplica(p, oid, ca.Address, now)
 		if err != nil {
 			lastErr = err
+			p.tel.Failovers.Inc()
 			continue
 		}
 		return vb, nil
@@ -371,11 +548,20 @@ func (c *Client) establish(oid globeid.OID, now time.Time, timing *Timing, exclu
 // verifyReplica runs phases 2b–5 against one replica address. The timing
 // phases record the most recent attempt; Bind accumulates across
 // attempts.
-func (c *Client) verifyReplica(oid globeid.OID, addr string, now time.Time, timing *Timing) (*verifiedBinding, error) {
-	// Phase 2b: connect to the (untrusted) replica.
-	start := time.Now()
-	client, err := c.Binder.Connect(oid, addr)
-	timing.Bind += time.Since(start)
+func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now time.Time) (*verifiedBinding, error) {
+	// Most-recent-attempt semantics: a previous failed candidate's phase
+	// times are discarded; only Bind keeps accumulating.
+	p.timing.KeyFetch, p.timing.KeyVerify = 0, 0
+	p.timing.NameCertFetch, p.timing.NameCertVerify = 0, 0
+	p.timing.CertFetch, p.timing.CertVerify = 0, 0
+
+	// Step 4: connect to the (untrusted) replica.
+	var client *object.Client
+	err := p.step(StepDial, &p.timing.Bind, func() error {
+		var derr error
+		client, derr = c.Binder.Connect(oid, addr)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -383,37 +569,46 @@ func (c *Client) verifyReplica(oid globeid.OID, addr string, now time.Time, timi
 
 	fail := func(phase string, cause error) (*verifiedBinding, error) {
 		client.Close()
-		return nil, secErr(phase, cause)
+		return nil, c.secErr(phase, cause)
 	}
 
-	// Phase 3: retrieve the object's public key and self-certify it.
-	start = time.Now()
-	pk, err := client.GetPublicKey()
-	timing.KeyFetch = time.Since(start)
+	// Steps 5–6: retrieve the object's public key and self-certify it.
+	var pk keys.PublicKey
+	err = p.step(StepKeyFetch, &p.timing.KeyFetch, func() error {
+		var kerr error
+		pk, kerr = client.GetPublicKey()
+		return kerr
+	})
 	if err != nil {
 		client.Close()
 		return nil, fmt.Errorf("core: fetching object key: %w", err)
 	}
-	start = time.Now()
-	err = oid.Verify(pk)
-	timing.KeyVerify = time.Since(start)
+	err = p.step(StepKeyVerify, &p.timing.KeyVerify, func() error {
+		return oid.Verify(pk)
+	})
 	if err != nil {
 		return fail("self-certification", err)
 	}
 
-	// Phase 4 (optional): identity certificates against the user's CAs.
+	// Steps 7–8 (optional): identity certificates against the user's CAs.
 	certifiedAs := ""
 	if c.Trust != nil {
-		start = time.Now()
-		nameCerts, err := client.GetNameCerts()
-		timing.NameCertFetch = time.Since(start)
+		var nameCerts []*cert.NameCertificate
+		err = p.step(StepNameCertFetch, &p.timing.NameCertFetch, func() error {
+			var nerr error
+			nameCerts, nerr = client.GetNameCerts()
+			return nerr
+		})
 		if err != nil {
 			client.Close()
 			return nil, fmt.Errorf("core: fetching identity certificates: %w", err)
 		}
-		start = time.Now()
-		subject, err := c.Trust.FirstTrusted(nameCerts, oid, now)
-		timing.NameCertVerify = time.Since(start)
+		var subject string
+		err = p.step(StepNameCertVerify, &p.timing.NameCertVerify, func() error {
+			var verr error
+			subject, verr = c.Trust.FirstTrusted(nameCerts, oid, now)
+			return verr
+		})
 		if err == nil {
 			certifiedAs = subject
 		} else if c.RequireIdentity {
@@ -421,17 +616,20 @@ func (c *Client) verifyReplica(oid globeid.OID, addr string, now time.Time, timi
 		}
 	}
 
-	// Phase 5: integrity certificate, verified under the object key.
-	start = time.Now()
-	icert, err := client.GetIntegrityCert()
-	timing.CertFetch = time.Since(start)
+	// Steps 9–10: integrity certificate, verified under the object key.
+	var icert *cert.IntegrityCertificate
+	err = p.step(StepCertFetch, &p.timing.CertFetch, func() error {
+		var cerr error
+		icert, cerr = client.GetIntegrityCert()
+		return cerr
+	})
 	if err != nil {
 		client.Close()
 		return nil, fmt.Errorf("core: fetching integrity certificate: %w", err)
 	}
-	start = time.Now()
-	err = icert.VerifySignature(oid, pk)
-	timing.CertVerify = time.Since(start)
+	err = p.step(StepCertVerify, &p.timing.CertVerify, func() error {
+		return icert.VerifySignature(oid, pk)
+	})
 	if err != nil {
 		return fail("integrity-certificate", err)
 	}
@@ -495,12 +693,23 @@ func (c *Client) ElementsNamed(name string) ([]cert.ElementEntry, error) {
 
 // Elements returns the verified certificate entries for oid.
 func (c *Client) Elements(oid globeid.OID) ([]cert.ElementEntry, error) {
+	p := c.newPipeline(SpanElements)
+	p.root.Annotate("oid", oid.Short())
+	entries, err := c.elements(p, oid)
+	if err != nil {
+		p.finish("error")
+		return nil, err
+	}
+	p.finish("ok")
+	return entries, nil
+}
+
+func (c *Client) elements(p *pipeline, oid globeid.OID) ([]cert.ElementEntry, error) {
 	now := c.Now()
 	vb, warm := c.cachedBinding(oid, now)
 	if !warm {
-		var timing Timing
 		var err error
-		vb, err = c.establish(oid, now, &timing, nil)
+		vb, err = c.establish(p, oid, now, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -518,13 +727,24 @@ func (c *Client) Elements(oid globeid.OID) ([]cert.ElementEntry, error) {
 // the "download the whole document" operation the paper's Figures 5–7
 // time against Apache.
 func (c *Client) FetchAll(oid globeid.OID) ([]FetchResult, error) {
+	p := c.newPipeline(SpanFetchAll)
+	p.root.Annotate("oid", oid.Short())
+	out, err := c.fetchAll(p, oid)
+	if err != nil {
+		p.finish("error")
+		return out, err
+	}
+	p.finish("ok")
+	return out, nil
+}
+
+func (c *Client) fetchAll(p *pipeline, oid globeid.OID) ([]FetchResult, error) {
 	// Bind once (cold or cached), then fetch each element.
 	now := c.Now()
 	vb, warm := c.cachedBinding(oid, now)
 	if !warm {
-		var timing Timing
 		var err error
-		vb, err = c.establish(oid, now, &timing, nil)
+		vb, err = c.establish(p, oid, now, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -537,7 +757,7 @@ func (c *Client) FetchAll(oid globeid.OID) ([]FetchResult, error) {
 	}
 	var out []FetchResult
 	for _, entry := range vb.icert.Entries {
-		res, err := c.fetchVia(vb, entry.Name, now, warm)
+		res, err := c.fetchVia(p.fresh(), vb, entry.Name, now, warm)
 		if err != nil {
 			return out, err
 		}
@@ -552,25 +772,24 @@ func (c *Client) storeBindingIfEnabled(oid globeid.OID, vb *verifiedBinding) {
 	}
 }
 
-func (c *Client) fetchVia(vb *verifiedBinding, element string, now time.Time, warm bool) (FetchResult, error) {
-	var timing Timing
-	start := time.Now()
-	elem, err := vb.client.GetElement(element)
-	timing.ElementFetch = time.Since(start)
+func (c *Client) fetchVia(p *pipeline, vb *verifiedBinding, element string, now time.Time, warm bool) (FetchResult, error) {
+	var elem document.Element
+	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
+		var ferr error
+		elem, ferr = vb.client.GetElement(element)
+		return ferr
+	})
 	if err != nil {
 		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
 	}
-	start = time.Now()
-	err = vb.icert.VerifyElement(element, elem.Data, now)
-	timing.ElementVerify = time.Since(start)
-	if err != nil {
-		return FetchResult{}, secErr("element", err)
+	if err := c.verifyElement(p, vb, element, elem.Data, now); err != nil {
+		return FetchResult{}, c.secErr("element", err)
 	}
 	return FetchResult{
 		Element:     elem,
 		CertifiedAs: vb.certifiedAs,
 		ReplicaAddr: vb.client.Addr(),
-		Timing:      timing,
+		Timing:      p.timing,
 		WarmBinding: warm,
 	}, nil
 }

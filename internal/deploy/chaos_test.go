@@ -18,6 +18,7 @@ package deploy_test
 
 import (
 	"flag"
+	"strings"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"globedoc/internal/keys/keytest"
 	"globedoc/internal/netsim"
 	"globedoc/internal/server"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -50,13 +52,18 @@ func chaosConfig() transport.Config {
 }
 
 // chaosWorld publishes one document with replicas at amsterdam-primary
-// (home), paris and ithaca, and seeds the network's fault layer.
-func chaosWorld(t *testing.T, seed int64) (*deploy.World, *deploy.Publication) {
+// (home), paris and ithaca, and seeds the network's fault layer. The
+// returned Telemetry observes the whole world — every service and every
+// client it creates — so tests can assert on the failure counters the
+// chaos actually drove.
+func chaosWorld(t *testing.T, seed int64) (*deploy.World, *deploy.Publication, *telemetry.Telemetry) {
 	t.Helper()
+	tel := telemetry.New(nil)
 	w, err := deploy.NewWorld(deploy.Options{
 		TimeScale:         0,
 		Client:            chaosConfig(),
 		ServerIdleTimeout: 2 * time.Second,
+		Telemetry:         tel,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +92,7 @@ func chaosWorld(t *testing.T, seed int64) (*deploy.World, *deploy.Publication) {
 		}
 	}
 	w.Net.SetFaultSeed(seed)
-	return w, pub
+	return w, pub, tel
 }
 
 // verifyProperties asserts DESIGN.md §5's four security properties on a
@@ -138,7 +145,7 @@ func TestChaosFetchHoldsWithHonestReplica(t *testing.T) {
 	// replica (and the naming/location services there) stay clean — the
 	// "at least one honest reachable replica" regime. Every fetch must
 	// complete within a deadline with all four properties intact.
-	w, pub := chaosWorld(t, *chaosSeed)
+	w, pub, tel := chaosWorld(t, *chaosSeed)
 	lossy := netsim.FaultPlan{
 		DropProb:    0.25,
 		CorruptProb: 0.15,
@@ -166,13 +173,24 @@ func TestChaosFetchHoldsWithHonestReplica(t *testing.T) {
 		}
 		verifyProperties(t, w, pub, element, res.Element.Data, res.CertifiedAs)
 	}
+	// The lossy links cost retries, never verification failures that stick:
+	// a transport-level drop or corruption can delay a fetch but must not be
+	// reported as a replica serving bad signed state. (Failed checks that
+	// the pipeline recovers from by failover are permitted — the counter
+	// below pins total recovery work, not zero.)
+	if tel.RPCRetries.Value() == 0 {
+		t.Error("rpc_retries_total = 0; lossy links should have forced retries")
+	}
+	if hits := tel.BindingCacheHits.Value(); hits == 0 {
+		t.Error("binding_cache_hits_total = 0 with CacheBindings enabled across repeated fetches")
+	}
 }
 
 func TestChaosFetchHoldsWithFlappingLink(t *testing.T) {
 	// A scripted schedule flaps the client's local-replica link while
 	// fetches run. Fetches that land in a down window must fail over or
 	// retry — never return wrong data, never exceed the latency bound.
-	w, pub := chaosWorld(t, *chaosSeed)
+	w, pub, tel := chaosWorld(t, *chaosSeed)
 	stop := w.Net.RunScript(netsim.FlapLink(netsim.Paris, netsim.Paris, 30*time.Millisecond, 50))
 	defer stop()
 
@@ -191,13 +209,60 @@ func TestChaosFetchHoldsWithFlappingLink(t *testing.T) {
 		}
 		verifyProperties(t, w, pub, "index.html", res.Element.Data, res.CertifiedAs)
 	}
+	// A flapping link is an availability fault, not an attack: every
+	// replica served exactly what the owner signed, so no security check
+	// may have failed — down windows surface as transport errors, failover
+	// and retry, never as verification failures.
+	if n := tel.SecurityCheckFailures.Total(); n != 0 {
+		t.Errorf("security_check_failures_total = %d on an honest (flapping) run, want 0: %v",
+			n, tel.SecurityCheckFailures.Values())
+	}
+}
+
+func TestChaosFailoverIsCountedWhenReplicaFlaps(t *testing.T) {
+	// Deterministic flap: bind to the local replica, sever its link, and
+	// fetch again. The pipeline must fail over to a remote replica — and
+	// failovers_total must record that it did, while the honest outage
+	// registers zero security failures.
+	w, pub, tel := chaosWorld(t, *chaosSeed)
+	client := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(client.Close)
+	client.CacheBindings = true
+
+	res, err := client.FetchNamed("chaos.vu.nl", "index.html")
+	if err != nil {
+		t.Fatalf("fetch before flap: %v", err)
+	}
+	verifyProperties(t, w, pub, "index.html", res.Element.Data, res.CertifiedAs)
+	bound := res.ReplicaAddr
+
+	// Crash the replica the cached binding points at, killing its pooled
+	// connection, so the next fetch must abandon it mid-flight. (Severing
+	// the link would not do: same-host dials ignore link state, and fault
+	// plans only apply to connections dialled after they are set.)
+	w.Servers[strings.SplitN(bound, ":", 2)[0]].Close()
+	res, err = client.FetchNamed("chaos.vu.nl", "index.html")
+	if err != nil {
+		t.Fatalf("fetch after flap did not fail over: %v", err)
+	}
+	verifyProperties(t, w, pub, "index.html", res.Element.Data, res.CertifiedAs)
+	if res.ReplicaAddr == bound {
+		t.Errorf("second fetch still served by %s over a severed link", bound)
+	}
+	if n := tel.Failovers.Value(); n == 0 {
+		t.Error("failovers_total = 0 after a forced replica failover")
+	}
+	if n := tel.SecurityCheckFailures.Total(); n != 0 {
+		t.Errorf("security_check_failures_total = %d after an honest outage, want 0: %v",
+			n, tel.SecurityCheckFailures.Values())
+	}
 }
 
 func TestChaosZeroHonestReplicasFailsCleanly(t *testing.T) {
 	// Every path to every replica drops all frames; only the naming and
 	// location services stay reachable. The fetch must return an error —
 	// promptly — rather than hang or fabricate data.
-	w, _ := chaosWorld(t, *chaosSeed)
+	w, _, _ := chaosWorld(t, *chaosSeed)
 	blackhole := netsim.FaultPlan{DropProb: 1}
 	w.Net.SetFaults(netsim.Paris, netsim.Paris, blackhole)
 	w.Net.SetFaults(netsim.Paris, netsim.Ithaca, blackhole)
@@ -248,7 +313,7 @@ func TestChaosSameSeedReproducesFaultSchedule(t *testing.T) {
 		t.Skip("determinism replay skipped in -short mode")
 	}
 	run := func(seed int64) string {
-		w, _ := chaosWorld(t, seed)
+		w, _, _ := chaosWorld(t, seed)
 		trace := w.Net.TraceFaults()
 		w.Net.SetFaults(netsim.Paris, netsim.Paris, netsim.FaultPlan{DropProb: 0.3, CorruptProb: 0.2})
 		client := w.NewSecureClient(netsim.Paris)

@@ -1,0 +1,112 @@
+package deploy
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"globedoc/internal/telemetry"
+	"globedoc/internal/transport"
+)
+
+// This file is the shared flag plumbing for the GlobeDoc binaries. Every
+// process-shaped command (proxy, server, services) needs the same two
+// bundles — transport robustness knobs and the observability surface —
+// so they are registered and interpreted here once instead of being
+// copy-pasted per main().
+
+// ClientFlags is the standard transport-robustness flag bundle:
+// dial/call timeouts and the per-RPC retry budget.
+type ClientFlags struct {
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	Retries     int
+}
+
+// RegisterClientFlags registers the shared transport flags on fs (nil =
+// flag.CommandLine) with the standard defaults and returns the bundle to
+// read after fs.Parse.
+func RegisterClientFlags(fs *flag.FlagSet) *ClientFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &ClientFlags{}
+	fs.DurationVar(&f.DialTimeout, "dial-timeout", 5*time.Second,
+		"per-connection dial deadline (0 = unbounded)")
+	fs.DurationVar(&f.CallTimeout, "call-timeout", 10*time.Second,
+		"per-RPC deadline, send through receive (0 = unbounded)")
+	fs.IntVar(&f.Retries, "retries", 3,
+		"attempts per RPC against a flaky replica (1 = no retry)")
+	return f
+}
+
+// Config converts the parsed flags into a transport.Config carrying tel.
+func (f *ClientFlags) Config(tel *telemetry.Telemetry) transport.Config {
+	cfg := transport.Config{
+		DialTimeout: f.DialTimeout,
+		CallTimeout: f.CallTimeout,
+		Telemetry:   tel,
+	}
+	if f.Retries > 1 {
+		policy := transport.DefaultRetryPolicy()
+		policy.MaxAttempts = f.Retries
+		cfg.Retry = policy
+	}
+	return cfg
+}
+
+// DebugFlags is the standard observability flag bundle: the /debugz
+// listen address and the span JSON-lines output path.
+type DebugFlags struct {
+	Addr     string
+	TraceOut string
+}
+
+// RegisterDebugFlags registers the shared observability flags on fs
+// (nil = flag.CommandLine) and returns the bundle to read after
+// fs.Parse.
+func RegisterDebugFlags(fs *flag.FlagSet) *DebugFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &DebugFlags{}
+	fs.StringVar(&f.Addr, "debug-addr", "",
+		"listen address for the /debugz diagnostics endpoint (empty = disabled)")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"file to append finished spans to as JSON lines (empty = disabled)")
+	return f
+}
+
+// Start applies the parsed observability flags to tel: it attaches a
+// JSON-lines span exporter when -trace-out is set and serves /debugz when
+// -debug-addr is set, announcing the bound address on stdout. The
+// returned stop function shuts both down; it is never nil.
+func (f *DebugFlags) Start(tel *telemetry.Telemetry) (stop func(), err error) {
+	tel = telemetry.Or(tel)
+	var closers []func()
+	if f.TraceOut != "" {
+		out, err := os.OpenFile(f.TraceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: opening trace output: %w", err)
+		}
+		tel.Tracer.AddExporter(telemetry.NewJSONLExporter(out))
+		closers = append(closers, func() { out.Close() })
+	}
+	if f.Addr != "" {
+		addr, stopDebug, err := tel.ServeDebug(f.Addr)
+		if err != nil {
+			for _, c := range closers {
+				c()
+			}
+			return nil, err
+		}
+		fmt.Printf("debugz endpoint on http://%s/debugz\n", addr)
+		closers = append(closers, stopDebug)
+	}
+	return func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}, nil
+}

@@ -22,6 +22,7 @@ import (
 	"globedoc/internal/netsim"
 	"globedoc/internal/object"
 	"globedoc/internal/server"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -72,6 +73,11 @@ type Options struct {
 	// ServerIdleTimeout, when positive, makes every object server started
 	// by this world drop connections idle between frames for that long.
 	ServerIdleTimeout time.Duration
+	// Telemetry, when non-nil, is wired through every service, server and
+	// client this world builds (and into Client.Telemetry unless that is
+	// already set), so one registry observes the whole deployment. Nil
+	// components fall back to telemetry.Default().
+	Telemetry *telemetry.Telemetry
 }
 
 // NewWorld stands up the paper's testbed (Table 1) with naming and
@@ -79,6 +85,9 @@ type Options struct {
 func NewWorld(opts Options) (*World, error) {
 	if opts.KeyAlgorithm == 0 {
 		opts.KeyAlgorithm = keys.Ed25519
+	}
+	if opts.Client.Telemetry == nil {
+		opts.Client.Telemetry = opts.Telemetry
 	}
 	w := &World{
 		Net:     netsim.PaperTestbed(opts.TimeScale),
@@ -100,6 +109,7 @@ func NewWorld(opts Options) (*World, error) {
 		return nil, err
 	}
 	w.namingSvc = naming.NewService(auth)
+	w.namingSvc.SetTelemetry(opts.Telemetry)
 	w.namingSvc.Start(nl)
 	w.NamingAddr = netsim.AmsterdamPrimary + ":" + NamingService
 	w.closers = append(w.closers, w.namingSvc.Close)
@@ -114,6 +124,7 @@ func NewWorld(opts Options) (*World, error) {
 		return nil, err
 	}
 	w.locationSvc = location.NewService(tree)
+	w.locationSvc.SetTelemetry(opts.Telemetry)
 	w.locationSvc.Start(ll)
 	w.LocationAddr = netsim.AmsterdamPrimary + ":" + LocationService
 	w.closers = append(w.closers, w.locationSvc.Close)
@@ -146,6 +157,7 @@ func (w *World) StartServer(site, name string, keystore *keys.Keystore, identity
 	if w.opts.ServerIdleTimeout > 0 {
 		srv.SetIdleTimeout(w.opts.ServerIdleTimeout)
 	}
+	srv.SetTelemetry(w.opts.Telemetry)
 	l, err := w.Net.Listen(site, ObjectService)
 	if err != nil {
 		return nil, err
@@ -192,6 +204,7 @@ func (w *World) NewBinder(host string) *object.Binder {
 func (w *World) NewSecureClient(host string) *core.Client {
 	c := core.NewClient(w.NewBinder(host))
 	c.Retry = w.opts.Client.Retry
+	c.Telemetry = w.opts.Telemetry
 	trust := cert.NewTrustStore()
 	trust.TrustCA(w.CA.Name, w.CA.Key.Public())
 	c.Trust = trust

@@ -25,6 +25,12 @@ var ErrTruncated = errors.New("enc: truncated input")
 // remaining input or the configured maximum.
 var ErrTooLarge = errors.New("enc: length prefix too large")
 
+// ErrNonCanonical is returned when a varint uses more bytes than the
+// minimal encoding of its value. Accepting such padding would give one
+// logical value many byte representations, breaking the one-encoding
+// guarantee signatures depend on.
+var ErrNonCanonical = errors.New("enc: non-canonical varint")
+
 // Writer accumulates a canonical binary encoding. The zero value is ready
 // to use.
 type Writer struct {
@@ -150,7 +156,7 @@ func (r *Reader) fail(err error) {
 	}
 }
 
-// Uvarint decodes an unsigned varint.
+// Uvarint decodes an unsigned varint, rejecting non-minimal encodings.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -160,11 +166,17 @@ func (r *Reader) Uvarint() uint64 {
 		r.fail(ErrTruncated)
 		return 0
 	}
+	// A multi-byte varint whose final (most-significant) group is zero
+	// is padding: the same value encodes in fewer bytes.
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.fail(ErrNonCanonical)
+		return 0
+	}
 	r.off += n
 	return v
 }
 
-// Varint decodes a signed varint.
+// Varint decodes a signed varint, rejecting non-minimal encodings.
 func (r *Reader) Varint() int64 {
 	if r.err != nil {
 		return 0
@@ -172,6 +184,10 @@ func (r *Reader) Varint() int64 {
 	v, n := binary.Varint(r.buf[r.off:])
 	if n <= 0 {
 		r.fail(ErrTruncated)
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.fail(ErrNonCanonical)
 		return 0
 	}
 	r.off += n

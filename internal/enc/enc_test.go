@@ -2,6 +2,7 @@ package enc
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -217,5 +218,36 @@ func TestWriterReset(t *testing.T) {
 	w.Byte(9)
 	if w.Len() != 1 {
 		t.Errorf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestUvarintRejectsNonMinimalEncoding(t *testing.T) {
+	// 0xc8 0x00 decodes to 72 under binary.Uvarint, but 72's canonical
+	// encoding is the single byte 0x48. Accepting the padded form would
+	// give one value two byte representations, so the reader must reject
+	// it — the fuzz corpus holds a name certificate exploiting exactly
+	// this.
+	cases := [][]byte{
+		{0xc8, 0x00},             // 72, padded to two bytes
+		{0x80, 0x00},             // 0, padded to two bytes
+		{0xff, 0x80, 0x00},       // three-byte padding
+		{0x80, 0x80, 0x80, 0x00}, // deep padding
+	}
+	for _, in := range cases {
+		r := NewReader(in)
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrNonCanonical) {
+			t.Errorf("Uvarint(% x) err = %v, want ErrNonCanonical", in, r.Err())
+		}
+		r = NewReader(in)
+		r.Varint()
+		if !errors.Is(r.Err(), ErrNonCanonical) {
+			t.Errorf("Varint(% x) err = %v, want ErrNonCanonical", in, r.Err())
+		}
+	}
+	// Minimal multi-byte encodings still decode.
+	r := NewReader([]byte{0xc8, 0x01}) // 200
+	if got := r.Uvarint(); got != 200 || r.Err() != nil {
+		t.Errorf("Uvarint(c8 01) = %d, %v; want 200, nil", got, r.Err())
 	}
 }

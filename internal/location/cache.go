@@ -6,6 +6,7 @@ import (
 
 	"globedoc/internal/clock"
 	"globedoc/internal/globeid"
+	"globedoc/internal/telemetry"
 )
 
 // CachingResolver wraps any Resolver with a client-side cache of lookup
@@ -25,6 +26,9 @@ type CachingResolver struct {
 	// Clock is the time source for TTL expiry (nil = real clock). Tests
 	// inject a fake clock to exercise expiry deterministically.
 	Clock clock.Clock
+	// Telemetry receives location_cache_{hits,misses}_total; nil falls
+	// back to telemetry.Default().
+	Telemetry *telemetry.Telemetry
 
 	mu      sync.Mutex
 	entries map[string]map[globeid.OID]cachedLookup
@@ -56,16 +60,19 @@ func (c *CachingResolver) now() time.Time {
 // Lookup implements Resolver with caching.
 func (c *CachingResolver) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
 	now := c.now()
+	tel := telemetry.Or(c.Telemetry)
 	c.mu.Lock()
 	if bySite := c.entries[fromSite]; bySite != nil {
 		if e, ok := bySite[oid]; ok && now.Before(e.expires) {
 			c.hits++
 			c.mu.Unlock()
+			tel.LocationCacheHits.Inc()
 			return e.res, nil
 		}
 	}
 	c.misses++
 	c.mu.Unlock()
+	tel.LocationCacheMisses.Inc()
 
 	res, err := c.Backend.Lookup(fromSite, oid)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"globedoc/internal/enc"
 	"globedoc/internal/globeid"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -55,6 +56,10 @@ func (s *Service) Start(l net.Listener) { s.srv.Start(l) }
 
 // Close shuts the service down.
 func (s *Service) Close() { s.srv.Close() }
+
+// SetTelemetry wires the transport layer's per-RPC spans and
+// rpc_served_total counters to tel. Call before Start/Serve.
+func (s *Service) SetTelemetry(tel *telemetry.Telemetry) { s.srv.Telemetry = tel }
 
 // Tree returns the underlying search tree (used by administrative tools
 // co-located with the service).

@@ -9,6 +9,7 @@ import (
 	"globedoc/internal/enc"
 	"globedoc/internal/globeid"
 	"globedoc/internal/keys"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -42,6 +43,10 @@ func (s *Service) Start(l net.Listener) { s.srv.Start(l) }
 
 // Close shuts the service down.
 func (s *Service) Close() { s.srv.Close() }
+
+// SetTelemetry wires the transport layer's per-RPC spans and
+// rpc_served_total counters to tel. Call before Start/Serve.
+func (s *Service) SetTelemetry(tel *telemetry.Telemetry) { s.srv.Telemetry = tel }
 
 // Authority returns the wrapped authority.
 func (s *Service) Authority() *Authority { return s.auth }

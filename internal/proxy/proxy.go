@@ -29,6 +29,7 @@ import (
 	"globedoc/internal/cert"
 	"globedoc/internal/core"
 	"globedoc/internal/document"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -57,6 +58,10 @@ type Proxy struct {
 	// PassthroughDial opens a connection to a plain-HTTP origin host for
 	// non-GlobeDoc requests; nil disables passthrough.
 	PassthroughDial func(host string) transport.DialFunc
+	// Telemetry receives proxy_requests_total{kind,outcome} and the
+	// per-request proxy.request spans; nil falls back to
+	// telemetry.Default().
+	Telemetry *telemetry.Telemetry
 
 	mu         sync.Mutex
 	transports map[string]*http.Transport
@@ -84,6 +89,14 @@ func (p *Proxy) bump(counter *uint64) {
 	p.mu.Unlock()
 }
 
+func (p *Proxy) tel() *telemetry.Telemetry { return telemetry.Or(p.Telemetry) }
+
+// observe records one browser-facing request in
+// proxy_requests_total{kind,outcome}.
+func (p *Proxy) observe(kind, outcome string) {
+	p.tel().ProxyRequests.With(kind, outcome).Inc()
+}
+
 // ServeHTTP dispatches hybrid URLs to the secure pipeline and everything
 // else to passthrough.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -99,6 +112,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.servePassthrough(w, r)
 		return
 	}
+	p.observe("unroutable", "error")
 	http.Error(w, "globedoc proxy: not a hybrid URL and no passthrough origin", http.StatusBadRequest)
 }
 
@@ -123,10 +137,12 @@ func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
 	})
 	if err != nil {
 		p.bump(&p.secureFail)
+		p.observe("index", "fail")
 		p.serveSecurityFailure(w, document.HybridRef{ObjectName: objectName, Element: "(index)"}, err)
 		return
 	}
 	p.bump(&p.secureOK)
+	p.observe("index", "ok")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>Index of %s</title></head><body>
 <h1>Index of GlobeDoc object %s</h1>
@@ -168,15 +184,23 @@ func fetchBounded[T any](timeout time.Duration, f func() (T, error)) (T, error) 
 }
 
 func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document.HybridRef) {
+	sp := p.tel().Tracer.StartSpan("proxy.request")
+	sp.Annotate("object", ref.ObjectName)
+	sp.Annotate("element", ref.Element)
+	defer sp.End()
 	res, err := fetchBounded(p.FetchTimeout, func() (core.FetchResult, error) {
 		return p.Secure.FetchNamed(ref.ObjectName, ref.Element)
 	})
 	if err != nil {
 		p.bump(&p.secureFail)
+		p.observe("secure", "fail")
+		sp.Annotate("outcome", "fail")
 		p.serveSecurityFailure(w, ref, err)
 		return
 	}
 	p.bump(&p.secureOK)
+	p.observe("secure", "ok")
+	sp.Annotate("outcome", "ok")
 	h := w.Header()
 	h.Set(HeaderReplica, res.ReplicaAddr)
 	if res.CertifiedAs != "" {
@@ -270,9 +294,11 @@ func (p *Proxy) servePassthrough(w http.ResponseWriter, r *http.Request) {
 	tr := p.transportFor(r.URL.Host)
 	resp, err := tr.RoundTrip(outReq)
 	if err != nil {
+		p.observe("passthrough", "fail")
 		http.Error(w, "globedoc proxy: origin unreachable: "+err.Error(), http.StatusBadGateway)
 		return
 	}
+	p.observe("passthrough", "ok")
 	defer resp.Body.Close()
 	for key, vals := range resp.Header {
 		for _, v := range vals {

@@ -1,0 +1,161 @@
+package proxy_test
+
+// Acceptance tests for the observability layer, end to end: a secure
+// fetch through the proxy must produce a span tree covering all 14
+// binding-pipeline steps, and the /debugz snapshot's security-overhead
+// histogram must agree with the core.Timing the same fetch reported.
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"globedoc/internal/core"
+	"globedoc/internal/deploy"
+	"globedoc/internal/document"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/netsim"
+	"globedoc/internal/proxy"
+	"globedoc/internal/server"
+	"globedoc/internal/telemetry"
+)
+
+// telemetryWorld is proxyWorld with an explicit Telemetry wired through
+// the whole deployment.
+func telemetryWorld(t *testing.T) (*deploy.World, *telemetry.Telemetry, *core.Client) {
+	t.Helper()
+	tel := telemetry.New(nil)
+	w, err := deploy.NewWorld(deploy.Options{TimeScale: 0, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if _, err := w.StartServer(netsim.AmsterdamPrimary, "srv", nil, nil, server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := document.New()
+	doc.Put(document.Element{Name: "index.html", Data: []byte("<html>observed home</html>")})
+	if _, err := w.Publish(doc, deploy.PublishOptions{
+		Name: "home.vu.nl", Subject: "Vrije Universiteit", OwnerKey: keytest.RSA(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	secure := w.NewSecureClient(netsim.Paris)
+	t.Cleanup(secure.Close)
+	return w, tel, secure
+}
+
+func TestProxyFetchCoversAll14PipelineSteps(t *testing.T) {
+	_, tel, secure := telemetryWorld(t)
+	p := proxy.New(secure)
+	p.Telemetry = tel
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/GlobeDoc/home.vu.nl/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy fetch failed: %s\n%s", resp.Status, body)
+	}
+
+	// Find the pipeline's root span and collect its direct children.
+	spans := tel.Ring.Spans()
+	var root *telemetry.SpanRecord
+	for i := range spans {
+		if spans[i].Name == core.SpanSecureFetch {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no %s span exported; spans: %v", core.SpanSecureFetch, spanNames(spans))
+	}
+	children := make(map[string]telemetry.SpanRecord)
+	for _, s := range spans {
+		if s.TraceID == root.TraceID && s.ParentID == root.SpanID {
+			children[s.Name] = s
+		}
+	}
+	if len(core.PipelineSteps) != 14 {
+		t.Fatalf("PipelineSteps lists %d steps, want 14", len(core.PipelineSteps))
+	}
+	for _, step := range core.PipelineSteps {
+		if _, ok := children[step]; !ok {
+			t.Errorf("pipeline step %q missing from span tree (got %v)", step, spanNames(spans))
+		}
+	}
+	// The steps must nest inside the root's interval.
+	for name, s := range children {
+		if s.Start.Before(root.Start) || s.End.After(root.End) {
+			t.Errorf("step %q [%v,%v] escapes root [%v,%v]", name, s.Start, s.End, root.Start, root.End)
+		}
+	}
+	// And the proxy's own request span must exist in its own trace.
+	var sawProxy bool
+	for _, s := range spans {
+		if s.Name == "proxy.request" {
+			sawProxy = true
+		}
+	}
+	if !sawProxy {
+		t.Error("no proxy.request span exported")
+	}
+}
+
+func TestDebugzSecurityOverheadAgreesWithTiming(t *testing.T) {
+	_, tel, secure := telemetryWorld(t)
+	res, err := secure.FetchNamed("home.vu.nl", "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(tel.DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debugz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != telemetry.DebugSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+
+	hist, ok := snap.Metrics.Histograms[telemetry.MetricSecurityOverhead]
+	if !ok {
+		t.Fatalf("no %s histogram in snapshot", telemetry.MetricSecurityOverhead)
+	}
+	if hist.Count != 1 {
+		t.Fatalf("security_overhead count = %d, want 1 (exactly this fetch)", hist.Count)
+	}
+	// The histogram observed Timing.OverheadPercent() of this very run:
+	// with one observation, its sum IS that percentage. Both numbers are
+	// derived from the same spans, so they agree to float precision.
+	if want := res.Timing.OverheadPercent(); math.Abs(hist.Sum-want) > 1e-9 {
+		t.Errorf("security_overhead sum = %v, Timing.OverheadPercent = %v", hist.Sum, want)
+	}
+	lat, ok := snap.Metrics.Histograms[telemetry.MetricFetchLatency]
+	if !ok || lat.Count != 1 {
+		t.Fatalf("fetch_latency count = %d, want 1", lat.Count)
+	}
+	if want := res.Timing.Total().Seconds(); math.Abs(lat.Sum-want) > 1e-9 {
+		t.Errorf("fetch_latency sum = %v, Timing.Total = %v", lat.Sum, want)
+	}
+}
+
+func spanNames(spans []telemetry.SpanRecord) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -15,6 +15,7 @@ import (
 	"globedoc/internal/globeid"
 	"globedoc/internal/keys"
 	"globedoc/internal/object"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -136,6 +137,10 @@ func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, lim
 // between frames before the server drops it, so stalled or half-dead
 // peers cannot pin handler goroutines forever. Call before Start/Serve.
 func (s *Server) SetIdleTimeout(d time.Duration) { s.srv.IdleTimeout = d }
+
+// SetTelemetry wires the transport layer's per-RPC spans and
+// rpc_served_total counters to tel. Call before Start/Serve.
+func (s *Server) SetTelemetry(tel *telemetry.Telemetry) { s.srv.Telemetry = tel }
 
 // Serve accepts connections on l until closed.
 func (s *Server) Serve(l net.Listener) error { return s.srv.Serve(l) }

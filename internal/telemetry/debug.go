@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugSnapshot is the /debugz payload: a point-in-time metrics snapshot
+// plus the most recent finished spans. The schema is stable — the
+// telemetry-smoke CI target and cmd/globedoc-debugz validate against it.
+type DebugSnapshot struct {
+	// Schema identifies the payload layout.
+	Schema string `json:"schema"`
+	// TakenAt is the wall-clock snapshot time.
+	TakenAt time.Time `json:"taken_at"`
+	// Metrics is the full registry state.
+	Metrics MetricsSnapshot `json:"metrics"`
+	// Spans are the most recent finished spans, oldest first.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// DebugSchema is the current DebugSnapshot schema identifier.
+const DebugSchema = "globedoc-debugz/1"
+
+// Snapshot captures the current metrics and recent spans.
+func (t *Telemetry) Snapshot() DebugSnapshot {
+	return DebugSnapshot{
+		Schema:  DebugSchema,
+		TakenAt: time.Now().UTC(),
+		Metrics: t.Registry.Snapshot(),
+		Spans:   t.Ring.Spans(),
+	}
+}
+
+// DebugHandler returns the operational HTTP surface for this Telemetry:
+//
+//	/debugz          — full DebugSnapshot as JSON
+//	/debugz/metrics  — metrics snapshot only
+//	/debugz/spans    — recent spans only
+//	/debug/pprof/*   — the standard Go profiler endpoints
+//
+// Binaries mount it behind the -debug-addr flag; it is deliberately a
+// separate listener from the serving port so operators can firewall it.
+func (t *Telemetry) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debugz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Snapshot())
+	})
+	mux.HandleFunc("/debugz/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Registry.Snapshot())
+	})
+	mux.HandleFunc("/debugz/spans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Ring.Spans())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ServeDebug starts the debug HTTP server on addr. It returns the bound
+// address (useful with ":0") and a stop function. An empty addr is a
+// no-op returning ("", no-op, nil) so callers can pass the flag value
+// straight through.
+func (t *Telemetry) ServeDebug(addr string) (string, func(), error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: t.DebugHandler()}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,188 @@
+package telemetry_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"globedoc/internal/telemetry"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := telemetry.NewHistogram([]float64{1, 5, 10})
+	// An observation lands in the first bucket whose bound satisfies
+	// v <= bound; above the last bound it lands in the overflow bucket.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0}, // exactly on a bound: belongs to that bound's bucket
+		{1.1, 1},
+		{5, 1},
+		{5.0001, 2},
+		{10, 2},
+		{10.0001, 3}, // overflow
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 4 {
+		t.Fatalf("snapshot has %d buckets, want 4 (3 bounds + overflow)", len(snap.Buckets))
+	}
+	wantCounts := make([]uint64, 4)
+	for _, c := range cases {
+		wantCounts[c.bucket]++
+	}
+	for i, want := range wantCounts {
+		if got := snap.Buckets[i].Count; got != want {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+	if snap.Buckets[3].Bound != nil {
+		t.Errorf("overflow bucket bound = %v, want nil (+Inf)", *snap.Buckets[3].Bound)
+	}
+	if *snap.Buckets[0].Bound != 1 || *snap.Buckets[2].Bound != 10 {
+		t.Errorf("bucket bounds wrong: %v, %v", *snap.Buckets[0].Bound, *snap.Buckets[2].Bound)
+	}
+	if snap.Count != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", snap.Count, len(cases))
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := telemetry.NewHistogram([]float64{10, 1, 5})
+	h.Observe(2)
+	snap := h.Snapshot()
+	if *snap.Buckets[0].Bound != 1 || *snap.Buckets[1].Bound != 5 || *snap.Buckets[2].Bound != 10 {
+		t.Fatalf("bounds not sorted: %v %v %v",
+			*snap.Buckets[0].Bound, *snap.Buckets[1].Bound, *snap.Buckets[2].Bound)
+	}
+	if snap.Buckets[1].Count != 1 {
+		t.Errorf("observation of 2 landed wrong: %+v", snap.Buckets)
+	}
+}
+
+func TestHistogramSumAndMean(t *testing.T) {
+	h := telemetry.NewHistogram([]float64{100})
+	for _, v := range []float64{1.5, 2.5, 6} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := h.Mean(); math.Abs(got-10.0/3) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", got, 10.0/3)
+	}
+	var empty *telemetry.Histogram
+	if empty.Mean() != 0 || empty.Sum() != 0 || empty.Count() != 0 {
+		t.Error("nil histogram not zero-valued")
+	}
+	empty.Observe(1) // must not panic
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	// Run with -race: concurrent Inc on counters, vec children and
+	// histogram observations must be clean and lose nothing.
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("plain")
+	vec := reg.CounterVec("labeled", "op", "outcome")
+	h := reg.Histogram("hist", []float64{0.5})
+	const goroutines, each = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcome := "ok"
+			if g%2 == 1 {
+				outcome = "error"
+			}
+			for i := 0; i < each; i++ {
+				c.Inc()
+				vec.With("fetch", outcome).Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*each {
+		t.Errorf("counter = %d, want %d", got, goroutines*each)
+	}
+	if got := vec.Total(); got != goroutines*each {
+		t.Errorf("vec total = %d, want %d", got, goroutines*each)
+	}
+	vals := vec.Values()
+	if got := vals[`{op="fetch",outcome="ok"}`]; got != goroutines/2*each {
+		t.Errorf("ok child = %d, want %d (keys: %v)", got, goroutines/2*each, vals)
+	}
+	if got := h.Count(); got != goroutines*each {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*each)
+	}
+	if got := h.Sum(); got != float64(goroutines*each) {
+		t.Errorf("histogram sum = %v, want %d (lost CAS updates)", got, goroutines*each)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *telemetry.Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *telemetry.Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var v *telemetry.CounterVec
+	v.With("a", "b").Inc() // nil vec yields nil child; both no-op
+	if v.Total() != 0 || v.Values() != nil {
+		t.Error("nil vec not empty")
+	}
+}
+
+func TestRegistryGetOrCreateIsIdempotent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter returned distinct instruments for one name")
+	}
+	if reg.CounterVec("y", "l") != reg.CounterVec("y", "l") {
+		t.Error("CounterVec returned distinct instruments for one name")
+	}
+	h := reg.Histogram("z", []float64{1, 2})
+	if reg.Histogram("z", []float64{9}) != h {
+		t.Error("Histogram returned distinct instruments for one name")
+	}
+	// Existing histograms keep their original bounds.
+	if snap := h.Snapshot(); len(snap.Buckets) != 3 {
+		t.Errorf("histogram re-registration changed bounds: %d buckets", len(snap.Buckets))
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("a").Add(2)
+	reg.CounterVec("b", "op").With("ping").Inc()
+	reg.Gauge("c").Set(-7)
+	reg.Histogram("d", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	if snap.Counters["a"] != 2 {
+		t.Errorf("counter a = %d", snap.Counters["a"])
+	}
+	if snap.LabeledCounters["b"][`{op="ping"}`] != 1 {
+		t.Errorf("labeled b = %v", snap.LabeledCounters["b"])
+	}
+	if snap.Gauges["c"] != -7 {
+		t.Errorf("gauge c = %d", snap.Gauges["c"])
+	}
+	if snap.Histograms["d"].Count != 1 {
+		t.Errorf("histogram d = %+v", snap.Histograms["d"])
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sync"
+
+	"globedoc/internal/clock"
+)
+
+// Standard metric names, shared by every GlobeDoc component. DESIGN.md §8
+// maps each to the evaluation figure it supports.
+const (
+	MetricRPCCalls         = "rpc_calls_total"               // {op,outcome} client-side RPC attempts that completed
+	MetricRPCRetries       = "rpc_retries_total"             // extra attempts beyond the first
+	MetricRPCServed        = "rpc_served_total"              // {op,outcome} server-side handled requests
+	MetricBindingHits      = "binding_cache_hits_total"      // verified-binding cache (core)
+	MetricBindingMisses    = "binding_cache_misses_total"    //
+	MetricLocationHits     = "location_cache_hits_total"     // location lookup cache
+	MetricLocationMisses   = "location_cache_misses_total"   //
+	MetricSecurityFailed   = "security_check_failures_total" // {phase} pipeline rejections
+	MetricFailovers        = "failovers_total"               // replicas abandoned mid-pipeline
+	MetricProxyRequests    = "proxy_requests_total"          // {kind,outcome} browser-facing requests
+	MetricFetchLatency     = "fetch_latency_seconds"         // whole secure-fetch latency
+	MetricSecurityOverhead = "security_overhead_percent"     // per-fetch Timing.OverheadPercent()
+)
+
+// DefaultLatencyBuckets are the fetch-latency histogram bounds, in
+// seconds, spanning LAN round trips through the paper's transatlantic
+// worst case.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// PercentBuckets are the security-overhead histogram bounds: Figure 4
+// reports overhead from ~1% (large elements) to ~90% (tiny ones).
+var PercentBuckets = []float64{1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// RingSize is how many recent spans a Telemetry retains for /debugz.
+const RingSize = 256
+
+// Telemetry bundles a tracer, a registry and the standard GlobeDoc
+// instruments, ready to thread through transport, core, location, server
+// and proxy. One Telemetry per process is the intended shape; components
+// left unwired fall back to the shared Default().
+type Telemetry struct {
+	Tracer   *Tracer
+	Registry *Registry
+	// Ring retains the most recent spans for /debugz and span-tree tests.
+	Ring *RingExporter
+
+	// Client-side RPC instruments (transport.Client).
+	RPCCalls   *CounterVec // {op,outcome}
+	RPCRetries *Counter
+	// Server-side RPC instruments (transport.Server).
+	RPCServed *CounterVec // {op,outcome}
+
+	// Pipeline instruments (core.Client).
+	BindingCacheHits      *Counter
+	BindingCacheMisses    *Counter
+	SecurityCheckFailures *CounterVec // {phase}
+	Failovers             *Counter
+	FetchLatency          *Histogram // seconds
+	SecurityOverhead      *Histogram // percent
+
+	// Location-cache instruments (location.CachingResolver).
+	LocationCacheHits   *Counter
+	LocationCacheMisses *Counter
+
+	// Proxy instruments (proxy.Proxy).
+	ProxyRequests *CounterVec // {kind,outcome}
+}
+
+// New returns a Telemetry over the given clock (nil = real clock), with
+// the span ring attached and every standard instrument registered.
+func New(clk clock.Clock) *Telemetry {
+	reg := NewRegistry()
+	ring := NewRingExporter(RingSize)
+	tracer := NewTracer(clk)
+	tracer.AddExporter(ring)
+	return &Telemetry{
+		Tracer:   tracer,
+		Registry: reg,
+		Ring:     ring,
+
+		RPCCalls:   reg.CounterVec(MetricRPCCalls, "op", "outcome"),
+		RPCRetries: reg.Counter(MetricRPCRetries),
+		RPCServed:  reg.CounterVec(MetricRPCServed, "op", "outcome"),
+
+		BindingCacheHits:      reg.Counter(MetricBindingHits),
+		BindingCacheMisses:    reg.Counter(MetricBindingMisses),
+		SecurityCheckFailures: reg.CounterVec(MetricSecurityFailed, "phase"),
+		Failovers:             reg.Counter(MetricFailovers),
+		FetchLatency:          reg.Histogram(MetricFetchLatency, DefaultLatencyBuckets),
+		SecurityOverhead:      reg.Histogram(MetricSecurityOverhead, PercentBuckets),
+
+		LocationCacheHits:   reg.Counter(MetricLocationHits),
+		LocationCacheMisses: reg.Counter(MetricLocationMisses),
+
+		ProxyRequests: reg.CounterVec(MetricProxyRequests, "kind", "outcome"),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultTel  *Telemetry
+)
+
+// Default returns the shared process-wide Telemetry, created on first
+// use. Components whose Telemetry field is nil record here, so nothing
+// is ever silently dropped; binaries that care wire an explicit instance
+// instead.
+func Default() *Telemetry {
+	defaultOnce.Do(func() { defaultTel = New(nil) })
+	return defaultTel
+}
+
+// Or returns t when non-nil and the shared Default() otherwise — the
+// one-line fallback every instrumented component uses.
+func Or(t *Telemetry) *Telemetry {
+	if t != nil {
+		return t
+	}
+	return Default()
+}

@@ -1,0 +1,281 @@
+// Package telemetry is the observability substrate of the GlobeDoc
+// reproduction: a dependency-free tracing core (spans over the injectable
+// clock), a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms), and the /debugz operational surface that snapshots both.
+//
+// The paper's entire evaluation (§4, Figures 4–7) is an observability
+// claim — "security overhead is X% of fetch time" — so the tracer is
+// wired through the full 14-step secure-binding pipeline (internal/core)
+// and core.Timing is *derived from* span durations: the benchmark
+// harness and the tracer measure the same interval by construction and
+// can never disagree.
+//
+// Everything here is safe for concurrent use and nil-tolerant: a nil
+// *Span or nil instrument is a no-op, so instrumented code never has to
+// guard its telemetry calls.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globedoc/internal/clock"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is a finished span as handed to exporters: plain data, safe
+// to retain, marshal or compare after the span itself is gone.
+type SpanRecord struct {
+	TraceID  uint64    `json:"trace_id"`
+	SpanID   uint64    `json:"span_id"`
+	ParentID uint64    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's measured interval.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use.
+type Exporter interface {
+	ExportSpan(SpanRecord)
+}
+
+// Tracer creates spans. The zero value is usable: spans are timed with
+// the real clock and exported nowhere (timing-only mode, which is how an
+// unconfigured core.Client still fills core.Timing from spans).
+type Tracer struct {
+	// Clock is the time source for span timestamps (nil = the real
+	// clock). Real-clock timestamps carry Go's monotonic reading, so
+	// durations are immune to wall-clock steps.
+	Clock clock.Clock
+
+	mu        sync.RWMutex
+	exporters []Exporter
+
+	ids atomic.Uint64 // shared ID sequence for traces and spans
+}
+
+// NewTracer returns a tracer over the given clock (nil = real clock).
+func NewTracer(clk clock.Clock) *Tracer {
+	return &Tracer{Clock: clk}
+}
+
+// AddExporter registers e to receive every finished span.
+func (t *Tracer) AddExporter(e Exporter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.exporters = append(t.exporters, e)
+}
+
+func (t *Tracer) now() time.Time {
+	if t.Clock != nil {
+		return t.Clock.Now()
+	}
+	return clock.Real.Now()
+}
+
+// StartSpan begins a new root span (a new trace). Safe on a nil tracer,
+// which returns a nil (no-op) span.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.ids.Add(1)
+	return &Span{
+		tracer:  t,
+		name:    name,
+		traceID: id,
+		spanID:  id,
+		start:   t.now(),
+	}
+}
+
+// Span is one timed operation. All methods are safe on a nil span.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	end   time.Time
+	ended bool
+}
+
+// StartChild begins a child span within the same trace.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer:   s.tracer,
+		name:     name,
+		traceID:  s.traceID,
+		spanID:   s.tracer.ids.Add(1),
+		parentID: s.spanID,
+		start:    s.tracer.now(),
+	}
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End finishes the span and exports it. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = s.tracer.now()
+	rec := s.recordLocked()
+	s.mu.Unlock()
+
+	s.tracer.mu.RLock()
+	exporters := s.tracer.exporters
+	s.tracer.mu.RUnlock()
+	for _, e := range exporters {
+		e.ExportSpan(rec)
+	}
+}
+
+// Duration returns the span's elapsed time: end-start once ended, the
+// running interval otherwise. A nil span reports zero.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return s.tracer.now().Sub(s.start)
+}
+
+// TraceID returns the span's trace identifier (0 for a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+func (s *Span) recordLocked() SpanRecord {
+	return SpanRecord{
+		TraceID:  s.traceID,
+		SpanID:   s.spanID,
+		ParentID: s.parentID,
+		Name:     s.name,
+		Start:    s.start,
+		End:      s.end,
+		Attrs:    append([]Attr(nil), s.attrs...),
+	}
+}
+
+// RingExporter keeps the most recent spans in a fixed-size ring buffer —
+// the in-memory exporter backing tests and the /debugz "recent spans"
+// view.
+type RingExporter struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewRingExporter returns a ring keeping the last n spans (n >= 1).
+func NewRingExporter(n int) *RingExporter {
+	if n < 1 {
+		n = 1
+	}
+	return &RingExporter{buf: make([]SpanRecord, 0, n)}
+}
+
+// ExportSpan implements Exporter.
+func (r *RingExporter) ExportSpan(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *RingExporter) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many spans have ever been exported to the ring.
+func (r *RingExporter) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Reset discards every retained span.
+func (r *RingExporter) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.next = 0
+}
+
+// JSONLExporter writes one JSON object per finished span — the
+// machine-readable trace stream the binaries expose behind -trace-out.
+type JSONLExporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLExporter writes span records to w as JSON lines.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{w: w}
+}
+
+// ExportSpan implements Exporter. Encoding errors are dropped: telemetry
+// must never fail the operation it observes.
+func (j *JSONLExporter) ExportSpan(rec SpanRecord) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	j.w.Write(data)
+	j.mu.Unlock()
+}

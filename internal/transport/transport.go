@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"globedoc/internal/enc"
+	"globedoc/internal/telemetry"
 )
 
 // MaxFrame is the largest frame either side will accept. It bounds the
@@ -135,6 +137,9 @@ type Server struct {
 	// server drops it — a defence against stalled or half-dead peers
 	// pinning goroutines forever. Set before Serve.
 	IdleTimeout time.Duration
+	// Telemetry records per-operation serve counts and spans; nil falls
+	// back to the process-wide telemetry.Default(). Set before Serve.
+	Telemetry *telemetry.Telemetry
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -221,7 +226,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				err = fmt.Errorf("unknown operation %q", op)
 			} else {
 				s.Requests.Add(1)
+				tel := telemetry.Or(s.Telemetry)
+				sp := tel.Tracer.StartSpan("rpc.serve")
+				sp.Annotate("op", op)
 				respBody, err = h(body)
+				outcome := "ok"
+				if err != nil {
+					outcome = "error"
+				}
+				sp.Annotate("outcome", outcome)
+				sp.End()
+				tel.RPCServed.With(op, outcome).Inc()
 			}
 		}
 		if s.IdleTimeout > 0 {
@@ -269,6 +284,9 @@ type Client struct {
 	// applies: one immediate retry, and only when the failure hit a
 	// pooled (possibly stale) connection.
 	Retry *RetryPolicy
+	// Telemetry records per-op call counts, retry counts and spans; nil
+	// falls back to the process-wide telemetry.Default().
+	Telemetry *telemetry.Telemetry
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -294,24 +312,34 @@ func (c *Client) Configure(cfg Config) *Client {
 	c.DialTimeout = cfg.DialTimeout
 	c.CallTimeout = cfg.CallTimeout
 	c.Retry = cfg.Retry
+	c.Telemetry = cfg.Telemetry
 	return c
 }
 
-// Config bundles the robustness knobs threaded through every RPC call
-// site: attempt timeouts and the retry policy. The zero Config leaves a
-// client with unbounded waits and legacy single-retry semantics.
+// Config bundles the robustness and observability knobs threaded through
+// every RPC call site: attempt timeouts, the retry policy and the
+// telemetry sink. The zero Config leaves a client with unbounded waits,
+// legacy single-retry semantics and the shared default telemetry.
 type Config struct {
 	DialTimeout time.Duration
 	CallTimeout time.Duration
 	Retry       *RetryPolicy
+	Telemetry   *telemetry.Telemetry
 }
 
 // Call sends op with body and waits for the response. With a RetryPolicy
 // configured it retries transient failures with backoff; otherwise it
-// retries once on a stale pooled connection.
+// retries once on a stale pooled connection. Every call is recorded as
+// one rpc.call span (annotated with the attempt count) and one
+// rpc_calls_total{op,outcome} increment; extra attempts also count into
+// rpc_retries_total.
 func (c *Client) Call(op string, body []byte) ([]byte, error) {
+	tel := telemetry.Or(c.Telemetry)
+	sp := tel.Tracer.StartSpan("rpc.call")
+	sp.Annotate("op", op)
+	attempts := 1
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	var resp []byte
 	var err error
 	if c.Retry == nil {
@@ -321,12 +349,16 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 		resp, err = c.attemptLocked(op, body)
 		if err != nil && pooled && Retryable(err) {
 			c.Retries.Add(1)
+			tel.RPCRetries.Inc()
+			attempts++
 			resp, err = c.attemptLocked(op, body)
 		}
 	} else {
 		for attempt := 0; attempt < c.Retry.Attempts(); attempt++ {
 			if attempt > 0 {
 				c.Retries.Add(1)
+				tel.RPCRetries.Inc()
+				attempts++
 				c.Retry.clock().Sleep(c.Retry.Backoff(attempt))
 			}
 			resp, err = c.attemptLocked(op, body)
@@ -335,10 +367,23 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 			}
 		}
 	}
+	if err == nil {
+		c.Calls.Add(1)
+	}
+	c.mu.Unlock()
+
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		sp.Annotate("error", err.Error())
+	}
+	sp.Annotate("attempts", strconv.Itoa(attempts))
+	sp.Annotate("outcome", outcome)
+	sp.End()
+	tel.RPCCalls.With(op, outcome).Inc()
 	if err != nil {
 		return nil, err
 	}
-	c.Calls.Add(1)
 	return resp, nil
 }
 

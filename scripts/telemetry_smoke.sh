@@ -1,0 +1,80 @@
+#!/bin/sh
+# telemetry_smoke.sh — boot a real GlobeDoc deployment and validate the
+# /debugz surface end to end:
+#
+#   1. build the binaries;
+#   2. start globedoc-services (naming + location, writes the root key);
+#   3. start globedoc-proxy with -debug-addr;
+#   4. hit the proxy (an expected-to-fail hybrid fetch still exercises
+#      the pipeline and its telemetry);
+#   5. validate the /debugz snapshot schema with globedoc-debugz.
+#
+# Exits non-zero on any failure. Run via `make telemetry-smoke`.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+
+cleanup() {
+    [ -n "${PROXY_PID:-}" ] && kill "$PROXY_PID" 2>/dev/null || true
+    [ -n "${SVC_PID:-}" ] && kill "$SVC_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries"
+$GO build -o "$BIN" ./cmd/globedoc-services ./cmd/globedoc-proxy ./cmd/globedoc-debugz
+
+NAMING=127.0.0.1:17001
+LOCATION=127.0.0.1:17002
+PROXY=127.0.0.1:17080
+DEBUG=127.0.0.1:17081
+
+echo "== starting services"
+"$BIN/globedoc-services" -naming "$NAMING" -location "$LOCATION" \
+    -rootkey-out "$WORK/naming-root.pub" >"$WORK/services.log" 2>&1 &
+SVC_PID=$!
+
+# The proxy needs the root key the services write at startup.
+i=0
+until [ -s "$WORK/naming-root.pub" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "services never wrote the naming root key" >&2
+        cat "$WORK/services.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== starting proxy with -debug-addr $DEBUG"
+"$BIN/globedoc-proxy" -listen "$PROXY" -naming "$NAMING" -location "$LOCATION" \
+    -rootkey "$WORK/naming-root.pub" -debug-addr "$DEBUG" \
+    -dial-timeout 2s -call-timeout 2s -fetch-timeout 5s \
+    >"$WORK/proxy.log" 2>&1 &
+PROXY_PID=$!
+
+# Wait for both listeners to come up.
+i=0
+until "$BIN/globedoc-debugz" -addr "$DEBUG" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "proxy debug endpoint never came up" >&2
+        cat "$WORK/proxy.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== exercising the pipeline through the proxy"
+# The object does not exist, so the fetch fails the pipeline — which is
+# fine: it must still produce spans and security metrics.
+curl -sf -o /dev/null "http://$PROXY/GlobeDoc/no-such-object.smoke/index.html" || true
+
+echo "== validating /debugz snapshot"
+"$BIN/globedoc-debugz" -addr "$DEBUG" \
+    -require-metric rpc_calls_total,rpc_retries_total,fetch_latency_seconds,security_overhead_percent,security_check_failures_total,failovers_total
+
+echo "telemetry smoke: ok"
