@@ -1,11 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test test-short fuzz-smoke chaos telemetry-smoke
+.PHONY: check vet build test test-short fuzz-smoke chaos telemetry-smoke \
+	concurrent-smoke bench-concurrent
 
 ## check: the tier-1 gate — vet, build, race-enabled tests, fuzz smoke,
-## and the end-to-end telemetry smoke.
-check: vet build test fuzz-smoke telemetry-smoke
+## the concurrent race smoke, and the end-to-end telemetry smoke.
+check: vet build test fuzz-smoke concurrent-smoke telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +32,18 @@ fuzz-smoke:
 SEED ?= 20050404
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/deploy/ -seed $(SEED)
+
+## concurrent-smoke: the concurrent fetch engine under the race detector —
+## pool bounds, singleflight dedup, cancellation, leak regressions.
+concurrent-smoke:
+	$(GO) test -race -count=1 -run 'Concurrent|Pool|Cancel|Leak|ClosedLoop' \
+		./internal/core/ ./internal/transport/ ./internal/workload/
+
+## bench-concurrent: the closed-loop concurrency experiment + acceptance
+## check (exactly one binding pipeline per cold OID; >= MIN_SPEEDUP x
+## throughput at CONCURRENCY vs serial).
+bench-concurrent:
+	GO=$(GO) sh scripts/concurrency_bench.sh
 
 ## telemetry-smoke: boot services + proxy with -debug-addr, curl /debugz,
 ## validate the snapshot schema with cmd/globedoc-debugz.

@@ -12,11 +12,13 @@
 package globedoc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
 	"globedoc/internal/bench"
+	"globedoc/internal/core"
 	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/globeid"
@@ -81,7 +83,7 @@ func BenchmarkFig4SecurityOverhead(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sc.FlushBindings()
-					res, err := sc.Fetch(pub.OID, "image.bin")
+					res, err := sc.Fetch(context.Background(), pub.OID, "image.bin")
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -283,21 +285,23 @@ func BenchmarkAblationBindingCache(b *testing.B) {
 		defer sc.Close()
 		for i := 0; i < b.N; i++ {
 			sc.FlushBindings()
-			if _, err := sc.Fetch(pub.OID, "image.bin"); err != nil {
+			if _, err := sc.Fetch(context.Background(), pub.OID, "image.bin"); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		sc := w.NewSecureClient(netsim.Paris)
+		sc, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer sc.Close()
-		sc.CacheBindings = true
-		if _, err := sc.Fetch(pub.OID, "image.bin"); err != nil {
+		if _, err := sc.Fetch(context.Background(), pub.OID, "image.bin"); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sc.Fetch(pub.OID, "image.bin"); err != nil {
+			if _, err := sc.Fetch(context.Background(), pub.OID, "image.bin"); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,8 +6,12 @@
 //	benchmark -experiment fig4 -iterations 10
 //	benchmark -experiment fig6 -scale 0.5
 //	benchmark -experiment all -json results.json
+//	benchmark -experiment concurrent -concurrency 16
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, concurrent, all.
+// The concurrent experiment drives a closed-loop warm-fetch workload at
+// concurrency 1 and at -concurrency, reporting throughput, tail latency
+// and the singleflight dedup counters from the cold burst.
 //
 // With -json the measured series are also written to the given file as a
 // machine-readable report (schema "globedoc-bench/1", see
@@ -26,19 +30,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | all")
-		scale      = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
-		iterations = flag.Int("iterations", 5, "samples per measured point")
-		jsonOut    = flag.String("json", "", "also write a machine-readable report to this file")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | all")
+		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
+		iterations  = flag.Int("iterations", 5, "samples per measured point")
+		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
+		jsonOut     = flag.String("json", "", "also write a machine-readable report to this file")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scale, *iterations, *jsonOut); err != nil {
+	if err := run(*experiment, *scale, *iterations, *concurrency, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, iterations int, jsonOut string) error {
+func run(experiment string, scale float64, iterations, concurrency int, jsonOut string) error {
 	cfg := bench.Config{TimeScale: scale, Iterations: iterations}
 	start := time.Now()
 	report := bench.NewReport(cfg, start)
@@ -58,6 +63,10 @@ func run(experiment string, scale float64, iterations int, jsonOut string) error
 		if err := runFig5(client, cfg, report); err != nil {
 			return err
 		}
+	case "concurrent":
+		if err := runConcurrent(cfg, concurrency, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -67,6 +76,9 @@ func run(experiment string, scale float64, iterations int, jsonOut string) error
 			if err := runFig5(client, cfg, report); err != nil {
 				return err
 			}
+		}
+		if err := runConcurrent(cfg, concurrency, report); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
@@ -106,5 +118,15 @@ func runFig5(client string, cfg bench.Config, report *bench.Report) error {
 	}
 	report.Fig5 = append(report.Fig5, res)
 	fmt.Println(res.Format(bench.FigureNumber(client)))
+	return nil
+}
+
+func runConcurrent(cfg bench.Config, concurrency int, report *bench.Report) error {
+	res, err := bench.RunConcurrentComparison(cfg, concurrency)
+	if err != nil {
+		return err
+	}
+	report.Concurrent = res
+	fmt.Println(res.Format())
 	return nil
 }

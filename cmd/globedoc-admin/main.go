@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -147,7 +148,7 @@ func publish(dir, keyPath, principal, serverAddr, serverSite, namingAddr, locAdd
 		w := enc.NewWriter(len(name) + globeid.Size + 8)
 		w.String(name)
 		w.Raw(bundle.OID[:])
-		if _, err := c.Call("name.register", w.Bytes()); err != nil {
+		if _, err := c.Call(context.Background(), "name.register", w.Bytes()); err != nil {
 			return fmt.Errorf("registering name: %w", err)
 		}
 		fmt.Printf("registered name %q\n", name)
@@ -156,7 +157,7 @@ func publish(dir, keyPath, principal, serverAddr, serverSite, namingAddr, locAdd
 		lc := location.NewClient(tcpDial(locAddr))
 		defer lc.Close()
 		addr := location.ContactAddress{Address: serverAddr, Protocol: object.Protocol}
-		if err := lc.Insert(serverSite, bundle.OID, addr); err != nil {
+		if err := lc.Insert(context.Background(), serverSite, bundle.OID, addr); err != nil {
 			return fmt.Errorf("registering contact address: %w", err)
 		}
 		fmt.Printf("registered contact address %s at site %q\n", serverAddr, serverSite)
@@ -212,7 +213,7 @@ func publishSite(dir, keyPath, principal, serverAddr, serverSite, namingAddr, lo
 			w := enc.NewWriter(len(objectName) + globeid.Size + 8)
 			w.String(objectName)
 			w.Raw(oid[:])
-			if _, err := c.Call("name.register", w.Bytes()); err != nil {
+			if _, err := c.Call(context.Background(), "name.register", w.Bytes()); err != nil {
 				return fmt.Errorf("registering name %q: %w", objectName, err)
 			}
 		}
@@ -220,7 +221,7 @@ func publishSite(dir, keyPath, principal, serverAddr, serverSite, namingAddr, lo
 			lc := location.NewClient(tcpDial(locAddr))
 			defer lc.Close()
 			addr := location.ContactAddress{Address: serverAddr, Protocol: object.Protocol}
-			if err := lc.Insert(serverSite, oid, addr); err != nil {
+			if err := lc.Insert(context.Background(), serverSite, oid, addr); err != nil {
 				return fmt.Errorf("registering address for %q: %w", objectName, err)
 			}
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -55,12 +56,15 @@ func run(namingAddr, rootKeyPath, locAddr, site, name, oidHex, element, out stri
 	if err != nil {
 		return fmt.Errorf("loading naming root key: %w", err)
 	}
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Names:   naming.NewResolver(tcpDial(namingAddr), rootKey),
 		Locator: location.NewClient(tcpDial(locAddr)),
 		Dial:    tcpDial,
 		Site:    site,
-	})
+	}, core.Options{})
+	if err != nil {
+		return err
+	}
 	defer client.Close()
 
 	if all {
@@ -72,13 +76,13 @@ func run(namingAddr, rootKeyPath, locAddr, site, name, oidHex, element, out stri
 	var res core.FetchResult
 	switch {
 	case name != "":
-		res, err = client.FetchNamed(name, element)
+		res, err = client.FetchNamed(context.Background(), name, element)
 	case oidHex != "":
 		oid, perr := parseOID(oidHex)
 		if perr != nil {
 			return perr
 		}
-		res, err = client.Fetch(oid, element)
+		res, err = client.Fetch(context.Background(), oid, element)
 	default:
 		return fmt.Errorf("pass -name or -oid")
 	}
@@ -108,7 +112,7 @@ func fetchAll(client *core.Client, name, oidHex string) error {
 		return err
 	}
 	start := time.Now()
-	results, err := client.FetchAll(oid)
+	results, err := client.FetchAll(context.Background(), oid)
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
@@ -132,7 +136,7 @@ func resolveOID(client *core.Client, name, oidHex string) (oid globeid.OID, err 
 	if name == "" {
 		return oid, fmt.Errorf("pass -name or -oid")
 	}
-	resolved, err := client.Binder.Names.Resolve(name)
+	resolved, err := client.Binder.Names.Resolve(context.Background(), name)
 	if err != nil {
 		return oid, err
 	}

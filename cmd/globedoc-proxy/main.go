@@ -80,11 +80,12 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 		Site:      site,
 		Transport: cfg,
 	}
-	secure := core.NewClient(binder)
-	secure.Retry = cfg.Retry
-	secure.CacheBindings = warm
-	secure.RequireIdentity = requireID
-	secure.Telemetry = tel
+	opts := core.Options{
+		Retry:           cfg.Retry,
+		CacheBindings:   warm,
+		RequireIdentity: requireID,
+		Telemetry:       tel,
+	}
 	if caStore != "" {
 		ks, err := keys.LoadKeystore(caStore)
 		if err != nil {
@@ -95,7 +96,11 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 			pk, _ := ks.Get(name)
 			trust.TrustCA(name, pk)
 		}
-		secure.Trust = trust
+		opts.Trust = trust
+	}
+	secure, err := core.NewClient(binder, opts)
+	if err != nil {
+		return fmt.Errorf("configuring secure client: %w", err)
 	}
 
 	stopDebug, err := debugFl.Start(tel)

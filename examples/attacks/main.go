@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -121,7 +122,7 @@ func runMode(mode attack.Mode, owner *keys.KeyPair, state attack.ReplicaState, n
 	}
 	srv.Start(l)
 
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: attack.MaliciousLocation{
 			Rogue: location.ContactAddress{Address: "paris:replica", Protocol: object.Protocol},
 		},
@@ -129,10 +130,13 @@ func runMode(mode attack.Mode, owner *keys.KeyPair, state attack.ReplicaState, n
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
 		},
 		Site: netsim.AmsterdamSecondary,
-	})
+	}, core.Options{})
+	if err != nil {
+		return err
+	}
 	defer client.Close()
 
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	switch {
 	case err == nil:
 		fmt.Printf("  %-20s ACCEPTED: %q\n", mode, res.Element.Data)
@@ -152,7 +156,7 @@ func runMode(mode attack.Mode, owner *keys.KeyPair, state attack.ReplicaState, n
 func maliciousLocationDemo(oid globeid.OID) error {
 	n := netsim.PaperTestbed(0)
 	defer n.Close()
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: attack.MaliciousLocation{
 			Rogue: location.ContactAddress{Address: "paris:nothing-there", Protocol: object.Protocol},
 		},
@@ -160,9 +164,12 @@ func maliciousLocationDemo(oid globeid.OID) error {
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
 		},
 		Site: netsim.AmsterdamSecondary,
-	})
+	}, core.Options{})
+	if err != nil {
+		return err
+	}
 	defer client.Close()
-	_, err := client.Fetch(oid, "index.html")
+	_, err = client.Fetch(context.Background(), oid, "index.html")
 	fmt.Printf("  bogus contact address -> %v\n", err)
 	if err == nil {
 		return fmt.Errorf("fetch through bogus address unexpectedly succeeded")

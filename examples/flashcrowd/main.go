@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -80,7 +81,7 @@ func run() error {
 	fmt.Println("flash crowd: 8 Ithaca clients request the story...")
 	var before, after []time.Duration
 	for i := 1; i <= 8; i++ {
-		res, err := client.Fetch(pub.OID, "image.bin")
+		res, err := client.Fetch(context.Background(), pub.OID, "image.bin")
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -70,7 +71,7 @@ func run() error {
 	// 5. A user in Ithaca fetches through the secure pipeline.
 	client := world.NewSecureClient(netsim.Ithaca)
 	defer client.Close()
-	res, err := client.FetchNamed("home.vu.nl", "index.html")
+	res, err := client.FetchNamed(context.Background(), "home.vu.nl", "index.html")
 	if err != nil {
 		return err
 	}
@@ -101,7 +102,7 @@ func run() error {
 	if err := world.PushUpdate(pub, netsim.Ithaca); err != nil {
 		return err
 	}
-	res2, err := client.FetchNamed("home.vu.nl", "index.html")
+	res2, err := client.FetchNamed(context.Background(), "home.vu.nl", "index.html")
 	if err != nil {
 		return err
 	}

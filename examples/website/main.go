@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"testing/fstest"
 	"time"
 
+	"globedoc/internal/core"
 	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/netsim"
@@ -79,9 +81,11 @@ func run() error {
 
 	// 3. A Paris user crawls the site through the security pipeline,
 	// following every link (intra- and cross-object).
-	client := world.NewSecureClient(netsim.Paris)
+	client, err := world.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		return err
+	}
 	defer client.Close()
-	client.CacheBindings = true
 
 	type page struct{ object, element string }
 	queue := []page{{"vu.nl", "index.html"}}
@@ -94,7 +98,7 @@ func run() error {
 			continue
 		}
 		visited[p] = true
-		res, err := client.FetchNamed(p.object, p.element)
+		res, err := client.FetchNamed(context.Background(), p.object, p.element)
 		if err != nil {
 			return fmt.Errorf("crawling %s/%s: %w", p.object, p.element, err)
 		}

@@ -12,6 +12,7 @@
 package attack
 
 import (
+	"context"
 	"net"
 	"sync"
 
@@ -261,7 +262,7 @@ type MaliciousLocation struct {
 }
 
 // Lookup implements location.Resolver by lying.
-func (m MaliciousLocation) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+func (m MaliciousLocation) Lookup(_ context.Context, fromSite string, oid globeid.OID) (location.LookupResult, error) {
 	return location.LookupResult{Addresses: []location.ContactAddress{m.Rogue}}, nil
 }
 

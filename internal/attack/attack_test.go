@@ -1,6 +1,7 @@
 package attack_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -59,8 +60,10 @@ func newVictimClient(t *testing.T, srv *attack.MaliciousServer, now time.Time) *
 		},
 		Site: netsim.AmsterdamSecondary,
 	}
-	client := core.NewClient(binder)
-	client.Now = func() time.Time { return now }
+	client, err := core.NewClient(binder, core.Options{Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
 	return client
 }
@@ -70,7 +73,7 @@ func TestHonestControlPasses(t *testing.T) {
 	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine")}, t0, time.Hour)
 	srv := attack.NewMaliciousServer(attack.Honest, state)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err != nil {
 		t.Fatalf("honest replica rejected: %v", err)
 	}
@@ -84,7 +87,7 @@ func TestTamperedContentDetected(t *testing.T) {
 	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("genuine content")}, t0, time.Hour)
 	srv := attack.NewMaliciousServer(attack.TamperContent, state)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) {
 		t.Fatalf("err = %v, want security check failure", err)
 	}
@@ -101,7 +104,7 @@ func TestElementSubstitutionDetected(t *testing.T) {
 	}, t0, time.Hour)
 	srv := attack.NewMaliciousServer(attack.SubstituteElement, state)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrAuthenticity) {
 		t.Fatalf("err = %v, want authenticity violation (consistency attack)", err)
 	}
@@ -124,7 +127,7 @@ func TestStaleReplayDetectedAfterExpiry(t *testing.T) {
 	// The client asks after v1's certificate expired: replaying v1 must
 	// fail the freshness check.
 	client := newVictimClient(t, srv, t0.Add(2*time.Minute+30*time.Second))
-	_, err = client.Fetch(v1.OID, "news.html")
+	_, err = client.Fetch(context.Background(), v1.OID, "news.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrFreshness) {
 		t.Fatalf("err = %v, want freshness violation", err)
 	}
@@ -140,7 +143,7 @@ func TestStaleReplayWithinValiditySucceeds(t *testing.T) {
 	srv := attack.NewMaliciousServer(attack.StaleReplay, v1)
 	srv.SetStale(v1)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	res, err := client.Fetch(v1.OID, "news.html")
+	res, err := client.Fetch(context.Background(), v1.OID, "news.html")
 	if err != nil {
 		t.Fatalf("in-validity replay rejected: %v", err)
 	}
@@ -172,7 +175,7 @@ func TestForgedCertificateDetected(t *testing.T) {
 	srv := attack.NewMaliciousServer(attack.ForgeCertificate, state)
 	srv.SetForgery(attacker, forgedCert)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err := client.Fetch(context.Background(), state.OID, "index.html")
 	// The attacker's key does not hash to the OID, so the pipeline dies
 	// at self-certification — before the forged certificate is even
 	// consulted.
@@ -191,7 +194,7 @@ func TestWrongObjectMasqueradeDetected(t *testing.T) {
 	srv := attack.NewMaliciousServer(attack.WrongObject, state)
 	srv.SetDecoy(decoy)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, globeid.ErrKeyMismatch) {
 		t.Fatalf("err = %v, want self-certification failure", err)
 	}
@@ -226,7 +229,7 @@ func TestAllAttackModesAtMostDoS(t *testing.T) {
 				srv.SetForgery(attacker, forged)
 			}
 			client := newVictimClient(t, srv, t0.Add(time.Minute))
-			res, err := client.Fetch(state.OID, "index.html")
+			res, err := client.Fetch(context.Background(), state.OID, "index.html")
 			if err == nil && string(res.Element.Data) != string(genuineContent) {
 				t.Fatalf("mode %s: client ACCEPTED wrong data %q", mode, res.Element.Data)
 			}
@@ -239,7 +242,7 @@ type multiReplicaLocator struct {
 	addrs []location.ContactAddress
 }
 
-func (m multiReplicaLocator) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+func (m multiReplicaLocator) Lookup(_ context.Context, fromSite string, oid globeid.OID) (location.LookupResult, error) {
 	return location.LookupResult{Addresses: m.addrs}, nil
 }
 
@@ -268,7 +271,7 @@ func TestFailoverPastMaliciousReplica(t *testing.T) {
 	honest.Start(honestL)
 	t.Cleanup(honest.Close)
 
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
 			{Address: "paris:evil", Protocol: object.Protocol},
 			{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
@@ -277,11 +280,13 @@ func TestFailoverPastMaliciousReplica(t *testing.T) {
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
 		},
 		Site: netsim.AmsterdamSecondary,
-	})
-	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	}, core.Options{Now: func() time.Time { return t0.Add(time.Minute) }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
 
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err != nil {
 		t.Fatalf("fetch with honest fallback failed: %v", err)
 	}
@@ -312,7 +317,7 @@ func TestFailoverPastMasqueradingReplica(t *testing.T) {
 	honest.Start(honestL)
 	t.Cleanup(honest.Close)
 
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
 			{Address: "paris:evil", Protocol: object.Protocol},
 			{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
@@ -321,11 +326,13 @@ func TestFailoverPastMasqueradingReplica(t *testing.T) {
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
 		},
 		Site: netsim.AmsterdamSecondary,
-	})
-	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	}, core.Options{Now: func() time.Time { return t0.Add(time.Minute) }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
 
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err != nil {
 		t.Fatalf("fetch: %v", err)
 	}
@@ -351,7 +358,7 @@ func TestAllReplicasMaliciousIsDoS(t *testing.T) {
 		t.Cleanup(srv.Close)
 		_ = i
 	}
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: multiReplicaLocator{addrs: []location.ContactAddress{
 			{Address: "paris:evil", Protocol: object.Protocol},
 			{Address: "amsterdam-primary:evil", Protocol: object.Protocol},
@@ -360,11 +367,13 @@ func TestAllReplicasMaliciousIsDoS(t *testing.T) {
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
 		},
 		Site: netsim.AmsterdamSecondary,
-	})
-	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	}, core.Options{Now: func() time.Time { return t0.Add(time.Minute) }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
 
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err = client.Fetch(context.Background(), state.OID, "index.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) {
 		t.Fatalf("err = %v, want security failure", err)
 	}
@@ -384,9 +393,12 @@ func TestMaliciousLocationIsOnlyDoS(t *testing.T) {
 		},
 		Site: netsim.AmsterdamSecondary,
 	}
-	client := core.NewClient(binder)
+	client, err := core.NewClient(binder, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer client.Close()
-	if _, err := client.Fetch(oid, "index.html"); err == nil {
+	if _, err := client.Fetch(context.Background(), oid, "index.html"); err == nil {
 		t.Fatal("fetch through dead rogue address succeeded")
 	}
 }

@@ -8,6 +8,7 @@ package attack_test
 // still serves a verified fetch within a bounded time.
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -42,7 +43,7 @@ func startFlakyHonest(t *testing.T, n *netsim.Network, host, svc string, state a
 // dead-air replica costs one timeout, not a hang.
 func flakyClient(t *testing.T, n *netsim.Network, addrs []location.ContactAddress) *core.Client {
 	t.Helper()
-	client := core.NewClient(&object.Binder{
+	client, err := core.NewClient(&object.Binder{
 		Locator: multiReplicaLocator{addrs: addrs},
 		Dial: func(addr string) transport.DialFunc {
 			return n.Dialer(netsim.AmsterdamSecondary, addr)
@@ -52,8 +53,10 @@ func flakyClient(t *testing.T, n *netsim.Network, addrs []location.ContactAddres
 			DialTimeout: 200 * time.Millisecond,
 			CallTimeout: 200 * time.Millisecond,
 		},
-	})
-	client.Now = func() time.Time { return t0.Add(time.Minute) }
+	}, core.Options{Now: func() time.Time { return t0.Add(time.Minute) }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
 	return client
 }
@@ -82,7 +85,7 @@ func TestFailoverPastCrashedMidTransferReplica(t *testing.T) {
 		{Address: "paris:flaky", Protocol: object.Protocol},
 		{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
 	})
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err != nil {
 		t.Fatalf("fetch with healthy fallback failed: %v", err)
 	}
@@ -117,7 +120,7 @@ func TestFailoverPastFrameDroppingReplica(t *testing.T) {
 		{Address: "amsterdam-primary:honest", Protocol: object.Protocol},
 	})
 	start := time.Now()
-	res, err := client.Fetch(state.OID, "index.html")
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err != nil {
 		t.Fatalf("fetch past black-hole replica failed: %v", err)
 	}
@@ -146,7 +149,7 @@ func TestAllReplicasFlakyIsBoundedDoS(t *testing.T) {
 		{Address: "amsterdam-primary:flaky", Protocol: object.Protocol},
 	})
 	start := time.Now()
-	_, err := client.Fetch(state.OID, "index.html")
+	_, err := client.Fetch(context.Background(), state.OID, "index.html")
 	if err == nil {
 		t.Fatal("fetch succeeded with every replica crashing")
 	}

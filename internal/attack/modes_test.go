@@ -1,6 +1,7 @@
 package attack_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -45,19 +46,19 @@ func TestMaliciousServerAuxiliaryOps(t *testing.T) {
 
 	c := object.NewClient(state.OID, "paris:evil", n.Dialer(netsim.Ithaca, "paris:evil"))
 	t.Cleanup(c.Close)
-	names, err := c.ListElements()
+	names, err := c.ListElements(context.Background())
 	if err != nil || len(names) != 2 {
 		t.Fatalf("ListElements = %v, %v", names, err)
 	}
-	v, err := c.Version()
+	v, err := c.Version(context.Background())
 	if err != nil || v == 0 {
 		t.Fatalf("Version = %d, %v", v, err)
 	}
-	ncs, err := c.GetNameCerts()
+	ncs, err := c.GetNameCerts(context.Background())
 	if err != nil || len(ncs) != 0 {
 		t.Fatalf("GetNameCerts = %v, %v", ncs, err)
 	}
-	if _, err := c.GetElement("absent"); err == nil {
+	if _, err := c.GetElement(context.Background(), "absent"); err == nil {
 		t.Fatal("GetElement(absent) succeeded")
 	}
 }
@@ -69,7 +70,7 @@ func TestSubstituteSingleElementFallsBack(t *testing.T) {
 	state := genuineState(t, owner, map[string][]byte{"only.html": []byte("single")}, t0, time.Hour)
 	srv := attack.NewMaliciousServer(attack.SubstituteElement, state)
 	client := newVictimClient(t, srv, t0.Add(time.Minute))
-	res, err := client.Fetch(state.OID, "only.html")
+	res, err := client.Fetch(context.Background(), state.OID, "only.html")
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}

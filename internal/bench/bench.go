@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -186,7 +187,7 @@ func measureFig4Point(w *deploy.World, pub *deploy.Publication, client string, s
 		if r, ok := sc.Binder.Names.(*naming.Resolver); ok {
 			r.FlushCache()
 		}
-		res, err := sc.FetchNamed(pub.Name, "image.bin")
+		res, err := sc.FetchNamed(context.Background(), pub.Name, "image.bin")
 		if err != nil {
 			return Fig4Point{}, fmt.Errorf("fig4 %s/%d: %w", client, size, err)
 		}
@@ -329,7 +330,7 @@ func measureFig5Row(w *deploy.World, doc *document.Document, client string, idx 
 		// GlobeDoc: cold secure full-object fetch.
 		sc := w.NewSecureClient(client)
 		start := time.Now()
-		if _, err := sc.FetchAll(pub.OID); err != nil {
+		if _, err := sc.FetchAll(context.Background(), pub.OID); err != nil {
 			sc.Close()
 			return Fig5Row{}, fmt.Errorf("fig5 globedoc: %w", err)
 		}

@@ -43,6 +43,9 @@ type Report struct {
 	// Fig5 holds one per-client comparison result per measured client
 	// site (the paper's Figures 5, 6 and 7).
 	Fig5 []*Fig5Result `json:"fig5,omitempty"`
+	// Concurrent is the closed-loop concurrency comparison (serial vs.
+	// parallel throughput and tail latency), when measured.
+	Concurrent *ConcurrentComparison `json:"concurrent,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

@@ -23,12 +23,22 @@
 // §8 maps them to the paper's Figure 3). The per-phase Timing the
 // benchmark harness reads is derived from those spans' durations, so the
 // tracer and the Figure-4 numbers can never disagree.
+//
+// The client is safe for concurrent use. Concurrent fetches of the same
+// cold OID share a single pipeline run (singleflight, when binding
+// caching is on), RPCs to one replica run in parallel over a bounded
+// connection pool, and FetchAll retrieves elements with a bounded worker
+// pool. Every public method takes a context.Context that cancels slot
+// waits, dials and in-flight RPCs. See DESIGN.md §9 for the full
+// concurrency model.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"globedoc/internal/cert"
@@ -91,6 +101,14 @@ var PipelineSteps = []string{
 // replica or the intermediate services did, the client refused the data.
 // The paper's proxy renders this as the "Security Check Failed" page.
 var ErrSecurityCheckFailed = errors.New("core: security check failed")
+
+// ErrBindingFailed wraps every failure to establish a verified binding —
+// name resolved, but no candidate replica could be located, dialled and
+// verified. Callers distinguish it from per-element failures with
+// errors.Is; the underlying cause (e.g. transport.ErrDialTimeout,
+// object.ErrNoReplica, or a SecurityError) stays reachable through
+// errors.Is/As too.
+var ErrBindingFailed = errors.New("core: binding establishment failed")
 
 // SecurityError carries which phase of the pipeline rejected the fetch.
 type SecurityError struct {
@@ -196,6 +214,10 @@ type FetchResult struct {
 	// WarmBinding reports whether the verified binding cache was used
 	// (skipping phases 1–5).
 	WarmBinding bool
+	// SharedBinding reports that this cold fetch joined a concurrent
+	// fetch's binding pipeline run instead of running its own
+	// (singleflight deduplication).
+	SharedBinding bool
 }
 
 // verifiedBinding is a cached, fully verified attachment to one object
@@ -235,52 +257,78 @@ func (p *pipeline) step(name string, field *time.Duration, f func() error) error
 
 // fresh returns a pipeline sharing this one's trace but with zeroed
 // timing — the retry/failover paths report the timing of the attempt
-// that succeeded, not the sum of all attempts.
+// that succeeded, not the sum of all attempts. FetchAll's workers use it
+// too: each element's pipeline hangs off the shared root span with its
+// own Timing.
 func (p *pipeline) fresh() *pipeline {
 	return &pipeline{tel: p.tel, root: p.root}
 }
 
-// Client runs the GlobeDoc security pipeline. Construct with a configured
-// object.Binder; zero out Trust to skip CA identity certification.
+// Client runs the GlobeDoc security pipeline. Construct with NewClient;
+// the zero value is not usable. All methods are safe for concurrent use.
 type Client struct {
-	// Binder performs name resolution, location and connection.
+	// Binder performs name resolution, location and connection. Treat as
+	// read-only after NewClient (the benchmark harness reaches through
+	// it to flush resolver caches).
 	Binder *object.Binder
-	// Trust is the user's trusted-CA store; nil disables the identity
-	// step entirely.
-	Trust *cert.TrustStore
-	// RequireIdentity makes fetches fail unless some identity
-	// certificate matches the trust store (the e-commerce posture of
-	// §3.1.2). When false, identity is best-effort: the subject is
-	// reported when available.
-	RequireIdentity bool
-	// CacheBindings keeps verified bindings warm across fetches; each
-	// element access then costs one round trip plus verification.
-	CacheBindings bool
-	// Retry governs how often an expired cached certificate is
-	// refreshed before giving up (the re-bind after a freshness
-	// failure on a warm binding). Nil means one refresh attempt, the
-	// historical behaviour.
-	Retry *transport.RetryPolicy
-	// Telemetry receives the pipeline spans, cache/failover counters and
-	// latency histograms; nil falls back to telemetry.Default().
-	Telemetry *telemetry.Telemetry
-	// Now is the clock used for freshness checks; tests replace it.
-	Now func() time.Time
 
-	mu    sync.Mutex
-	cache map[globeid.OID]*verifiedBinding
+	trust           *cert.TrustStore
+	requireIdentity bool
+	cacheBindings   bool
+	retry           *transport.RetryPolicy
+	telem           *telemetry.Telemetry
+	nowFn           func() time.Time
+	fetchWorkers    int
+	noSingleflight  bool
+
+	mu      sync.Mutex
+	cache   map[globeid.OID]*verifiedBinding
+	flights map[globeid.OID]*flight
 }
 
-// NewClient returns a security client over binder with the default clock.
-func NewClient(binder *object.Binder) *Client {
-	return &Client{
-		Binder: binder,
-		Now:    time.Now,
-		cache:  make(map[globeid.OID]*verifiedBinding),
+// NewClient returns a security client over binder configured by opts.
+// It rejects nonsense options (negative worker/pool counts, negative
+// timeouts on the binder) with errors wrapping ErrInvalidOptions; the
+// zero Options is always valid. When opts.PoolSize is positive it is
+// installed as the binder's per-replica connection bound before any
+// connection is made.
+func NewClient(binder *object.Binder, opts Options) (*Client, error) {
+	if err := opts.validate(binder); err != nil {
+		return nil, err
 	}
+	if opts.PoolSize > 0 {
+		binder.Transport.Pool.MaxConns = opts.PoolSize
+	}
+	nowFn := opts.Now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	workers := opts.FetchWorkers
+	if workers == 0 {
+		workers = DefaultFetchWorkers
+	}
+	return &Client{
+		Binder:          binder,
+		trust:           opts.Trust,
+		requireIdentity: opts.RequireIdentity,
+		cacheBindings:   opts.CacheBindings,
+		retry:           opts.Retry,
+		telem:           opts.Telemetry,
+		nowFn:           nowFn,
+		fetchWorkers:    workers,
+		noSingleflight:  opts.DisableSingleflight,
+		cache:           make(map[globeid.OID]*verifiedBinding),
+		flights:         make(map[globeid.OID]*flight),
+	}, nil
 }
 
-func (c *Client) tel() *telemetry.Telemetry { return telemetry.Or(c.Telemetry) }
+// CachesBindings reports whether verified bindings are kept warm across
+// fetches (Options.CacheBindings).
+func (c *Client) CachesBindings() bool { return c.cacheBindings }
+
+func (c *Client) tel() *telemetry.Telemetry { return telemetry.Or(c.telem) }
+
+func (c *Client) now() time.Time { return c.nowFn() }
 
 // secErr records the failed check in security_check_failures_total{phase}
 // and returns the wrapped SecurityError.
@@ -303,29 +351,56 @@ func (c *Client) Close() {
 func (c *Client) FlushBindings() { c.Close() }
 
 // FetchNamed securely fetches one element of the object bound to name.
-func (c *Client) FetchNamed(name, element string) (FetchResult, error) {
+// ctx cancels name resolution, binding establishment and the element
+// transfer.
+func (c *Client) FetchNamed(ctx context.Context, name, element string) (FetchResult, error) {
+	ctx = orBackground(ctx)
 	p := c.newPipeline(SpanSecureFetch)
 	p.root.Annotate("object", name)
 	p.root.Annotate("element", element)
 	var oid globeid.OID
 	err := p.step(StepNameResolve, &p.timing.NameResolve, func() error {
 		var rerr error
-		oid, rerr = c.Binder.Names.Resolve(name)
+		oid, rerr = c.Binder.Names.Resolve(ctx, name)
 		return rerr
 	})
 	if err != nil {
 		p.finish("error")
 		return FetchResult{}, fmt.Errorf("core: resolving %q: %w", name, err)
 	}
-	return c.finishFetch(p, oid, element)
+	return c.finishFetch(ctx, p, oid, element)
 }
 
 // Fetch securely fetches one element of the object identified by oid.
-func (c *Client) Fetch(oid globeid.OID, element string) (FetchResult, error) {
+func (c *Client) Fetch(ctx context.Context, oid globeid.OID, element string) (FetchResult, error) {
+	ctx = orBackground(ctx)
 	p := c.newPipeline(SpanSecureFetch)
 	p.root.Annotate("oid", oid.Short())
 	p.root.Annotate("element", element)
-	return c.finishFetch(p, oid, element)
+	return c.finishFetch(ctx, p, oid, element)
+}
+
+// FetchNamedNoCtx is FetchNamed without a context.
+//
+// Deprecated: use FetchNamed with a context; this wrapper remains for
+// one release and is equivalent to FetchNamed(context.Background(), ...).
+func (c *Client) FetchNamedNoCtx(name, element string) (FetchResult, error) {
+	return c.FetchNamed(context.Background(), name, element)
+}
+
+// FetchNoCtx is Fetch without a context.
+//
+// Deprecated: use Fetch with a context; this wrapper remains for one
+// release and is equivalent to Fetch(context.Background(), ...).
+func (c *Client) FetchNoCtx(oid globeid.OID, element string) (FetchResult, error) {
+	return c.Fetch(context.Background(), oid, element)
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 func (c *Client) newPipeline(rootName string) *pipeline {
@@ -341,8 +416,8 @@ func (p *pipeline) finish(outcome string) {
 // finishFetch runs the bind+fetch pipeline below name resolution, closes
 // the root span, and feeds the fetch-latency and security-overhead
 // histograms from the same Timing the caller receives.
-func (c *Client) finishFetch(p *pipeline, oid globeid.OID, element string) (FetchResult, error) {
-	res, err := c.fetchExcluding(p, oid, element, nil)
+func (c *Client) finishFetch(ctx context.Context, p *pipeline, oid globeid.OID, element string) (FetchResult, error) {
+	res, err := c.fetchExcluding(ctx, p, oid, element, nil)
 	if err != nil {
 		p.finish("error")
 		return FetchResult{}, err
@@ -356,8 +431,8 @@ func (c *Client) finishFetch(p *pipeline, oid globeid.OID, element string) (Fetc
 // fetchExcluding is the bind+fetch pipeline with a set of replica
 // addresses already caught misbehaving during this operation; they are
 // skipped when re-binding.
-func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, excluded map[string]bool) (FetchResult, error) {
-	now := c.Now()
+func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OID, element string, excluded map[string]bool) (FetchResult, error) {
+	now := c.now()
 
 	// Step 2: consult the verified-binding cache.
 	var vb *verifiedBinding
@@ -369,11 +444,11 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 	} else {
 		cacheSp.Annotate("outcome", "miss")
 	}
-	if !c.CacheBindings {
+	if !c.cacheBindings {
 		cacheSp.Annotate("enabled", "false")
 	}
 	cacheSp.End()
-	if c.CacheBindings {
+	if c.cacheBindings {
 		if warm {
 			p.tel.BindingCacheHits.Inc()
 		} else {
@@ -381,22 +456,24 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 		}
 	}
 
+	shared := false
 	if !warm {
 		var err error
-		vb, err = c.establish(p, oid, now, excluded)
+		vb, shared, err = c.establishBinding(ctx, p, oid, now, excluded)
 		if err != nil {
 			return FetchResult{}, err
 		}
-		if c.CacheBindings {
-			c.storeBinding(oid, vb)
-		}
 	}
+	// An operation owns (and must close) its binding only when nothing
+	// else can reach it: cold, not shared with a concurrent fetch, and
+	// not parked in the cache.
+	owned := !warm && !shared && !c.cacheBindings
 
 	// Step 11: retrieve the page element from the (untrusted) replica.
 	var elem document.Element
 	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
 		var ferr error
-		elem, ferr = vb.client.GetElement(element)
+		elem, ferr = vb.client.GetElement(ctx, element)
 		return ferr
 	})
 	if err != nil {
@@ -406,9 +483,13 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 		// fetch to the next-nearest honest one instead of hanging the
 		// pipeline. Warm bindings get one clean re-bind first (the
 		// pooled connection may simply be stale); cold ones blacklist
-		// the address for this operation.
+		// the address for this operation. Cancellation is the caller's
+		// decision, not a replica fault: no failover then.
 		addr := vb.client.Addr()
 		c.dropBinding(oid, vb)
+		if ctx.Err() != nil {
+			return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
+		}
 		p.tel.Failovers.Inc()
 		next := excluded
 		if !warm {
@@ -418,7 +499,7 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 			}
 			next[addr] = true
 		}
-		res, retryErr := c.fetchExcluding(p.fresh(), oid, element, next)
+		res, retryErr := c.fetchExcluding(ctx, p.fresh(), oid, element, next)
 		if retryErr == nil {
 			return res, nil
 		}
@@ -438,7 +519,7 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 			c.dropBinding(oid, vb)
 			var res FetchResult
 			doErr := c.refreshPolicy().Do(func() error {
-				r, ferr := c.fetchExcluding(p.fresh(), oid, element, excluded)
+				r, ferr := c.fetchExcluding(ctx, p.fresh(), oid, element, excluded)
 				if ferr != nil {
 					if errors.Is(ferr, ErrSecurityCheckFailed) {
 						return transport.Permanent(ferr)
@@ -467,23 +548,28 @@ func (c *Client) fetchExcluding(p *pipeline, oid globeid.OID, element string, ex
 				next[a] = true
 			}
 			next[addr] = true
-			res, retryErr := c.fetchExcluding(p.fresh(), oid, element, next)
+			res, retryErr := c.fetchExcluding(ctx, p.fresh(), oid, element, next)
 			if retryErr == nil {
 				return res, nil
 			}
 			return FetchResult{}, c.secErr("element", err)
 		}
+		// Any other element-verification failure: the binding failed a
+		// security check, so neither keep it cached nor leak its
+		// connection (the historical code lost cold uncached conns here).
+		c.dropBinding(oid, vb)
 		return FetchResult{}, c.secErr("element", err)
 	}
 
 	res := FetchResult{
-		Element:     elem,
-		CertifiedAs: vb.certifiedAs,
-		ReplicaAddr: vb.client.Addr(),
-		Timing:      p.timing,
-		WarmBinding: warm,
+		Element:       elem,
+		CertifiedAs:   vb.certifiedAs,
+		ReplicaAddr:   vb.client.Addr(),
+		Timing:        p.timing,
+		WarmBinding:   warm,
+		SharedBinding: shared,
 	}
-	if !warm && !c.CacheBindings {
+	if owned {
 		vb.client.Close()
 	}
 	return res, nil
@@ -518,23 +604,30 @@ func (c *Client) verifyElement(p *pipeline, vb *verifiedBinding, element string,
 // failovers_total) and the next candidate is tried, so a compromised
 // near replica degrades a fetch to the next-nearest honest one rather
 // than to an error. Only when every candidate fails does the fetch fail
-// (the paper's worst case: denial of service).
-func (c *Client) establish(p *pipeline, oid globeid.OID, now time.Time, excluded map[string]bool) (*verifiedBinding, error) {
+// (the paper's worst case: denial of service), with the cause wrapped in
+// ErrBindingFailed. Every run counts into binding_pipeline_runs_total —
+// the singleflight dedupe assertions read it.
+func (c *Client) establish(ctx context.Context, p *pipeline, oid globeid.OID, now time.Time, excluded map[string]bool) (*verifiedBinding, error) {
+	p.tel.PipelineRuns.Inc()
 	var candidates []location.ContactAddress
 	err := p.step(StepLocationLookup, &p.timing.Bind, func() error {
 		var lerr error
-		candidates, _, lerr = c.Binder.Candidates(oid)
+		candidates, _, lerr = c.Binder.Candidates(ctx, oid)
 		return lerr
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBindingFailed, err)
 	}
 	lastErr := error(object.ErrNoReplica)
 	for _, ca := range candidates {
 		if excluded[ca.Address] {
 			continue
 		}
-		vb, err := c.verifyReplica(p, oid, ca.Address, now)
+		if ctx.Err() != nil {
+			lastErr = ctx.Err()
+			break
+		}
+		vb, err := c.verifyReplica(ctx, p, oid, ca.Address, now)
 		if err != nil {
 			lastErr = err
 			p.tel.Failovers.Inc()
@@ -542,13 +635,13 @@ func (c *Client) establish(p *pipeline, oid globeid.OID, now time.Time, excluded
 		}
 		return vb, nil
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("%w: %w", ErrBindingFailed, lastErr)
 }
 
 // verifyReplica runs phases 2b–5 against one replica address. The timing
 // phases record the most recent attempt; Bind accumulates across
 // attempts.
-func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now time.Time) (*verifiedBinding, error) {
+func (c *Client) verifyReplica(ctx context.Context, p *pipeline, oid globeid.OID, addr string, now time.Time) (*verifiedBinding, error) {
 	// Most-recent-attempt semantics: a previous failed candidate's phase
 	// times are discarded; only Bind keeps accumulating.
 	p.timing.KeyFetch, p.timing.KeyVerify = 0, 0
@@ -559,7 +652,7 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 	var client *object.Client
 	err := p.step(StepDial, &p.timing.Bind, func() error {
 		var derr error
-		client, derr = c.Binder.Connect(oid, addr)
+		client, derr = c.Binder.Connect(ctx, oid, addr)
 		return derr
 	})
 	if err != nil {
@@ -576,7 +669,7 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 	var pk keys.PublicKey
 	err = p.step(StepKeyFetch, &p.timing.KeyFetch, func() error {
 		var kerr error
-		pk, kerr = client.GetPublicKey()
+		pk, kerr = client.GetPublicKey(ctx)
 		return kerr
 	})
 	if err != nil {
@@ -592,11 +685,11 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 
 	// Steps 7–8 (optional): identity certificates against the user's CAs.
 	certifiedAs := ""
-	if c.Trust != nil {
+	if c.trust != nil {
 		var nameCerts []*cert.NameCertificate
 		err = p.step(StepNameCertFetch, &p.timing.NameCertFetch, func() error {
 			var nerr error
-			nameCerts, nerr = client.GetNameCerts()
+			nameCerts, nerr = client.GetNameCerts(ctx)
 			return nerr
 		})
 		if err != nil {
@@ -606,12 +699,12 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 		var subject string
 		err = p.step(StepNameCertVerify, &p.timing.NameCertVerify, func() error {
 			var verr error
-			subject, verr = c.Trust.FirstTrusted(nameCerts, oid, now)
+			subject, verr = c.trust.FirstTrusted(nameCerts, oid, now)
 			return verr
 		})
 		if err == nil {
 			certifiedAs = subject
-		} else if c.RequireIdentity {
+		} else if c.requireIdentity {
 			return fail("identity-certificate", err)
 		}
 	}
@@ -620,7 +713,7 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 	var icert *cert.IntegrityCertificate
 	err = p.step(StepCertFetch, &p.timing.CertFetch, func() error {
 		var cerr error
-		icert, cerr = client.GetIntegrityCert()
+		icert, cerr = client.GetIntegrityCert(ctx)
 		return cerr
 	})
 	if err != nil {
@@ -646,14 +739,14 @@ func (c *Client) verifyReplica(p *pipeline, oid globeid.OID, addr string, now ti
 // configured one, or a two-attempt no-delay policy reproducing the
 // historical "refresh once" behaviour.
 func (c *Client) refreshPolicy() *transport.RetryPolicy {
-	if c.Retry != nil {
-		return c.Retry
+	if c.retry != nil {
+		return c.retry
 	}
 	return &transport.RetryPolicy{MaxAttempts: 2}
 }
 
 func (c *Client) cachedBinding(oid globeid.OID, now time.Time) (*verifiedBinding, bool) {
-	if !c.CacheBindings {
+	if !c.cacheBindings {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -683,19 +776,21 @@ func (c *Client) dropBinding(oid globeid.OID, vb *verifiedBinding) {
 // ElementsNamed resolves name and returns the verified integrity
 // certificate's entries — the authenticated table of contents of the
 // object. No element content is transferred.
-func (c *Client) ElementsNamed(name string) ([]cert.ElementEntry, error) {
-	oid, err := c.Binder.Names.Resolve(name)
+func (c *Client) ElementsNamed(ctx context.Context, name string) ([]cert.ElementEntry, error) {
+	ctx = orBackground(ctx)
+	oid, err := c.Binder.Names.Resolve(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("core: resolving %q: %w", name, err)
 	}
-	return c.Elements(oid)
+	return c.Elements(ctx, oid)
 }
 
 // Elements returns the verified certificate entries for oid.
-func (c *Client) Elements(oid globeid.OID) ([]cert.ElementEntry, error) {
+func (c *Client) Elements(ctx context.Context, oid globeid.OID) ([]cert.ElementEntry, error) {
+	ctx = orBackground(ctx)
 	p := c.newPipeline(SpanElements)
 	p.root.Annotate("oid", oid.Short())
-	entries, err := c.elements(p, oid)
+	entries, err := c.elements(ctx, p, oid)
 	if err != nil {
 		p.finish("error")
 		return nil, err
@@ -704,18 +799,33 @@ func (c *Client) Elements(oid globeid.OID) ([]cert.ElementEntry, error) {
 	return entries, nil
 }
 
-func (c *Client) elements(p *pipeline, oid globeid.OID) ([]cert.ElementEntry, error) {
-	now := c.Now()
+// ElementsNamedNoCtx is ElementsNamed without a context.
+//
+// Deprecated: use ElementsNamed with a context; this wrapper remains
+// for one release.
+func (c *Client) ElementsNamedNoCtx(name string) ([]cert.ElementEntry, error) {
+	return c.ElementsNamed(context.Background(), name)
+}
+
+// ElementsNoCtx is Elements without a context.
+//
+// Deprecated: use Elements with a context; this wrapper remains for one
+// release.
+func (c *Client) ElementsNoCtx(oid globeid.OID) ([]cert.ElementEntry, error) {
+	return c.Elements(context.Background(), oid)
+}
+
+func (c *Client) elements(ctx context.Context, p *pipeline, oid globeid.OID) ([]cert.ElementEntry, error) {
+	now := c.now()
 	vb, warm := c.cachedBinding(oid, now)
 	if !warm {
+		var shared bool
 		var err error
-		vb, err = c.establish(p, oid, now, nil)
+		vb, shared, err = c.establishBinding(ctx, p, oid, now, nil)
 		if err != nil {
 			return nil, err
 		}
-		if c.CacheBindings {
-			c.storeBinding(oid, vb)
-		} else {
+		if !shared && !c.cacheBindings {
 			defer vb.client.Close()
 		}
 	}
@@ -725,11 +835,15 @@ func (c *Client) elements(p *pipeline, oid globeid.OID) ([]cert.ElementEntry, er
 // FetchAll securely fetches every element listed in the object's
 // integrity certificate, returning elements in certificate order. It is
 // the "download the whole document" operation the paper's Figures 5–7
-// time against Apache.
-func (c *Client) FetchAll(oid globeid.OID) ([]FetchResult, error) {
+// time against Apache. Elements are retrieved by a bounded worker pool
+// (Options.FetchWorkers); on the first failure remaining work is
+// cancelled and the ordered prefix of verified elements is returned
+// alongside the error.
+func (c *Client) FetchAll(ctx context.Context, oid globeid.OID) ([]FetchResult, error) {
+	ctx = orBackground(ctx)
 	p := c.newPipeline(SpanFetchAll)
 	p.root.Annotate("oid", oid.Short())
-	out, err := c.fetchAll(p, oid)
+	out, err := c.fetchAll(ctx, p, oid)
 	if err != nil {
 		p.finish("error")
 		return out, err
@@ -738,45 +852,100 @@ func (c *Client) FetchAll(oid globeid.OID) ([]FetchResult, error) {
 	return out, nil
 }
 
-func (c *Client) fetchAll(p *pipeline, oid globeid.OID) ([]FetchResult, error) {
-	// Bind once (cold or cached), then fetch each element.
-	now := c.Now()
+// FetchAllNoCtx is FetchAll without a context.
+//
+// Deprecated: use FetchAll with a context; this wrapper remains for one
+// release.
+func (c *Client) FetchAllNoCtx(oid globeid.OID) ([]FetchResult, error) {
+	return c.FetchAll(context.Background(), oid)
+}
+
+func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]FetchResult, error) {
+	// Bind once (cold, shared or cached), then fan element fetches out
+	// over a bounded worker pool sharing the verified binding. Each
+	// element runs its own fresh pipeline under the fetch.all root span,
+	// so per-element spans and Timing stay attributable.
+	now := c.now()
 	vb, warm := c.cachedBinding(oid, now)
+	shared := false
 	if !warm {
 		var err error
-		vb, err = c.establish(p, oid, now, nil)
+		vb, shared, err = c.establishBinding(ctx, p, oid, now, nil)
 		if err != nil {
 			return nil, err
 		}
-		c.storeBindingIfEnabled(oid, vb)
-		defer func() {
-			if !c.CacheBindings {
-				vb.client.Close()
+	}
+	owned := !warm && !shared && !c.cacheBindings
+	if owned {
+		// Close on every exit: the historical code leaked the conn when
+		// an element failed mid-loop (and never covered the warm path).
+		defer vb.client.Close()
+	}
+	entries := vb.icert.Entries
+	if len(entries) == 0 {
+		return nil, nil
+	}
+
+	workers := c.fetchWorkers
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type slot struct {
+		res  FetchResult
+		err  error
+		done bool
+	}
+	out := make([]slot, len(entries))
+	var next atomic.Int64
+	var failOnce sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(entries) || gctx.Err() != nil {
+					return
+				}
+				res, err := c.fetchVia(gctx, p.fresh(), vb, entries[i].Name, now, warm, shared)
+				out[i] = slot{res: res, err: err, done: true}
+				if err != nil {
+					failOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
 			}
 		}()
 	}
-	var out []FetchResult
-	for _, entry := range vb.icert.Entries {
-		res, err := c.fetchVia(p.fresh(), vb, entry.Name, now, warm)
-		if err != nil {
-			return out, err
+	wg.Wait()
+
+	results := make([]FetchResult, 0, len(entries))
+	for i := range out {
+		if !out[i].done || out[i].err != nil {
+			break
 		}
-		out = append(out, res)
+		results = append(results, out[i].res)
 	}
-	return out, nil
+	if firstErr != nil {
+		// Whatever failed — dead replica or failed check — the binding
+		// is suspect: neither keep it cached nor leak its connection.
+		c.dropBinding(oid, vb)
+		return results, firstErr
+	}
+	return results, nil
 }
 
-func (c *Client) storeBindingIfEnabled(oid globeid.OID, vb *verifiedBinding) {
-	if c.CacheBindings {
-		c.storeBinding(oid, vb)
-	}
-}
-
-func (c *Client) fetchVia(p *pipeline, vb *verifiedBinding, element string, now time.Time, warm bool) (FetchResult, error) {
+func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding, element string, now time.Time, warm, shared bool) (FetchResult, error) {
 	var elem document.Element
 	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
 		var ferr error
-		elem, ferr = vb.client.GetElement(element)
+		elem, ferr = vb.client.GetElement(ctx, element)
 		return ferr
 	})
 	if err != nil {
@@ -786,10 +955,11 @@ func (c *Client) fetchVia(p *pipeline, vb *verifiedBinding, element string, now 
 		return FetchResult{}, c.secErr("element", err)
 	}
 	return FetchResult{
-		Element:     elem,
-		CertifiedAs: vb.certifiedAs,
-		ReplicaAddr: vb.client.Addr(),
-		Timing:      p.timing,
-		WarmBinding: warm,
+		Element:       elem,
+		CertifiedAs:   vb.certifiedAs,
+		ReplicaAddr:   vb.client.Addr(),
+		Timing:        p.timing,
+		WarmBinding:   warm,
+		SharedBinding: shared,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -45,7 +46,7 @@ func world(t *testing.T, clientHost string) (*deploy.World, *deploy.Publication,
 
 func TestSecureFetchEndToEnd(t *testing.T) {
 	_, _, client := world(t, netsim.Paris)
-	res, err := client.FetchNamed("home.vu.nl", "index.html")
+	res, err := client.FetchNamed(context.Background(), "home.vu.nl", "index.html")
 	if err != nil {
 		t.Fatalf("FetchNamed: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestSecureFetchEndToEnd(t *testing.T) {
 
 func TestFetchByOID(t *testing.T) {
 	_, pub, client := world(t, netsim.Ithaca)
-	res, err := client.Fetch(pub.OID, "logo.png")
+	res, err := client.Fetch(context.Background(), pub.OID, "logo.png")
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
@@ -82,29 +83,33 @@ func TestFetchByOID(t *testing.T) {
 
 func TestFetchUnknownElement(t *testing.T) {
 	_, pub, client := world(t, netsim.Paris)
-	if _, err := client.Fetch(pub.OID, "ghost.html"); err == nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "ghost.html"); err == nil {
 		t.Fatal("fetch of unknown element succeeded")
 	}
 }
 
 func TestFetchUnknownName(t *testing.T) {
 	_, _, client := world(t, netsim.Paris)
-	if _, err := client.FetchNamed("ghost.vu.nl", "index.html"); err == nil {
+	if _, err := client.FetchNamed(context.Background(), "ghost.vu.nl", "index.html"); err == nil {
 		t.Fatal("fetch of unregistered name succeeded")
 	}
 }
 
 func TestWarmBindingCache(t *testing.T) {
-	_, pub, client := world(t, netsim.Paris)
-	client.CacheBindings = true
-	first, err := client.Fetch(pub.OID, "index.html")
+	w, pub, _ := world(t, netsim.Paris)
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	first, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.WarmBinding {
 		t.Fatal("first fetch warm")
 	}
-	second, err := client.Fetch(pub.OID, "index.html")
+	second, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +121,7 @@ func TestWarmBindingCache(t *testing.T) {
 		t.Errorf("warm timing = %+v", second.Timing)
 	}
 	client.FlushBindings()
-	third, err := client.Fetch(pub.OID, "index.html")
+	third, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +132,7 @@ func TestWarmBindingCache(t *testing.T) {
 
 func TestFetchAllElements(t *testing.T) {
 	_, pub, client := world(t, netsim.AmsterdamSecondary)
-	results, err := client.FetchAll(pub.OID)
+	results, err := client.FetchAll(context.Background(), pub.OID)
 	if err != nil {
 		t.Fatalf("FetchAll: %v", err)
 	}
@@ -159,7 +164,7 @@ func TestIdentityOptionalWhenNotRequired(t *testing.T) {
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
 
-	res, err := client.Fetch(pub.OID, "a.html")
+	res, err := client.Fetch(context.Background(), pub.OID, "a.html")
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
@@ -167,18 +172,25 @@ func TestIdentityOptionalWhenNotRequired(t *testing.T) {
 		t.Errorf("CertifiedAs = %q for uncertified object", res.CertifiedAs)
 	}
 
-	client.RequireIdentity = true
-	client.FlushBindings()
-	if _, err := client.Fetch(pub.OID, "a.html"); err == nil {
+	strict, err := w.NewSecureClientOpts(netsim.Paris, core.Options{RequireIdentity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(strict.Close)
+	if _, err := strict.Fetch(context.Background(), pub.OID, "a.html"); err == nil {
 		t.Fatal("RequireIdentity fetch succeeded without identity certificate")
 	}
 }
 
 func TestUntrustedCAIdentityIgnored(t *testing.T) {
-	_, pub, client := world(t, netsim.Paris)
-	// Replace the trust store with one that trusts nobody.
-	client.Trust = cert.NewTrustStore()
-	res, err := client.Fetch(pub.OID, "index.html")
+	w, pub, _ := world(t, netsim.Paris)
+	// Use a trust store that trusts nobody.
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{Trust: cert.NewTrustStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	res, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
@@ -202,12 +214,16 @@ func TestFreshnessExpiryRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := w.NewSecureClient(netsim.Paris)
-	t.Cleanup(client.Close)
 	// Wind the client clock past the certificate TTL: the (genuine)
 	// content must be rejected as stale.
-	client.Now = func() time.Time { return time.Now().Add(2 * time.Minute) }
-	_, err = client.Fetch(pub.OID, "news.html")
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{
+		Now: func() time.Time { return time.Now().Add(2 * time.Minute) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	_, err = client.Fetch(context.Background(), pub.OID, "news.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrFreshness) {
 		t.Fatalf("err = %v, want freshness security failure", err)
 	}
@@ -228,11 +244,17 @@ func TestWarmBindingRefreshesExpiredCert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := w.NewSecureClient(netsim.Paris)
+	now := time.Now
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{
+		CacheBindings: true,
+		Now:           func() time.Time { return now() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
-	client.CacheBindings = true
 
-	if _, err := client.Fetch(pub.OID, "a.html"); err != nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "a.html"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -243,8 +265,8 @@ func TestWarmBindingRefreshesExpiredCert(t *testing.T) {
 	if err := w.Reissue(pub, time.Hour, later); err != nil {
 		t.Fatal(err)
 	}
-	client.Now = func() time.Time { return later }
-	res, err := client.Fetch(pub.OID, "a.html")
+	now = func() time.Time { return later }
+	res, err := client.Fetch(context.Background(), pub.OID, "a.html")
 	if err != nil {
 		t.Fatalf("fetch after reissue: %v", err)
 	}
@@ -255,7 +277,7 @@ func TestWarmBindingRefreshesExpiredCert(t *testing.T) {
 
 func TestTimingPhasesPopulated(t *testing.T) {
 	_, _, client := world(t, netsim.Paris)
-	res, err := client.FetchNamed("home.vu.nl", "index.html")
+	res, err := client.FetchNamed(context.Background(), "home.vu.nl", "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +320,7 @@ func TestNearestReplicaSelected(t *testing.T) {
 	if err := w.ReplicateTo(pub, netsim.Paris); err != nil {
 		t.Fatal(err)
 	}
-	res, err := client.Fetch(pub.OID, "index.html")
+	res, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +339,7 @@ func TestFailoverToFartherReplica(t *testing.T) {
 	if err := w.ReplicateTo(pub, netsim.Paris); err != nil {
 		t.Fatal(err)
 	}
-	res, err := client.Fetch(pub.OID, "index.html")
+	res, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +353,7 @@ func TestFailoverToFartherReplica(t *testing.T) {
 	// client IS at paris. Sever the paris->paris local service by
 	// closing the server instead.
 	w.Servers[netsim.Paris].Close()
-	res, err = client.Fetch(pub.OID, "index.html")
+	res, err = client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatalf("fetch after local replica crash: %v", err)
 	}
@@ -348,11 +370,11 @@ func TestInfrastructureOutageIsDoSOnly(t *testing.T) {
 	// link does — no stale or forged data is ever accepted.
 	w, pub, client := world(t, netsim.Ithaca)
 	w.Net.SetLinkDown(netsim.Ithaca, netsim.AmsterdamPrimary)
-	if _, err := client.Fetch(pub.OID, "index.html"); err == nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "index.html"); err == nil {
 		t.Fatal("fetch succeeded across a severed link")
 	}
 	w.Net.SetLinkUp(netsim.Ithaca, netsim.AmsterdamPrimary)
-	if _, err := client.Fetch(pub.OID, "index.html"); err != nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "index.html"); err != nil {
 		t.Fatalf("fetch after link recovery: %v", err)
 	}
 }
@@ -376,7 +398,7 @@ func TestMultipleAlgorithmsInterop(t *testing.T) {
 	}
 	client := w.NewSecureClient(netsim.Ithaca)
 	t.Cleanup(client.Close)
-	if _, err := client.Fetch(pub.OID, "a"); err != nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "a"); err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
 }

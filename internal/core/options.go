@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/object"
+	"globedoc/internal/telemetry"
+	"globedoc/internal/transport"
+)
+
+// DefaultFetchWorkers is FetchAll's element fan-out when
+// Options.FetchWorkers is zero.
+const DefaultFetchWorkers = 4
+
+// ErrInvalidOptions wraps every NewClient validation failure, so callers
+// can errors.Is against one sentinel while the message names the exact
+// offending field.
+var ErrInvalidOptions = errors.New("core: invalid options")
+
+// Options configures a Client at construction. The zero value is valid:
+// no identity certification, cold bindings on every fetch, legacy retry
+// semantics, default telemetry, the real clock, and default concurrency
+// bounds. Zero-valued knobs mean "use the documented default"; negative
+// values are rejected by NewClient.
+type Options struct {
+	// Trust is the user's trusted-CA store; nil disables the identity
+	// step entirely.
+	Trust *cert.TrustStore
+	// RequireIdentity makes fetches fail unless some identity
+	// certificate matches the trust store (the e-commerce posture of
+	// §3.1.2). When false, identity is best-effort: the subject is
+	// reported when available.
+	RequireIdentity bool
+	// CacheBindings keeps verified bindings warm across fetches; each
+	// element access then costs one round trip plus verification.
+	// Singleflight deduplication of binding establishment requires it
+	// (a shared pipeline run is only useful if its result is shareable).
+	CacheBindings bool
+	// Retry governs how often an expired cached certificate is
+	// refreshed before giving up (the re-bind after a freshness failure
+	// on a warm binding). Nil means one refresh attempt, the historical
+	// behaviour.
+	Retry *transport.RetryPolicy
+	// Telemetry receives the pipeline spans, cache/failover counters and
+	// latency histograms; nil falls back to telemetry.Default().
+	Telemetry *telemetry.Telemetry
+	// Now is the clock used for freshness checks; tests replace it.
+	// Nil means time.Now.
+	Now func() time.Time
+	// FetchWorkers bounds how many elements FetchAll retrieves in
+	// parallel. 0 means DefaultFetchWorkers; 1 restores the serial
+	// behaviour.
+	FetchWorkers int
+	// PoolSize bounds each replica connection pool (concurrent in-flight
+	// RPCs per replica); it is applied to the binder's transport config
+	// before any connection is made. 0 keeps the binder's own setting
+	// (transport.DefaultMaxConns when that too is zero).
+	PoolSize int
+	// DisableSingleflight turns off deduplication of concurrent binding
+	// establishment, making every cold fetch run its own pipeline — an
+	// ablation/debugging knob.
+	DisableSingleflight bool
+}
+
+// validate rejects nonsense configurations with errors that name the
+// offending field and wrap ErrInvalidOptions.
+func (o Options) validate(binder *object.Binder) error {
+	if binder == nil {
+		return fmt.Errorf("%w: nil binder", ErrInvalidOptions)
+	}
+	if o.FetchWorkers < 0 {
+		return fmt.Errorf("%w: FetchWorkers %d is negative (0 means the default %d, 1 means serial)",
+			ErrInvalidOptions, o.FetchWorkers, DefaultFetchWorkers)
+	}
+	if o.PoolSize < 0 {
+		return fmt.Errorf("%w: PoolSize %d is negative (0 means the default %d)",
+			ErrInvalidOptions, o.PoolSize, transport.DefaultMaxConns)
+	}
+	if binder.Transport.DialTimeout < 0 {
+		return fmt.Errorf("%w: binder dial timeout %v is negative (0 means unbounded)",
+			ErrInvalidOptions, binder.Transport.DialTimeout)
+	}
+	if binder.Transport.CallTimeout < 0 {
+		return fmt.Errorf("%w: binder call timeout %v is negative (0 means unbounded)",
+			ErrInvalidOptions, binder.Transport.CallTimeout)
+	}
+	if binder.Transport.Pool.MaxConns < 0 {
+		return fmt.Errorf("%w: binder pool MaxConns %d is negative (0 means the default %d)",
+			ErrInvalidOptions, binder.Transport.Pool.MaxConns, transport.DefaultMaxConns)
+	}
+	if binder.Transport.Pool.IdleTimeout < 0 {
+		return fmt.Errorf("%w: binder pool idle timeout %v is negative (0 disables idle reaping)",
+			ErrInvalidOptions, binder.Transport.Pool.IdleTimeout)
+	}
+	if binder.MaxCandidates < 0 {
+		return fmt.Errorf("%w: binder MaxCandidates %d is negative (0 means try all)",
+			ErrInvalidOptions, binder.MaxCandidates)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ package core_test
 // attempts, no hang, no unbounded recursion.
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -41,16 +42,27 @@ func staleWorld(t *testing.T, retry *transport.RetryPolicy) (*deploy.World, *cor
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := w.NewSecureClient(netsim.Paris)
-	t.Cleanup(client.Close)
-	client.CacheBindings = true
-	client.Retry = retry
-
-	if _, err := client.Fetch(pub.OID, "a.html"); err != nil {
+	later := time.Now().Add(10 * time.Minute)
+	warmed := false
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{
+		CacheBindings: true,
+		Retry:         retry,
+		Now: func() time.Time {
+			if warmed {
+				return later
+			}
+			return time.Now()
+		},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	later := time.Now().Add(10 * time.Minute)
-	client.Now = func() time.Time { return later }
+	t.Cleanup(client.Close)
+
+	if _, err := client.Fetch(context.Background(), pub.OID, "a.html"); err != nil {
+		t.Fatal(err)
+	}
+	warmed = true
 	return w, client
 }
 
@@ -60,7 +72,7 @@ func TestDoubleStaleCertificateFailsCleanly(t *testing.T) {
 
 	before := w.Servers[netsim.AmsterdamPrimary].Stats().CertFetches
 	start := time.Now()
-	_, err := client.Fetch(pubOID, "a.html")
+	_, err := client.Fetch(context.Background(), pubOID, "a.html")
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("fetch succeeded with a doubly-stale certificate")
@@ -92,7 +104,7 @@ func TestDoubleStaleStopsEvenWithAggressiveRetryPolicy(t *testing.T) {
 	pubOID := w.Servers[netsim.AmsterdamPrimary].Hosted()[0]
 
 	before := w.Servers[netsim.AmsterdamPrimary].Stats().CertFetches
-	_, err := client.Fetch(pubOID, "a.html")
+	_, err := client.Fetch(context.Background(), pubOID, "a.html")
 	if err == nil {
 		t.Fatal("fetch succeeded with a doubly-stale certificate")
 	}
@@ -115,7 +127,7 @@ func TestWarmRefreshRetriesThroughPolicyOnDeadReplica(t *testing.T) {
 
 	w.Net.SetHostDown(netsim.AmsterdamPrimary)
 	start := time.Now()
-	_, err := client.Fetch(pubOID, "a.html")
+	_, err := client.Fetch(context.Background(), pubOID, "a.html")
 	if err == nil {
 		t.Fatal("fetch succeeded against a dead replica")
 	}

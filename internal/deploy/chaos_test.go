@@ -17,11 +17,13 @@ package deploy_test
 // so any chaos failure reproduces exactly. -short runs fewer iterations.
 
 import (
+	"context"
 	"flag"
 	"strings"
 	"testing"
 	"time"
 
+	"globedoc/internal/core"
 	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/globeid"
@@ -155,15 +157,17 @@ func TestChaosFetchHoldsWithHonestReplica(t *testing.T) {
 	w.Net.SetFaults(netsim.Paris, netsim.Paris, lossy)
 	w.Net.SetFaults(netsim.Paris, netsim.Ithaca, lossy)
 
-	client := w.NewSecureClient(netsim.Paris)
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
-	client.CacheBindings = true
 
 	elements := []string{"index.html", "data.bin"}
 	for i := 0; i < chaosIterations(t); i++ {
 		element := elements[i%len(elements)]
 		start := time.Now()
-		res, err := client.FetchNamed("chaos.vu.nl", element)
+		res, err := client.FetchNamed(context.Background(), "chaos.vu.nl", element)
 		elapsed := time.Since(start)
 		if err != nil {
 			t.Fatalf("fetch %d (%s) failed under chaos (seed %d): %v", i, element, *chaosSeed, err)
@@ -194,13 +198,15 @@ func TestChaosFetchHoldsWithFlappingLink(t *testing.T) {
 	stop := w.Net.RunScript(netsim.FlapLink(netsim.Paris, netsim.Paris, 30*time.Millisecond, 50))
 	defer stop()
 
-	client := w.NewSecureClient(netsim.Paris)
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
-	client.CacheBindings = true
 
 	for i := 0; i < chaosIterations(t); i++ {
 		start := time.Now()
-		res, err := client.FetchNamed("chaos.vu.nl", "index.html")
+		res, err := client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
 		if err != nil {
 			t.Fatalf("fetch %d failed during link flaps: %v", i, err)
 		}
@@ -225,11 +231,13 @@ func TestChaosFailoverIsCountedWhenReplicaFlaps(t *testing.T) {
 	// failovers_total must record that it did, while the honest outage
 	// registers zero security failures.
 	w, pub, tel := chaosWorld(t, *chaosSeed)
-	client := w.NewSecureClient(netsim.Paris)
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(client.Close)
-	client.CacheBindings = true
 
-	res, err := client.FetchNamed("chaos.vu.nl", "index.html")
+	res, err := client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
 	if err != nil {
 		t.Fatalf("fetch before flap: %v", err)
 	}
@@ -241,7 +249,7 @@ func TestChaosFailoverIsCountedWhenReplicaFlaps(t *testing.T) {
 	// the link would not do: same-host dials ignore link state, and fault
 	// plans only apply to connections dialled after they are set.)
 	w.Servers[strings.SplitN(bound, ":", 2)[0]].Close()
-	res, err = client.FetchNamed("chaos.vu.nl", "index.html")
+	res, err = client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
 	if err != nil {
 		t.Fatalf("fetch after flap did not fail over: %v", err)
 	}
@@ -270,7 +278,7 @@ func TestChaosZeroHonestReplicasFailsCleanly(t *testing.T) {
 	// object server by taking its replica out of the location tree.
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
-	oidAddrs, err := w.LocationTree.Lookup(netsim.Paris, mustOID(t, w))
+	oidAddrs, err := w.LocationTree.Lookup(context.Background(), netsim.Paris, mustOID(t, w))
 	if err != nil || len(oidAddrs.Addresses) == 0 {
 		t.Fatalf("lookup before unpublish: %v", err)
 	}
@@ -283,7 +291,7 @@ func TestChaosZeroHonestReplicasFailsCleanly(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, err = client.FetchNamed("chaos.vu.nl", "index.html")
+	_, err = client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("fetch succeeded with zero reachable replicas")
@@ -316,11 +324,13 @@ func TestChaosSameSeedReproducesFaultSchedule(t *testing.T) {
 		w, _, _ := chaosWorld(t, seed)
 		trace := w.Net.TraceFaults()
 		w.Net.SetFaults(netsim.Paris, netsim.Paris, netsim.FaultPlan{DropProb: 0.3, CorruptProb: 0.2})
-		client := w.NewSecureClient(netsim.Paris)
+		client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer client.Close()
-		client.CacheBindings = true
 		for i := 0; i < 8; i++ {
-			if _, err := client.FetchNamed("chaos.vu.nl", "index.html"); err != nil {
+			if _, err := client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html"); err != nil {
 				t.Fatalf("seeded fetch %d: %v", i, err)
 			}
 		}

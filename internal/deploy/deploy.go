@@ -200,15 +200,32 @@ func (w *World) NewBinder(host string) *object.Binder {
 }
 
 // NewSecureClient assembles the full GlobeDoc security client for a user
-// at host whose proxy trusts the world CA.
+// at host whose proxy trusts the world CA, with default options.
 func (w *World) NewSecureClient(host string) *core.Client {
-	c := core.NewClient(w.NewBinder(host))
-	c.Retry = w.opts.Client.Retry
-	c.Telemetry = w.opts.Telemetry
-	trust := cert.NewTrustStore()
-	trust.TrustCA(w.CA.Name, w.CA.Key.Public())
-	c.Trust = trust
+	c, err := w.NewSecureClientOpts(host, core.Options{})
+	if err != nil {
+		// Impossible: the options are the world's own defaults.
+		panic(fmt.Sprintf("deploy: default secure client: %v", err))
+	}
 	return c
+}
+
+// NewSecureClientOpts assembles a security client for a user at host with
+// caller-chosen options. World defaults (the run's retry policy and
+// telemetry, trust in the world CA) fill any option left zero.
+func (w *World) NewSecureClientOpts(host string, opts core.Options) (*core.Client, error) {
+	if opts.Retry == nil {
+		opts.Retry = w.opts.Client.Retry
+	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = w.opts.Telemetry
+	}
+	if opts.Trust == nil {
+		trust := cert.NewTrustStore()
+		trust.TrustCA(w.CA.Name, w.CA.Key.Public())
+		opts.Trust = trust
+	}
+	return core.NewClient(w.NewBinder(host), opts)
 }
 
 // Publication is one published GlobeDoc object: the owner-side state

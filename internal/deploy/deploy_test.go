@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -47,7 +48,7 @@ func TestPublishRegistersEverything(t *testing.T) {
 		t.Fatalf("naming: %v", err)
 	}
 	// Location knows the replica.
-	res, err := w.LocationTree.Lookup(netsim.AmsterdamPrimary, pub.OID)
+	res, err := w.LocationTree.Lookup(context.Background(), netsim.AmsterdamPrimary, pub.OID)
 	if err != nil || len(res.Addresses) != 1 {
 		t.Fatalf("location: %v %v", res, err)
 	}
@@ -96,7 +97,7 @@ func TestReissueAndPushUpdate(t *testing.T) {
 	// A Paris client sees v2 from its local replica, fully verified.
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
-	res, err := client.Fetch(pub.OID, "index.html")
+	res, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestPublishDefaultsAndAnonymous(t *testing.T) {
 	}
 	client := w.NewSecureClient(netsim.Ithaca)
 	t.Cleanup(client.Close)
-	if _, err := client.Fetch(pub.OID, "index.html"); err != nil {
+	if _, err := client.Fetch(context.Background(), pub.OID, "index.html"); err != nil {
 		t.Fatalf("Fetch by OID: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"globedoc/internal/attack"
+	"globedoc/internal/core"
 	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/keys"
@@ -73,9 +74,11 @@ func TestGrandIntegrationScenario(t *testing.T) {
 		w.DialFrom(netsim.AmsterdamPrimary), w.LocationTree, 2, time.Minute)
 
 	// --- Browser-facing proxy for a paris user. ---
-	secure := w.NewSecureClient(netsim.Paris)
+	secure, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(secure.Close)
-	secure.CacheBindings = true
 	px := proxy.New(secure)
 	pl, err := w.Net.Listen(netsim.Paris, "proxy")
 	if err != nil {
@@ -120,7 +123,7 @@ func TestGrandIntegrationScenario(t *testing.T) {
 
 	// 2. Paris demand triggers dynamic replication of the story.
 	for i := 0; i < 3; i++ {
-		if _, err := secure.Fetch(storyPub.OID, "text.html"); err != nil {
+		if _, err := secure.Fetch(context.Background(), storyPub.OID, "text.html"); err != nil {
 			t.Fatal(err)
 		}
 	}

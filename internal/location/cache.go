@@ -1,6 +1,7 @@
 package location
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -58,7 +59,7 @@ func (c *CachingResolver) now() time.Time {
 }
 
 // Lookup implements Resolver with caching.
-func (c *CachingResolver) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
+func (c *CachingResolver) Lookup(ctx context.Context, fromSite string, oid globeid.OID) (LookupResult, error) {
 	now := c.now()
 	tel := telemetry.Or(c.Telemetry)
 	c.mu.Lock()
@@ -74,7 +75,7 @@ func (c *CachingResolver) Lookup(fromSite string, oid globeid.OID) (LookupResult
 	c.mu.Unlock()
 	tel.LocationCacheMisses.Inc()
 
-	res, err := c.Backend.Lookup(fromSite, oid)
+	res, err := c.Backend.Lookup(ctx, fromSite, oid)
 	if err != nil {
 		return LookupResult{}, err
 	}

@@ -1,6 +1,7 @@
 package location_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -16,9 +17,9 @@ type countingResolver struct {
 	calls int
 }
 
-func (c *countingResolver) Lookup(fromSite string, oid globeid.OID) (location.LookupResult, error) {
+func (c *countingResolver) Lookup(ctx context.Context, fromSite string, oid globeid.OID) (location.LookupResult, error) {
 	c.calls++
-	return c.tree.Lookup(fromSite, oid)
+	return c.tree.Lookup(ctx, fromSite, oid)
 }
 
 func newCachingFixture(t *testing.T) (*location.CachingResolver, *countingResolver, globeid.OID, func(time.Duration)) {
@@ -38,7 +39,7 @@ func newCachingFixture(t *testing.T) (*location.CachingResolver, *countingResolv
 func TestCachingResolverHitsAndMisses(t *testing.T) {
 	c, backend, oid, _ := newCachingFixture(t)
 	for i := 0; i < 5; i++ {
-		res, err := c.Lookup("paris", oid)
+		res, err := c.Lookup(context.Background(), "paris", oid)
 		if err != nil || len(res.Addresses) != 1 {
 			t.Fatalf("lookup %d: %v %v", i, res, err)
 		}
@@ -54,11 +55,11 @@ func TestCachingResolverHitsAndMisses(t *testing.T) {
 
 func TestCachingResolverTTLExpiry(t *testing.T) {
 	c, backend, oid, advance := newCachingFixture(t)
-	if _, err := c.Lookup("paris", oid); err != nil {
+	if _, err := c.Lookup(context.Background(), "paris", oid); err != nil {
 		t.Fatal(err)
 	}
 	advance(2 * time.Minute)
-	if _, err := c.Lookup("paris", oid); err != nil {
+	if _, err := c.Lookup(context.Background(), "paris", oid); err != nil {
 		t.Fatal(err)
 	}
 	if backend.calls != 2 {
@@ -68,10 +69,10 @@ func TestCachingResolverTTLExpiry(t *testing.T) {
 
 func TestCachingResolverPerSiteEntries(t *testing.T) {
 	c, backend, oid, _ := newCachingFixture(t)
-	if _, err := c.Lookup("paris", oid); err != nil {
+	if _, err := c.Lookup(context.Background(), "paris", oid); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("ithaca", oid); err != nil {
+	if _, err := c.Lookup(context.Background(), "ithaca", oid); err != nil {
 		t.Fatal(err)
 	}
 	if backend.calls != 2 {
@@ -81,9 +82,9 @@ func TestCachingResolverPerSiteEntries(t *testing.T) {
 
 func TestCachingResolverInvalidate(t *testing.T) {
 	c, backend, oid, _ := newCachingFixture(t)
-	c.Lookup("paris", oid)
+	c.Lookup(context.Background(), "paris", oid)
 	c.Invalidate(oid)
-	c.Lookup("paris", oid)
+	c.Lookup(context.Background(), "paris", oid)
 	if backend.calls != 2 {
 		t.Errorf("backend calls = %d, want 2 after Invalidate", backend.calls)
 	}
@@ -91,9 +92,9 @@ func TestCachingResolverInvalidate(t *testing.T) {
 
 func TestCachingResolverFlush(t *testing.T) {
 	c, backend, oid, _ := newCachingFixture(t)
-	c.Lookup("paris", oid)
+	c.Lookup(context.Background(), "paris", oid)
 	c.Flush()
-	c.Lookup("paris", oid)
+	c.Lookup(context.Background(), "paris", oid)
 	if backend.calls != 2 {
 		t.Errorf("backend calls = %d, want 2 after Flush", backend.calls)
 	}
@@ -102,10 +103,10 @@ func TestCachingResolverFlush(t *testing.T) {
 func TestCachingResolverErrorNotCached(t *testing.T) {
 	c, backend, _, _ := newCachingFixture(t)
 	ghost := testOID(51)
-	if _, err := c.Lookup("paris", ghost); !errors.Is(err, location.ErrNotFound) {
+	if _, err := c.Lookup(context.Background(), "paris", ghost); !errors.Is(err, location.ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := c.Lookup("paris", ghost); !errors.Is(err, location.ErrNotFound) {
+	if _, err := c.Lookup(context.Background(), "paris", ghost); !errors.Is(err, location.ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 	if backend.calls != 2 {

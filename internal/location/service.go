@@ -1,6 +1,7 @@
 package location
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -23,8 +24,8 @@ const (
 // Client, and the adversarial wrappers in internal/attack all implement it.
 type Resolver interface {
 	// Lookup returns contact addresses for oid, nearest-first relative
-	// to fromSite.
-	Lookup(fromSite string, oid globeid.OID) (LookupResult, error)
+	// to fromSite. Implementations that do no I/O may ignore ctx.
+	Lookup(ctx context.Context, fromSite string, oid globeid.OID) (LookupResult, error)
 }
 
 var (
@@ -136,7 +137,7 @@ func (s *Service) handleLookup(body []byte) ([]byte, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
-	res, err := s.tree.Lookup(site, oid)
+	res, err := s.tree.Lookup(context.Background(), site, oid)
 	if err != nil {
 		return nil, err
 	}
@@ -178,23 +179,23 @@ func (c *Client) Configure(cfg transport.Config) *Client {
 func (c *Client) Transport() *transport.Client { return c.c }
 
 // Insert records addr for oid at site.
-func (c *Client) Insert(site string, oid globeid.OID, addr ContactAddress) error {
-	_, err := c.c.Call(OpInsert, encodeSiteOIDAddr(site, oid, addr))
+func (c *Client) Insert(ctx context.Context, site string, oid globeid.OID, addr ContactAddress) error {
+	_, err := c.c.Call(ctx, OpInsert, encodeSiteOIDAddr(site, oid, addr))
 	return err
 }
 
 // Delete removes addr for oid at site.
-func (c *Client) Delete(site string, oid globeid.OID, addr ContactAddress) error {
-	_, err := c.c.Call(OpDelete, encodeSiteOIDAddr(site, oid, addr))
+func (c *Client) Delete(ctx context.Context, site string, oid globeid.OID, addr ContactAddress) error {
+	_, err := c.c.Call(ctx, OpDelete, encodeSiteOIDAddr(site, oid, addr))
 	return err
 }
 
 // Lookup finds contact addresses for oid, nearest-first from fromSite.
-func (c *Client) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
+func (c *Client) Lookup(ctx context.Context, fromSite string, oid globeid.OID) (LookupResult, error) {
 	w := enc.NewWriter(64)
 	w.String(fromSite)
 	w.Raw(oid[:])
-	body, err := c.c.Call(OpLookup, w.Bytes())
+	body, err := c.c.Call(ctx, OpLookup, w.Bytes())
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -202,10 +203,10 @@ func (c *Client) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) 
 }
 
 // All returns every recorded address for oid.
-func (c *Client) All(oid globeid.OID) ([]ContactAddress, error) {
+func (c *Client) All(ctx context.Context, oid globeid.OID) ([]ContactAddress, error) {
 	w := enc.NewWriter(32)
 	w.Raw(oid[:])
-	body, err := c.c.Call(OpAll, w.Bytes())
+	body, err := c.c.Call(ctx, OpAll, w.Bytes())
 	if err != nil {
 		return nil, err
 	}

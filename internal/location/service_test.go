@@ -1,6 +1,7 @@
 package location_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -36,24 +37,24 @@ func TestServiceInsertLookupDelete(t *testing.T) {
 
 	oid := testOID(11)
 	a := addr("amsterdam-primary:objsrv")
-	if err := client.Insert("amsterdam-primary", oid, a); err != nil {
+	if err := client.Insert(context.Background(), "amsterdam-primary", oid, a); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	res, err := client.Lookup("paris", oid)
+	res, err := client.Lookup(context.Background(), "paris", oid)
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
 	if len(res.Addresses) != 1 || res.Addresses[0] != a || res.Rings != 1 {
 		t.Errorf("res = %+v", res)
 	}
-	all, err := client.All(oid)
+	all, err := client.All(context.Background(), oid)
 	if err != nil || len(all) != 1 {
 		t.Errorf("All = %v, %v", all, err)
 	}
-	if err := client.Delete("amsterdam-primary", oid, a); err != nil {
+	if err := client.Delete(context.Background(), "amsterdam-primary", oid, a); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := client.Lookup("paris", oid); err == nil {
+	if _, err := client.Lookup(context.Background(), "paris", oid); err == nil {
 		t.Fatal("Lookup succeeded after Delete")
 	}
 }
@@ -63,7 +64,7 @@ func TestServiceErrorsCrossWire(t *testing.T) {
 	defer n.Close()
 	client, _ := startLocationService(t, n, netsim.Ithaca)
 
-	if err := client.Insert("atlantis", testOID(12), addr("x:y")); err == nil {
+	if err := client.Insert(context.Background(), "atlantis", testOID(12), addr("x:y")); err == nil {
 		t.Fatal("Insert to unknown site succeeded")
 	} else {
 		var remote *transport.RemoteError
@@ -71,7 +72,7 @@ func TestServiceErrorsCrossWire(t *testing.T) {
 			t.Fatalf("err = %T %v, want RemoteError", err, err)
 		}
 	}
-	if _, err := client.Lookup("paris", testOID(13)); err == nil {
+	if _, err := client.Lookup(context.Background(), "paris", testOID(13)); err == nil {
 		t.Fatal("Lookup of unrecorded OID succeeded")
 	}
 }

@@ -19,6 +19,7 @@
 package location
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -232,7 +233,7 @@ type LookupResult struct {
 // site order is deterministic. Rings records the ring of the FIRST hit
 // (0 = local site); outer rings are still collected so a client whose
 // nearest replica is unreachable has fallback candidates.
-func (t *Tree) Lookup(fromSite string, oid globeid.OID) (LookupResult, error) {
+func (t *Tree) Lookup(_ context.Context, fromSite string, oid globeid.OID) (LookupResult, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	start, ok := t.sites[fromSite]

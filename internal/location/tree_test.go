@@ -1,6 +1,7 @@
 package location_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -74,7 +75,7 @@ func TestInsertAndLocalLookup(t *testing.T) {
 	if err := tree.Insert("amsterdam-primary", oid, a); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	res, err := tree.Lookup("amsterdam-primary", oid)
+	res, err := tree.Lookup(context.Background(), "amsterdam-primary", oid)
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestExpandingRingSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Paris is in the same region (europe): expect the hit at ring 1.
-	res, err := tree.Lookup("paris", oid)
+	res, err := tree.Lookup(context.Background(), "paris", oid)
 	if err != nil {
 		t.Fatalf("Lookup from paris: %v", err)
 	}
@@ -102,7 +103,7 @@ func TestExpandingRingSearch(t *testing.T) {
 		t.Errorf("paris Rings = %d, want 1", res.Rings)
 	}
 	// Ithaca must climb to the world root: ring 2.
-	res, err = tree.Lookup("ithaca", oid)
+	res, err = tree.Lookup(context.Background(), "ithaca", oid)
 	if err != nil {
 		t.Fatalf("Lookup from ithaca: %v", err)
 	}
@@ -127,7 +128,7 @@ func TestNearestFirstOrdering(t *testing.T) {
 	}
 	// From paris, the local replica is ring 0 and must come first; the
 	// amsterdam replica follows as a fallback candidate.
-	res, err := tree.Lookup("paris", oid)
+	res, err := tree.Lookup(context.Background(), "paris", oid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestNearestFirstOrdering(t *testing.T) {
 		t.Errorf("paris lookup = %+v", res)
 	}
 	// From amsterdam-secondary both are in ring 1 (europe).
-	res, err = tree.Lookup("amsterdam-secondary", oid)
+	res, err = tree.Lookup(context.Background(), "amsterdam-secondary", oid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestNearestFirstOrdering(t *testing.T) {
 
 func TestLookupMiss(t *testing.T) {
 	tree := newPaperTree(t)
-	_, err := tree.Lookup("paris", testOID(9))
+	_, err := tree.Lookup(context.Background(), "paris", testOID(9))
 	if !errors.Is(err, location.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
@@ -158,7 +159,7 @@ func TestUnknownSite(t *testing.T) {
 	if err := tree.Insert("atlantis", oid, addr("x:y")); !errors.Is(err, location.ErrUnknownSite) {
 		t.Errorf("Insert: %v", err)
 	}
-	if _, err := tree.Lookup("atlantis", oid); !errors.Is(err, location.ErrUnknownSite) {
+	if _, err := tree.Lookup(context.Background(), "atlantis", oid); !errors.Is(err, location.ErrUnknownSite) {
 		t.Errorf("Lookup: %v", err)
 	}
 	if err := tree.Delete("atlantis", oid, addr("x:y")); !errors.Is(err, location.ErrUnknownSite) {
@@ -175,7 +176,7 @@ func TestInsertIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := tree.Lookup("paris", oid)
+	res, err := tree.Lookup(context.Background(), "paris", oid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestDeleteRemovesAndPrunes(t *testing.T) {
 	if err := tree.Delete("amsterdam-primary", oid, a); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := tree.Lookup("ithaca", oid); !errors.Is(err, location.ErrNotFound) {
+	if _, err := tree.Lookup(context.Background(), "ithaca", oid); !errors.Is(err, location.ErrNotFound) {
 		t.Fatalf("lookup after delete: %v (pointers not pruned?)", err)
 	}
 	// Deleting again fails.
@@ -213,7 +214,7 @@ func TestDeleteKeepsOtherReplicas(t *testing.T) {
 	if err := tree.Delete("amsterdam-primary", oid, a1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := tree.Lookup("ithaca", oid)
+	res, err := tree.Lookup(context.Background(), "ithaca", oid)
 	if err != nil {
 		t.Fatalf("lookup: %v", err)
 	}
@@ -263,7 +264,7 @@ func TestQuickInsertLookupDelete(t *testing.T) {
 		if tree.Insert(site, oid, a) != nil {
 			return false
 		}
-		res, err := tree.Lookup(from, oid)
+		res, err := tree.Lookup(context.Background(), from, oid)
 		if err != nil {
 			return false
 		}
@@ -280,7 +281,7 @@ func TestQuickInsertLookupDelete(t *testing.T) {
 			return false
 		}
 		// After deletion the address must be unreachable.
-		res, err = tree.Lookup(from, oid)
+		res, err = tree.Lookup(context.Background(), from, oid)
 		if err == nil {
 			for _, got := range res.Addresses {
 				if got == a {

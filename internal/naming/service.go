@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -166,7 +167,7 @@ func (s *Service) handleUnregister(body []byte) ([]byte, error) {
 // OIDResolver is the client-side view of secure name resolution: anything
 // that can turn an object name into a verified OID.
 type OIDResolver interface {
-	Resolve(name string) (globeid.OID, error)
+	Resolve(ctx context.Context, name string) (globeid.OID, error)
 }
 
 // Resolver is a verifying, caching naming-service client. It trusts only
@@ -218,7 +219,7 @@ func (r *Resolver) Transport() *transport.Client { return r.client }
 
 // Resolve returns the verified OID bound to name, consulting the cache
 // first.
-func (r *Resolver) Resolve(name string) (globeid.OID, error) {
+func (r *Resolver) Resolve(ctx context.Context, name string) (globeid.OID, error) {
 	now := r.Now()
 	r.mu.Lock()
 	if e, ok := r.cache[name]; ok && now.Before(e.expires) {
@@ -231,7 +232,7 @@ func (r *Resolver) Resolve(name string) (globeid.OID, error) {
 
 	w := enc.NewWriter(len(name) + 8)
 	w.String(name)
-	body, err := r.client.Call(OpResolve, w.Bytes())
+	body, err := r.client.Call(ctx, OpResolve, w.Bytes())
 	if err != nil {
 		return globeid.Zero, err
 	}
@@ -258,11 +259,11 @@ func (r *Resolver) FlushCache() {
 
 // Register binds name to oid via the remote authority (administrative
 // path; production deployments would authenticate this channel).
-func (r *Resolver) Register(name string, oid globeid.OID) error {
+func (r *Resolver) Register(ctx context.Context, name string, oid globeid.OID) error {
 	w := enc.NewWriter(len(name) + globeid.Size + 8)
 	w.String(name)
 	w.Raw(oid[:])
-	_, err := r.client.Call(OpRegister, w.Bytes())
+	_, err := r.client.Call(ctx, OpRegister, w.Bytes())
 	return err
 }
 

@@ -1,6 +1,7 @@
 package naming_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -40,7 +41,7 @@ func TestResolverEndToEnd(t *testing.T) {
 	if err := auth.Register("home.vu.nl", oid); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.Resolve("home.vu.nl")
+	got, err := r.Resolve(context.Background(), "home.vu.nl")
 	if err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
@@ -55,17 +56,17 @@ func TestResolverCaches(t *testing.T) {
 	r, auth := startNamingService(t, n, netsim.Ithaca)
 	auth.Register("cached.nl", testOID(32))
 
-	if _, err := r.Resolve("cached.nl"); err != nil {
+	if _, err := r.Resolve(context.Background(), "cached.nl"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Resolve("cached.nl"); err != nil {
+	if _, err := r.Resolve(context.Background(), "cached.nl"); err != nil {
 		t.Fatal(err)
 	}
 	if r.Hits != 1 || r.Misses != 1 {
 		t.Errorf("Hits=%d Misses=%d, want 1/1", r.Hits, r.Misses)
 	}
 	r.FlushCache()
-	if _, err := r.Resolve("cached.nl"); err != nil {
+	if _, err := r.Resolve(context.Background(), "cached.nl"); err != nil {
 		t.Fatal(err)
 	}
 	if r.Misses != 2 {
@@ -78,10 +79,10 @@ func TestResolverRegisterOverWire(t *testing.T) {
 	defer n.Close()
 	r, _ := startNamingService(t, n, netsim.AmsterdamSecondary)
 	oid := testOID(33)
-	if err := r.Register("remote.nl", oid); err != nil {
+	if err := r.Register(context.Background(), "remote.nl", oid); err != nil {
 		t.Fatalf("Register: %v", err)
 	}
-	got, err := r.Resolve("remote.nl")
+	got, err := r.Resolve(context.Background(), "remote.nl")
 	if err != nil || got != oid {
 		t.Fatalf("Resolve = %v, %v", got, err)
 	}
@@ -91,7 +92,7 @@ func TestResolverRejectsMissingName(t *testing.T) {
 	n := netsim.PaperTestbed(0)
 	defer n.Close()
 	r, _ := startNamingService(t, n, netsim.Paris)
-	if _, err := r.Resolve("ghost.nl"); err == nil {
+	if _, err := r.Resolve(context.Background(), "ghost.nl"); err == nil {
 		t.Fatal("Resolve of unregistered name succeeded")
 	}
 }

@@ -2,6 +2,7 @@ package netsim_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -159,7 +160,7 @@ func TestLatencyActuallySimulated(t *testing.T) {
 	c := transport.NewClient(n.Dialer("a", "b:svc"))
 	defer c.Close()
 	start := time.Now()
-	if _, err := c.Call("ping", nil); err != nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -190,7 +191,7 @@ func TestBandwidthSimulated(t *testing.T) {
 	c := transport.NewClient(n.Dialer("a", "b:svc"))
 	defer c.Close()
 	start := time.Now()
-	if _, err := c.Call("get", nil); err != nil {
+	if _, err := c.Call(context.Background(), "get", nil); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {

@@ -1,6 +1,7 @@
 package object
 
 import (
+	"context"
 	"fmt"
 
 	"globedoc/internal/globeid"
@@ -55,12 +56,12 @@ func (b *Binding) Close() {
 
 // Bind resolves name and installs a proxy LR connected to the nearest
 // reachable replica.
-func (b *Binder) Bind(name string) (*Binding, error) {
-	oid, err := b.Names.Resolve(name)
+func (b *Binder) Bind(ctx context.Context, name string) (*Binding, error) {
+	oid, err := b.Names.Resolve(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("object: resolving name %q: %w", name, err)
 	}
-	binding, err := b.BindOID(oid)
+	binding, err := b.BindOID(ctx, oid)
 	if err != nil {
 		return nil, err
 	}
@@ -70,8 +71,8 @@ func (b *Binder) Bind(name string) (*Binding, error) {
 
 // Candidates returns the contact addresses for oid, nearest-first and
 // filtered to the GlobeDoc protocol, capped at MaxCandidates.
-func (b *Binder) Candidates(oid globeid.OID) ([]location.ContactAddress, int, error) {
-	res, err := b.Locator.Lookup(b.Site, oid)
+func (b *Binder) Candidates(ctx context.Context, oid globeid.OID) ([]location.ContactAddress, int, error) {
+	res, err := b.Locator.Lookup(ctx, b.Site, oid)
 	if err != nil {
 		return nil, 0, fmt.Errorf("object: locating %s: %w", oid.Short(), err)
 	}
@@ -92,10 +93,10 @@ func (b *Binder) Candidates(oid globeid.OID) ([]location.ContactAddress, int, er
 
 // Connect installs a proxy LR talking to the replica at addr, verifying
 // liveness with a ping.
-func (b *Binder) Connect(oid globeid.OID, addr string) (*Client, error) {
+func (b *Binder) Connect(ctx context.Context, oid globeid.OID, addr string) (*Client, error) {
 	client := NewClient(oid, addr, b.Dial(addr))
 	client.Transport().Configure(b.Transport)
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(ctx); err != nil {
 		client.Close()
 		return nil, err
 	}
@@ -104,14 +105,14 @@ func (b *Binder) Connect(oid globeid.OID, addr string) (*Client, error) {
 
 // BindOID installs a proxy LR for an already-known OID. Addresses are
 // tried nearest-first; unreachable replicas are skipped.
-func (b *Binder) BindOID(oid globeid.OID) (*Binding, error) {
-	candidates, rings, err := b.Candidates(oid)
+func (b *Binder) BindOID(ctx context.Context, oid globeid.OID) (*Binding, error) {
+	candidates, rings, err := b.Candidates(ctx, oid)
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for _, ca := range candidates {
-		client, err := b.Connect(oid, ca.Address)
+		client, err := b.Connect(ctx, oid, ca.Address)
 		if err != nil {
 			lastErr = err
 			continue

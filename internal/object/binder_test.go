@@ -1,6 +1,7 @@
 package object_test
 
 import (
+	"context"
 	"testing"
 
 	"globedoc/internal/deploy"
@@ -32,7 +33,7 @@ func bindWorld(t *testing.T) (*deploy.World, *deploy.Publication) {
 func TestBindByName(t *testing.T) {
 	w, pub := bindWorld(t)
 	binder := w.NewBinder(netsim.Paris)
-	binding, err := binder.Bind("bind.nl")
+	binding, err := binder.Bind(context.Background(), "bind.nl")
 	if err != nil {
 		t.Fatalf("Bind: %v", err)
 	}
@@ -43,7 +44,7 @@ func TestBindByName(t *testing.T) {
 	if binding.Name != "bind.nl" {
 		t.Errorf("Name = %q", binding.Name)
 	}
-	elem, err := binding.Client.GetElement("index.html")
+	elem, err := binding.Client.GetElement(context.Background(), "index.html")
 	if err != nil || string(elem.Data) != "bind me" {
 		t.Fatalf("GetElement = %q, %v", elem.Data, err)
 	}
@@ -52,7 +53,7 @@ func TestBindByName(t *testing.T) {
 func TestBindUnknownName(t *testing.T) {
 	w, _ := bindWorld(t)
 	binder := w.NewBinder(netsim.Paris)
-	if _, err := binder.Bind("ghost.nl"); err == nil {
+	if _, err := binder.Bind(context.Background(), "ghost.nl"); err == nil {
 		t.Fatal("Bind of unknown name succeeded")
 	}
 }
@@ -62,7 +63,7 @@ func TestBindOIDNoReplicas(t *testing.T) {
 	binder := w.NewBinder(netsim.Paris)
 	other := keytest.Ed()
 	oid := binderTestOID(other)
-	if _, err := binder.BindOID(oid); err == nil {
+	if _, err := binder.BindOID(context.Background(), oid); err == nil {
 		t.Fatal("BindOID with no replicas succeeded")
 	}
 }
@@ -75,7 +76,7 @@ func TestBindSkipsDeadReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	binder := w.NewBinder(netsim.Paris)
-	binding, err := binder.Bind("bind.nl")
+	binding, err := binder.Bind(context.Background(), "bind.nl")
 	if err != nil {
 		t.Fatalf("Bind: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestBindSkipsUnknownProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	binder := w.NewBinder(netsim.Paris)
-	binding, err := binder.Bind("bind.nl")
+	binding, err := binder.Bind(context.Background(), "bind.nl")
 	if err != nil {
 		t.Fatalf("Bind: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestMaxCandidates(t *testing.T) {
 	}
 	binder := w.NewBinder(netsim.Paris)
 	binder.MaxCandidates = 1 // only the (dead) nearest one is tried
-	if _, err := binder.Bind("bind.nl"); err == nil {
+	if _, err := binder.Bind(context.Background(), "bind.nl"); err == nil {
 		t.Fatal("Bind succeeded despite MaxCandidates cutoff")
 	}
 }

@@ -16,6 +16,7 @@
 package object
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -210,8 +211,8 @@ func (c *Client) Close() { c.c.Close() }
 
 // GetPublicKey fetches the object's public key from the replica. The
 // caller MUST verify it against the self-certifying OID.
-func (c *Client) GetPublicKey() (keys.PublicKey, error) {
-	body, err := c.c.Call(OpGetKey, EncodeOIDRequest(c.oid))
+func (c *Client) GetPublicKey(ctx context.Context) (keys.PublicKey, error) {
+	body, err := c.c.Call(ctx, OpGetKey, EncodeOIDRequest(c.oid))
 	if err != nil {
 		return keys.PublicKey{}, err
 	}
@@ -220,8 +221,8 @@ func (c *Client) GetPublicKey() (keys.PublicKey, error) {
 
 // GetIntegrityCert fetches the object's integrity certificate. The caller
 // MUST verify its signature under the (verified) object key.
-func (c *Client) GetIntegrityCert() (*cert.IntegrityCertificate, error) {
-	body, err := c.c.Call(OpGetCert, EncodeOIDRequest(c.oid))
+func (c *Client) GetIntegrityCert(ctx context.Context) (*cert.IntegrityCertificate, error) {
+	body, err := c.c.Call(ctx, OpGetCert, EncodeOIDRequest(c.oid))
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +231,8 @@ func (c *Client) GetIntegrityCert() (*cert.IntegrityCertificate, error) {
 
 // GetNameCerts fetches any CA-issued identity certificates the object can
 // provide (the object's "security interface" of §3.1.2).
-func (c *Client) GetNameCerts() ([]*cert.NameCertificate, error) {
-	body, err := c.c.Call(OpGetNameCerts, EncodeOIDRequest(c.oid))
+func (c *Client) GetNameCerts(ctx context.Context) ([]*cert.NameCertificate, error) {
+	body, err := c.c.Call(ctx, OpGetNameCerts, EncodeOIDRequest(c.oid))
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +240,8 @@ func (c *Client) GetNameCerts() ([]*cert.NameCertificate, error) {
 }
 
 // GetElement fetches one page element's raw content.
-func (c *Client) GetElement(name string) (document.Element, error) {
-	body, err := c.c.Call(OpGetElement, EncodeElementRequest(c.oid, name, c.Site))
+func (c *Client) GetElement(ctx context.Context, name string) (document.Element, error) {
+	body, err := c.c.Call(ctx, OpGetElement, EncodeElementRequest(c.oid, name, c.Site))
 	if err != nil {
 		return document.Element{}, err
 	}
@@ -248,8 +249,8 @@ func (c *Client) GetElement(name string) (document.Element, error) {
 }
 
 // ListElements fetches the element names of the object.
-func (c *Client) ListElements() ([]string, error) {
-	body, err := c.c.Call(OpListElements, EncodeOIDRequest(c.oid))
+func (c *Client) ListElements(ctx context.Context) ([]string, error) {
+	body, err := c.c.Call(ctx, OpListElements, EncodeOIDRequest(c.oid))
 	if err != nil {
 		return nil, err
 	}
@@ -257,8 +258,8 @@ func (c *Client) ListElements() ([]string, error) {
 }
 
 // Version fetches the replica's state version.
-func (c *Client) Version() (uint64, error) {
-	body, err := c.c.Call(OpVersion, EncodeOIDRequest(c.oid))
+func (c *Client) Version(ctx context.Context) (uint64, error) {
+	body, err := c.c.Call(ctx, OpVersion, EncodeOIDRequest(c.oid))
 	if err != nil {
 		return 0, err
 	}
@@ -271,7 +272,7 @@ func (c *Client) Version() (uint64, error) {
 }
 
 // Ping checks liveness of the replica endpoint.
-func (c *Client) Ping() error {
-	_, err := c.c.Call(OpPing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.c.Call(ctx, OpPing, nil)
 	return err
 }

@@ -2,6 +2,7 @@ package object_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -152,36 +153,36 @@ func TestClientAccessors(t *testing.T) {
 	if c.Transport() == nil {
 		t.Error("Transport nil")
 	}
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
-	v, err := c.Version()
+	v, err := c.Version(context.Background())
 	if err != nil || v == 0 {
 		t.Fatalf("Version = %d, %v", v, err)
 	}
-	names, err := c.ListElements()
+	names, err := c.ListElements(context.Background())
 	if err != nil || len(names) != 1 {
 		t.Fatalf("ListElements = %v, %v", names, err)
 	}
-	e, err := c.GetElement("index.html")
+	e, err := c.GetElement(context.Background(), "index.html")
 	if err != nil || string(e.Data) != "served" {
 		t.Fatalf("GetElement = %q, %v", e.Data, err)
 	}
-	pk, err := c.GetPublicKey()
+	pk, err := c.GetPublicKey(context.Background())
 	if err != nil {
 		t.Fatalf("GetPublicKey: %v", err)
 	}
 	if err := oid.Verify(pk); err != nil {
 		t.Fatalf("served key does not self-certify: %v", err)
 	}
-	ic, err := c.GetIntegrityCert()
+	ic, err := c.GetIntegrityCert(context.Background())
 	if err != nil {
 		t.Fatalf("GetIntegrityCert: %v", err)
 	}
 	if err := ic.VerifySignature(oid, pk); err != nil {
 		t.Fatal(err)
 	}
-	ncs, err := c.GetNameCerts()
+	ncs, err := c.GetNameCerts(context.Background())
 	if err != nil || len(ncs) != 0 {
 		t.Fatalf("GetNameCerts = %v, %v", ncs, err)
 	}
@@ -194,7 +195,7 @@ func TestClientKeyVerifiesOnWire(t *testing.T) {
 	c := object.NewClient(binderTestOID(keytest.Ed()), "paris:absent",
 		n.Dialer(netsim.Ithaca, "paris:absent"))
 	defer c.Close()
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(context.Background()); err == nil {
 		t.Fatal("Ping to absent service succeeded")
 	}
 }

@@ -26,7 +26,6 @@ import (
 	"sync"
 	"time"
 
-	"globedoc/internal/cert"
 	"globedoc/internal/core"
 	"globedoc/internal/document"
 	"globedoc/internal/telemetry"
@@ -49,11 +48,11 @@ var ErrFetchTimeout = errors.New("proxy: secure fetch timed out")
 type Proxy struct {
 	// Secure runs the GlobeDoc security pipeline.
 	Secure *core.Client
-	// FetchTimeout, when positive, bounds each secure pipeline run.
-	// Overrunning fetches get the failure page with ErrFetchTimeout
-	// instead of holding the browser connection open indefinitely. The
-	// abandoned fetch finishes (and is discarded) in the background; the
-	// transport-level deadlines keep that bounded too.
+	// FetchTimeout, when positive, bounds each secure pipeline run via
+	// a context deadline threaded down to every dial and RPC, so the
+	// pipeline is actually cancelled — no goroutine keeps fetching for
+	// an abandoned browser request. Overrunning fetches get the failure
+	// page with ErrFetchTimeout.
 	FetchTimeout time.Duration
 	// PassthroughDial opens a connection to a plain-HTTP origin host for
 	// non-GlobeDoc requests; nil disables passthrough.
@@ -105,7 +104,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if objectName, ok := parseIndexURL(r.URL.Path); ok {
-		p.serveIndex(w, objectName)
+		p.serveIndex(w, r, objectName)
 		return
 	}
 	if r.URL.IsAbs() && p.PassthroughDial != nil {
@@ -131,11 +130,12 @@ func parseIndexURL(path string) (string, bool) {
 
 // serveIndex renders the object's verified element list as an HTML index
 // page — the certificate entries, so the listing itself is authenticated.
-func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
-	entries, err := fetchBounded(p.FetchTimeout, func() ([]cert.ElementEntry, error) {
-		return p.Secure.ElementsNamed(objectName)
-	})
+func (p *Proxy) serveIndex(w http.ResponseWriter, r *http.Request, objectName string) {
+	ctx, cancel := p.fetchContext(r.Context())
+	defer cancel()
+	entries, err := p.Secure.ElementsNamed(ctx, objectName)
 	if err != nil {
+		err = p.timeoutError(ctx, err)
 		p.bump(&p.secureFail)
 		p.observe("index", "fail")
 		p.serveSecurityFailure(w, document.HybridRef{ObjectName: objectName, Element: "(index)"}, err)
@@ -158,29 +158,24 @@ func (p *Proxy) serveIndex(w http.ResponseWriter, objectName string) {
 	fmt.Fprint(w, "</ul></body></html>")
 }
 
-// fetchBounded runs f, giving up after timeout (0 = no bound). The
-// abandoned f keeps running on its goroutine until the transport
-// deadlines below it fire; its result is discarded.
-func fetchBounded[T any](timeout time.Duration, f func() (T, error)) (T, error) {
-	if timeout <= 0 {
-		return f()
+// fetchContext derives the pipeline context for one browser request:
+// the request's own context (cancelled when the browser disconnects),
+// bounded by FetchTimeout when configured.
+func (p *Proxy) fetchContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if p.FetchTimeout <= 0 {
+		return parent, func() {}
 	}
-	type outcome struct {
-		v   T
-		err error
+	return context.WithTimeout(parent, p.FetchTimeout)
+}
+
+// timeoutError maps a deadline-expired pipeline failure onto
+// ErrFetchTimeout so the failure page names the proxy's bound rather
+// than a transport detail.
+func (p *Proxy) timeoutError(ctx context.Context, err error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w after %v: %v", ErrFetchTimeout, p.FetchTimeout, err)
 	}
-	ch := make(chan outcome, 1)
-	go func() {
-		v, err := f()
-		ch <- outcome{v, err}
-	}()
-	select {
-	case out := <-ch:
-		return out.v, out.err
-	case <-time.After(timeout):
-		var zero T
-		return zero, fmt.Errorf("%w after %v", ErrFetchTimeout, timeout)
-	}
+	return err
 }
 
 func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document.HybridRef) {
@@ -188,10 +183,11 @@ func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document
 	sp.Annotate("object", ref.ObjectName)
 	sp.Annotate("element", ref.Element)
 	defer sp.End()
-	res, err := fetchBounded(p.FetchTimeout, func() (core.FetchResult, error) {
-		return p.Secure.FetchNamed(ref.ObjectName, ref.Element)
-	})
+	ctx, cancel := p.fetchContext(r.Context())
+	defer cancel()
+	res, err := p.Secure.FetchNamed(ctx, ref.ObjectName, ref.Element)
 	if err != nil {
+		err = p.timeoutError(ctx, err)
 		p.bump(&p.secureFail)
 		p.observe("secure", "fail")
 		sp.Annotate("outcome", "fail")

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"globedoc/internal/core"
 	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/httpbase"
@@ -41,9 +42,11 @@ func proxyWorld(t *testing.T) (*deploy.World, *proxy.Proxy, *http.Client) {
 		t.Fatal(err)
 	}
 
-	secure := w.NewSecureClient(netsim.Paris)
+	secure, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(secure.Close)
-	secure.CacheBindings = true
 	p := proxy.New(secure)
 	p.PassthroughDial = func(host string) transport.DialFunc {
 		return w.Net.Dialer(netsim.Paris, host+":http")

@@ -6,6 +6,7 @@ package proxy_test
 // histogram must agree with the core.Timing the same fetch reported.
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -110,7 +111,7 @@ func TestProxyFetchCoversAll14PipelineSteps(t *testing.T) {
 
 func TestDebugzSecurityOverheadAgreesWithTiming(t *testing.T) {
 	_, tel, secure := telemetryWorld(t)
-	res, err := secure.FetchNamed("home.vu.nl", "index.html")
+	res, err := secure.FetchNamed(context.Background(), "home.vu.nl", "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}

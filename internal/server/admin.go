@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"crypto/subtle"
@@ -163,7 +164,7 @@ func (a *AdminClient) Close() { a.c.Close() }
 func (a *AdminClient) exec(verb string, payload []byte) ([]byte, error) {
 	w := enc.NewWriter(len(a.principal) + 8)
 	w.String(a.principal)
-	nonce, err := a.c.Call(OpChallenge, w.Bytes())
+	nonce, err := a.c.Call(context.Background(), OpChallenge, w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("server: challenge: %w", err)
 	}
@@ -171,7 +172,7 @@ func (a *AdminClient) exec(verb string, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: signing admin request: %w", err)
 	}
-	return a.c.Call(OpAdmin, encodeAdminEnvelope(a.principal, verb, nonce, sig, payload))
+	return a.c.Call(context.Background(), OpAdmin, encodeAdminEnvelope(a.principal, verb, nonce, sig, payload))
 }
 
 // CreateReplica installs a bundle on the remote server.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -91,7 +92,7 @@ func (p *Puller) CheckOnce() (bool, error) {
 	if h.doc.Version() >= remoteVersion {
 		return false, nil
 	}
-	body, err := p.client.Call(object.OpGetBundle, object.EncodeOIDRequest(p.oid))
+	body, err := p.client.Call(context.Background(), object.OpGetBundle, object.EncodeOIDRequest(p.oid))
 	if err != nil {
 		p.failures.Add(1)
 		return false, fmt.Errorf("server: pulling bundle: %w", err)
@@ -117,7 +118,7 @@ func (p *Puller) CheckOnce() (bool, error) {
 }
 
 func (p *Puller) remoteVersion() (uint64, error) {
-	body, err := p.client.Call(object.OpVersion, object.EncodeOIDRequest(p.oid))
+	body, err := p.client.Call(context.Background(), object.OpVersion, object.EncodeOIDRequest(p.oid))
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -73,7 +74,7 @@ func TestPullerTransfersNewVersion(t *testing.T) {
 	// The Paris replica now serves v2, verified end to end.
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
-	res, err := client.Fetch(pub.OID, "index.html")
+	res, err := client.Fetch(context.Background(), pub.OID, "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}

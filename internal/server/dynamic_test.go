@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -58,7 +59,7 @@ func TestFlashCrowdCreatesReplica(t *testing.T) {
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
 	for i := 0; i < 3; i++ {
-		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+		if _, err := client.Fetch(context.Background(), pub.OID, "hot.html"); err != nil {
 			t.Fatalf("fetch %d: %v", i, err)
 		}
 	}
@@ -73,7 +74,7 @@ func TestFlashCrowdCreatesReplica(t *testing.T) {
 	// the local replica.
 	client2 := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client2.Close)
-	res, err := client2.Fetch(pub.OID, "hot.html")
+	res, err := client2.Fetch(context.Background(), pub.OID, "hot.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestNoReplicationBelowThreshold(t *testing.T) {
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
 	for i := 0; i < 5; i++ {
-		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+		if _, err := client.Fetch(context.Background(), pub.OID, "hot.html"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func TestLocalTrafficDoesNotTrigger(t *testing.T) {
 	client := w.NewSecureClient(netsim.AmsterdamPrimary)
 	t.Cleanup(client.Close)
 	for i := 0; i < 5; i++ {
-		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+		if _, err := client.Fetch(context.Background(), pub.OID, "hot.html"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -122,7 +123,7 @@ func TestWithdrawColdReplica(t *testing.T) {
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
 	for i := 0; i < 2; i++ {
-		if _, err := client.Fetch(pub.OID, "hot.html"); err != nil {
+		if _, err := client.Fetch(context.Background(), pub.OID, "hot.html"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func TestWithdrawColdReplica(t *testing.T) {
 	// Location record is gone: a paris client now binds to amsterdam.
 	client2 := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client2.Close)
-	res, err := client2.Fetch(pub.OID, "hot.html")
+	res, err := client2.Fetch(context.Background(), pub.OID, "hot.html")
 	if err != nil {
 		t.Fatal(err)
 	}

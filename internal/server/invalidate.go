@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -107,7 +108,7 @@ func (p *Puller) WaitVersion(known uint64, timeout time.Duration) (uint64, error
 	w.Raw(p.oid[:])
 	w.Uvarint(known)
 	w.Uvarint(uint64(timeout / time.Millisecond))
-	body, err := p.client.Call(OpWaitVersion, w.Bytes())
+	body, err := p.client.Call(context.Background(), OpWaitVersion, w.Bytes())
 	if err != nil {
 		return 0, err
 	}

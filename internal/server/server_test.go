@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -113,39 +114,39 @@ func TestInstallAndServePublicOps(t *testing.T) {
 		n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":objsvc"))
 	defer client.Close()
 
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
-	pk, err := client.GetPublicKey()
+	pk, err := client.GetPublicKey(context.Background())
 	if err != nil {
 		t.Fatalf("GetPublicKey: %v", err)
 	}
 	if err := b.OID.Verify(pk); err != nil {
 		t.Fatalf("served key fails self-certification: %v", err)
 	}
-	icert, err := client.GetIntegrityCert()
+	icert, err := client.GetIntegrityCert(context.Background())
 	if err != nil {
 		t.Fatalf("GetIntegrityCert: %v", err)
 	}
 	if err := icert.VerifySignature(b.OID, pk); err != nil {
 		t.Fatalf("served certificate invalid: %v", err)
 	}
-	elem, err := client.GetElement("index.html")
+	elem, err := client.GetElement(context.Background(), "index.html")
 	if err != nil {
 		t.Fatalf("GetElement: %v", err)
 	}
 	if err := icert.VerifyElement("index.html", elem.Data, t0.Add(time.Minute)); err != nil {
 		t.Fatalf("served element fails verification: %v", err)
 	}
-	names, err := client.ListElements()
+	names, err := client.ListElements(context.Background())
 	if err != nil || len(names) != 1 || names[0] != "index.html" {
 		t.Fatalf("ListElements = %v, %v", names, err)
 	}
-	v, err := client.Version()
+	v, err := client.Version(context.Background())
 	if err != nil || v == 0 {
 		t.Fatalf("Version = %d, %v", v, err)
 	}
-	ncs, err := client.GetNameCerts()
+	ncs, err := client.GetNameCerts(context.Background())
 	if err != nil || len(ncs) != 0 {
 		t.Fatalf("GetNameCerts = %v, %v", ncs, err)
 	}
@@ -246,10 +247,10 @@ func TestNotHostedErrors(t *testing.T) {
 	client := object.NewClient(ghost, netsim.AmsterdamPrimary+":objsvc",
 		n.Dialer(netsim.Paris, netsim.AmsterdamPrimary+":objsvc"))
 	defer client.Close()
-	if _, err := client.GetPublicKey(); err == nil {
+	if _, err := client.GetPublicKey(context.Background()); err == nil {
 		t.Fatal("GetPublicKey for unhosted object succeeded")
 	}
-	if _, err := client.GetElement("x"); err == nil {
+	if _, err := client.GetElement(context.Background(), "x"); err == nil {
 		t.Fatal("GetElement for unhosted object succeeded")
 	}
 }
@@ -279,7 +280,7 @@ func TestNameCertsServed(t *testing.T) {
 	client := object.NewClient(oid, netsim.AmsterdamPrimary+":objsvc",
 		n.Dialer(netsim.AmsterdamSecondary, netsim.AmsterdamPrimary+":objsvc"))
 	defer client.Close()
-	ncs, err := client.GetNameCerts()
+	ncs, err := client.GetNameCerts(context.Background())
 	if err != nil || len(ncs) != 1 || ncs[0].Subject != "Subject Corp" {
 		t.Fatalf("GetNameCerts = %v, %v", ncs, err)
 	}

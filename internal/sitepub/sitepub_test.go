@@ -1,6 +1,7 @@
 package sitepub_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/fstest"
@@ -134,7 +135,7 @@ func TestPublishAllEndToEnd(t *testing.T) {
 
 	client := w.NewSecureClient(netsim.Paris)
 	t.Cleanup(client.Close)
-	res, err := client.FetchNamed("vu.nl", "index.html")
+	res, err := client.FetchNamed(context.Background(), "vu.nl", "index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestPublishAllEndToEnd(t *testing.T) {
 	if hybrid == nil {
 		t.Fatalf("no hybrid link in %s", res.Element.Data)
 	}
-	story, err := client.FetchNamed(hybrid.ObjectName, hybrid.Element)
+	story, err := client.FetchNamed(context.Background(), hybrid.ObjectName, hybrid.Element)
 	if err != nil {
 		t.Fatalf("following hybrid link: %v", err)
 	}

@@ -21,6 +21,16 @@ const (
 	MetricProxyRequests    = "proxy_requests_total"          // {kind,outcome} browser-facing requests
 	MetricFetchLatency     = "fetch_latency_seconds"         // whole secure-fetch latency
 	MetricSecurityOverhead = "security_overhead_percent"     // per-fetch Timing.OverheadPercent()
+
+	// Connection-pool instruments (transport.Client).
+	MetricPoolDials      = "transport_pool_dials_total"       // new connections opened
+	MetricPoolReuse      = "transport_pool_reuse_total"       // calls served from an idle pooled conn
+	MetricPoolIdleClosed = "transport_pool_idle_closed_total" // idle conns reaped past IdleTimeout
+	MetricPoolConns      = "transport_pool_conns"             // open pooled connections (gauge)
+
+	// Singleflight instruments (core.Client binding establishment).
+	MetricSingleflightShared = "binding_singleflight_shared_total" // fetches that joined another caller's pipeline run
+	MetricPipelineRuns       = "binding_pipeline_runs_total"       // full secure-binding pipeline executions
 )
 
 // DefaultLatencyBuckets are the fetch-latency histogram bounds, in
@@ -51,12 +61,19 @@ type Telemetry struct {
 	// Client-side RPC instruments (transport.Client).
 	RPCCalls   *CounterVec // {op,outcome}
 	RPCRetries *Counter
+	// Connection-pool instruments (transport.Client).
+	PoolDials      *Counter
+	PoolReuse      *Counter
+	PoolIdleClosed *Counter
+	PoolConns      *Gauge
 	// Server-side RPC instruments (transport.Server).
 	RPCServed *CounterVec // {op,outcome}
 
 	// Pipeline instruments (core.Client).
 	BindingCacheHits      *Counter
 	BindingCacheMisses    *Counter
+	SingleflightShared    *Counter
+	PipelineRuns          *Counter
 	SecurityCheckFailures *CounterVec // {phase}
 	Failovers             *Counter
 	FetchLatency          *Histogram // seconds
@@ -86,8 +103,15 @@ func New(clk clock.Clock) *Telemetry {
 		RPCRetries: reg.Counter(MetricRPCRetries),
 		RPCServed:  reg.CounterVec(MetricRPCServed, "op", "outcome"),
 
+		PoolDials:      reg.Counter(MetricPoolDials),
+		PoolReuse:      reg.Counter(MetricPoolReuse),
+		PoolIdleClosed: reg.Counter(MetricPoolIdleClosed),
+		PoolConns:      reg.Gauge(MetricPoolConns),
+
 		BindingCacheHits:      reg.Counter(MetricBindingHits),
 		BindingCacheMisses:    reg.Counter(MetricBindingMisses),
+		SingleflightShared:    reg.Counter(MetricSingleflightShared),
+		PipelineRuns:          reg.Counter(MetricPipelineRuns),
 		SecurityCheckFailures: reg.CounterVec(MetricSecurityFailed, "phase"),
 		Failovers:             reg.Counter(MetricFailovers),
 		FetchLatency:          reg.Histogram(MetricFetchLatency, DefaultLatencyBuckets),

@@ -8,6 +8,7 @@ package transport_test
 // mocks.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -160,7 +161,7 @@ func TestCallErrorPaths(t *testing.T) {
 			go tc.misbehave(t, serverEnd)
 			c := transport.NewClient(func() (net.Conn, error) { return clientEnd, nil }).Configure(tc.cfg)
 			defer c.Close()
-			_, err := c.Call("echo", []byte("payload"))
+			_, err := c.Call(context.Background(), "echo", []byte("payload"))
 			if err == nil {
 				t.Fatal("call succeeded against a misbehaving peer")
 			}
@@ -187,7 +188,7 @@ func TestRetryRecoversFromDroppedRequest(t *testing.T) {
 		Retry:       &transport.RetryPolicy{MaxAttempts: 3},
 	})
 	defer c.Close()
-	resp, err := c.Call("echo", []byte("hello"))
+	resp, err := c.Call(context.Background(), "echo", []byte("hello"))
 	if err != nil {
 		t.Fatalf("call did not recover from dropped request: %v", err)
 	}
@@ -211,7 +212,7 @@ func TestRetryRecoversFromMidStreamReset(t *testing.T) {
 		Retry:       &transport.RetryPolicy{MaxAttempts: 3},
 	})
 	defer c.Close()
-	resp, err := c.Call("echo", []byte("survive the reset"))
+	resp, err := c.Call(context.Background(), "echo", []byte("survive the reset"))
 	if err != nil {
 		t.Fatalf("call did not recover from reset: %v", err)
 	}
@@ -232,7 +233,7 @@ func TestRetryGivesUpCleanlyWithNoHonestPeer(t *testing.T) {
 	})
 	defer c.Close()
 	start := time.Now()
-	_, err := c.Call("echo", []byte("void"))
+	_, err := c.Call(context.Background(), "echo", []byte("void"))
 	if err == nil {
 		t.Fatal("call succeeded with every frame dropped")
 	}

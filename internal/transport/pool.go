@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"globedoc/internal/telemetry"
+)
+
+// DefaultMaxConns is the per-client connection bound used when
+// PoolConfig.MaxConns is zero.
+const DefaultMaxConns = 4
+
+// PoolConfig bounds a Client's connection pool.
+type PoolConfig struct {
+	// MaxConns bounds how many calls may be in flight at once — each
+	// in-flight call holds one connection. 0 means DefaultMaxConns.
+	MaxConns int
+	// MaxIdle bounds how many warm connections are kept for reuse after
+	// their call returns. 0 means MaxConns; negative disables idle
+	// pooling entirely (every connection closes after its call).
+	MaxIdle int
+	// IdleTimeout, when positive, discards idle connections that have
+	// sat unused longer than this. Reaping is lazy: a stale conn is
+	// closed when a call would otherwise reuse it.
+	IdleTimeout time.Duration
+}
+
+func (p PoolConfig) maxConns() int {
+	if p.MaxConns > 0 {
+		return p.MaxConns
+	}
+	return DefaultMaxConns
+}
+
+func (p PoolConfig) maxIdle() int {
+	switch {
+	case p.MaxIdle > 0:
+		return p.MaxIdle
+	case p.MaxIdle < 0:
+		return 0
+	}
+	return p.maxConns()
+}
+
+// idleConn is a warm pooled connection and when it went idle.
+type idleConn struct {
+	conn  net.Conn
+	since time.Time
+}
+
+// acquire checks a connection out of the pool: it first waits for an
+// in-flight slot (bounding concurrent calls at Pool.MaxConns), then
+// reuses the most recently parked idle connection — lazily reaping any
+// that outlived IdleTimeout — or dials a new one. reused reports whether
+// the returned conn served an earlier call.
+func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err error) {
+	c.mu.Lock()
+	c.closed = false
+	if c.slots == nil {
+		c.slots = make(chan struct{}, c.Pool.maxConns())
+	}
+	slots := c.slots
+	c.mu.Unlock()
+
+	select {
+	case slots <- struct{}{}:
+	default:
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("transport: awaiting connection slot: %w", ctx.Err())
+		}
+	}
+
+	tel := telemetry.Or(c.Telemetry)
+	now := time.Now()
+	c.mu.Lock()
+	for len(c.idle) > 0 {
+		ic := c.idle[len(c.idle)-1]
+		c.idle = c.idle[:len(c.idle)-1]
+		if c.Pool.IdleTimeout > 0 && now.Sub(ic.since) > c.Pool.IdleTimeout {
+			c.mu.Unlock()
+			ic.conn.Close()
+			tel.PoolIdleClosed.Inc()
+			tel.PoolConns.Add(-1)
+			c.mu.Lock()
+			continue
+		}
+		c.mu.Unlock()
+		tel.PoolReuse.Inc()
+		return ic.conn, true, nil
+	}
+	c.mu.Unlock()
+
+	conn, err = c.dialContext(ctx)
+	if err != nil {
+		c.releaseSlot()
+		return nil, false, fmt.Errorf("transport: dial: %w", err)
+	}
+	tel.PoolDials.Inc()
+	tel.PoolConns.Add(1)
+	return conn, false, nil
+}
+
+// release returns a healthy connection to the idle pool (or closes it
+// when the pool is full or the client was closed) and frees its
+// in-flight slot.
+func (c *Client) release(conn net.Conn) {
+	now := time.Now()
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.Pool.maxIdle() {
+		c.idle = append(c.idle, idleConn{conn: conn, since: now})
+		c.mu.Unlock()
+		c.releaseSlot()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+	telemetry.Or(c.Telemetry).PoolConns.Add(-1)
+	c.releaseSlot()
+}
+
+// discard closes a broken connection and frees its in-flight slot.
+func (c *Client) discard(conn net.Conn) {
+	conn.Close()
+	telemetry.Or(c.Telemetry).PoolConns.Add(-1)
+	c.releaseSlot()
+}
+
+func (c *Client) releaseSlot() {
+	select {
+	case <-c.slots:
+	default:
+	}
+}
+
+// dialContext runs dial, bounded by DialTimeout and ctx. The underlying
+// DialFunc has no cancellation surface, so on timeout or cancellation
+// the late connection (if any) is closed when it eventually arrives.
+func (c *Client) dialContext(ctx context.Context) (net.Conn, error) {
+	if c.DialTimeout <= 0 && ctx.Done() == nil {
+		return c.dial()
+	}
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := c.dial()
+		ch <- result{conn, err}
+	}()
+	reapLate := func() {
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+	}
+	var timeout <-chan time.Time
+	if c.DialTimeout > 0 {
+		t := time.NewTimer(c.DialTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-timeout:
+		reapLate()
+		return nil, fmt.Errorf("%w after %v", ErrDialTimeout, c.DialTimeout)
+	case <-ctx.Done():
+		reapLate()
+		return nil, ctx.Err()
+	}
+}
+
+// Close closes every idle pooled connection and marks the client closed:
+// in-flight calls finish, but their connections are closed on return
+// instead of being pooled. A later Call reopens the pool.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	tel := telemetry.Or(c.Telemetry)
+	for _, ic := range idle {
+		ic.conn.Close()
+		tel.PoolConns.Add(-1)
+	}
+}
+
+// ConnsInUse reports how many calls currently hold a connection — a
+// test and debugging aid.
+func (c *Client) ConnsInUse() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.slots == nil {
+		return 0
+	}
+	return len(c.slots)
+}
+
+// IdleConns reports how many warm connections are parked in the pool.
+func (c *Client) IdleConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}

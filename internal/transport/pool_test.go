@@ -1,0 +1,260 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"globedoc/internal/transport"
+)
+
+// countingDial wraps a DialFunc and counts how many connections it made.
+type countingDial struct {
+	dial  transport.DialFunc
+	count atomic.Int64
+}
+
+func (d *countingDial) fn() transport.DialFunc {
+	return func() (net.Conn, error) {
+		d.count.Add(1)
+		return d.dial()
+	}
+}
+
+func TestPoolReusesIdleConnection(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("ping", func(body []byte) ([]byte, error) { return nil, nil })
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn())
+	defer c.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := cd.count.Load(); got != 1 {
+		t.Errorf("sequential calls dialed %d connections, want 1 (pooled reuse)", got)
+	}
+	if idle := c.IdleConns(); idle != 1 {
+		t.Errorf("IdleConns = %d, want 1", idle)
+	}
+	if inUse := c.ConnsInUse(); inUse != 0 {
+		t.Errorf("ConnsInUse = %d after all calls returned, want 0", inUse)
+	}
+}
+
+func TestPoolBoundsConcurrentConnections(t *testing.T) {
+	// Handlers park until released so all in-flight calls overlap; the
+	// pool must never open more than MaxConns connections.
+	release := make(chan struct{})
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("park", func(body []byte) ([]byte, error) {
+			<-release
+			return nil, nil
+		})
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn())
+	c.Pool = transport.PoolConfig{MaxConns: 3}
+	defer c.Close()
+
+	const calls = 12
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Call(context.Background(), "park", nil)
+		}(i)
+	}
+	// Let the first wave occupy every slot, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ConnsInUse() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := cd.count.Load(); got > 3 {
+		t.Errorf("%d concurrent calls dialed %d connections, want <= MaxConns=3", calls, got)
+	}
+}
+
+func TestPoolIdleTimeoutReapsStaleConns(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("ping", func(body []byte) ([]byte, error) { return nil, nil })
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn())
+	c.Pool = transport.PoolConfig{IdleTimeout: 10 * time.Millisecond}
+	defer c.Close()
+
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.count.Load(); got != 2 {
+		t.Errorf("dialed %d connections, want 2 (stale idle conn reaped, fresh dial)", got)
+	}
+}
+
+func TestPoolNegativeMaxIdleDisablesPooling(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("ping", func(body []byte) ([]byte, error) { return nil, nil })
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn())
+	c.Pool = transport.PoolConfig{MaxIdle: -1}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cd.count.Load(); got != 3 {
+		t.Errorf("dialed %d connections with MaxIdle=-1, want 3 (no pooling)", got)
+	}
+	if idle := c.IdleConns(); idle != 0 {
+		t.Errorf("IdleConns = %d, want 0", idle)
+	}
+}
+
+func TestPoolSlotWaitCancelledByContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("park", func(body []byte) ([]byte, error) {
+			<-release
+			return nil, nil
+		})
+	})
+	c := transport.NewClient(dial)
+	c.Pool = transport.PoolConfig{MaxConns: 1}
+	defer c.Close()
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		c.Call(context.Background(), "park", nil)
+	}()
+	<-started
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ConnsInUse() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Call(ctx, "park", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded while waiting for a slot", err)
+	}
+}
+
+func TestCallContextCancelInFlight(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("park", func(body []byte) ([]byte, error) {
+			<-release
+			return nil, nil
+		})
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, "park", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call never returned")
+	}
+}
+
+func TestCloseWhileInFlightDoesNotLeakConns(t *testing.T) {
+	release := make(chan struct{})
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("park", func(body []byte) ([]byte, error) {
+			<-release
+			return nil, nil
+		})
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), "park", nil)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ConnsInUse() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight call after Close: %v", err)
+	}
+	// The in-flight conn must have been closed on return, not pooled.
+	if idle := c.IdleConns(); idle != 0 {
+		t.Errorf("IdleConns = %d after Close raced an in-flight call, want 0", idle)
+	}
+}
+
+func TestPoolConnNotPoisonedAfterContextTimeout(t *testing.T) {
+	// A call that times out poisons its connection (discarded); the next
+	// call must succeed on a fresh conn, and a successful call must not
+	// leave a stale deadline armed on the pooled conn.
+	slow := make(chan struct{})
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("slow", func(body []byte) ([]byte, error) {
+			<-slow
+			return []byte("late"), nil
+		})
+		s.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong"), nil })
+	})
+	c := transport.NewClient(dial)
+	defer c.Close()
+	defer close(slow)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, "slow", nil); err == nil {
+		t.Fatal("slow call under a 30ms ctx succeeded")
+	}
+	// Fresh conn: fast call works.
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	// Reused pooled conn: still healthy long after the earlier deadline.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatalf("reused-conn call: %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -268,8 +269,11 @@ func (s *Server) Close() {
 // plain net.Dial both fit this shape.
 type DialFunc func() (net.Conn, error)
 
-// Client issues calls to one server, reusing a single connection and
-// transparently redialling after failures.
+// Client issues calls to one server over a bounded pool of connections.
+// Each call checks a connection out of the pool (reusing an idle one or
+// dialling), performs one framed exchange on it, and returns it. Calls
+// from different goroutines therefore proceed in parallel up to the
+// pool's connection bound instead of serialising on a single conn.
 type Client struct {
 	dial DialFunc
 
@@ -282,14 +286,19 @@ type Client struct {
 	// Retry, when set, governs redialling and re-issuing after transient
 	// failures with exponential backoff. When nil, the legacy behaviour
 	// applies: one immediate retry, and only when the failure hit a
-	// pooled (possibly stale) connection.
+	// reused (possibly stale) pooled connection.
 	Retry *RetryPolicy
-	// Telemetry records per-op call counts, retry counts and spans; nil
-	// falls back to the process-wide telemetry.Default().
+	// Telemetry records per-op call counts, retry counts, pool activity
+	// and spans; nil falls back to the process-wide telemetry.Default().
 	Telemetry *telemetry.Telemetry
+	// Pool bounds the connection pool; the zero value means up to
+	// DefaultMaxConns concurrent connections with no idle reaping.
+	Pool PoolConfig
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	slots  chan struct{} // in-flight call permits; cap latched on first use
+	idle   []idleConn    // LIFO stack of warm connections
+	closed bool          // set by Close; cleared by the next acquire
 
 	// BytesSent and BytesReceived count frame payload bytes, used by the
 	// benchmark harness to report protocol overhead.
@@ -306,52 +315,60 @@ func NewClient(dial DialFunc) *Client {
 	return &Client{dial: dial}
 }
 
-// Configure applies cfg's timeouts and retry policy to the client and
-// returns it.
+// Configure applies cfg's timeouts, retry policy, telemetry and pool
+// bounds to the client and returns it. Configure before the first call;
+// the pool's size is latched when the first call runs.
 func (c *Client) Configure(cfg Config) *Client {
 	c.DialTimeout = cfg.DialTimeout
 	c.CallTimeout = cfg.CallTimeout
 	c.Retry = cfg.Retry
 	c.Telemetry = cfg.Telemetry
+	c.Pool = cfg.Pool
 	return c
 }
 
 // Config bundles the robustness and observability knobs threaded through
-// every RPC call site: attempt timeouts, the retry policy and the
-// telemetry sink. The zero Config leaves a client with unbounded waits,
-// legacy single-retry semantics and the shared default telemetry.
+// every RPC call site: attempt timeouts, the retry policy, the telemetry
+// sink and the connection-pool bounds. The zero Config leaves a client
+// with unbounded waits, legacy single-retry semantics, the shared
+// default telemetry and a DefaultMaxConns-sized pool.
 type Config struct {
 	DialTimeout time.Duration
 	CallTimeout time.Duration
 	Retry       *RetryPolicy
 	Telemetry   *telemetry.Telemetry
+	Pool        PoolConfig
 }
 
-// Call sends op with body and waits for the response. With a RetryPolicy
-// configured it retries transient failures with backoff; otherwise it
-// retries once on a stale pooled connection. Every call is recorded as
-// one rpc.call span (annotated with the attempt count) and one
-// rpc_calls_total{op,outcome} increment; extra attempts also count into
-// rpc_retries_total.
-func (c *Client) Call(op string, body []byte) ([]byte, error) {
+// Call sends op with body and waits for the response. ctx cancellation
+// aborts slot acquisition, dialling and the in-flight exchange (the
+// connection is closed rather than returned to the pool). With a
+// RetryPolicy configured it retries transient failures with backoff;
+// otherwise it retries once when the failure hit a reused pooled
+// connection. Every call is recorded as one rpc.call span (annotated
+// with the attempt count) and one rpc_calls_total{op,outcome} increment;
+// extra attempts also count into rpc_retries_total.
+func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tel := telemetry.Or(c.Telemetry)
 	sp := tel.Tracer.StartSpan("rpc.call")
 	sp.Annotate("op", op)
 	attempts := 1
 
-	c.mu.Lock()
 	var resp []byte
 	var err error
 	if c.Retry == nil {
 		// Legacy semantics: one immediate retry, only for failures on a
 		// connection that might simply have gone stale in the pool.
-		pooled := c.conn != nil
-		resp, err = c.attemptLocked(op, body)
-		if err != nil && pooled && Retryable(err) {
+		var reused bool
+		resp, reused, err = c.attempt(ctx, op, body)
+		if err != nil && reused && Retryable(err) && ctx.Err() == nil {
 			c.Retries.Add(1)
 			tel.RPCRetries.Inc()
 			attempts++
-			resp, err = c.attemptLocked(op, body)
+			resp, _, err = c.attempt(ctx, op, body)
 		}
 	} else {
 		for attempt := 0; attempt < c.Retry.Attempts(); attempt++ {
@@ -361,8 +378,8 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 				attempts++
 				c.Retry.clock().Sleep(c.Retry.Backoff(attempt))
 			}
-			resp, err = c.attemptLocked(op, body)
-			if err == nil || !Retryable(err) {
+			resp, _, err = c.attempt(ctx, op, body)
+			if err == nil || !Retryable(err) || ctx.Err() != nil {
 				break
 			}
 		}
@@ -370,7 +387,6 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 	if err == nil {
 		c.Calls.Add(1)
 	}
-	c.mu.Unlock()
 
 	outcome := "ok"
 	if err != nil {
@@ -387,83 +403,107 @@ func (c *Client) Call(op string, body []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// attemptLocked performs one complete call attempt: dial if necessary,
-// arm the deadline, send, receive, decode. Any transport-level failure
-// drops the pooled connection so the next attempt redials.
-func (c *Client) attemptLocked(op string, body []byte) ([]byte, error) {
-	if c.conn == nil {
-		conn, err := c.dialWithTimeout()
-		if err != nil {
-			return nil, fmt.Errorf("transport: dial: %w", err)
-		}
-		c.conn = conn
+// CallNoCtx is Call without a context.
+//
+// Deprecated: use Call with a context; CallNoCtx remains for one release
+// to ease migration and is equivalent to Call(context.Background(), ...).
+func (c *Client) CallNoCtx(op string, body []byte) ([]byte, error) {
+	return c.Call(context.Background(), op, body)
+}
+
+// attempt performs one complete call attempt: check a connection out of
+// the pool (dialling if necessary), exchange one frame pair, and return
+// the connection. Transport-level failures discard the connection so a
+// retry dials fresh; remote errors keep it warm. reused reports whether
+// the attempt ran on a pooled (possibly stale) connection.
+func (c *Client) attempt(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
+	conn, reused, err := c.acquire(ctx)
+	if err != nil {
+		return nil, false, err
 	}
-	if c.CallTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.CallTimeout))
+	resp, err = c.exchange(ctx, conn, op, body)
+	if err != nil && Retryable(err) {
+		// The stream is broken or in an unknown state (includes a
+		// malformed, possibly corrupted, response): drop the conn.
+		c.discard(conn)
+		return nil, reused, err
 	}
+	c.release(conn)
+	return resp, reused, err
+}
+
+// exchange runs one framed request/response on conn, bounded by the
+// tighter of CallTimeout and ctx's deadline; ctx cancellation force-fails
+// the in-flight I/O.
+func (c *Client) exchange(ctx context.Context, conn net.Conn, op string, body []byte) ([]byte, error) {
+	armed := c.armDeadline(ctx, conn)
+	stopWatch := watchCancel(ctx, conn)
 	req := encodeRequest(op, body)
-	if err := writeFrame(c.conn, req); err != nil {
-		c.resetLocked()
-		return nil, fmt.Errorf("transport: send %q: %w", op, err)
+	if err := writeFrame(conn, req); err != nil {
+		stopWatch()
+		return nil, ctxError(ctx, fmt.Errorf("transport: send %q: %w", op, err))
 	}
 	c.BytesSent.Add(uint64(len(req)) + 4)
-	payload, err := readFrame(c.conn)
+	payload, err := readFrame(conn)
+	stopWatch()
 	if err != nil {
-		c.resetLocked()
-		return nil, fmt.Errorf("transport: receive %q: %w", op, err)
+		return nil, ctxError(ctx, fmt.Errorf("transport: receive %q: %w", op, err))
 	}
 	c.BytesReceived.Add(uint64(len(payload)) + 4)
+	if armed {
+		conn.SetDeadline(time.Time{})
+	}
+	return decodeResponse(op, payload)
+}
+
+// armDeadline sets conn's deadline to the tighter of CallTimeout and
+// ctx's deadline, reporting whether any deadline was armed.
+func (c *Client) armDeadline(ctx context.Context, conn net.Conn) bool {
+	var deadline time.Time
 	if c.CallTimeout > 0 {
-		c.conn.SetDeadline(time.Time{})
+		deadline = time.Now().Add(c.CallTimeout)
 	}
-	resp, err := decodeResponse(op, payload)
-	if err != nil && Retryable(err) {
-		// A malformed (possibly corrupted) response leaves the stream
-		// in an unknown state; drop the connection before any retry.
-		c.resetLocked()
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
 	}
-	return resp, err
+	if deadline.IsZero() {
+		return false
+	}
+	conn.SetDeadline(deadline)
+	return true
 }
 
-// dialWithTimeout runs dial, bounding it by DialTimeout. The underlying
-// DialFunc has no cancellation surface, so on timeout the late connection
-// (if any) is closed when it eventually arrives.
-func (c *Client) dialWithTimeout() (net.Conn, error) {
-	if c.DialTimeout <= 0 {
-		return c.dial()
+// watchCancel force-expires conn's deadline when ctx is cancelled, so a
+// blocked read or write returns promptly. The returned stop function
+// must be called before conn is reused or pooled; it waits for the
+// watcher to exit so no late SetDeadline can poison a pooled conn.
+func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
 	}
-	type result struct {
-		conn net.Conn
-		err  error
-	}
-	ch := make(chan result, 1)
+	stopped := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
-		conn, err := c.dial()
-		ch <- result{conn, err}
+		defer close(exited)
+		select {
+		case <-done:
+			conn.SetDeadline(time.Unix(1, 0)) // far past: fail I/O now
+		case <-stopped:
+		}
 	}()
-	select {
-	case r := <-ch:
-		return r.conn, r.err
-	case <-time.After(c.DialTimeout):
-		go func() {
-			if r := <-ch; r.conn != nil {
-				r.conn.Close()
-			}
-		}()
-		return nil, fmt.Errorf("%w after %v", ErrDialTimeout, c.DialTimeout)
+	return func() {
+		close(stopped)
+		<-exited
 	}
 }
 
-func (c *Client) resetLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// ctxError folds ctx's cancellation cause into err so callers can
+// errors.Is against context.Canceled / context.DeadlineExceeded when the
+// I/O failure was cancellation-induced.
+func ctxError(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("%w (%v)", cerr, err)
 	}
-}
-
-// Close drops the pooled connection.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.resetLocked()
+	return err
 }

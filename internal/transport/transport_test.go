@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -36,7 +37,7 @@ func TestCallRoundTrip(t *testing.T) {
 	})
 	c := transport.NewClient(dial)
 	defer c.Close()
-	resp, err := c.Call("echo", []byte("hello"))
+	resp, err := c.Call(context.Background(), "echo", []byte("hello"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestRemoteError(t *testing.T) {
 	})
 	c := transport.NewClient(dial)
 	defer c.Close()
-	_, err := c.Call("fail", nil)
+	_, err := c.Call(context.Background(), "fail", nil)
 	var remote *transport.RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -67,7 +68,7 @@ func TestUnknownOperation(t *testing.T) {
 	dial := startServer(t, func(s *transport.Server) {})
 	c := transport.NewClient(dial)
 	defer c.Close()
-	_, err := c.Call("nonexistent", nil)
+	_, err := c.Call(context.Background(), "nonexistent", nil)
 	var remote *transport.RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -94,7 +95,7 @@ func TestConnectionReuse(t *testing.T) {
 	})
 	defer c.Close()
 	for i := 0; i < 5; i++ {
-		if _, err := c.Call("ping", nil); err != nil {
+		if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
@@ -120,7 +121,7 @@ func TestRedialAfterServerRestart(t *testing.T) {
 
 	c := transport.NewClient(func() (net.Conn, error) { return net.Dial("tcp", addr) })
 	defer c.Close()
-	if _, err := c.Call("ping", nil); err != nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatalf("first call: %v", err)
 	}
 
@@ -135,7 +136,7 @@ func TestRedialAfterServerRestart(t *testing.T) {
 	srv2.Start(l2)
 	t.Cleanup(srv2.Close)
 
-	resp, err := c.Call("ping", nil)
+	resp, err := c.Call(context.Background(), "ping", nil)
 	if err != nil {
 		t.Fatalf("call after restart: %v", err)
 	}
@@ -153,7 +154,7 @@ func TestLargeBody(t *testing.T) {
 	c := transport.NewClient(dial)
 	defer c.Close()
 	body := make([]byte, 1<<20)
-	resp, err := c.Call("size", body)
+	resp, err := c.Call(context.Background(), "size", body)
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -175,7 +176,7 @@ func TestConcurrentCallers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			msg := []byte(fmt.Sprintf("msg-%d", i))
-			resp, err := c.Call("echo", msg)
+			resp, err := c.Call(context.Background(), "echo", msg)
 			if err != nil {
 				errs <- err
 				return
@@ -198,7 +199,7 @@ func TestByteCounters(t *testing.T) {
 	})
 	c := transport.NewClient(dial)
 	defer c.Close()
-	if _, err := c.Call("echo", make([]byte, 1000)); err != nil {
+	if _, err := c.Call(context.Background(), "echo", make([]byte, 1000)); err != nil {
 		t.Fatal(err)
 	}
 	if c.BytesSent.Load() < 1000 {
@@ -213,7 +214,7 @@ func TestDialFailure(t *testing.T) {
 	c := transport.NewClient(func() (net.Conn, error) {
 		return nil, errors.New("network unreachable")
 	})
-	if _, err := c.Call("ping", nil); err == nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err == nil {
 		t.Fatal("Call succeeded with failing dialer")
 	}
 }
@@ -225,7 +226,7 @@ func TestQuickEchoArbitraryBytes(t *testing.T) {
 	c := transport.NewClient(dial)
 	defer c.Close()
 	f := func(body []byte) bool {
-		resp, err := c.Call("echo", body)
+		resp, err := c.Call(context.Background(), "echo", body)
 		return err == nil && bytes.Equal(resp, body)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -252,7 +253,7 @@ func TestServerRequestCounter(t *testing.T) {
 	c := transport.NewClient(dial)
 	defer c.Close()
 	for i := 0; i < 3; i++ {
-		if _, err := c.Call("ping", nil); err != nil {
+		if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyStats summarises a set of per-operation latencies.
+type LatencyStats struct {
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// ComputeLatencyStats reduces raw samples to tail-latency quantiles.
+// Quantiles use the nearest-rank method on the sorted samples.
+func ComputeLatencyStats(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencyStats{
+		N:    len(sorted),
+		Mean: sum / time.Duration(len(sorted)),
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// ClosedLoopResult is the outcome of one RunClosedLoop drive: how many
+// operations completed, how long the whole run took, and the latency
+// distribution of the successful operations.
+type ClosedLoopResult struct {
+	Ops        int
+	Errors     int
+	FirstError error
+	Elapsed    time.Duration
+	// Throughput is successful operations per second of wall time.
+	Throughput float64
+	Latency    LatencyStats
+}
+
+// RunClosedLoop drives op from `workers` goroutines in a closed loop: each
+// worker issues its next operation as soon as the previous one returns,
+// until totalOps operations have been dispatched or ctx is cancelled.
+// op receives the worker index and a global operation sequence number,
+// so workloads can vary per request deterministically. The run keeps
+// going past individual op errors (they are counted, and the first is
+// kept); cancellation stops dispatch but lets in-flight ops finish.
+func RunClosedLoop(ctx context.Context, workers, totalOps int, op func(ctx context.Context, worker, seq int) error) ClosedLoopResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if totalOps < 1 {
+		totalOps = 1
+	}
+	if workers > totalOps {
+		workers = totalOps
+	}
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, totalOps)
+		errs      int
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= totalOps || ctx.Err() != nil {
+					return
+				}
+				opStart := time.Now()
+				err := op(ctx, worker, seq)
+				elapsed := time.Since(opStart)
+				mu.Lock()
+				if err != nil {
+					errs++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	res := ClosedLoopResult{
+		Ops:        len(latencies),
+		Errors:     errs,
+		FirstError: firstErr,
+		Elapsed:    total,
+		Latency:    ComputeLatencyStats(latencies),
+	}
+	if total > 0 {
+		res.Throughput = float64(res.Ops) / total.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestComputeLatencyStatsEmpty(t *testing.T) {
+	if got := ComputeLatencyStats(nil); got != (LatencyStats{}) {
+		t.Errorf("ComputeLatencyStats(nil) = %+v, want zero", got)
+	}
+}
+
+func TestComputeLatencyStatsQuantiles(t *testing.T) {
+	// 100 samples of 1ms..100ms: nearest-rank quantiles land exactly on
+	// the corresponding sample.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := ComputeLatencyStats(samples)
+	want := LatencyStats{
+		N:    100,
+		Mean: 50500 * time.Microsecond,
+		P50:  50 * time.Millisecond,
+		P95:  95 * time.Millisecond,
+		P99:  99 * time.Millisecond,
+		Max:  100 * time.Millisecond,
+	}
+	if got != want {
+		t.Errorf("ComputeLatencyStats = %+v, want %+v", got, want)
+	}
+}
+
+func TestComputeLatencyStatsSingleSample(t *testing.T) {
+	got := ComputeLatencyStats([]time.Duration{7 * time.Millisecond})
+	if got.N != 1 || got.P50 != 7*time.Millisecond || got.P99 != 7*time.Millisecond || got.Max != 7*time.Millisecond {
+		t.Errorf("single-sample stats = %+v", got)
+	}
+}
+
+func TestRunClosedLoopDispatchesEveryOpOnce(t *testing.T) {
+	const workers, totalOps = 7, 200
+	var seen [totalOps]atomic.Int32
+	res := RunClosedLoop(context.Background(), workers, totalOps,
+		func(_ context.Context, worker, seq int) error {
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			seen[seq].Add(1)
+			return nil
+		})
+	for seq := range seen {
+		if n := seen[seq].Load(); n != 1 {
+			t.Errorf("seq %d dispatched %d times, want 1", seq, n)
+		}
+	}
+	if res.Ops != totalOps || res.Errors != 0 || res.FirstError != nil {
+		t.Errorf("result = %+v, want %d ops and no errors", res, totalOps)
+	}
+	if res.Latency.N != totalOps {
+		t.Errorf("latency samples = %d, want %d", res.Latency.N, totalOps)
+	}
+}
+
+func TestRunClosedLoopCountsErrorsAndKeepsFirst(t *testing.T) {
+	boom := errors.New("boom")
+	res := RunClosedLoop(context.Background(), 3, 30,
+		func(_ context.Context, _, seq int) error {
+			if seq%3 == 0 {
+				return boom
+			}
+			return nil
+		})
+	if res.Errors != 10 {
+		t.Errorf("Errors = %d, want 10", res.Errors)
+	}
+	if !errors.Is(res.FirstError, boom) {
+		t.Errorf("FirstError = %v, want boom", res.FirstError)
+	}
+	if res.Ops != 20 {
+		t.Errorf("Ops = %d, want 20 (errors excluded)", res.Ops)
+	}
+}
+
+func TestRunClosedLoopStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started sync.Once
+	var dispatched atomic.Int64
+	res := RunClosedLoop(ctx, 2, 1_000_000,
+		func(ctx context.Context, _, _ int) error {
+			dispatched.Add(1)
+			started.Do(cancel)
+			return ctx.Err()
+		})
+	// Cancellation after the first op stops dispatch: at most one
+	// in-flight op per worker can still run.
+	if n := dispatched.Load(); n > 3 {
+		t.Errorf("dispatched %d ops after cancel, want <= 3", n)
+	}
+	if res.Ops+res.Errors != int(dispatched.Load()) {
+		t.Errorf("ops %d + errors %d != dispatched %d", res.Ops, res.Errors, dispatched.Load())
+	}
+}
+
+func TestRunClosedLoopClampsWorkersToOps(t *testing.T) {
+	var maxWorker atomic.Int64
+	res := RunClosedLoop(context.Background(), 16, 3,
+		func(_ context.Context, worker, _ int) error {
+			for {
+				cur := maxWorker.Load()
+				if int64(worker) <= cur || maxWorker.CompareAndSwap(cur, int64(worker)) {
+					return nil
+				}
+			}
+		})
+	if res.Ops != 3 {
+		t.Errorf("Ops = %d, want 3", res.Ops)
+	}
+	if mw := maxWorker.Load(); mw > 2 {
+		t.Errorf("worker index %d observed with 3 ops, want workers clamped to 3", mw)
+	}
+}

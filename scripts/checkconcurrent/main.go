@@ -1,0 +1,66 @@
+// Command checkconcurrent validates the concurrency acceptance
+// properties of a globedoc-bench/1 report: the parallel cold burst must
+// have run exactly one secure-binding pipeline (singleflight dedup),
+// and parallel throughput must beat serial throughput by the given
+// factor. Used by scripts/concurrency_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkconcurrent <report.json> <min-speedup>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkconcurrent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, minSpeedupArg string) error {
+	minSpeedup, err := strconv.ParseFloat(minSpeedupArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad min-speedup %q: %w", minSpeedupArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	c := report.Concurrent
+	if c == nil || c.Serial == nil || c.Parallel == nil {
+		return fmt.Errorf("report has no concurrent comparison")
+	}
+	if c.Parallel.ColdPipelineRuns != 1 {
+		return fmt.Errorf("cold burst at concurrency %d ran %d binding pipelines, want exactly 1 (singleflight)",
+			c.Parallel.Concurrency, c.Parallel.ColdPipelineRuns)
+	}
+	want := uint64(c.Parallel.Concurrency - 1)
+	if c.Parallel.ColdSingleflightShared != want {
+		return fmt.Errorf("cold burst shared %d pipeline runs, want %d of %d fetches",
+			c.Parallel.ColdSingleflightShared, want, c.Parallel.Concurrency)
+	}
+	if c.Serial.Errors != 0 || c.Parallel.Errors != 0 {
+		return fmt.Errorf("closed loop saw errors: serial %d, parallel %d",
+			c.Serial.Errors, c.Parallel.Errors)
+	}
+	if c.Speedup < minSpeedup {
+		return fmt.Errorf("throughput speedup %.2fx at concurrency %d is below the required %.1fx",
+			c.Speedup, c.Parallel.Concurrency, minSpeedup)
+	}
+	fmt.Printf("concurrent: %.1f ops/s serial, %.1f ops/s at %d (%.2fx >= %.1fx), cold pipelines = 1, shared = %d\n",
+		c.Serial.Throughput, c.Parallel.Throughput, c.Parallel.Concurrency,
+		c.Speedup, minSpeedup, c.Parallel.ColdSingleflightShared)
+	return nil
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# concurrency_bench.sh — run the closed-loop concurrency experiment and
+# check the PR-3 acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment concurrent -concurrency $CONCURRENCY`,
+#      writing the globedoc-bench/1 JSON report (which records both the
+#      concurrency=1 and concurrency=$CONCURRENCY points);
+#   2. assert the parallel run's cold burst cost exactly one
+#      secure-binding pipeline (singleflight dedup);
+#   3. assert throughput at $CONCURRENCY is at least $MIN_SPEEDUP x the
+#      serial throughput.
+#
+# Exits non-zero on any failure. Run via `make bench-concurrent`.
+set -eu
+
+GO=${GO:-go}
+CONCURRENCY=${CONCURRENCY:-16}
+MIN_SPEEDUP=${MIN_SPEEDUP:-4}
+SCALE=${SCALE:-1.0}
+ITERATIONS=${ITERATIONS:-5}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/concurrent.json}"
+
+echo "== running concurrent experiment (concurrency=$CONCURRENCY, scale=$SCALE)"
+$GO run ./cmd/benchmark -experiment concurrent \
+    -concurrency "$CONCURRENCY" -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checkconcurrent "$JSON" "$MIN_SPEEDUP"
+
+echo "concurrency bench: ok"
