@@ -1,15 +1,23 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test test-short fuzz-smoke chaos telemetry-smoke \
-	concurrent-smoke bench-concurrent
+.PHONY: check vet build test test-short lint fuzz-smoke chaos \
+	telemetry-smoke concurrent-smoke bench-concurrent
 
-## check: the tier-1 gate — vet, build, race-enabled tests, fuzz smoke,
-## the concurrent race smoke, and the end-to-end telemetry smoke.
-check: vet build test fuzz-smoke concurrent-smoke telemetry-smoke
+## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
+## smoke, the concurrent race smoke, and the end-to-end telemetry smoke.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke
 
+## vet: the stock vet suite plus the two checks most relevant to the
+## serving path, run explicitly so a vet default change cannot drop them.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure ./...
+
+## lint: the project-invariant analyzer suite (cmd/globedoclint); exits
+## nonzero on any finding, so `check` fails on a new violation.
+lint:
+	GO=$(GO) sh scripts/lint.sh
 
 build:
 	$(GO) build ./...
@@ -27,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalNameCertificate$$ -fuzztime=$(FUZZTIME) ./internal/cert/
 	$(GO) test -run=^$$ -fuzz=FuzzParseHybrid$$ -fuzztime=$(FUZZTIME) ./internal/document/
 	$(GO) test -run=^$$ -fuzz=FuzzExtractLinks$$ -fuzztime=$(FUZZTIME) ./internal/document/
+	$(GO) test -run=^$$ -fuzz=FuzzLintSuppression$$ -fuzztime=$(FUZZTIME) ./internal/lint/
 
 ## chaos: the seeded fault-injection suite (SEED overrides the schedule).
 SEED ?= 20050404

@@ -136,7 +136,7 @@ func publish(dir, keyPath, principal, serverAddr, serverSite, namingAddr, locAdd
 	}
 	admin := server.NewAdminClient(principal, kp, tcpDial(serverAddr))
 	defer admin.Close()
-	if err := admin.CreateReplica(bundle); err != nil {
+	if err := admin.CreateReplica(context.Background(), bundle); err != nil {
 		return fmt.Errorf("uploading replica: %w", err)
 	}
 	fmt.Printf("published %d elements (%d bytes) as object %s\n",
@@ -198,7 +198,7 @@ func publishSite(dir, keyPath, principal, serverAddr, serverSite, namingAddr, lo
 			return err
 		}
 		bundle := server.BundleFromDocument(oid, objKey.Public(), doc, icert, nil)
-		if err := admin.CreateReplica(bundle); err != nil {
+		if err := admin.CreateReplica(context.Background(), bundle); err != nil {
 			return err
 		}
 		objKeyPath := keyPath + "." + objectName + ".key"
@@ -239,7 +239,7 @@ func list(keyPath, principal, serverAddr string) error {
 	}
 	admin := server.NewAdminClient(principal, kp, tcpDial(serverAddr))
 	defer admin.Close()
-	oids, err := admin.ListReplicas()
+	oids, err := admin.ListReplicas(context.Background())
 	if err != nil {
 		return err
 	}
@@ -264,7 +264,7 @@ func del(keyPath, principal, serverAddr, oidHex string) error {
 	}
 	admin := server.NewAdminClient(principal, kp, tcpDial(serverAddr))
 	defer admin.Close()
-	if err := admin.DeleteReplica(oid); err != nil {
+	if err := admin.DeleteReplica(context.Background(), oid); err != nil {
 		return err
 	}
 	fmt.Printf("deleted replica %s\n", oid.Short())

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"globedoc/internal/lint"
+)
+
+// TestJSONReportCountsSuppressions runs the suite over the suppress
+// fixture tree and decodes the -json payload: suppressions must appear
+// with their reasons and be tallied per rule, so suppression rot stays
+// visible in report diffs.
+func TestJSONReportCountsSuppressions(t *testing.T) {
+	root := filepath.Join("..", "..", "internal", "lint", "testdata", "suppress")
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := lint.ByName("clocknow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, root, res); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding -json payload: %v", err)
+	}
+
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Summary.Suppressed != 1 || len(rep.Suppressed) != 1 {
+		t.Fatalf("suppressed: summary=%d list=%d, want 1/1", rep.Summary.Suppressed, len(rep.Suppressed))
+	}
+	s := rep.Suppressed[0]
+	if s.Rule != "clocknow" || s.Reason == "" {
+		t.Errorf("suppression = %+v, want rule clocknow with a reason", s)
+	}
+	if s.File != "internal/widget/widget.go" {
+		t.Errorf("suppression file = %q, want module-relative slash path", s.File)
+	}
+	if c := rep.Summary.ByRule["clocknow"]; c.Suppressed != 1 || c.Findings != 1 {
+		t.Errorf("by_rule[clocknow] = %+v, want 1 finding and 1 suppression", c)
+	}
+	if c := rep.Summary.ByRule["lintignore"]; c.Findings != 1 {
+		t.Errorf("by_rule[lintignore] = %+v, want the reasonless directive counted as a finding", c)
+	}
+	if rep.Summary.Findings != 2 || len(rep.Findings) != 2 {
+		t.Errorf("findings: summary=%d list=%d, want 2/2 (surviving clocknow + lintignore)", rep.Summary.Findings, len(rep.Findings))
+	}
+}

@@ -31,6 +31,10 @@ import (
 	"globedoc/internal/workload"
 )
 
+// now is the wall clock for benchmark timing; a variable so replayed
+// runs can substitute a deterministic clock.
+var now = time.Now
+
 // Config controls experiment scale.
 type Config struct {
 	// TimeScale scales simulated link delays (1.0 = the paper's
@@ -187,6 +191,7 @@ func measureFig4Point(w *deploy.World, pub *deploy.Publication, client string, s
 		if r, ok := sc.Binder.Names.(*naming.Resolver); ok {
 			r.FlushCache()
 		}
+		//lint:ignore ctxfirst the benchmark harness is the top of the call tree; there is no caller context to inherit
 		res, err := sc.FetchNamed(context.Background(), pub.Name, "image.bin")
 		if err != nil {
 			return Fig4Point{}, fmt.Errorf("fig4 %s/%d: %w", client, size, err)
@@ -329,12 +334,13 @@ func measureFig5Row(w *deploy.World, doc *document.Document, client string, idx 
 	for i := 0; i < cfg.Iterations; i++ {
 		// GlobeDoc: cold secure full-object fetch.
 		sc := w.NewSecureClient(client)
-		start := time.Now()
+		start := now()
+		//lint:ignore ctxfirst the benchmark harness is the top of the call tree; there is no caller context to inherit
 		if _, err := sc.FetchAll(context.Background(), pub.OID); err != nil {
 			sc.Close()
 			return Fig5Row{}, fmt.Errorf("fig5 globedoc: %w", err)
 		}
-		globedoc = append(globedoc, time.Since(start))
+		globedoc = append(globedoc, now().Sub(start))
 		sc.Close()
 
 		// Plain HTTP (fresh connection per run).

@@ -103,6 +103,7 @@ func RunConcurrent(cfg Config, concurrency int) (*ConcurrentResult, error) {
 		return nil, err
 	}
 	defer client.Close()
+	//lint:ignore ctxfirst the benchmark harness is the top of the call tree; there is no caller context to inherit
 	ctx := context.Background()
 
 	// Cold burst: all workers race the first fetch of the OID. The

@@ -398,6 +398,7 @@ func (c *Client) FetchNoCtx(oid globeid.OID, element string) (FetchResult, error
 
 func orBackground(ctx context.Context) context.Context {
 	if ctx == nil {
+		//lint:ignore ctxfirst nil-ctx compatibility: legacy callers predate the ctx-first API and a nil ctx must mean "no cancellation", not a panic
 		return context.Background()
 	}
 	return ctx

@@ -140,7 +140,7 @@ func TestGrandIntegrationScenario(t *testing.T) {
 	puller := server.NewPuller(parisSrv, storyPub.OID, "srv-ams",
 		w.Addrs[netsim.AmsterdamPrimary], w.DialFrom(netsim.Paris), time.Minute)
 	t.Cleanup(puller.Stop)
-	pulled, err := puller.CheckOnce()
+	pulled, err := puller.CheckOnce(context.Background())
 	if err != nil || !pulled {
 		t.Fatalf("pull = %v, %v", pulled, err)
 	}

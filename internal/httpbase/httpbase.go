@@ -33,6 +33,11 @@ import (
 	"globedoc/internal/transport"
 )
 
+// now is the package's injectable time source (the `X = time.Now`
+// idiom): certificate validity windows and the Figure 5–7 timing
+// measurements read it, so tests can pin the clock.
+var now = time.Now
+
 // FileServer serves a document's page elements over plain HTTP — the
 // Apache stand-in.
 type FileServer struct {
@@ -61,14 +66,14 @@ func (fs *FileServer) serveElement(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", e.ContentType)
 	w.Header().Set("Content-Length", fmt.Sprint(len(e.Data)))
-	w.Write(e.Data)
+	_, _ = w.Write(e.Data) // response write failure means the client went away
 }
 
 // Serve accepts connections on l until l is closed.
 func (fs *FileServer) Serve(l net.Listener) error { return fs.srv.Serve(l) }
 
-// Start serves on a background goroutine.
-func (fs *FileServer) Start(l net.Listener) { go fs.srv.Serve(l) }
+// Start serves on a background goroutine; Close unblocks it.
+func (fs *FileServer) Start(l net.Listener) { go func() { _ = fs.srv.Serve(l) }() }
 
 // Close shuts the server down.
 func (fs *FileServer) Close() { fs.srv.Close() }
@@ -88,8 +93,8 @@ func SelfSignedCert(host string) (tls.Certificate, *x509.CertPool, error) {
 	template := x509.Certificate{
 		SerialNumber:          serial,
 		Subject:               pkix.Name{CommonName: host, Organization: []string{"GlobeDoc Baseline"}},
-		NotBefore:             time.Now().Add(-time.Hour),
-		NotAfter:              time.Now().Add(365 * 24 * time.Hour),
+		NotBefore:             now().Add(-time.Hour),
+		NotAfter:              now().Add(365 * 24 * time.Hour),
 		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
 		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
 		BasicConstraintsValid: true,
@@ -136,8 +141,8 @@ func (ts *TLSFileServer) Serve(l net.Listener) error {
 	return ts.inner.Serve(tlsListener)
 }
 
-// Start serves on a background goroutine.
-func (ts *TLSFileServer) Start(l net.Listener) { go ts.Serve(l) }
+// Start serves on a background goroutine; Close unblocks it.
+func (ts *TLSFileServer) Start(l net.Listener) { go func() { _ = ts.Serve(l) }() }
 
 // Close shuts the server down.
 func (ts *TLSFileServer) Close() { ts.inner.Close() }
@@ -208,9 +213,9 @@ func (c *Client) GetAll(elements []string) (int, error) {
 // TimedGetAll fetches every element and reports the elapsed wall time,
 // the measurement of Figures 5–7.
 func (c *Client) TimedGetAll(elements []string) (time.Duration, int, error) {
-	start := time.Now()
+	start := now()
 	n, err := c.GetAll(elements)
-	return time.Since(start), n, err
+	return now().Sub(start), n, err
 }
 
 // CloseIdle drops pooled connections so the next fetch pays connection

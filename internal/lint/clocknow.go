@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ClockNow enforces the injectable-clock invariant: certificate
+// freshness checks, cache TTLs and backoff schedules must read time from
+// internal/clock (or an injected Now field) so the chaos replays from
+// the fault-injection suite stay byte-identical run to run. A bare
+// time.Now(), time.Since() or time.Until() call in library code is a
+// hidden wall-clock read that breaks that determinism.
+//
+// Allowed: internal/clock itself (it wraps the real clock), cmd/ and
+// examples/ (process entry points legitimately live on wall time), test
+// files (not loaded), and the `Now: time.Now` / `X = time.Now`
+// injectable-default idiom — using time.Now as a *value* is exactly how
+// a default gets injected, so only calls are flagged.
+var ClockNow = &Analyzer{
+	Name: "clocknow",
+	Doc:  "bare time.Now/Since/Until in library code must go through an injectable clock",
+	Run:  runClockNow,
+}
+
+func runClockNow(p *Package) []Diagnostic {
+	if !p.inInternal() || p.pathWithin("internal/clock") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if p.pkgFunc(call, "time", name) {
+					out = append(out, p.diag(call.Pos(), "clocknow",
+						"bare time.%s call in library code: inject a clock (internal/clock or a Now field) so fault-injection replays stay deterministic", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

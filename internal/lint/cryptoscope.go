@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// CryptoScope enforces the paper's §3 identity argument: object identity
+// is self-certifying only if every hash that feeds an OID flows through
+// the one audited derivation in internal/globeid, and signatures are
+// produced/verified only by the audited key-handling packages. Direct
+// use of the low-level primitives anywhere else is how a second,
+// subtly-different derivation sneaks in. Concretely:
+//
+//   - crypto/sha1, crypto/rsa, crypto/ed25519 (and the legacy md5/dsa)
+//     may be imported only by internal/globeid, internal/cert,
+//     internal/keys, internal/enc and internal/httpbase (the TLS
+//     baseline), anywhere in the module including cmd/;
+//   - math/rand may not be imported by the security-deciding packages —
+//     nonces, challenges and key material must come from crypto/rand.
+//     Simulation and measurement code (netsim fault schedules, retry
+//     jitter, workload/bench shapes) may keep seeded determinism.
+var CryptoScope = &Analyzer{
+	Name: "cryptoscope",
+	Doc:  "crypto primitives only in the audited packages; no math/rand in security decisions",
+	Run:  runCryptoScope,
+}
+
+// primitivePkgs are the low-level primitive imports under scope.
+var primitivePkgs = map[string]bool{
+	"crypto/sha1":    true,
+	"crypto/rsa":     true,
+	"crypto/ed25519": true,
+	"crypto/md5":     true,
+	"crypto/dsa":     true,
+}
+
+// cryptoAllowed are the audited homes of primitive use.
+var cryptoAllowed = []string{
+	"internal/globeid",
+	"internal/cert",
+	"internal/keys",
+	"internal/enc",
+	"internal/httpbase",
+}
+
+// securityDeciding are the packages where a predictable random number is
+// a vulnerability, not a feature.
+var securityDeciding = []string{
+	"internal/globeid",
+	"internal/cert",
+	"internal/keys",
+	"internal/enc",
+	"internal/httpbase",
+	"internal/core",
+	"internal/policy",
+	"internal/audit",
+	"internal/merkle",
+	"internal/document",
+	"internal/server",
+	"internal/naming",
+	"internal/location",
+	"internal/proxy",
+	"internal/replication",
+	"internal/sitepub",
+	"internal/keyfile",
+	"internal/object",
+}
+
+func runCryptoScope(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if primitivePkgs[path] && !p.pathWithin(cryptoAllowed...) {
+				out = append(out, p.diag(imp.Pos(), "cryptoscope",
+					"import of %s outside the audited crypto packages (%s): hash/sign through internal/globeid, internal/cert or internal/keys so a second identity derivation cannot diverge", path, strings.Join(cryptoAllowed, ", ")))
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && p.pathWithin(securityDeciding...) {
+				out = append(out, p.diag(imp.Pos(), "cryptoscope",
+					"import of %s in a security-deciding package: nonces, challenges and key material must use crypto/rand", path))
+			}
+		}
+	}
+	// Belt and braces: a security-deciding package must not dodge the
+	// import rule by calling a seeded source handed in from elsewhere.
+	if p.pathWithin(securityDeciding...) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.pkgFunc(call, "math/rand", "New") || p.pkgFunc(call, "math/rand/v2", "New") {
+					out = append(out, p.diag(call.Pos(), "cryptoscope",
+						"math/rand source constructed in a security-deciding package"))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the ctx-first RPC contract introduced with the
+// concurrent fetch engine: cancellation must flow from the caller down
+// through every blocking call, which only works if (a) any function that
+// accepts a context.Context takes it as its first parameter, (b) library
+// code never manufactures a fresh root with context.Background() or
+// context.TODO() — that silently detaches the call tree from the
+// caller's deadline — and (c) exported methods on client/service types
+// that drive context-aware calls accept a ctx themselves instead of
+// inventing one.
+//
+// Exemptions: cmd/, examples/ and scripts own their process lifetime and
+// legitimately create root contexts; functions documented "Deprecated:"
+// are compatibility shims whose entire point is the old no-ctx shape.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context is the first parameter; no context.Background/TODO in library code",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, ctxParamPosition(p, fd)...)
+			if p.inInternal() && !funcDeprecated(fd) {
+				out = append(out, ctxBackgroundCalls(p, fd)...)
+				out = append(out, ctxAwareMethodShape(p, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// ctxParamPosition flags a context.Context parameter anywhere but first.
+// This applies everywhere including cmd/: a misplaced ctx is wrong in
+// any code.
+func ctxParamPosition(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	var out []Diagnostic
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) && pos > 0 {
+			out = append(out, p.diag(field.Pos(), "ctxfirst",
+				"context.Context must be the first parameter of %s", fd.Name.Name))
+		}
+		pos += n
+	}
+	return out
+}
+
+// ctxBackgroundCalls flags context.Background()/context.TODO() in
+// library code outside deprecated shims.
+func ctxBackgroundCalls(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Body == nil {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if p.pkgFunc(call, "context", name) {
+				out = append(out, p.diag(call.Pos(), "ctxfirst",
+					"context.%s in library code detaches this call tree from the caller's cancellation; thread a ctx parameter through instead", name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ctxAwareMethodShape flags exported methods on client/service types
+// that call context-taking code but do not themselves accept a ctx —
+// the shape that forces a Background() somewhere below.
+func ctxAwareMethodShape(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+		return nil
+	}
+	recv := receiverTypeName(fd)
+	if !strings.HasSuffix(recv, "Client") && !strings.HasSuffix(recv, "Service") && !strings.HasSuffix(recv, "Binder") {
+		return nil
+	}
+	// Already takes a ctx (position is ctxParamPosition's business).
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+				return nil
+			}
+		}
+	}
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if len(out) > 0 {
+			return false // one finding per method is enough
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig, ok := calleeSignature(p, call)
+		if !ok || sig.Params().Len() == 0 {
+			return true
+		}
+		if isContextType(sig.Params().At(0).Type()) {
+			out = append(out, p.diag(fd.Name.Pos(), "ctxfirst",
+				"exported method %s.%s drives context-aware calls but takes no context.Context; accept ctx as the first parameter", recv, fd.Name.Name))
+		}
+		return true
+	})
+	return out
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// calleeSignature resolves the static signature of call's callee, when
+// it is a plain function or method call (not a conversion or builtin).
+func calleeSignature(p *Package, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return sig, ok
+}

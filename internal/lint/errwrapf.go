@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapf protects the consolidated error surface: callers are promised
+// that errors.Is(err, core.ErrBindingFailed) (and friends) survives
+// every wrapping layer, which is only true if each fmt.Errorf that
+// folds a sentinel in uses %w for it. Formatting a sentinel with %v or
+// %s flattens it to text and silently breaks failover classification.
+//
+// The rule fires when an argument to fmt.Errorf resolves to a
+// package-level error variable named Err* but its matching verb is not
+// %w.
+var ErrWrapf = &Analyzer{
+	Name: "errwrapf",
+	Doc:  "fmt.Errorf mentioning a sentinel error must wrap it with %w",
+	Run:  runErrWrapf,
+}
+
+func runErrWrapf(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.pkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				name, ok := sentinelErrorName(p, arg)
+				if !ok {
+					continue
+				}
+				if i >= len(verbs) {
+					break // malformed format; vet's printf check owns that
+				}
+				if verbs[i] != 'w' {
+					out = append(out, p.diag(arg.Pos(), "errwrapf",
+						"sentinel %s formatted with %%%c: use %%w so errors.Is still matches through the wrap", name, verbs[i]))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelErrorName reports whether e refers to a package-level error
+// variable named Err*, returning its name.
+func sentinelErrorName(p *Package, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return "", false
+	}
+	// Package-level: declared in the package scope, not a local.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// formatVerbs extracts the verb letters of a printf format string, in
+// argument order. Indexed arguments (%[n]d) and star widths are beyond
+// what this rule needs and end extraction early.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Skip flags, width and precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return verbs // indexed/star formats: bail out conservatively
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"globedoc/internal/lint"
+)
+
+// FuzzLintSuppression drives ParseIgnoreDirective with arbitrary
+// comment text and checks the parser's structural invariants: it never
+// panics, recognises exactly the //lint:ignore prefix (followed by a
+// separator or end of comment), and every accepted directive is either
+// well-formed — non-empty whitespace-free rule IDs plus a reason — or
+// carries a diagnostic Err.
+func FuzzLintSuppression(f *testing.F) {
+	f.Add("//lint:ignore clocknow reason text here")
+	f.Add("//lint:ignore clocknow")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore  ")
+	f.Add("//lint:ignoreXYZ not ours")
+	f.Add("// an ordinary comment")
+	f.Add("//lint:ignore a,b,c several rules are fine")
+	f.Add("//lint:ignore , empty rule id")
+	f.Add("//lint:ignore clocknow,\tmixed separators")
+	f.Add("//lint:ignore\tclocknow tab separated")
+	f.Fuzz(func(t *testing.T, text string) {
+		dir, ok := lint.ParseIgnoreDirective(text)
+
+		isOurs := text == "//lint:ignore" ||
+			(strings.HasPrefix(text, "//lint:ignore") &&
+				len(text) > len("//lint:ignore") &&
+				(text[len("//lint:ignore")] == ' ' || text[len("//lint:ignore")] == '\t'))
+		if ok != isOurs {
+			t.Fatalf("ParseIgnoreDirective(%q) ok=%v, want %v", text, ok, isOurs)
+		}
+		if !ok {
+			return
+		}
+		if dir.Err != "" {
+			return // malformed directives surface as lintignore findings
+		}
+		if len(dir.Rules) == 0 {
+			t.Fatalf("well-formed directive %q has no rules", text)
+		}
+		for _, r := range dir.Rules {
+			if r == "" {
+				t.Fatalf("well-formed directive %q has an empty rule ID", text)
+			}
+			if strings.IndexFunc(r, unicode.IsSpace) >= 0 {
+				t.Fatalf("rule ID %q from %q contains whitespace", r, text)
+			}
+		}
+		if dir.Reason == "" {
+			t.Fatalf("well-formed directive %q has no reason", text)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"globedoc/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the expect.txt golden files")
+
+// TestGoldenFixtures runs each analyzer over its fixture tree under
+// testdata/ and compares the full diagnostic output — findings and
+// suppressions — against the tree's expect.txt. Every tree contains at
+// least one true positive and one deliberately-clean construct, so a
+// rule that goes silent or starts over-reporting both fail loudly.
+//
+// Regenerate goldens after an intentional rule change with:
+//
+//	go test ./internal/lint -run TestGoldenFixtures -update
+func TestGoldenFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// The suppress tree exercises directive handling; any rule
+			// serves as the carrier, clocknow is the simplest.
+			rule := name
+			if name == "suppress" {
+				rule = "clocknow"
+			}
+			analyzers, err := lint.ByName(rule)
+			if err != nil {
+				t.Fatalf("resolving rule %q: %v", rule, err)
+			}
+			root := filepath.Join("testdata", name)
+			loader, err := lint.NewLoader(root)
+			if err != nil {
+				t.Fatalf("loader: %v", err)
+			}
+			pkgs, err := loader.LoadModule()
+			if err != nil {
+				t.Fatalf("loading fixture module: %v", err)
+			}
+			res := lint.Run(pkgs, analyzers)
+
+			var b strings.Builder
+			for _, d := range res.Findings {
+				fmt.Fprintf(&b, "%s\n", formatDiag(root, d))
+			}
+			for _, s := range res.Suppressed {
+				fmt.Fprintf(&b, "suppressed %s (%s)\n", formatDiag(root, s.Diagnostic), s.Reason)
+			}
+			got := b.String()
+
+			golden := filepath.Join(root, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// formatDiag renders a diagnostic with its path relative to the fixture
+// root, slash-separated, so goldens are platform-independent.
+func formatDiag(root string, d lint.Diagnostic) string {
+	rel := d.Pos.Filename
+	if r, err := filepath.Rel(root, rel); err == nil {
+		rel = filepath.ToSlash(r)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// TestGoldenTreesCoverEveryAnalyzer fails when an analyzer is added to
+// the suite without a fixture tree proving its behavior.
+func TestGoldenTreesCoverEveryAnalyzer(t *testing.T) {
+	for _, a := range lint.All() {
+		if _, err := os.Stat(filepath.Join("testdata", a.Name, "go.mod")); err != nil {
+			t.Errorf("analyzer %s has no fixture tree under testdata/%s", a.Name, a.Name)
+		}
+	}
+}
+
+// TestSuppressionSemantics pins the load-bearing directive behaviors
+// outside the golden diff: a well-formed suppression silences exactly
+// its rule and is counted; a reasonless one suppresses nothing and is
+// itself a finding.
+func TestSuppressionSemantics(t *testing.T) {
+	loader, err := lint.NewLoader(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := lint.ByName("clocknow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1", len(res.Suppressed))
+	}
+	if s := res.Suppressed[0]; s.Rule != "clocknow" || s.Reason == "" {
+		t.Fatalf("suppressed finding = %+v, want clocknow with a reason", s)
+	}
+	var rules []string
+	for _, d := range res.Findings {
+		rules = append(rules, d.Rule)
+	}
+	if len(res.Findings) != 2 || rules[0] != "clocknow" && rules[1] != "clocknow" {
+		t.Fatalf("findings = %v, want a surviving clocknow finding", rules)
+	}
+	foundIgnore := false
+	for _, d := range res.Findings {
+		if d.Rule == "lintignore" {
+			foundIgnore = true
+			if !strings.Contains(d.Message, "reason") {
+				t.Errorf("lintignore message %q does not mention the missing reason", d.Message)
+			}
+		}
+	}
+	if !foundIgnore {
+		t.Error("reasonless directive did not produce a lintignore finding")
+	}
+}

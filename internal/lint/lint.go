@@ -1,0 +1,238 @@
+// Package lint implements globedoclint, the project-invariant static
+// analyzer suite. The compiler cannot see the properties the paper's
+// security argument (§3) rests on — object identity hashed only through
+// the self-certifying OID derivation, certificate freshness read from an
+// injectable clock so chaos replays stay byte-identical, the ctx-first
+// RPC contract — so each is encoded here as a machine-checked rule in
+// the style of ErrorProne's "bug patterns as analyses".
+//
+// The suite is stdlib-only (go/parser + go/ast + go/types); the module
+// loader in load.go resolves in-module imports itself and leans on the
+// source importer for the standard library, keeping the repo free of
+// external dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one rule: a name (the suppression ID), a one-line doc
+// string, and a Run function producing diagnostics for one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ClockNow,
+		CtxFirst,
+		CryptoScope,
+		ErrWrapf,
+		LockGuard,
+		UncheckedErr,
+	}
+}
+
+// ByName resolves a comma-separated rule list against the full suite.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Result is the outcome of running the suite: surviving findings
+// (including bad-directive diagnostics), the findings that suppression
+// directives silenced, and the directives themselves.
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []SuppressedFinding
+	Directives []Directive
+}
+
+// SuppressedFinding pairs a silenced diagnostic with the directive's
+// stated reason.
+type SuppressedFinding struct {
+	Diagnostic
+	Reason string
+}
+
+// Run executes analyzers over pkgs, applies //lint:ignore suppressions,
+// and reports directives that are malformed (no reason) as findings of
+// rule "lintignore".
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	for _, p := range pkgs {
+		dirs := collectDirectives(p)
+		res.Directives = append(res.Directives, dirs...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			raw = append(raw, a.Run(p)...)
+		}
+		for _, d := range raw {
+			if dir := matchDirective(dirs, d); dir != nil {
+				res.Suppressed = append(res.Suppressed, SuppressedFinding{Diagnostic: d, Reason: dir.Reason})
+				continue
+			}
+			res.Findings = append(res.Findings, d)
+		}
+		for _, dir := range dirs {
+			if dir.Err != "" {
+				res.Findings = append(res.Findings, Diagnostic{
+					Pos:     dir.Pos,
+					Rule:    "lintignore",
+					Message: dir.Err,
+				})
+			}
+		}
+	}
+	sortDiagnostics(res.Findings)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		return diagLess(res.Suppressed[i].Diagnostic, res.Suppressed[j].Diagnostic)
+	})
+	return res
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool { return diagLess(ds[i], ds[j]) })
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Rule < b.Rule
+}
+
+// --- shared helpers used by the analyzers ---
+
+// inInternal reports whether the package is library code: under an
+// internal/ tree (cmd/, examples/ and scripts are tool code and exempt
+// from library-only rules).
+func (p *Package) inInternal() bool {
+	return strings.Contains(p.ImportPath, "/internal/") || strings.HasSuffix(p.ImportPath, "/internal")
+}
+
+// pathHasSuffix reports whether the package import path ends with one of
+// the given slash-separated suffixes (or contains it as a prefix of a
+// deeper subpackage, so internal/keys matches internal/keys/keytest).
+func (p *Package) pathWithin(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(p.ImportPath, s) || strings.Contains(p.ImportPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// diag builds a Diagnostic at pos.
+func (p *Package) diag(pos token.Pos, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+// pkgFunc reports whether call is a call of the package-level function
+// pkgPath.name (e.g. "time".Now), resolving the qualifier through the
+// type checker so import aliases are honoured.
+func (p *Package) pkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// implementsCloser reports whether t (or *t) has a Close() error method —
+// the shape of every shutdown handle (net.Conn, net.Listener, servers).
+func implementsCloser(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, "Close")
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if isErrorType(sig.Results().At(0).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// funcDeprecated reports whether the function's doc comment marks it as
+// a deprecated compatibility shim ("Deprecated:" convention). Such shims
+// exist precisely to keep old call shapes alive for one release, so the
+// ctx-first rules skip their bodies.
+func funcDeprecated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

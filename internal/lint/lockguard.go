@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces two concurrency invariants of the serving path:
+//
+//  1. No sync.Mutex/RWMutex is held across a transport RPC boundary. A
+//     Call under a lock turns one slow replica into a pile-up of every
+//     goroutine that touches that lock — the failure mode the paper's
+//     failover design exists to avoid.
+//  2. Every goroutine launched in library code must receive a shutdown
+//     handle: a context.Context, a done/stop channel, or a closeable
+//     resource (net.Conn, net.Listener, a server) whose Close unblocks
+//     it. Fire-and-forget goroutines leak under the chaos suite's
+//     fault schedules.
+//
+// Packages whose final path element contains "test" (test fixture
+// helpers like keys/keytest) are exempt, as are cmd/ and examples/.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "no mutex held across an RPC; goroutines take a ctx or done channel",
+	Run:  runLockGuard,
+}
+
+func runLockGuard(p *Package) []Diagnostic {
+	if !p.inInternal() {
+		return nil
+	}
+	if seg := p.ImportPath[strings.LastIndex(p.ImportPath, "/")+1:]; strings.Contains(seg, "test") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, lockAcrossRPC(p, fd)...)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineHasShutdownHandle(p, g) {
+				out = append(out, p.diag(g.Pos(), "lockguard",
+					"goroutine launched without a shutdown handle: pass a ctx, a done channel, or a closeable resource so the chaos suite can wind it down"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type lockEvent struct {
+	pos      token.Pos
+	kind     string // "lock", "unlock", "rpc"
+	key      string // rendered receiver expression for lock/unlock
+	deferred bool
+}
+
+// lockAcrossRPC walks one function and flags RPC calls issued between a
+// mutex Lock and its first matching (non-deferred) Unlock. A deferred
+// Unlock holds the lock to function end, so the region runs to the end.
+func lockAcrossRPC(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var events []lockEvent
+	var record func(n ast.Node, deferred bool)
+	record = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				record(d.Call, true)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if isSyncMethod(p, sel) {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "lock", key: types.ExprString(sel.X), deferred: deferred})
+				}
+			case "Unlock", "RUnlock":
+				if isSyncMethod(p, sel) {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "unlock", key: types.ExprString(sel.X), deferred: deferred})
+				}
+			case "Call", "CallNoCtx":
+				// A method named Call is the transport boundary shape;
+				// package-level functions (e.g. reflect.Value.Call
+				// lookalikes) do not occur in this codebase.
+				if _, isPkg := p.Info.Uses[identOf(sel.X)].(*types.PkgName); !isPkg {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "rpc"})
+				}
+			}
+			return true
+		})
+	}
+	record(fd.Body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var out []Diagnostic
+	for i, ev := range events {
+		if ev.kind != "lock" || ev.deferred {
+			continue
+		}
+		end := token.Pos(fd.Body.End())
+		for _, later := range events[i+1:] {
+			if later.kind == "unlock" && later.key == ev.key && !later.deferred {
+				end = later.pos
+				break
+			}
+		}
+		for _, mid := range events[i+1:] {
+			if mid.kind == "rpc" && mid.pos < end {
+				out = append(out, p.diag(mid.pos, "lockguard",
+					"RPC call while holding %s: a slow replica would stall every goroutine contending on this lock — release it before calling out", ev.key))
+			}
+		}
+	}
+	return out
+}
+
+// isSyncMethod reports whether sel resolves to a method of package sync
+// (Mutex/RWMutex Lock family).
+func isSyncMethod(p *Package, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	if id, ok := e.(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+// goroutineHasShutdownHandle reports whether the launched goroutine can
+// be wound down: its body (for a func literal) or its call expression
+// (for a named call) references a context.Context, a channel, or a value
+// with a Close() error method.
+func goroutineHasShutdownHandle(p *Package, g *ast.GoStmt) bool {
+	var scope ast.Node = g.Call
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		scope = lit
+	}
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok {
+			return true
+		}
+		switch {
+		case isContextType(tv.Type):
+			found = true
+		case isChanType(tv.Type):
+			found = true
+		case implementsCloser(tv.Type):
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Directive is one //lint:ignore comment. A directive silences matching
+// diagnostics on its own line or on the line directly below it (the
+// "comment above the statement" idiom). A directive without a reason is
+// itself a finding: silent suppressions rot invisibly, so the reason is
+// mandatory and surfaced in the -json summary.
+type Directive struct {
+	Pos    token.Position
+	Rules  []string // rule IDs this directive silences
+	Reason string
+	// Err is non-empty when the directive is malformed; it becomes a
+	// "lintignore" finding.
+	Err string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// ParseIgnoreDirective parses the text of a single comment. It returns
+// ok=false when the comment is not a lint:ignore directive at all. A
+// recognised directive with missing pieces comes back ok=true with
+// dir.Err describing the problem.
+func ParseIgnoreDirective(text string) (dir Directive, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return Directive{}, false
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// Something like //lint:ignoreXYZ — a different word, not ours.
+		return Directive{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{Err: "//lint:ignore needs a rule list and a reason (//lint:ignore ruleID reason...)"}, true
+	}
+	rules := strings.Split(fields[0], ",")
+	for i, r := range rules {
+		rules[i] = strings.TrimSpace(r)
+		if rules[i] == "" {
+			return Directive{Err: "//lint:ignore has an empty rule ID in its rule list"}, true
+		}
+	}
+	if len(fields) < 2 {
+		return Directive{Rules: rules, Err: "//lint:ignore " + fields[0] + " is missing its reason — say why the finding is acceptable"}, true
+	}
+	return Directive{Rules: rules, Reason: strings.Join(fields[1:], " ")}, true
+}
+
+// collectDirectives gathers every lint:ignore directive in the package.
+func collectDirectives(p *Package) []Directive {
+	var out []Directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := ParseIgnoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				dir.Pos = p.Fset.Position(c.Pos())
+				out = append(out, dir)
+			}
+		}
+	}
+	return out
+}
+
+// matchDirective returns the directive suppressing d, if any: same file,
+// rule listed, and the directive sits on d's line or the line above.
+func matchDirective(dirs []Directive, d Diagnostic) *Directive {
+	for i := range dirs {
+		dir := &dirs[i]
+		if dir.Err != "" || dir.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.Pos.Line != d.Pos.Line && dir.Pos.Line != d.Pos.Line-1 {
+			continue
+		}
+		for _, r := range dir.Rules {
+			if r == d.Rule {
+				return dir
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// cmd/ owns its process lifetime; wall-clock reads are allowed there —
+// deliberately clean.
+func main() {
+	fmt.Println(time.Now())
+}

@@ -1,0 +1,8 @@
+// Package clock is the audited home of the wall clock; it is exempt
+// from the clocknow rule by import path.
+package clock
+
+import "time"
+
+// Real reads the wall clock — deliberately clean (exempt package).
+func Real() time.Time { return time.Now() }

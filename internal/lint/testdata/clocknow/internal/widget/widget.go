@@ -1,0 +1,17 @@
+package widget
+
+import "time"
+
+// now is the injectable default; using time.Now as a value is the
+// approved idiom and must not be flagged.
+var now = time.Now
+
+// Stamp reads the wall clock directly — the true positive.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed goes through the injected default — deliberately clean.
+func Elapsed(start time.Time) time.Duration {
+	return now().Sub(start)
+}

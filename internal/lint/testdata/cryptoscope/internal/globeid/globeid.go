@@ -1,0 +1,8 @@
+// Package globeid is an audited home of the hash primitive; its sha1
+// import is deliberately clean.
+package globeid
+
+import "crypto/sha1"
+
+// OID is the one sanctioned identity derivation.
+func OID(data []byte) [sha1.Size]byte { return sha1.Sum(data) }

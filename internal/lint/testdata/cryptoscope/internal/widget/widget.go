@@ -1,0 +1,14 @@
+package widget
+
+import (
+	"crypto/sha1"
+	"math/rand"
+)
+
+// Digest re-derives an identity hash outside the audited packages — the
+// true positive for the primitive-import check.
+func Digest(b []byte) [sha1.Size]byte { return sha1.Sum(b) }
+
+// Jitter uses seeded randomness in a non-security package — widget is
+// not security-deciding, so the math/rand import is deliberately clean.
+func Jitter(r *rand.Rand) int64 { return r.Int63() }

@@ -1,0 +1,9 @@
+package main
+
+import "context"
+
+// main owns the process lifetime; the root context is created here —
+// deliberately clean.
+func main() {
+	_ = context.Background()
+}

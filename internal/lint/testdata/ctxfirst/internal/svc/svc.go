@@ -1,0 +1,35 @@
+package svc
+
+import "context"
+
+// FetchClient drives context-aware calls.
+type FetchClient struct{}
+
+func (c *FetchClient) fetch(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// Get takes no ctx yet drives a ctx-first callee — true positive for
+// the method-shape check, and the manufactured Background root is a
+// second true positive.
+func (c *FetchClient) Get(name string) error {
+	return c.fetch(context.Background(), name)
+}
+
+// Lookup misplaces its context — true positive for the position check.
+func Lookup(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// GetCtx is the correct shape — deliberately clean.
+func (c *FetchClient) GetCtx(ctx context.Context, name string) error {
+	return c.fetch(ctx, name)
+}
+
+// GetNoCtx keeps the old call shape alive for one release.
+//
+// Deprecated: use GetCtx. Deliberately clean — deprecated shims are the
+// sanctioned home of Background roots.
+func (c *FetchClient) GetNoCtx(name string) error {
+	return c.fetch(context.Background(), name)
+}

@@ -1,0 +1,26 @@
+package widget
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is the sentinel callers match with errors.Is.
+var ErrStale = errors.New("widget: stale")
+
+// Refresh flattens the sentinel with %v — the true positive.
+func Refresh(name string) error {
+	return fmt.Errorf("refreshing %s: %v", name, ErrStale)
+}
+
+// Fetch wraps with %w — deliberately clean.
+func Fetch(name string) error {
+	return fmt.Errorf("fetching %s: %w", name, ErrStale)
+}
+
+// Local formats a non-sentinel local error with %v — deliberately
+// clean; only package-level Err* variables are sentinels.
+func Local() error {
+	err := errors.New("transient")
+	return fmt.Errorf("op: %v", err)
+}

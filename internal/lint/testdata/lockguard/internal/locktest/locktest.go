@@ -1,0 +1,14 @@
+// Package locktest mimics a test-fixture helper package (final path
+// element contains "test"): exempt from lockguard, so the bare
+// goroutine below is deliberately clean.
+package locktest
+
+// Spin launches a fire-and-forget goroutine; allowed here only because
+// the package is a test helper.
+func Spin(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

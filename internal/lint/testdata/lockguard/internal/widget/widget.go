@@ -1,0 +1,62 @@
+package widget
+
+import (
+	"context"
+	"sync"
+)
+
+// Conn has the transport-boundary shape: a method named Call.
+type Conn struct{}
+
+// Call stands in for a transport RPC.
+func (c *Conn) Call(op string) error { return nil }
+
+// Cache guards shared state with a mutex.
+type Cache struct {
+	mu   sync.Mutex
+	conn *Conn
+	data map[string]string
+}
+
+// RefreshLocked performs the RPC under a deferred unlock, so the lock
+// is held across the call — the true positive.
+func (s *Cache) RefreshLocked(op string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn.Call(op)
+}
+
+// Refresh releases the lock before calling out — deliberately clean.
+func (s *Cache) Refresh(op string) error {
+	s.mu.Lock()
+	stale := len(s.data) == 0
+	s.mu.Unlock()
+	if !stale {
+		return nil
+	}
+	return s.conn.Call(op)
+}
+
+// Watch launches a goroutine with no shutdown handle — the second true
+// positive.
+func Watch(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+
+// WatchCtx hands the goroutine a context — deliberately clean.
+func WatchCtx(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}

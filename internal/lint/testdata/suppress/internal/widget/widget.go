@@ -1,0 +1,17 @@
+package widget
+
+import "time"
+
+// Stamp is silenced by a well-formed directive: the finding moves to
+// the suppressed list with its reason.
+func Stamp() time.Time {
+	//lint:ignore clocknow fixture demonstrates a well-formed suppression
+	return time.Now()
+}
+
+// Bare tries to suppress without a reason: the directive itself becomes
+// a lintignore finding and the clocknow finding survives.
+func Bare() time.Time {
+	//lint:ignore clocknow
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"net"
+	"time"
+)
+
+// main is tool code, exempt from the library-only rule — deliberately
+// clean even though the error is dropped.
+func main() {
+	conn, err := net.Dial("tcp", "localhost:0")
+	if err != nil {
+		return
+	}
+	conn.SetDeadline(time.Now().Add(time.Second))
+	_ = conn.Close()
+}

@@ -1,0 +1,45 @@
+package widget
+
+import (
+	"net"
+	"strings"
+	"time"
+)
+
+// Arm drops the SetDeadline error — the true positive: the timeout the
+// retry machinery depends on may never have been armed.
+func Arm(conn net.Conn, t time.Time) {
+	conn.SetDeadline(t)
+}
+
+// ArmChecked discards explicitly — deliberately clean.
+func ArmChecked(conn net.Conn, t time.Time) {
+	_ = conn.SetDeadline(t)
+}
+
+// Server is a local serve loop.
+type Server struct{}
+
+// Serve consumes the listener until it closes.
+func (s *Server) Serve(l net.Listener) error { return nil }
+
+// ServeAsync fires Serve and drops listener failures — the second true
+// positive (goroutine discard).
+func ServeAsync(s *Server, l net.Listener) {
+	go s.Serve(l)
+}
+
+// Render writes to an infallible builder — deliberately clean;
+// strings.Builder documents Write as never failing.
+func Render(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// Teardown defers Close — deliberately clean (best-effort teardown).
+func Teardown(conn net.Conn) {
+	defer conn.Close()
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr flags error returns silently discarded on I/O paths in
+// library code. A dropped SetDeadline error means the timeout that the
+// retry/failover machinery depends on was never armed; a dropped write
+// error means a truncated response looks like success. The rule covers
+// plain expression statements and `go` statements (a goroutine that
+// discards Serve's error hides listener failures); `defer x.Close()`
+// teardown and explicit `_ =` discards are deliberate and exempt.
+//
+// An error-returning call is in scope when it is:
+//   - a SetDeadline/SetReadDeadline/SetWriteDeadline method,
+//   - a function or method from io, net, net/http, bufio, os or
+//     encoding/json, or
+//   - a method named Write, WriteString, Flush or Serve.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "error results on io/net/deadline paths must be checked or explicitly discarded",
+	Run:  runUncheckedErr,
+}
+
+var uncheckedErrMethodNames = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+	"Write":            true,
+	"WriteString":      true,
+	"Flush":            true,
+	"Serve":            true,
+}
+
+var uncheckedErrPkgs = map[string]bool{
+	"io":            true,
+	"net":           true,
+	"net/http":      true,
+	"bufio":         true,
+	"os":            true,
+	"encoding/json": true,
+}
+
+func runUncheckedErr(p *Package) []Diagnostic {
+	if !p.inInternal() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				how = "call discards"
+			case *ast.GoStmt:
+				call = s.Call
+				how = "goroutine discards"
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := uncheckedErrTarget(p, call)
+			if !ok {
+				return true
+			}
+			out = append(out, p.diag(call.Pos(), "uncheckederr",
+				"%s the error from %s: check it or discard explicitly with _ =", how, name))
+			return true
+		})
+	}
+	return out
+}
+
+// uncheckedErrTarget reports whether call is an in-scope error-returning
+// call, and a short name for it.
+func uncheckedErrTarget(p *Package, call *ast.CallExpr) (string, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return "", false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	returnsError := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			returnsError = true
+		}
+	}
+	if !returnsError {
+		return "", false
+	}
+	obj := calleeObject(p, call)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name = types.ExprString(sel.X) + "." + name
+		if tv, ok := p.Info.Types[sel.X]; ok && infallibleWriter(tv.Type) {
+			// strings.Builder, bytes.Buffer and hash.Hash document
+			// their Write family as never failing. The static type of
+			// the receiver expression catches interface dispatch too
+			// (hash.Hash resolves Write to io.Writer's method).
+			return "", false
+		}
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv != nil && infallibleWriter(recv.Type()) {
+			return "", false
+		}
+		if recv != nil && uncheckedErrMethodNames[obj.Name()] {
+			return name, true
+		}
+		// Close is deliberately out of scope: best-effort teardown.
+		if obj.Name() == "Close" {
+			return "", false
+		}
+	}
+	if obj.Pkg() != nil && uncheckedErrPkgs[obj.Pkg().Path()] {
+		return name, true
+	}
+	return "", false
+}
+
+// infallibleWriter reports whether t is (a pointer to) a type from
+// strings, bytes or hash — writers whose error results are documented
+// to always be nil.
+func infallibleWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "strings", "bytes", "hash":
+		return true
+	}
+	return false
+}
+
+// calleeObject resolves the function object a call invokes, if static.
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[fun]; ok {
+			return s.Obj()
+		}
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}

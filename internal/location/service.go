@@ -137,6 +137,7 @@ func (s *Service) handleLookup(body []byte) ([]byte, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxfirst the transport handler boundary carries no request context; per-request cancellation would need a wire protocol change
 	res, err := s.tree.Lookup(context.Background(), site, oid)
 	if err != nil {
 		return nil, err

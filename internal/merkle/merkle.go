@@ -17,6 +17,7 @@
 package merkle
 
 import (
+	//lint:ignore cryptoscope Merkle leaf/interior digests are the paper's SHA-1 content hashes; they reach object identity only through globeid's OID derivation
 	"crypto/sha1"
 	"crypto/subtle"
 	"errors"

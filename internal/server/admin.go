@@ -161,10 +161,10 @@ func NewAdminClient(principal string, key *keys.KeyPair, dial transport.DialFunc
 func (a *AdminClient) Close() { a.c.Close() }
 
 // exec performs one challenge–response authenticated verb.
-func (a *AdminClient) exec(verb string, payload []byte) ([]byte, error) {
+func (a *AdminClient) exec(ctx context.Context, verb string, payload []byte) ([]byte, error) {
 	w := enc.NewWriter(len(a.principal) + 8)
 	w.String(a.principal)
-	nonce, err := a.c.Call(context.Background(), OpChallenge, w.Bytes())
+	nonce, err := a.c.Call(ctx, OpChallenge, w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("server: challenge: %w", err)
 	}
@@ -172,30 +172,30 @@ func (a *AdminClient) exec(verb string, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: signing admin request: %w", err)
 	}
-	return a.c.Call(context.Background(), OpAdmin, encodeAdminEnvelope(a.principal, verb, nonce, sig, payload))
+	return a.c.Call(ctx, OpAdmin, encodeAdminEnvelope(a.principal, verb, nonce, sig, payload))
 }
 
 // CreateReplica installs a bundle on the remote server.
-func (a *AdminClient) CreateReplica(b *Bundle) error {
-	_, err := a.exec(VerbCreate, b.Marshal())
+func (a *AdminClient) CreateReplica(ctx context.Context, b *Bundle) error {
+	_, err := a.exec(ctx, VerbCreate, b.Marshal())
 	return err
 }
 
 // UpdateReplica replaces the remote replica's state.
-func (a *AdminClient) UpdateReplica(b *Bundle) error {
-	_, err := a.exec(VerbUpdate, b.Marshal())
+func (a *AdminClient) UpdateReplica(ctx context.Context, b *Bundle) error {
+	_, err := a.exec(ctx, VerbUpdate, b.Marshal())
 	return err
 }
 
 // DeleteReplica destroys the remote replica.
-func (a *AdminClient) DeleteReplica(oid globeid.OID) error {
-	_, err := a.exec(VerbDelete, oid[:])
+func (a *AdminClient) DeleteReplica(ctx context.Context, oid globeid.OID) error {
+	_, err := a.exec(ctx, VerbDelete, oid[:])
 	return err
 }
 
 // ListReplicas returns the OIDs hosted on the remote server.
-func (a *AdminClient) ListReplicas() ([]globeid.OID, error) {
-	body, err := a.exec(VerbList, nil)
+func (a *AdminClient) ListReplicas(ctx context.Context) ([]globeid.OID, error) {
+	body, err := a.exec(ctx, VerbList, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -38,24 +39,24 @@ func TestAdminCreateUpdateDeleteLifecycle(t *testing.T) {
 
 	docKey := keytest.Ed()
 	b := makeBundle(t, docKey, map[string][]byte{"index.html": []byte("v1")})
-	if err := admin.CreateReplica(b); err != nil {
+	if err := admin.CreateReplica(context.Background(), b); err != nil {
 		t.Fatalf("CreateReplica: %v", err)
 	}
 	if !srv.Hosts(b.OID) {
 		t.Fatal("replica not hosted after CreateReplica")
 	}
 
-	oids, err := admin.ListReplicas()
+	oids, err := admin.ListReplicas(context.Background())
 	if err != nil || len(oids) != 1 || oids[0] != b.OID {
 		t.Fatalf("ListReplicas = %v, %v", oids, err)
 	}
 
 	b2 := makeBundle(t, docKey, map[string][]byte{"index.html": []byte("v2 updated")})
-	if err := admin.UpdateReplica(b2); err != nil {
+	if err := admin.UpdateReplica(context.Background(), b2); err != nil {
 		t.Fatalf("UpdateReplica: %v", err)
 	}
 
-	if err := admin.DeleteReplica(b.OID); err != nil {
+	if err := admin.DeleteReplica(context.Background(), b.OID); err != nil {
 		t.Fatalf("DeleteReplica: %v", err)
 	}
 	if srv.Hosts(b.OID) {
@@ -68,7 +69,7 @@ func TestAdminRejectsUnknownPrincipal(t *testing.T) {
 	admin := server.NewAdminClient("stranger", keytest.RSA(), dial)
 	defer admin.Close()
 	b := makeBundle(t, keytest.Ed(), map[string][]byte{"a": []byte("a")})
-	err := admin.CreateReplica(b)
+	err := admin.CreateReplica(context.Background(), b)
 	if err == nil {
 		t.Fatal("CreateReplica succeeded for unknown principal")
 	}
@@ -84,7 +85,7 @@ func TestAdminRejectsWrongKey(t *testing.T) {
 	mallory := server.NewAdminClient("alice", keytest.Ed(), dial)
 	defer mallory.Close()
 	b := makeBundle(t, keytest.Ed(), map[string][]byte{"a": []byte("a")})
-	if err := mallory.CreateReplica(b); err == nil {
+	if err := mallory.CreateReplica(context.Background(), b); err == nil {
 		t.Fatal("CreateReplica accepted forged signature")
 	}
 }
@@ -109,18 +110,18 @@ func TestAdminPerCreatorIsolation(t *testing.T) {
 
 	docKey := keytest.Ed()
 	b := makeBundle(t, docKey, map[string][]byte{"a": []byte("a")})
-	if err := alice.CreateReplica(b); err != nil {
+	if err := alice.CreateReplica(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
 	// Bob is authorized on the server but did not create this replica.
-	if err := bob.DeleteReplica(b.OID); err == nil {
+	if err := bob.DeleteReplica(context.Background(), b.OID); err == nil {
 		t.Fatal("bob deleted alice's replica")
 	}
 	b2 := makeBundle(t, docKey, map[string][]byte{"a": []byte("a2")})
-	if err := bob.UpdateReplica(b2); err == nil {
+	if err := bob.UpdateReplica(context.Background(), b2); err == nil {
 		t.Fatal("bob updated alice's replica")
 	}
-	if err := alice.DeleteReplica(b.OID); err != nil {
+	if err := alice.DeleteReplica(context.Background(), b.OID); err != nil {
 		t.Fatalf("alice delete: %v", err)
 	}
 	_ = srv
@@ -141,13 +142,13 @@ func TestAdminNonceSingleUse(t *testing.T) {
 	defer admin.Close()
 
 	b := makeBundle(t, keytest.Ed(), map[string][]byte{"a": []byte("a")})
-	if err := admin.CreateReplica(b); err != nil {
+	if err := admin.CreateReplica(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.DeleteReplica(b.OID); err != nil {
+	if err := admin.DeleteReplica(context.Background(), b.OID); err != nil {
 		t.Fatal(err)
 	}
-	err := admin.DeleteReplica(b.OID)
+	err := admin.DeleteReplica(context.Background(), b.OID)
 	if err == nil {
 		t.Fatal("second delete succeeded")
 	}

@@ -77,9 +77,9 @@ func (p *Puller) Failures() uint64 { return p.failures.Load() }
 
 // CheckOnce probes the primary's version and pulls the new state if the
 // local replica is stale. It reports whether a transfer happened.
-func (p *Puller) CheckOnce() (bool, error) {
+func (p *Puller) CheckOnce(ctx context.Context) (bool, error) {
 	p.checks.Add(1)
-	remoteVersion, err := p.remoteVersion()
+	remoteVersion, err := p.remoteVersion(ctx)
 	if err != nil {
 		p.failures.Add(1)
 		return false, err
@@ -92,7 +92,7 @@ func (p *Puller) CheckOnce() (bool, error) {
 	if h.doc.Version() >= remoteVersion {
 		return false, nil
 	}
-	body, err := p.client.Call(context.Background(), object.OpGetBundle, object.EncodeOIDRequest(p.oid))
+	body, err := p.client.Call(ctx, object.OpGetBundle, object.EncodeOIDRequest(p.oid))
 	if err != nil {
 		p.failures.Add(1)
 		return false, fmt.Errorf("server: pulling bundle: %w", err)
@@ -117,8 +117,8 @@ func (p *Puller) CheckOnce() (bool, error) {
 	return true, nil
 }
 
-func (p *Puller) remoteVersion() (uint64, error) {
-	body, err := p.client.Call(context.Background(), object.OpVersion, object.EncodeOIDRequest(p.oid))
+func (p *Puller) remoteVersion(ctx context.Context) (uint64, error) {
+	body, err := p.client.Call(ctx, object.OpVersion, object.EncodeOIDRequest(p.oid))
 	if err != nil {
 		return 0, err
 	}
@@ -130,9 +130,9 @@ func (p *Puller) remoteVersion() (uint64, error) {
 	return v, nil
 }
 
-// Start launches the periodic check loop. Calling Start twice without
-// Stop is a no-op.
-func (p *Puller) Start() {
+// Start launches the periodic check loop; ctx cancellation and Stop
+// both halt it. Calling Start twice without Stop is a no-op.
+func (p *Puller) Start(ctx context.Context) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.stop != nil {
@@ -149,8 +149,10 @@ func (p *Puller) Start() {
 			select {
 			case <-stop:
 				return
+			case <-ctx.Done():
+				return
 			case <-ticker.C:
-				_, _ = p.CheckOnce() // failures are counted; loop continues
+				_, _ = p.CheckOnce(ctx) // failures are counted; loop continues
 			}
 		}
 	}()

@@ -45,7 +45,7 @@ func pullWorld(t *testing.T) (*deploy.World, *deploy.Publication, *server.Puller
 
 func TestPullerNoopWhenFresh(t *testing.T) {
 	_, _, puller := pullWorld(t)
-	pulled, err := puller.CheckOnce()
+	pulled, err := puller.CheckOnce(context.Background())
 	if err != nil {
 		t.Fatalf("CheckOnce: %v", err)
 	}
@@ -64,7 +64,7 @@ func TestPullerTransfersNewVersion(t *testing.T) {
 	if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
 		t.Fatal(err)
 	}
-	pulled, err := puller.CheckOnce()
+	pulled, err := puller.CheckOnce(context.Background())
 	if err != nil {
 		t.Fatalf("CheckOnce: %v", err)
 	}
@@ -88,8 +88,8 @@ func TestPullerTransfersNewVersion(t *testing.T) {
 
 func TestPullerBackgroundLoop(t *testing.T) {
 	w, pub, puller := pullWorld(t)
-	puller.Start()
-	puller.Start() // idempotent
+	puller.Start(context.Background())
+	puller.Start(context.Background()) // idempotent
 
 	pub.Doc.Put(document.Element{Name: "index.html", Data: []byte("v2 via loop")})
 	if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
@@ -135,7 +135,7 @@ func TestPullerRejectsPoisonedPrimary(t *testing.T) {
 		t.Fatal("primary accepted invalid bundle (test setup)")
 	}
 	// The honest primary is intact, so the puller sees nothing to do.
-	pulled, err := puller.CheckOnce()
+	pulled, err := puller.CheckOnce(context.Background())
 	if err != nil || pulled {
 		t.Fatalf("CheckOnce = %v, %v", pulled, err)
 	}
@@ -147,7 +147,7 @@ func TestPullerFailureCounting(t *testing.T) {
 	dead := server.NewPuller(w.Servers[netsim.Paris], pub.OID, "owner:pull.nl",
 		"amsterdam-primary:nothing", w.DialFrom(netsim.Paris), time.Minute)
 	t.Cleanup(dead.Stop)
-	if _, err := dead.CheckOnce(); err == nil {
+	if _, err := dead.CheckOnce(context.Background()); err == nil {
 		t.Fatal("CheckOnce against dead address succeeded")
 	}
 	if dead.Failures() != 1 {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -109,7 +110,9 @@ func (r *Replicator) observe(oid globeid.OID, element, fromSite string) {
 	if !r.detector(oid).RecordAccess(fromSite, r.Now()) {
 		return
 	}
-	if err := r.replicateTo(oid, peer); err != nil {
+	//lint:ignore ctxfirst the AccessObserver callback runs on the serving path, which carries no request context; a replication push owns its own lifetime
+	ctx := context.Background()
+	if err := r.replicateTo(ctx, oid, peer); err != nil {
 		r.detector(oid).MarkRemoved(fromSite) // allow retry
 		if r.Logf != nil {
 			r.Logf("globedoc: dynamic replication of %s to %s failed: %v", oid.Short(), peer.Site, err)
@@ -118,7 +121,7 @@ func (r *Replicator) observe(oid globeid.OID, element, fromSite string) {
 }
 
 // replicateTo pushes oid's bundle to peer and records the new address.
-func (r *Replicator) replicateTo(oid globeid.OID, peer Peer) error {
+func (r *Replicator) replicateTo(ctx context.Context, oid globeid.OID, peer Peer) error {
 	if r.server.identity == nil {
 		return fmt.Errorf("server: %s has no identity key for peer pushes", r.server.Name)
 	}
@@ -128,7 +131,7 @@ func (r *Replicator) replicateTo(oid globeid.OID, peer Peer) error {
 	}
 	admin := NewAdminClient(r.server.Name, r.server.identity, r.dial(peer.Addr))
 	defer admin.Close()
-	if err := admin.CreateReplica(bundle); err != nil {
+	if err := admin.CreateReplica(ctx, bundle); err != nil {
 		return err
 	}
 	if r.loc != nil {
@@ -151,7 +154,7 @@ func (r *Replicator) ReplicaSites(oid globeid.OID) []string {
 // WithdrawCold removes replicas that have gone cold: for each site whose
 // detector reports no recent traffic, the peer replica is deleted and its
 // contact address withdrawn from the location service.
-func (r *Replicator) WithdrawCold(oid globeid.OID) []string {
+func (r *Replicator) WithdrawCold(ctx context.Context, oid globeid.OID) []string {
 	d := r.detector(oid)
 	var withdrawn []string
 	for _, site := range d.ColdReplicas(r.Now()) {
@@ -160,7 +163,7 @@ func (r *Replicator) WithdrawCold(oid globeid.OID) []string {
 			continue
 		}
 		admin := NewAdminClient(r.server.Name, r.server.identity, r.dial(peer.Addr))
-		err := admin.DeleteReplica(oid)
+		err := admin.DeleteReplica(ctx, oid)
 		admin.Close()
 		if err != nil {
 			if r.Logf != nil {

@@ -132,7 +132,7 @@ func TestWithdrawColdReplica(t *testing.T) {
 	}
 	// An hour of silence: the replica is cold and withdrawn.
 	now = now.Add(time.Hour)
-	withdrawn := repl.WithdrawCold(pub.OID)
+	withdrawn := repl.WithdrawCold(context.Background(), pub.OID)
 	if len(withdrawn) != 1 || withdrawn[0] != netsim.Paris {
 		t.Fatalf("withdrawn = %v", withdrawn)
 	}

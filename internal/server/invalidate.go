@@ -103,12 +103,12 @@ func (s *Server) handleWaitVersion(body []byte) ([]byte, error) {
 // WaitVersion long-polls the primary at the puller's address until its
 // version exceeds known (or the timeout lapses) and returns the current
 // remote version.
-func (p *Puller) WaitVersion(known uint64, timeout time.Duration) (uint64, error) {
+func (p *Puller) WaitVersion(ctx context.Context, known uint64, timeout time.Duration) (uint64, error) {
 	w := enc.NewWriter(32)
 	w.Raw(p.oid[:])
 	w.Uvarint(known)
 	w.Uvarint(uint64(timeout / time.Millisecond))
-	body, err := p.client.Call(context.Background(), OpWaitVersion, w.Bytes())
+	body, err := p.client.Call(ctx, OpWaitVersion, w.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -123,11 +123,13 @@ func (p *Puller) WaitVersion(known uint64, timeout time.Duration) (uint64, error
 // RunInvalidationLoop keeps the local replica synchronized with
 // push-latency: it long-polls the primary for version changes and pulls
 // (with full validation) whenever one is signalled. It returns when stop
-// is closed.
-func (p *Puller) RunInvalidationLoop(stop <-chan struct{}, pollTimeout time.Duration) {
+// is closed or ctx is cancelled.
+func (p *Puller) RunInvalidationLoop(ctx context.Context, stop <-chan struct{}, pollTimeout time.Duration) {
 	for {
 		select {
 		case <-stop:
+			return
+		case <-ctx.Done():
 			return
 		default:
 		}
@@ -136,18 +138,20 @@ func (p *Puller) RunInvalidationLoop(stop <-chan struct{}, pollTimeout time.Dura
 			return // replica withdrawn locally
 		}
 		local := h.doc.Version()
-		remote, err := p.WaitVersion(local, pollTimeout)
+		remote, err := p.WaitVersion(ctx, local, pollTimeout)
 		if err != nil {
 			p.failures.Add(1)
 			select {
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			case <-time.After(pollTimeout / 4):
 				continue // back off briefly, then retry
 			}
 		}
 		if remote > local {
-			if _, err := p.CheckOnce(); err != nil {
+			if _, err := p.CheckOnce(ctx); err != nil {
 				p.failures.Add(1)
 			}
 		}

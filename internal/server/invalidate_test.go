@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ func TestWaitVersionImmediateWhenAhead(t *testing.T) {
 	// The primary is at some version v; asking with known=v-1 returns
 	// immediately.
 	v := pub.Doc.Version()
-	got, err := puller.WaitVersion(v-1, 5*time.Second)
+	got, err := puller.WaitVersion(context.Background(), v-1, 5*time.Second)
 	if err != nil {
 		t.Fatalf("WaitVersion: %v", err)
 	}
@@ -26,7 +27,7 @@ func TestWaitVersionTimesOutQuietly(t *testing.T) {
 	_, pub, puller := pullWorld(t)
 	v := pub.Doc.Version()
 	start := time.Now()
-	got, err := puller.WaitVersion(v, 100*time.Millisecond)
+	got, err := puller.WaitVersion(context.Background(), v, 100*time.Millisecond)
 	if err != nil {
 		t.Fatalf("WaitVersion: %v", err)
 	}
@@ -48,7 +49,7 @@ func TestWaitVersionWakesOnUpdate(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		got, err := puller.WaitVersion(v, 10*time.Second)
+		got, err := puller.WaitVersion(context.Background(), v, 10*time.Second)
 		done <- outcome{got, err}
 	}()
 	// Give the long-poll a moment to park, then update the primary.
@@ -75,7 +76,7 @@ func TestInvalidationLoopPropagatesUpdates(t *testing.T) {
 	stop := make(chan struct{})
 	var loopDone atomic.Bool
 	go func() {
-		puller.RunInvalidationLoop(stop, 2*time.Second)
+		puller.RunInvalidationLoop(context.Background(), stop, 2*time.Second)
 		loopDone.Store(true)
 	}()
 	t.Cleanup(func() { close(stop) })

@@ -25,11 +25,13 @@ type DebugSnapshot struct {
 // DebugSchema is the current DebugSnapshot schema identifier.
 const DebugSchema = "globedoc-debugz/1"
 
-// Snapshot captures the current metrics and recent spans.
+// Snapshot captures the current metrics and recent spans. TakenAt is
+// read from the tracer's clock, so snapshots taken under a fake clock
+// replay identically.
 func (t *Telemetry) Snapshot() DebugSnapshot {
 	return DebugSnapshot{
 		Schema:  DebugSchema,
-		TakenAt: time.Now().UTC(),
+		TakenAt: t.Tracer.now().UTC(),
 		Metrics: t.Registry.Snapshot(),
 		Spans:   t.Ring.Spans(),
 	}
@@ -67,7 +69,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	_ = enc.Encode(v) // a failed debug-page write means the scraper went away
 }
 
 // ServeDebug starts the debug HTTP server on addr. It returns the bound
@@ -83,6 +85,6 @@ func (t *Telemetry) ServeDebug(addr string) (string, func(), error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: t.DebugHandler()}
-	go srv.Serve(l)
+	go func() { _ = srv.Serve(l) }()
 	return l.Addr().String(), func() { srv.Close() }, nil
 }

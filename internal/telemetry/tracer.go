@@ -276,6 +276,6 @@ func (j *JSONLExporter) ExportSpan(rec SpanRecord) {
 	}
 	data = append(data, '\n')
 	j.mu.Lock()
-	j.w.Write(data)
+	_, _ = j.w.Write(data) // see above: export errors must not fail the op
 	j.mu.Unlock()
 }

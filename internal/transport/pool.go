@@ -76,7 +76,7 @@ func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err e
 	}
 
 	tel := telemetry.Or(c.Telemetry)
-	now := time.Now()
+	now := c.clock().Now()
 	c.mu.Lock()
 	for len(c.idle) > 0 {
 		ic := c.idle[len(c.idle)-1]
@@ -109,7 +109,7 @@ func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err e
 // when the pool is full or the client was closed) and frees its
 // in-flight slot.
 func (c *Client) release(conn net.Conn) {
-	now := time.Now()
+	now := c.clock().Now()
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.Pool.maxIdle() {
 		c.idle = append(c.idle, idleConn{conn: conn, since: now})

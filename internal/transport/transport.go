@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"globedoc/internal/clock"
 	"globedoc/internal/enc"
 	"globedoc/internal/telemetry"
 )
@@ -141,6 +142,8 @@ type Server struct {
 	// Telemetry records per-operation serve counts and spans; nil falls
 	// back to the process-wide telemetry.Default(). Set before Serve.
 	Telemetry *telemetry.Telemetry
+	// Clock is the time source for idle deadlines (nil = real clock).
+	Clock clock.Clock
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -205,13 +208,25 @@ func (s *Server) Start(l net.Listener) {
 	go func() { _ = s.Serve(l) }()
 }
 
+// clock returns the server's time source.
+func (s *Server) clock() clock.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return clock.Real
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	s.conns.Store(conn, struct{}{})
 	defer s.conns.Delete(conn)
 	defer conn.Close()
 	for {
 		if s.IdleTimeout > 0 {
-			conn.SetDeadline(time.Now().Add(s.IdleTimeout))
+			// A failed SetDeadline means the conn is already dead; an
+			// unarmed idle timeout must not pin this goroutine forever.
+			if err := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
 		}
 		payload, err := readFrame(conn)
 		if err != nil {
@@ -241,7 +256,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		if s.IdleTimeout > 0 {
-			conn.SetDeadline(time.Now().Add(s.IdleTimeout))
+			if err := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
 		}
 		if werr := writeFrame(conn, encodeResponse(respBody, err)); werr != nil {
 			return
@@ -294,6 +311,10 @@ type Client struct {
 	// Pool bounds the connection pool; the zero value means up to
 	// DefaultMaxConns concurrent connections with no idle reaping.
 	Pool PoolConfig
+	// Clock is the time source for call deadlines and idle-conn age
+	// checks (nil = real clock). Tests inject a fake so deadline and
+	// reaping behaviour replays deterministically.
+	Clock clock.Clock
 
 	mu     sync.Mutex
 	slots  chan struct{} // in-flight call permits; cap latched on first use
@@ -350,6 +371,7 @@ type Config struct {
 // extra attempts also count into rpc_retries_total.
 func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst nil-ctx compatibility: legacy callers predate the ctx-first API and a nil ctx must mean "no cancellation", not a panic
 		ctx = context.Background()
 	}
 	tel := telemetry.Or(c.Telemetry)
@@ -436,7 +458,10 @@ func (c *Client) attempt(ctx context.Context, op string, body []byte) (resp []by
 // tighter of CallTimeout and ctx's deadline; ctx cancellation force-fails
 // the in-flight I/O.
 func (c *Client) exchange(ctx context.Context, conn net.Conn, op string, body []byte) ([]byte, error) {
-	armed := c.armDeadline(ctx, conn)
+	armed, err := c.armDeadline(ctx, conn)
+	if err != nil {
+		return nil, ctxError(ctx, fmt.Errorf("transport: arming deadline for %q: %w", op, err))
+	}
 	stopWatch := watchCancel(ctx, conn)
 	req := encodeRequest(op, body)
 	if err := writeFrame(conn, req); err != nil {
@@ -451,26 +476,41 @@ func (c *Client) exchange(ctx context.Context, conn net.Conn, op string, body []
 	}
 	c.BytesReceived.Add(uint64(len(payload)) + 4)
 	if armed {
-		conn.SetDeadline(time.Time{})
+		// A conn whose deadline cannot be cleared must not be pooled:
+		// the stale deadline would poison the next call on it. The
+		// error is retryable, so attempt discards the conn.
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("transport: clearing deadline after %q: %w", op, err)
+		}
 	}
 	return decodeResponse(op, payload)
 }
 
+// clock returns the client's time source.
+func (c *Client) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real
+}
+
 // armDeadline sets conn's deadline to the tighter of CallTimeout and
 // ctx's deadline, reporting whether any deadline was armed.
-func (c *Client) armDeadline(ctx context.Context, conn net.Conn) bool {
+func (c *Client) armDeadline(ctx context.Context, conn net.Conn) (bool, error) {
 	var deadline time.Time
 	if c.CallTimeout > 0 {
-		deadline = time.Now().Add(c.CallTimeout)
+		deadline = c.clock().Now().Add(c.CallTimeout)
 	}
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
 	if deadline.IsZero() {
-		return false
+		return false, nil
 	}
-	conn.SetDeadline(deadline)
-	return true
+	if err := conn.SetDeadline(deadline); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // watchCancel force-expires conn's deadline when ctx is cancelled, so a
@@ -488,7 +528,9 @@ func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
 		defer close(exited)
 		select {
 		case <-done:
-			conn.SetDeadline(time.Unix(1, 0)) // far past: fail I/O now
+			// Best-effort poison: if SetDeadline fails the conn is
+			// already torn down, which achieves the same thing.
+			_ = conn.SetDeadline(time.Unix(1, 0)) // far past: fail I/O now
 		case <-stopped:
 		}
 	}()

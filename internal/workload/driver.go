@@ -8,6 +8,10 @@ import (
 	"time"
 )
 
+// now is the driver's injectable time source (the `X = time.Now`
+// idiom); tests pin it to make latency accounting deterministic.
+var now = time.Now
+
 // LatencyStats summarises a set of per-operation latencies.
 type LatencyStats struct {
 	N    int
@@ -90,7 +94,7 @@ func RunClosedLoop(ctx context.Context, workers, totalOps int, op func(ctx conte
 		firstErr  error
 		wg        sync.WaitGroup
 	)
-	start := time.Now()
+	start := now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -100,9 +104,9 @@ func RunClosedLoop(ctx context.Context, workers, totalOps int, op func(ctx conte
 				if seq >= totalOps || ctx.Err() != nil {
 					return
 				}
-				opStart := time.Now()
+				opStart := now()
 				err := op(ctx, worker, seq)
-				elapsed := time.Since(opStart)
+				elapsed := now().Sub(opStart)
 				mu.Lock()
 				if err != nil {
 					errs++
@@ -117,7 +121,7 @@ func RunClosedLoop(ctx context.Context, workers, totalOps int, op func(ctx conte
 		}(w)
 	}
 	wg.Wait()
-	total := time.Since(start)
+	total := now().Sub(start)
 
 	res := ClosedLoopResult{
 		Ops:        len(latencies),

@@ -1,0 +1,19 @@
+#!/bin/sh
+# lint.sh — run the project-invariant static analyzer suite
+# (cmd/globedoclint) over the whole module. The suite is the enforcement
+# arm of DESIGN.md §10: injectable clocks, ctx-first RPC, crypto
+# primitive containment, %w sentinel wrapping, lock/goroutine hygiene
+# and checked I/O errors.
+#
+# Usage:
+#   sh scripts/lint.sh            # human-readable findings, exit 1 on any
+#   sh scripts/lint.sh -json      # machine-readable globedoclint/1 report
+#   sh scripts/lint.sh -rules clocknow,ctxfirst
+#
+# All arguments are passed through to globedoclint. Run via `make lint`.
+set -eu
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+exec "$GO" run ./cmd/globedoclint "$@" ./...
