@@ -2,11 +2,12 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: check vet build test test-short lint fuzz-smoke chaos \
-	telemetry-smoke concurrent-smoke bench-concurrent
+	telemetry-smoke concurrent-smoke bench-concurrent bench-cache
 
 ## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
-## smoke, the concurrent race smoke, and the end-to-end telemetry smoke.
-check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke
+## smoke, the concurrent race smoke, the end-to-end telemetry smoke, and
+## the verified-content-cache acceptance bench.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke bench-cache
 
 ## vet: the stock vet suite plus the two checks most relevant to the
 ## serving path, run explicitly so a vet default change cannot drop them.
@@ -58,3 +59,9 @@ bench-concurrent:
 ## validate the snapshot schema with cmd/globedoc-debugz.
 telemetry-smoke:
 	GO=$(GO) sh scripts/telemetry_smoke.sh
+
+## bench-cache: the verified-content-cache experiment + acceptance check
+## (warm cached fetch >= MIN_SPEEDUP x faster than cold; byte-identical
+## ablation with the cache disabled).
+bench-cache:
+	GO=$(GO) sh scripts/cache_bench.sh

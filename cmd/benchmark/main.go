@@ -7,11 +7,16 @@
 //	benchmark -experiment fig6 -scale 0.5
 //	benchmark -experiment all -json results.json
 //	benchmark -experiment concurrent -concurrency 16
+//	benchmark -experiment cache
+//	benchmark -experiment cache -disable-vcache
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, concurrent, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, concurrent, cache, all.
 // The concurrent experiment drives a closed-loop warm-fetch workload at
 // concurrency 1 and at -concurrency, reporting throughput, tail latency
-// and the singleflight dedup counters from the cold burst.
+// and the singleflight dedup counters from the cold burst. The cache
+// experiment measures cold/warm/revalidate fetch latency through the
+// verified-content cache; -disable-vcache runs the same workload with
+// the cache off (ablation — the bytes fetched must be identical).
 //
 // With -json the measured series are also written to the given file as a
 // machine-readable report (schema "globedoc-bench/1", see
@@ -30,20 +35,21 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | all")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | all")
 		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations  = flag.Int("iterations", 5, "samples per measured point")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
+		noVCache    = flag.Bool("disable-vcache", false, "run the cache experiment without the verified-content cache (ablation)")
 		jsonOut     = flag.String("json", "", "also write a machine-readable report to this file")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scale, *iterations, *concurrency, *jsonOut); err != nil {
+	if err := run(*experiment, *scale, *iterations, *concurrency, *noVCache, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, iterations, concurrency int, jsonOut string) error {
+func run(experiment string, scale float64, iterations, concurrency int, noVCache bool, jsonOut string) error {
 	cfg := bench.Config{TimeScale: scale, Iterations: iterations}
 	start := time.Now()
 	report := bench.NewReport(cfg, start)
@@ -67,6 +73,10 @@ func run(experiment string, scale float64, iterations, concurrency int, jsonOut 
 		if err := runConcurrent(cfg, concurrency, report); err != nil {
 			return err
 		}
+	case "cache":
+		if err := runCache(cfg, noVCache, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -78,6 +88,9 @@ func run(experiment string, scale float64, iterations, concurrency int, jsonOut 
 			}
 		}
 		if err := runConcurrent(cfg, concurrency, report); err != nil {
+			return err
+		}
+		if err := runCache(cfg, noVCache, report); err != nil {
 			return err
 		}
 	default:
@@ -127,6 +140,16 @@ func runConcurrent(cfg bench.Config, concurrency int, report *bench.Report) erro
 		return err
 	}
 	report.Concurrent = res
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runCache(cfg bench.Config, disableVCache bool, report *bench.Report) error {
+	res, err := bench.RunCache(cfg, disableVCache)
+	if err != nil {
+		return err
+	}
+	report.Cache = res
 	fmt.Println(res.Format())
 	return nil
 }

@@ -14,6 +14,12 @@
 // authenticity/freshness/consistency checks. Failures render the
 // "Security Check Failed" page.
 //
+// Verified elements are cached by content hash for as long as their
+// integrity certificate is valid; repeat requests are served from memory
+// (marked X-GlobeDoc-Cache: hit) without contacting a replica. Tune with
+// -vcache-max-bytes / -vcache-max-signatures / -max-bindings, or ablate
+// with -disable-vcache.
+//
 // With -debug-addr the proxy serves /debugz (metrics + recent pipeline
 // spans as JSON, plus /debug/pprof) on a separate listener; -trace-out
 // appends every finished span to a JSON-lines file.
@@ -51,13 +57,14 @@ func main() {
 		warm       = flag.Bool("cache-bindings", true, "reuse verified bindings across requests")
 		fetchTO    = flag.Duration("fetch-timeout", 30*time.Second, "whole-pipeline deadline per browser request (0 = unbounded)")
 		clientFl   = deploy.RegisterClientFlags(nil)
+		cacheFl    = deploy.RegisterCacheFlags(nil)
 		debugFl    = deploy.RegisterDebugFlags(nil)
 	)
 	flag.Parse()
 	tel := telemetry.New(nil)
 	cfg := clientFl.Config(tel)
 	if err := run(*listen, *namingAddr, *rootKey, *locAddr, *site, *caStore,
-		*requireID, *warm, cfg, *fetchTO, tel, debugFl); err != nil {
+		*requireID, *warm, cfg, cacheFl, *fetchTO, tel, debugFl); err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-proxy:", err)
 		os.Exit(1)
 	}
@@ -68,7 +75,8 @@ func tcpDial(addr string) transport.DialFunc {
 }
 
 func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, requireID, warm bool,
-	cfg transport.Config, fetchTO time.Duration, tel *telemetry.Telemetry, debugFl *deploy.DebugFlags) error {
+	cfg transport.Config, cacheFl *deploy.CacheFlags, fetchTO time.Duration,
+	tel *telemetry.Telemetry, debugFl *deploy.DebugFlags) error {
 	rootKey, err := keyfile.LoadPublicKey(rootKeyPath)
 	if err != nil {
 		return fmt.Errorf("loading naming root key: %w", err)
@@ -86,6 +94,7 @@ func run(listen, namingAddr, rootKeyPath, locAddr, site, caStore string, require
 		RequireIdentity: requireID,
 		Telemetry:       tel,
 	}
+	cacheFl.Apply(&opts)
 	if caStore != "" {
 		ks, err := keys.LoadKeystore(caStore)
 		if err != nil {

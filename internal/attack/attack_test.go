@@ -3,6 +3,7 @@ package attack_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 	"globedoc/internal/location"
 	"globedoc/internal/netsim"
 	"globedoc/internal/object"
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
+	"globedoc/internal/vcache"
 )
 
 var t0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
@@ -43,6 +46,13 @@ func genuineState(t *testing.T, owner *keys.KeyPair, elems map[string][]byte, is
 // to it. now fixes the client clock.
 func newVictimClient(t *testing.T, srv *attack.MaliciousServer, now time.Time) *core.Client {
 	t.Helper()
+	return newVictimClientOpts(t, srv, core.Options{Now: func() time.Time { return now }})
+}
+
+// newVictimClientOpts is newVictimClient with full control over the
+// client options, for victims with binding or content caches enabled.
+func newVictimClientOpts(t *testing.T, srv *attack.MaliciousServer, opts core.Options) *core.Client {
+	t.Helper()
 	n := netsim.PaperTestbed(0)
 	t.Cleanup(n.Close)
 	l, err := n.Listen(netsim.Paris, "evil")
@@ -60,7 +70,7 @@ func newVictimClient(t *testing.T, srv *attack.MaliciousServer, now time.Time) *
 		},
 		Site: netsim.AmsterdamSecondary,
 	}
-	client, err := core.NewClient(binder, core.Options{Now: func() time.Time { return now }})
+	client, err := core.NewClient(binder, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,6 +386,130 @@ func TestAllReplicasMaliciousIsDoS(t *testing.T) {
 	_, err = client.Fetch(context.Background(), state.OID, "index.html")
 	if !errors.Is(err, core.ErrSecurityCheckFailed) {
 		t.Fatalf("err = %v, want security failure", err)
+	}
+}
+
+// attackClock is a mutable test clock shared with the victim client.
+type attackClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *attackClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *attackClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStaleCachedElementAfterExpiryDetected(t *testing.T) {
+	// A victim with the verified-content cache warm cannot be fed its own
+	// cached bytes past the certificate's validity: when the replica can
+	// only produce the expired certificate again, the fetch fails the
+	// freshness check (counted under phase="freshness") and the stale
+	// entry is evicted — cached content is never fresher than its
+	// certificate.
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{"index.html": []byte("short-lived")}, t0, time.Minute)
+	entry, err := state.Cert.Lookup("index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk := &attackClock{t: t0.Add(10 * time.Second)}
+	tel := telemetry.New(nil)
+	vc := vcache.New(vcache.Config{})
+	srv := attack.NewMaliciousServer(attack.Honest, state)
+	client := newVictimClientOpts(t, srv, core.Options{
+		Now:           clk.Now,
+		CacheBindings: true,
+		VCache:        vc,
+		Telemetry:     tel,
+	})
+
+	// Warm the cache inside the validity interval.
+	res, err := client.Fetch(context.Background(), state.OID, "index.html")
+	if err != nil {
+		t.Fatalf("warming fetch: %v", err)
+	}
+	if res.FromCache || !vc.Contains(entry.Hash) {
+		t.Fatal("warming fetch did not populate the content cache")
+	}
+
+	// Past expiry the replica still replays the same certificate; the
+	// cached bytes must not be served.
+	clk.Advance(2 * time.Minute)
+	_, err = client.Fetch(context.Background(), state.OID, "index.html")
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrFreshness) {
+		t.Fatalf("err = %v, want freshness violation", err)
+	}
+	if got := tel.SecurityCheckFailures.With("freshness").Value(); got == 0 {
+		t.Error("security_check_failures_total{phase=\"freshness\"} not incremented")
+	}
+	if vc.Contains(entry.Hash) {
+		t.Error("stale element still cached after freshness failure")
+	}
+}
+
+func TestSeededCacheLosesToRevocation(t *testing.T) {
+	// Under every attack mode, a verified-content cache seeded with a
+	// revoked (superseded) version never resurfaces it: the client serves
+	// the current version or fails — and on any successful fetch the
+	// reconciliation against the current certificate has evicted the
+	// seeded entry.
+	owner := keytest.RSA()
+	oldContent := []byte("revoked version")
+	oldHash := globeid.HashElement(oldContent)
+	current := []byte("current version")
+	for _, mode := range attack.AllModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			state := genuineState(t, owner, map[string][]byte{
+				"index.html": current,
+				"other.html": []byte("another element"),
+			}, t0, time.Hour)
+			srv := attack.NewMaliciousServer(mode, state)
+			switch mode {
+			case attack.StaleReplay:
+				old := genuineState(t, owner, map[string][]byte{"index.html": oldContent}, t0.Add(-2*time.Hour), time.Hour)
+				srv.SetStale(old)
+			case attack.WrongObject:
+				srv.SetDecoy(genuineState(t, keytest.Ed(), map[string][]byte{"index.html": []byte("decoy")}, t0, time.Hour))
+			case attack.ForgeCertificate:
+				attacker := keytest.Ed()
+				forged := &cert.IntegrityCertificate{ObjectID: state.OID, Issued: t0}
+				forged.Entries = []cert.ElementEntry{{Name: "index.html", Hash: oldHash, Expires: t0.Add(time.Hour)}}
+				if err := forged.Sign(attacker); err != nil {
+					t.Fatal(err)
+				}
+				srv.SetForgery(attacker, forged)
+			}
+
+			// Seed the cache with the revoked bytes, marked valid far into
+			// the future — only certificate reconciliation can drop them.
+			vc := vcache.New(vcache.Config{})
+			vc.Put(state.OID, oldHash, vcache.Element{ContentType: "text/html", Data: oldContent}, t0.Add(24*time.Hour))
+
+			client := newVictimClientOpts(t, srv, core.Options{
+				Now:           func() time.Time { return t0.Add(time.Minute) },
+				CacheBindings: true,
+				VCache:        vc,
+			})
+			res, err := client.Fetch(context.Background(), state.OID, "index.html")
+			if err != nil {
+				return // at most denial of service
+			}
+			if string(res.Element.Data) != string(current) {
+				t.Fatalf("mode %s: client ACCEPTED non-current data %q", mode, res.Element.Data)
+			}
+			if vc.Contains(oldHash) {
+				t.Errorf("mode %s: revoked entry survived certificate reconciliation", mode)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"globedoc/internal/core"
+	"globedoc/internal/deploy"
+	"globedoc/internal/globeid"
+	"globedoc/internal/netsim"
+	"globedoc/internal/server"
+	"globedoc/internal/telemetry"
+	"globedoc/internal/vcache"
+	"globedoc/internal/workload"
+)
+
+// CachePhase is the latency distribution of one verified-content-cache
+// phase: cold (empty cache, full pipeline + element transfer), warm
+// (bytes served from the cache against the current certificate), or
+// revalidate (certificate lapsed; only a fresh certificate is fetched,
+// the cached bytes are reused).
+type CachePhase struct {
+	Ops  int           `json:"ops"`
+	Mean time.Duration `json:"latency_mean_ns"`
+	P50  time.Duration `json:"latency_p50_ns"`
+	P95  time.Duration `json:"latency_p95_ns"`
+	P99  time.Duration `json:"latency_p99_ns"`
+	Max  time.Duration `json:"latency_max_ns"`
+}
+
+func toCachePhase(samples []time.Duration) CachePhase {
+	s := workload.ComputeLatencyStats(samples)
+	return CachePhase{Ops: s.N, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// CacheResult is the -experiment cache output: cold/warm/revalidate
+// fetch latency through the verified-content cache, the cache counters
+// accumulated over the run, and the ablation check that a cache-disabled
+// client fetches byte-identical content.
+type CacheResult struct {
+	// VCacheEnabled is false when the run was the -disable-vcache
+	// ablation: every fetch pays the full pipeline and Warm/Revalidate
+	// measure the uncached warm-binding path.
+	VCacheEnabled bool `json:"vcache_enabled"`
+	// ElementBytes is the size of the measured element.
+	ElementBytes int `json:"element_bytes"`
+
+	Cold CachePhase `json:"cold"`
+	Warm CachePhase `json:"warm"`
+	// Revalidate is measured only when the cache is enabled: each sample
+	// expires the certificate, reissues it, and fetches — paying for a
+	// certificate but not for the element bytes.
+	Revalidate *CachePhase `json:"revalidate,omitempty"`
+
+	// WarmSpeedup is Cold.Mean / Warm.Mean.
+	WarmSpeedup float64 `json:"warm_speedup"`
+
+	// Cache counters accumulated across the whole run.
+	Hits          uint64 `json:"vcache_hits"`
+	Misses        uint64 `json:"vcache_misses"`
+	Revalidations uint64 `json:"vcache_revalidations"`
+	SigCacheHits  uint64 `json:"signature_cache_hits"`
+
+	// ContentSHA is the hex digest of the element bytes every measured
+	// fetch returned, for cross-run comparison of ablated runs.
+	ContentSHA string `json:"content_sha"`
+	// AblationIdentical reports the in-run check: a second client with
+	// the cache disabled fetched bytes identical to the cached ones.
+	AblationIdentical bool `json:"ablation_identical"`
+}
+
+// benchClock is a mutable virtual clock shared by the publication and
+// the measured client, so certificate validity can be expired on demand
+// without real waiting.
+type benchClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *benchClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *benchClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// cacheTTL is the certificate validity used by the cache experiment;
+// each revalidation sample advances the virtual clock past it.
+const cacheTTL = time.Hour
+
+// RunCache measures the verified-content cache (the -experiment cache
+// entry point). It publishes one 64 KB element, then measures:
+//
+//   - cold: bindings flushed and the element evicted before every fetch,
+//     so each sample pays the full secure pipeline plus the transfer;
+//   - warm: back-to-back fetches against the warm cache — with the cache
+//     enabled every sample is served from memory, no RPC at all;
+//   - revalidate (enabled runs only): the certificate is expired and
+//     reissued before every fetch, so each sample re-runs the binding
+//     pipeline but reuses the cached bytes instead of transferring them.
+//
+// Every run finishes with the ablation check: a cache-disabled client
+// fetches the same element and the bytes are compared.
+func RunCache(cfg Config, disableVCache bool) (*CacheResult, error) {
+	cfg = cfg.withDefaults()
+	clk := &benchClock{t: time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)}
+	tel := telemetry.New(nil)
+	w, err := deploy.NewWorld(deploy.Options{TimeScale: cfg.TimeScale, Telemetry: tel, Clock: clk.Now})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	if _, err := w.StartServer(netsim.AmsterdamPrimary, "srv-ams", nil, nil, server.Limits{}); err != nil {
+		return nil, err
+	}
+	const elementBytes = 64 * workload.KB
+	doc := workload.SingleElementDoc(elementBytes, WorkloadSeed)
+	pub, err := w.Publish(doc, deploy.PublishOptions{
+		Name:         "cache.bench",
+		TTL:          cacheTTL,
+		KeyAlgorithm: cfg.KeyAlgorithm,
+		Clock:        clk.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var vc *vcache.Cache
+	if !disableVCache {
+		vc = vcache.New(vcache.Config{})
+	}
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{
+		CacheBindings: true,
+		VCache:        vc,
+		Now:           clk.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	//lint:ignore ctxfirst the benchmark harness is the top of the call tree; there is no caller context to inherit
+	ctx := context.Background()
+
+	res := &CacheResult{VCacheEnabled: !disableVCache, ElementBytes: elementBytes}
+	var content []byte
+
+	// Cold: every sample starts from an empty binding cache and (when
+	// enabled) no cached copy of the element.
+	var cold []time.Duration
+	for i := 0; i < cfg.Iterations; i++ {
+		client.FlushBindings()
+		if vc != nil {
+			vc.InvalidateOID(pub.OID)
+		}
+		start := now()
+		r, err := client.Fetch(ctx, pub.OID, "image.bin")
+		if err != nil {
+			return nil, fmt.Errorf("cache cold fetch: %w", err)
+		}
+		cold = append(cold, now().Sub(start))
+		content = r.Element.Data
+	}
+	res.Cold = toCachePhase(cold)
+
+	// Warm: the binding and (when enabled) the content cache stay hot.
+	var warm []time.Duration
+	for i := 0; i < cfg.Iterations; i++ {
+		start := now()
+		r, err := client.Fetch(ctx, pub.OID, "image.bin")
+		if err != nil {
+			return nil, fmt.Errorf("cache warm fetch: %w", err)
+		}
+		warm = append(warm, now().Sub(start))
+		if vc != nil && !r.FromCache {
+			return nil, fmt.Errorf("cache warm fetch %d not served from cache", i)
+		}
+		if !bytes.Equal(r.Element.Data, content) {
+			return nil, fmt.Errorf("cache warm fetch %d returned different bytes", i)
+		}
+	}
+	res.Warm = toCachePhase(warm)
+	if res.Warm.Mean > 0 {
+		res.WarmSpeedup = float64(res.Cold.Mean) / float64(res.Warm.Mean)
+	}
+
+	// Revalidate: expire and reissue the certificate before each sample,
+	// so only a fresh certificate crosses the wire.
+	if vc != nil {
+		var reval []time.Duration
+		for i := 0; i < cfg.Iterations; i++ {
+			clk.Advance(cacheTTL + time.Second)
+			if err := w.Reissue(pub, cacheTTL, clk.Now()); err != nil {
+				return nil, fmt.Errorf("cache reissue: %w", err)
+			}
+			start := now()
+			r, err := client.Fetch(ctx, pub.OID, "image.bin")
+			if err != nil {
+				return nil, fmt.Errorf("cache revalidate fetch: %w", err)
+			}
+			reval = append(reval, now().Sub(start))
+			if !r.FromCache {
+				return nil, fmt.Errorf("cache revalidate fetch %d re-transferred the element", i)
+			}
+			if !bytes.Equal(r.Element.Data, content) {
+				return nil, fmt.Errorf("cache revalidate fetch %d returned different bytes", i)
+			}
+		}
+		p := toCachePhase(reval)
+		res.Revalidate = &p
+	}
+
+	// Ablation: a client with no verified-content cache must fetch
+	// byte-identical content.
+	plain, err := w.NewSecureClientOpts(netsim.Paris, core.Options{Now: clk.Now})
+	if err != nil {
+		return nil, err
+	}
+	defer plain.Close()
+	pr, err := plain.Fetch(ctx, pub.OID, "image.bin")
+	if err != nil {
+		return nil, fmt.Errorf("cache ablation fetch: %w", err)
+	}
+	res.AblationIdentical = bytes.Equal(pr.Element.Data, content)
+
+	digest := globeid.HashElement(content)
+	res.ContentSHA = hex.EncodeToString(digest[:])
+	res.Hits = tel.VCacheHits.Value()
+	res.Misses = tel.VCacheMisses.Value()
+	res.Revalidations = tel.VCacheRevalidations.Value()
+	res.SigCacheHits = tel.SigCacheHits.Value()
+	return res, nil
+}
+
+// Format renders the cache experiment as a human-readable table.
+func (r *CacheResult) Format() string {
+	var b strings.Builder
+	state := "enabled"
+	if !r.VCacheEnabled {
+		state = "DISABLED (ablation)"
+	}
+	fmt.Fprintf(&b, "Verified-content cache (%s element, client at %s, cache %s)\n\n",
+		fmtSize(r.ElementBytes), netsim.Paris, state)
+	fmt.Fprintf(&b, "  %-12s %6s %12s %12s %12s %12s\n", "phase", "ops", "mean", "p50", "p95", "p99")
+	row := func(name string, p CachePhase) {
+		fmt.Fprintf(&b, "  %-12s %6d %12s %12s %12s %12s\n", name, p.Ops,
+			p.Mean.Round(time.Microsecond), p.P50.Round(time.Microsecond),
+			p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond))
+	}
+	row("cold", r.Cold)
+	row("warm", r.Warm)
+	if r.Revalidate != nil {
+		row("revalidate", *r.Revalidate)
+	}
+	fmt.Fprintf(&b, "\n  warm speedup (cold mean / warm mean): %.1fx\n", r.WarmSpeedup)
+	fmt.Fprintf(&b, "  counters: hits=%d misses=%d revalidations=%d signature_cache_hits=%d\n",
+		r.Hits, r.Misses, r.Revalidations, r.SigCacheHits)
+	fmt.Fprintf(&b, "  ablation (uncached client fetches identical bytes): %v\n", r.AblationIdentical)
+	return b.String()
+}

@@ -46,6 +46,9 @@ type Report struct {
 	// Concurrent is the closed-loop concurrency comparison (serial vs.
 	// parallel throughput and tail latency), when measured.
 	Concurrent *ConcurrentComparison `json:"concurrent,omitempty"`
+	// Cache is the verified-content-cache experiment (cold vs. warm vs.
+	// revalidate fetch latency), when measured.
+	Cache *CacheResult `json:"cache,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

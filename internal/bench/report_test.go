@@ -49,6 +49,23 @@ func sampleReport(t *testing.T) *bench.Report {
 			HTTPS:      bench.Sample{N: 3, Mean: 110 * time.Millisecond},
 		}},
 	}}
+	r.Cache = &bench.CacheResult{
+		VCacheEnabled: true,
+		ElementBytes:  65536,
+		Cold:          bench.CachePhase{Ops: 3, Mean: 40 * time.Millisecond, P50: 39 * time.Millisecond, P95: 44 * time.Millisecond, P99: 45 * time.Millisecond, Max: 45 * time.Millisecond},
+		Warm:          bench.CachePhase{Ops: 3, Mean: 50 * time.Microsecond, P50: 48 * time.Microsecond, P95: 60 * time.Microsecond, P99: 61 * time.Microsecond, Max: 61 * time.Microsecond},
+		Revalidate: &bench.CachePhase{
+			Ops: 3, Mean: 20 * time.Millisecond, P50: 19 * time.Millisecond,
+			P95: 22 * time.Millisecond, P99: 23 * time.Millisecond, Max: 23 * time.Millisecond,
+		},
+		WarmSpeedup:       800,
+		Hits:              6,
+		Misses:            3,
+		Revalidations:     3,
+		SigCacheHits:      4,
+		ContentSHA:        "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+		AblationIdentical: true,
+	}
 	return r
 }
 

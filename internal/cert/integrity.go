@@ -114,6 +114,37 @@ func (c *IntegrityCertificate) VerifySignature(oid globeid.OID, objectKey keys.P
 	return nil
 }
 
+// VerifySignatureUsing is VerifySignature with the raw signature check
+// delegated to verify, which receives the object key, the certificate's
+// canonical signed bytes and the signature. It exists so a caller can
+// route the check through a memoizing verifier (internal/vcache) without
+// this package depending on it; any verify error is classified as
+// ErrAuthenticity exactly as in VerifySignature.
+func (c *IntegrityCertificate) VerifySignatureUsing(oid globeid.OID, objectKey keys.PublicKey, verify func(keys.PublicKey, []byte, []byte) error) error {
+	if c.ObjectID != oid {
+		return fmt.Errorf("%w: certificate is for object %s, not %s",
+			ErrConsistency, c.ObjectID.Short(), oid.Short())
+	}
+	if err := verify(objectKey, c.signedBytes(), c.Sig); err != nil {
+		return fmt.Errorf("%w: integrity certificate signature invalid", ErrAuthenticity)
+	}
+	return nil
+}
+
+// MaxExpiry returns the latest entry expiry in the certificate — the end
+// of the validity window after which no entry can pass CheckFreshness,
+// and therefore the natural bound on how long a memoized verdict about
+// this certificate is worth keeping. Zero if the table is empty.
+func (c *IntegrityCertificate) MaxExpiry() time.Time {
+	var max time.Time
+	for _, e := range c.Entries {
+		if e.Expires.After(max) {
+			max = e.Expires
+		}
+	}
+	return max
+}
+
 // Lookup returns the entry for the named element.
 func (c *IntegrityCertificate) Lookup(name string) (ElementEntry, error) {
 	i := sort.Search(len(c.Entries), func(i int) bool { return c.Entries[i].Name >= name })

@@ -238,3 +238,53 @@ func TestQuickRandomContentNeverVerifies(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVerifySignatureUsingDelegates(t *testing.T) {
+	owner := keytest.RSA()
+	c, oid := newCert(t, owner, map[string][]byte{"a": []byte("a")})
+
+	var calls int
+	record := func(pk keys.PublicKey, message, sig []byte) error {
+		calls++
+		return pk.Verify(message, sig)
+	}
+	if err := c.VerifySignatureUsing(oid, owner.Public(), record); err != nil {
+		t.Fatalf("VerifySignatureUsing: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("verify func ran %d times, want 1", calls)
+	}
+
+	// A verify failure is classified as ErrAuthenticity, like VerifySignature.
+	fail := func(keys.PublicKey, []byte, []byte) error { return keys.ErrBadSignature }
+	if err := c.VerifySignatureUsing(oid, owner.Public(), fail); !errors.Is(err, cert.ErrAuthenticity) {
+		t.Fatalf("err = %v, want ErrAuthenticity", err)
+	}
+
+	// The consistency check still runs before any delegation.
+	otherOID := globeid.FromPublicKey(keytest.Ed().Public())
+	calls = 0
+	if err := c.VerifySignatureUsing(otherOID, owner.Public(), record); !errors.Is(err, cert.ErrConsistency) {
+		t.Fatalf("err = %v, want ErrConsistency", err)
+	}
+	if calls != 0 {
+		t.Fatal("verify func ran despite consistency failure")
+	}
+}
+
+func TestMaxExpiry(t *testing.T) {
+	owner := keytest.RSA()
+	oid := globeid.FromPublicKey(owner.Public())
+	c := &cert.IntegrityCertificate{ObjectID: oid, Version: 1, Issued: t0}
+	if !c.MaxExpiry().IsZero() {
+		t.Fatal("empty certificate should have zero MaxExpiry")
+	}
+	c.Entries = []cert.ElementEntry{
+		{Name: "a", Expires: t0.Add(time.Minute)},
+		{Name: "b", Expires: t1},
+		{Name: "c", Expires: t0.Add(30 * time.Minute)},
+	}
+	if got := c.MaxExpiry(); !got.Equal(t1) {
+		t.Fatalf("MaxExpiry = %v, want %v", got, t1)
+	}
+}

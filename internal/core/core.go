@@ -34,6 +34,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -49,6 +50,7 @@ import (
 	"globedoc/internal/object"
 	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
+	"globedoc/internal/vcache"
 )
 
 // Root span names for the operations this client runs.
@@ -77,6 +79,12 @@ const (
 	StepVerifyAuthenticity = "element.verify.authenticity" // 13: SHA-1(content) == entry hash
 	StepVerifyFreshness    = "element.verify.freshness"    // 14: validity interval covers now
 )
+
+// StepVCacheLookup is the span recorded when the verified-content cache
+// is consulted for a certificate-fresh element hash (Options.VCache).
+// A hit replaces steps 11–13: the bytes were verified on insertion and
+// the current verified certificate still vouches for their hash.
+const StepVCacheLookup = "vcache.lookup"
 
 // PipelineSteps lists the 14 binding-pipeline step span names in
 // execution order.
@@ -218,6 +226,10 @@ type FetchResult struct {
 	// fetch's binding pipeline run instead of running its own
 	// (singleflight deduplication).
 	SharedBinding bool
+	// FromCache reports that the element bytes came from the
+	// verified-content cache: the current verified certificate lists
+	// their hash, so no element transfer or hashing was needed.
+	FromCache bool
 }
 
 // verifiedBinding is a cached, fully verified attachment to one object
@@ -280,10 +292,21 @@ type Client struct {
 	nowFn           func() time.Time
 	fetchWorkers    int
 	noSingleflight  bool
+	vcache          *vcache.Cache
+	maxBindings     int
 
-	mu      sync.Mutex
-	cache   map[globeid.OID]*verifiedBinding
-	flights map[globeid.OID]*flight
+	mu         sync.Mutex
+	cache      map[globeid.OID]*list.Element // of *bindingEntry
+	bindingLRU *list.List                    // front = most recently used
+	flights    map[globeid.OID]*flight
+}
+
+// bindingEntry is one verified-binding cache slot, kept in LRU order so
+// many-OID workloads evict the coldest connection instead of growing
+// without bound.
+type bindingEntry struct {
+	oid globeid.OID
+	vb  *verifiedBinding
 }
 
 // NewClient returns a security client over binder configured by opts.
@@ -307,6 +330,14 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 	if workers == 0 {
 		workers = DefaultFetchWorkers
 	}
+	maxBindings := opts.MaxBindings
+	if maxBindings == 0 {
+		maxBindings = DefaultMaxBindings
+	}
+	if opts.VCache != nil {
+		tel := telemetry.Or(opts.Telemetry)
+		opts.VCache.WireMetrics(tel.VCacheEvictions, tel.SigCacheHits)
+	}
 	return &Client{
 		Binder:          binder,
 		trust:           opts.Trust,
@@ -317,7 +348,10 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 		nowFn:           nowFn,
 		fetchWorkers:    workers,
 		noSingleflight:  opts.DisableSingleflight,
-		cache:           make(map[globeid.OID]*verifiedBinding),
+		vcache:          opts.VCache,
+		maxBindings:     maxBindings,
+		cache:           make(map[globeid.OID]*list.Element),
+		bindingLRU:      list.New(),
 		flights:         make(map[globeid.OID]*flight),
 	}, nil
 }
@@ -341,10 +375,12 @@ func (c *Client) secErr(phase string, err error) error {
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for oid, vb := range c.cache {
-		vb.client.Close()
+	for oid, node := range c.cache {
+		node.Value.(*bindingEntry).vb.client.Close()
+		c.bindingLRU.Remove(node)
 		delete(c.cache, oid)
 	}
+	c.tel().BindingCacheEntries.Set(0)
 }
 
 // FlushBindings drops cached bindings (cold-path benchmarks).
@@ -470,6 +506,56 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 	// not parked in the cache.
 	owned := !warm && !shared && !c.cacheBindings
 
+	// Verified-content cache consult (Options.VCache). The verified
+	// certificate in hand names the element's hash and validity interval,
+	// so freshness is decided before any bytes move:
+	//   - fresh entry, bytes cached  -> serve from cache, no transfer;
+	//   - fresh entry, bytes missing -> normal fetch, then insert;
+	//   - lapsed entry, warm binding -> certificate-only revalidation
+	//     (re-bind fetches a fresh certificate; the recursion serves the
+	//     still-cached bytes if the new certificate lists their hash);
+	//   - lapsed entry, cold binding -> the replica handed over a
+	//     certificate that is already stale: replayed old signed state,
+	//     rejected as a freshness security failure.
+	var vcEntry cert.ElementEntry
+	vcFresh := false
+	if c.vcache != nil {
+		if entry, cerr := vb.icert.CheckConsistency(element); cerr == nil {
+			if ferr := entry.CheckFreshness(now); ferr == nil {
+				vcEntry, vcFresh = entry, true
+				if cached, hit := c.vcacheGet(p, entry, now); hit {
+					res := FetchResult{
+						Element:       document.Element{Name: element, ContentType: cached.ContentType, Data: cached.Data},
+						CertifiedAs:   vb.certifiedAs,
+						ReplicaAddr:   vb.client.Addr(),
+						Timing:        p.timing,
+						WarmBinding:   warm,
+						SharedBinding: shared,
+						FromCache:     true,
+					}
+					if owned {
+						vb.client.Close()
+					}
+					return res, nil
+				}
+			} else if warm {
+				// The cached certificate's interval lapsed. Revalidate by
+				// re-binding — which moves only a fresh certificate — and
+				// count it when the bytes themselves are still cached, so
+				// vcache_revalidations_total measures transfers avoided.
+				if c.vcache.Contains(entry.Hash) {
+					p.tel.VCacheRevalidations.Inc()
+				}
+				c.dropBinding(oid, vb)
+				return c.refetchFresh(ctx, p, oid, element, excluded)
+			} else {
+				c.dropBinding(oid, vb)
+				c.invalidateContent(oid)
+				return FetchResult{}, c.secErr("freshness", ferr)
+			}
+		}
+	}
+
 	// Step 11: retrieve the page element from the (untrusted) replica.
 	var elem document.Element
 	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
@@ -491,6 +577,7 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 		if ctx.Err() != nil {
 			return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
 		}
+		c.invalidateContent(oid)
 		p.tel.Failovers.Inc()
 		next := excluded
 		if !warm {
@@ -518,22 +605,7 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 			// old signed state), marked permanent so the policy stops
 			// instead of hammering the replica.
 			c.dropBinding(oid, vb)
-			var res FetchResult
-			doErr := c.refreshPolicy().Do(func() error {
-				r, ferr := c.fetchExcluding(ctx, p.fresh(), oid, element, excluded)
-				if ferr != nil {
-					if errors.Is(ferr, ErrSecurityCheckFailed) {
-						return transport.Permanent(ferr)
-					}
-					return ferr
-				}
-				res = r
-				return nil
-			})
-			if doErr != nil {
-				return FetchResult{}, doErr
-			}
-			return res, nil
+			return c.refetchFresh(ctx, p, oid, element, excluded)
 		}
 		if !warm && (errors.Is(err, cert.ErrAuthenticity) || errors.Is(err, cert.ErrConsistency)) {
 			// The replica served bogus content despite genuine
@@ -543,6 +615,7 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 			// replica remains.
 			addr := vb.client.Addr()
 			c.dropBinding(oid, vb)
+			c.invalidateContent(oid)
 			p.tel.Failovers.Inc()
 			next := make(map[string]bool, len(excluded)+1)
 			for a := range excluded {
@@ -559,7 +632,11 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 		// security check, so neither keep it cached nor leak its
 		// connection (the historical code lost cold uncached conns here).
 		c.dropBinding(oid, vb)
+		c.invalidateContent(oid)
 		return FetchResult{}, c.secErr("element", err)
+	}
+	if c.vcache != nil && vcFresh {
+		c.vcache.Put(oid, vcEntry.Hash, vcache.Element{ContentType: elem.ContentType, Data: elem.Data}, vcEntry.Expires)
 	}
 
 	res := FetchResult{
@@ -572,6 +649,51 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 	}
 	if owned {
 		vb.client.Close()
+	}
+	return res, nil
+}
+
+// vcacheGet consults the verified-content cache for an entry the caller
+// has just checked for consistency and freshness against the current
+// verified certificate, under a vcache.lookup span. It counts the
+// hit/miss and re-arms a hit's TTL to the entry's validity bound.
+func (c *Client) vcacheGet(p *pipeline, entry cert.ElementEntry, now time.Time) (vcache.Element, bool) {
+	sp := p.root.StartChild(StepVCacheLookup)
+	cached, hit := c.vcache.Get(entry.Hash, now, entry.Expires)
+	if hit {
+		sp.Annotate("outcome", "hit")
+	} else {
+		sp.Annotate("outcome", "miss")
+	}
+	sp.End()
+	if hit {
+		p.tel.VCacheHits.Inc()
+	} else {
+		p.tel.VCacheMisses.Inc()
+	}
+	return cached, hit
+}
+
+// refetchFresh re-runs the fetch through the certificate-refresh retry
+// policy after a freshness lapse on a warm binding. A security failure
+// inside the retried fetch — including a freshly fetched certificate
+// that is *still* stale (a replica replaying old signed state) — is
+// marked permanent so the policy stops instead of hammering the replica.
+func (c *Client) refetchFresh(ctx context.Context, p *pipeline, oid globeid.OID, element string, excluded map[string]bool) (FetchResult, error) {
+	var res FetchResult
+	doErr := c.refreshPolicy().Do(func() error {
+		r, ferr := c.fetchExcluding(ctx, p.fresh(), oid, element, excluded)
+		if ferr != nil {
+			if errors.Is(ferr, ErrSecurityCheckFailed) {
+				return transport.Permanent(ferr)
+			}
+			return ferr
+		}
+		res = r
+		return nil
+	})
+	if doErr != nil {
+		return FetchResult{}, doErr
 	}
 	return res, nil
 }
@@ -722,6 +844,14 @@ func (c *Client) verifyReplica(ctx context.Context, p *pipeline, oid globeid.OID
 		return nil, fmt.Errorf("core: fetching integrity certificate: %w", err)
 	}
 	err = p.step(StepCertVerify, &p.timing.CertVerify, func() error {
+		if c.vcache != nil {
+			// Memoized verification: identical certificate signatures are
+			// checked once per validity window, concurrent misses share
+			// one in-flight check (signature_cache_hits_total).
+			return icert.VerifySignatureUsing(oid, pk, func(k keys.PublicKey, message, sig []byte) error {
+				return c.vcache.VerifySignature(k, message, sig, icert.MaxExpiry(), now)
+			})
+		}
 		return icert.VerifySignature(oid, pk)
 	})
 	if err != nil {
@@ -752,26 +882,82 @@ func (c *Client) cachedBinding(oid globeid.OID, now time.Time) (*verifiedBinding
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	vb, ok := c.cache[oid]
-	return vb, ok
+	return c.lookupBindingLocked(oid)
+}
+
+// lookupBindingLocked returns the cached binding for oid, promoting it
+// to most-recently-used. Caller holds c.mu.
+func (c *Client) lookupBindingLocked(oid globeid.OID) (*verifiedBinding, bool) {
+	node, ok := c.cache[oid]
+	if !ok {
+		return nil, false
+	}
+	c.bindingLRU.MoveToFront(node)
+	return node.Value.(*bindingEntry).vb, true
+}
+
+// storeBindingLocked parks a freshly verified binding, replacing any
+// previous one for the same OID (closing its connection) and evicting
+// least-recently-used bindings beyond the cache bound. A refreshed
+// certificate also reconciles the verified-content cache: entries whose
+// hash the new certificate no longer lists stop being servable the
+// moment the new version is verified. Caller holds c.mu.
+func (c *Client) storeBindingLocked(oid globeid.OID, vb *verifiedBinding) {
+	if node, ok := c.cache[oid]; ok {
+		old := node.Value.(*bindingEntry)
+		if old.vb != vb {
+			old.vb.client.Close()
+			old.vb = vb
+		}
+		c.bindingLRU.MoveToFront(node)
+	} else {
+		c.cache[oid] = c.bindingLRU.PushFront(&bindingEntry{oid: oid, vb: vb})
+		for len(c.cache) > c.maxBindings {
+			tail := c.bindingLRU.Back()
+			if tail == nil {
+				break
+			}
+			evicted := tail.Value.(*bindingEntry)
+			c.bindingLRU.Remove(tail)
+			delete(c.cache, evicted.oid)
+			evicted.vb.client.Close()
+		}
+	}
+	c.tel().BindingCacheEntries.Set(int64(len(c.cache)))
+	if c.vcache != nil {
+		listed := make(map[[globeid.Size]byte]bool, len(vb.icert.Entries))
+		for _, e := range vb.icert.Entries {
+			listed[e.Hash] = true
+		}
+		c.vcache.Reconcile(oid, listed)
+	}
 }
 
 func (c *Client) storeBinding(oid globeid.OID, vb *verifiedBinding) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, ok := c.cache[oid]; ok && old != vb {
-		old.client.Close()
-	}
-	c.cache[oid] = vb
+	c.storeBindingLocked(oid, vb)
 }
 
 func (c *Client) dropBinding(oid globeid.OID, vb *verifiedBinding) {
 	c.mu.Lock()
-	if cur, ok := c.cache[oid]; ok && cur == vb {
+	if node, ok := c.cache[oid]; ok && node.Value.(*bindingEntry).vb == vb {
+		c.bindingLRU.Remove(node)
 		delete(c.cache, oid)
+		c.tel().BindingCacheEntries.Set(int64(len(c.cache)))
 	}
 	c.mu.Unlock()
 	vb.client.Close()
+}
+
+// invalidateContent drops every verified-content cache entry vouched for
+// under oid. Called whenever a replica interaction for oid fails a
+// security check or fails over: bytes whose provenance is now suspect
+// must be re-fetched and re-verified, never served from cache.
+func (c *Client) invalidateContent(oid globeid.OID) {
+	if c.vcache != nil {
+		c.vcache.InvalidateOID(oid)
+	}
 }
 
 // ElementsNamed resolves name and returns the verified integrity
@@ -935,14 +1121,39 @@ func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]
 	}
 	if firstErr != nil {
 		// Whatever failed — dead replica or failed check — the binding
-		// is suspect: neither keep it cached nor leak its connection.
+		// is suspect: neither keep it cached, nor leak its connection,
+		// nor serve content it vouched for from the cache.
 		c.dropBinding(oid, vb)
+		c.invalidateContent(oid)
 		return results, firstErr
 	}
 	return results, nil
 }
 
 func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding, element string, now time.Time, warm, shared bool) (FetchResult, error) {
+	// The verified-content cache serves FetchAll workers too; a
+	// whole-document download re-transfers only the elements whose bytes
+	// are not already held under the current certificate. Lapsed entries
+	// are left to the normal post-fetch freshness check — FetchAll's
+	// caller handles the failure, there is no per-element re-bind here.
+	var vcEntry cert.ElementEntry
+	vcFresh := false
+	if c.vcache != nil {
+		if entry, cerr := vb.icert.CheckConsistency(element); cerr == nil && entry.CheckFreshness(now) == nil {
+			vcEntry, vcFresh = entry, true
+			if cached, hit := c.vcacheGet(p, entry, now); hit {
+				return FetchResult{
+					Element:       document.Element{Name: element, ContentType: cached.ContentType, Data: cached.Data},
+					CertifiedAs:   vb.certifiedAs,
+					ReplicaAddr:   vb.client.Addr(),
+					Timing:        p.timing,
+					WarmBinding:   warm,
+					SharedBinding: shared,
+					FromCache:     true,
+				}, nil
+			}
+		}
+	}
 	var elem document.Element
 	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
 		var ferr error
@@ -954,6 +1165,9 @@ func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding,
 	}
 	if err := c.verifyElement(p, vb, element, elem.Data, now); err != nil {
 		return FetchResult{}, c.secErr("element", err)
+	}
+	if c.vcache != nil && vcFresh {
+		c.vcache.Put(vb.icert.ObjectID, vcEntry.Hash, vcache.Element{ContentType: elem.ContentType, Data: elem.Data}, vcEntry.Expires)
 	}
 	return FetchResult{
 		Element:       elem,

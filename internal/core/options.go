@@ -9,11 +9,18 @@ import (
 	"globedoc/internal/object"
 	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
+	"globedoc/internal/vcache"
 )
 
 // DefaultFetchWorkers is FetchAll's element fan-out when
 // Options.FetchWorkers is zero.
 const DefaultFetchWorkers = 4
+
+// DefaultMaxBindings bounds the verified-binding cache when
+// Options.MaxBindings is zero: enough for every document of the paper's
+// testbed workloads, small enough that a many-OID crawl cannot hold a
+// connection per object forever.
+const DefaultMaxBindings = 256
 
 // ErrInvalidOptions wraps every NewClient validation failure, so callers
 // can errors.Is against one sentinel while the message names the exact
@@ -63,6 +70,16 @@ type Options struct {
 	// establishment, making every cold fetch run its own pipeline — an
 	// ablation/debugging knob.
 	DisableSingleflight bool
+	// VCache is the verified-content cache: element bytes reused under
+	// their certificate hash and memoized certificate-signature verdicts
+	// (DESIGN.md §11). Nil disables both, reproducing the uncached
+	// pipeline exactly — the -disable-vcache ablation. A cache may be
+	// shared by several clients.
+	VCache *vcache.Cache
+	// MaxBindings bounds the verified-binding cache; beyond it the
+	// least-recently-used binding is evicted and its connection closed.
+	// 0 means DefaultMaxBindings. Only meaningful with CacheBindings.
+	MaxBindings int
 }
 
 // validate rejects nonsense configurations with errors that name the
@@ -78,6 +95,10 @@ func (o Options) validate(binder *object.Binder) error {
 	if o.PoolSize < 0 {
 		return fmt.Errorf("%w: PoolSize %d is negative (0 means the default %d)",
 			ErrInvalidOptions, o.PoolSize, transport.DefaultMaxConns)
+	}
+	if o.MaxBindings < 0 {
+		return fmt.Errorf("%w: MaxBindings %d is negative (0 means the default %d)",
+			ErrInvalidOptions, o.MaxBindings, DefaultMaxBindings)
 	}
 	if binder.Transport.DialTimeout < 0 {
 		return fmt.Errorf("%w: binder dial timeout %v is negative (0 means unbounded)",

@@ -43,7 +43,7 @@ func (c *Client) establishBinding(ctx context.Context, p *pipeline, oid globeid.
 	}
 
 	c.mu.Lock()
-	if vb, ok := c.cache[oid]; ok {
+	if vb, ok := c.lookupBindingLocked(oid); ok {
 		// Another fetch finished establishing between this one's cache
 		// miss and now; its verified binding is as good as ours would be.
 		c.mu.Unlock()
@@ -62,10 +62,7 @@ func (c *Client) establishBinding(ctx context.Context, p *pipeline, oid globeid.
 	f.vb, f.err = vb, err
 	c.mu.Lock()
 	if err == nil {
-		if old, ok := c.cache[oid]; ok && old != vb {
-			old.client.Close()
-		}
-		c.cache[oid] = vb
+		c.storeBindingLocked(oid, vb)
 	}
 	delete(c.flights, oid)
 	c.mu.Unlock()

@@ -6,8 +6,10 @@ import (
 	"os"
 	"time"
 
+	"globedoc/internal/core"
 	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
+	"globedoc/internal/vcache"
 )
 
 // This file is the shared flag plumbing for the GlobeDoc binaries. Every
@@ -54,6 +56,48 @@ func (f *ClientFlags) Config(tel *telemetry.Telemetry) transport.Config {
 		cfg.Retry = policy
 	}
 	return cfg
+}
+
+// CacheFlags is the standard client-caching flag bundle: the
+// verified-content cache (size and signature-memo bounds, or disabled
+// entirely for ablation runs) and the binding-cache bound.
+type CacheFlags struct {
+	DisableVCache  bool
+	VCacheMaxBytes int64
+	VCacheMaxSigs  int
+	MaxBindings    int
+}
+
+// RegisterCacheFlags registers the shared caching flags on fs (nil =
+// flag.CommandLine) with the standard defaults and returns the bundle to
+// read after fs.Parse.
+func RegisterCacheFlags(fs *flag.FlagSet) *CacheFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &CacheFlags{}
+	fs.BoolVar(&f.DisableVCache, "disable-vcache", false,
+		"disable the verified-content cache (every fetch re-transfers and re-verifies)")
+	fs.Int64Var(&f.VCacheMaxBytes, "vcache-max-bytes", 0,
+		"verified-content cache byte budget (0 = default 64 MiB)")
+	fs.IntVar(&f.VCacheMaxSigs, "vcache-max-signatures", 0,
+		"verified signature memo entries (0 = default 4096)")
+	fs.IntVar(&f.MaxBindings, "max-bindings", 0,
+		"cached verified bindings bound (0 = default 256)")
+	return f
+}
+
+// Apply wires the parsed caching flags into the secure-client options:
+// it constructs the verified-content cache (unless disabled) and sets
+// the binding-cache bound.
+func (f *CacheFlags) Apply(opts *core.Options) {
+	if !f.DisableVCache {
+		opts.VCache = vcache.New(vcache.Config{
+			MaxBytes:      f.VCacheMaxBytes,
+			MaxSignatures: f.VCacheMaxSigs,
+		})
+	}
+	opts.MaxBindings = f.MaxBindings
 }
 
 // DebugFlags is the standard observability flag bundle: the /debugz

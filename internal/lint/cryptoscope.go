@@ -20,7 +20,12 @@ import (
 //   - math/rand may not be imported by the security-deciding packages —
 //     nonces, challenges and key material must come from crypto/rand.
 //     Simulation and measurement code (netsim fault schedules, retry
-//     jitter, workload/bench shapes) may keep seeded determinism.
+//     jitter, workload/bench shapes) may keep seeded determinism;
+//   - the verify-only packages (internal/vcache, the verified-content
+//     cache) may hold digest types and memoize signature verification,
+//     but must never produce a signature: any call to a Sign method or
+//     function there is flagged. A cache that can sign is a cache that
+//     can mint the evidence it is supposed to check.
 var CryptoScope = &Analyzer{
 	Name: "cryptoscope",
 	Doc:  "crypto primitives only in the audited packages; no math/rand in security decisions",
@@ -66,6 +71,14 @@ var securityDeciding = []string{
 	"internal/sitepub",
 	"internal/keyfile",
 	"internal/object",
+	"internal/vcache",
+}
+
+// verifyOnly are the caching/memoization packages that may consume
+// digests and memoize verification results but must never sign: they sit
+// on the trust boundary and hold attacker-visible state.
+var verifyOnly = []string{
+	"internal/vcache",
 }
 
 func runCryptoScope(p *Package) []Diagnostic {
@@ -84,6 +97,31 @@ func runCryptoScope(p *Package) []Diagnostic {
 				out = append(out, p.diag(imp.Pos(), "cryptoscope",
 					"import of %s in a security-deciding package: nonces, challenges and key material must use crypto/rand", path))
 			}
+		}
+	}
+	// Verify-only packages must never produce a signature, however the
+	// signer is obtained: flag every call of a Sign method or function.
+	if p.pathWithin(verifyOnly...) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fn := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					if fn.Sel.Name == "Sign" {
+						out = append(out, p.diag(call.Pos(), "cryptoscope",
+							"Sign call in a verify-only package: the verified-content cache may memoize verification but must never produce signatures"))
+					}
+				case *ast.Ident:
+					if fn.Name == "Sign" {
+						out = append(out, p.diag(call.Pos(), "cryptoscope",
+							"Sign call in a verify-only package: the verified-content cache may memoize verification but must never produce signatures"))
+					}
+				}
+				return true
+			})
 		}
 	}
 	// Belt and braces: a security-deciding package must not dodge the

@@ -1,0 +1,26 @@
+package vcache
+
+// signer stands in for a key pair handed into the cache.
+type signer interface {
+	Sign(msg []byte) ([]byte, error)
+	Verify(msg, sig []byte) error
+}
+
+// Memoize verifies — allowed in a verify-only package.
+func Memoize(k signer, msg, sig []byte) error {
+	return k.Verify(msg, sig)
+}
+
+// Mint signs — a true positive: the verified-content cache must never
+// produce signatures.
+func Mint(k signer, msg []byte) ([]byte, error) {
+	return k.Sign(msg)
+}
+
+// Sign is a local function with the forbidden name; calling it is also
+// flagged (the rule is syntactic on purpose — no signing path at all).
+func Sign(msg []byte) []byte { return msg }
+
+func mintLocal(msg []byte) []byte {
+	return Sign(msg)
+}

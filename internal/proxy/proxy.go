@@ -38,6 +38,10 @@ const (
 	HeaderCertifiedAs = "X-GlobeDoc-Certified-As"
 	HeaderReplica     = "X-GlobeDoc-Replica"
 	HeaderWarm        = "X-GlobeDoc-Warm-Binding"
+	// HeaderCache is "hit" when the element bytes came from the
+	// verified-content cache (no transfer; the current certificate
+	// vouched for the cached hash).
+	HeaderCache = "X-GlobeDoc-Cache"
 )
 
 // ErrFetchTimeout is reported (on the failure page) when the secure
@@ -204,6 +208,9 @@ func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document
 	}
 	if res.WarmBinding {
 		h.Set(HeaderWarm, "true")
+	}
+	if res.FromCache {
+		h.Set(HeaderCache, "hit")
 	}
 	// Conditional GET: the ETag is the element's verified content hash,
 	// so a browser revalidation costs no body transfer when the (still

@@ -18,12 +18,19 @@ import (
 	"globedoc/internal/proxy"
 	"globedoc/internal/server"
 	"globedoc/internal/transport"
+	"globedoc/internal/vcache"
 )
 
 // proxyWorld publishes a document and runs a proxy for a Paris user; it
 // returns the world and an http.Client that routes everything through the
 // proxy (as a browser configured with an HTTP proxy would).
 func proxyWorld(t *testing.T) (*deploy.World, *proxy.Proxy, *http.Client) {
+	t.Helper()
+	return proxyWorldOpts(t, core.Options{CacheBindings: true})
+}
+
+// proxyWorldOpts is proxyWorld with caller-chosen secure-client options.
+func proxyWorldOpts(t *testing.T, opts core.Options) (*deploy.World, *proxy.Proxy, *http.Client) {
 	t.Helper()
 	w, err := deploy.NewWorld(deploy.Options{TimeScale: 0})
 	if err != nil {
@@ -42,7 +49,7 @@ func proxyWorld(t *testing.T) (*deploy.World, *proxy.Proxy, *http.Client) {
 		t.Fatal(err)
 	}
 
-	secure, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	secure, err := w.NewSecureClientOpts(netsim.Paris, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +103,39 @@ func TestProxyServesVerifiedElement(t *testing.T) {
 	ok, failed, _ := p.Counters()
 	if ok != 1 || failed != 0 {
 		t.Errorf("counters = %d ok, %d failed", ok, failed)
+	}
+}
+
+func TestProxyCacheHeader(t *testing.T) {
+	// With the verified-content cache enabled, the second request for the
+	// same element is served from memory and marked X-GlobeDoc-Cache: hit.
+	_, _, browser := proxyWorldOpts(t, core.Options{
+		CacheBindings: true,
+		VCache:        vcache.New(vcache.Config{}),
+	})
+	url := "http://proxy" + proxy.HybridURL("home.vu.nl", "index.html")
+
+	first, err := browser.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBody, _ := io.ReadAll(first.Body)
+	first.Body.Close()
+	if got := first.Header.Get(proxy.HeaderCache); got != "" {
+		t.Errorf("cold request: %s = %q, want unset", proxy.HeaderCache, got)
+	}
+
+	second, err := browser.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if got := second.Header.Get(proxy.HeaderCache); got != "hit" {
+		t.Errorf("warm request: %s = %q, want \"hit\"", proxy.HeaderCache, got)
+	}
+	secondBody, _ := io.ReadAll(second.Body)
+	if string(secondBody) != string(firstBody) {
+		t.Errorf("cached body %q differs from first fetch %q", secondBody, firstBody)
 	}
 }
 

@@ -53,12 +53,56 @@ type hostedReplica struct {
 	mu        sync.RWMutex
 	icert     *cert.IntegrityCertificate
 	nameCerts []*cert.NameCertificate
+	// wire holds the marshalled response payloads, precomputed once per
+	// document version (rebuilt only by Install/update, the sole state
+	// mutation points). Handlers serve these shared slices copy-free:
+	// the table and certificate payloads for a version are immutable, so
+	// per-request marshalling — dominated by the O(elements) certificate
+	// table — would be pure waste.
+	wire wirePayloads
 
 	// administrative metadata
 	owner string // principal that created this replica (may manage it)
 
 	// access statistics feeding dynamic replication
 	reads atomic.Uint64
+}
+
+// wirePayloads are a replica's precomputed wire responses for one
+// document version. The byte slices are shared with every response and
+// must never be mutated.
+type wirePayloads struct {
+	key       []byte
+	icert     []byte
+	nameCerts []byte
+	elements  map[string]elementPayload
+}
+
+// elementPayload pairs an element's encoded response with its content
+// size (the stats and AccessObserver inputs).
+type elementPayload struct {
+	wire []byte
+	size int
+}
+
+// buildWire precomputes every response payload for the replica's current
+// state. Callers must hold h.mu (or have exclusive access to a replica
+// not yet published).
+func buildWire(key keys.PublicKey, doc *document.Document, icert *cert.IntegrityCertificate, nameCerts []*cert.NameCertificate) wirePayloads {
+	w := wirePayloads{
+		key:       key.Marshal(),
+		icert:     icert.Marshal(),
+		nameCerts: object.EncodeCertList(nameCerts),
+		elements:  make(map[string]elementPayload),
+	}
+	for _, name := range doc.Names() {
+		e, err := doc.Get(name)
+		if err != nil {
+			continue
+		}
+		w.elements[name] = elementPayload{wire: object.EncodeElement(e), size: len(e.Data)}
+	}
+	return w
 }
 
 // Stats are cumulative per-category request counters, split the way the
@@ -216,6 +260,7 @@ func (s *Server) Install(b *Bundle, owner string) error {
 		icert:     b.Cert,
 		nameCerts: b.NameCerts,
 		owner:     owner,
+		wire:      buildWire(b.Key, doc, b.Cert, b.NameCerts),
 	}
 	s.bytes += size
 	return nil
@@ -251,6 +296,7 @@ func (s *Server) update(b *Bundle, principal string) error {
 	h.mu.Lock()
 	h.icert = b.Cert
 	h.nameCerts = b.NameCerts
+	h.wire = buildWire(h.key, h.doc, b.Cert, b.NameCerts)
 	h.mu.Unlock()
 	s.bytes += newSize - oldSize
 	s.waiters.notify(b.OID)
@@ -295,7 +341,9 @@ func (s *Server) handleGetKey(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.statKeyFetches.Add(1)
-	return h.key.Marshal(), nil
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.wire.key, nil
 }
 
 func (s *Server) handleGetCert(body []byte) ([]byte, error) {
@@ -310,7 +358,7 @@ func (s *Server) handleGetCert(body []byte) ([]byte, error) {
 	s.statCertFetches.Add(1)
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return h.icert.Marshal(), nil
+	return h.wire.icert, nil
 }
 
 func (s *Server) handleGetNameCerts(body []byte) ([]byte, error) {
@@ -324,7 +372,7 @@ func (s *Server) handleGetNameCerts(body []byte) ([]byte, error) {
 	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return object.EncodeCertList(h.nameCerts), nil
+	return h.wire.nameCerts, nil
 }
 
 func (s *Server) handleGetElement(body []byte) ([]byte, error) {
@@ -336,17 +384,23 @@ func (s *Server) handleGetElement(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := h.doc.Get(name)
-	if err != nil {
-		return nil, err
+	h.mu.RLock()
+	p, ok := h.wire.elements[name]
+	h.mu.RUnlock()
+	if !ok {
+		// Fall through to the document for the precise not-found error.
+		if _, derr := h.doc.Get(name); derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("server: element %q has no precomputed payload", name)
 	}
 	h.reads.Add(1)
 	s.statElementFetches.Add(1)
-	s.statBytesServed.Add(uint64(len(e.Data)))
+	s.statBytesServed.Add(uint64(p.size))
 	if obs := s.AccessObserver; obs != nil {
 		obs(oid, name, fromSite)
 	}
-	return object.EncodeElement(e), nil
+	return p.wire, nil
 }
 
 func (s *Server) handleListElements(body []byte) ([]byte, error) {

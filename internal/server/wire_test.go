@@ -1,0 +1,171 @@
+package server
+
+// Internal tests for the precomputed wire payloads: handlers must serve
+// the integrity-certificate table, key and element responses without
+// per-request marshalling, and Install/update must be the only points
+// that rebuild them.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/object"
+)
+
+var wireT0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+// newWireServer installs a small document and returns the server, its
+// OID and the owner key pair.
+func newWireServer(tb testing.TB, elemSize int) (*Server, globeid.OID, *keys.KeyPair) {
+	tb.Helper()
+	owner := keytest.RSA()
+	oid := globeid.FromPublicKey(owner.Public())
+	doc := document.New()
+	payload := bytes.Repeat([]byte{0x42}, elemSize)
+	for _, name := range []string{"index.html", "logo.png", "style.css"} {
+		if err := doc.Put(document.Element{Name: name, ContentType: "text/html", Data: payload}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	icert, err := document.IssueCertificate(doc, oid, owner, wireT0, document.UniformTTL(time.Hour))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := New("bench-srv", "site", nil, nil, Limits{})
+	b := BundleFromDocument(oid, owner.Public(), doc, icert, nil)
+	if err := s.Install(b, "owner"); err != nil {
+		tb.Fatal(err)
+	}
+	return s, oid, owner
+}
+
+func TestHandlersServePrecomputedPayloads(t *testing.T) {
+	s, oid, _ := newWireServer(t, 64)
+	req := object.EncodeOIDRequest(oid)
+
+	got, err := s.handleGetCert(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := cert.UnmarshalIntegrityCertificate(got)
+	if err != nil {
+		t.Fatalf("served cert payload does not unmarshal: %v", err)
+	}
+	if ic.ObjectID != oid {
+		t.Fatal("served cert names the wrong object")
+	}
+
+	elemReq := object.EncodeElementRequest(oid, "index.html", "")
+	wire, err := s.handleGetElement(elemReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := object.DecodeElement(wire)
+	if err != nil {
+		t.Fatalf("served element payload does not decode: %v", err)
+	}
+	if e.Name != "index.html" || len(e.Data) != 64 {
+		t.Fatalf("decoded element = %q (%d bytes)", e.Name, len(e.Data))
+	}
+	if s.Stats().BytesServed != 64 {
+		t.Fatalf("BytesServed = %d, want 64", s.Stats().BytesServed)
+	}
+}
+
+func TestWireRebuiltOnUpdate(t *testing.T) {
+	s, oid, owner := newWireServer(t, 64)
+	req := object.EncodeOIDRequest(oid)
+
+	before, err := s.handleGetCert(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := document.New()
+	doc.Replace([]document.Element{{Name: "index.html", Data: []byte("v2")}}, 2)
+	icert, err := document.IssueCertificate(doc, oid, owner, wireT0.Add(time.Minute), document.UniformTTL(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BundleFromDocument(oid, owner.Public(), doc, icert, nil)
+	if err := s.Update(b, "owner"); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := s.handleGetCert(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("GetCert payload not rebuilt after update")
+	}
+	wire, err := s.handleGetElement(object.EncodeElementRequest(oid, "index.html", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := object.DecodeElement(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Data) != "v2" {
+		t.Fatalf("element payload not rebuilt: %q", e.Data)
+	}
+}
+
+// TestGetCertZeroAllocs pins the satellite requirement: serving the
+// integrity-certificate table performs zero per-request allocations —
+// the marshalling happened once, at install/update time.
+func TestGetCertZeroAllocs(t *testing.T) {
+	s, oid, _ := newWireServer(t, 1024)
+	req := object.EncodeOIDRequest(oid)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.handleGetCert(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("handleGetCert allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+func BenchmarkHandleGetCert(b *testing.B) {
+	s, oid, _ := newWireServer(b, 1024)
+	req := object.EncodeOIDRequest(oid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.handleGetCert(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandleGetElement(b *testing.B) {
+	s, oid, _ := newWireServer(b, 64<<10)
+	req := object.EncodeElementRequest(oid, "index.html", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.handleGetElement(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandleGetKey(b *testing.B) {
+	s, oid, _ := newWireServer(b, 64)
+	req := object.EncodeOIDRequest(oid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.handleGetKey(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

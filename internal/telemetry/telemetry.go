@@ -31,6 +31,14 @@ const (
 	// Singleflight instruments (core.Client binding establishment).
 	MetricSingleflightShared = "binding_singleflight_shared_total" // fetches that joined another caller's pipeline run
 	MetricPipelineRuns       = "binding_pipeline_runs_total"       // full secure-binding pipeline executions
+
+	// Verified-content cache instruments (vcache.Cache via core.Client).
+	MetricVCacheHits          = "vcache_hits_total"          // element fetches served from verified bytes
+	MetricVCacheMisses        = "vcache_misses_total"        // element fetches that had to move bytes
+	MetricVCacheRevalidations = "vcache_revalidations_total" // lapsed intervals refreshed cert-only
+	MetricVCacheEvictions     = "vcache_evictions_total"     // entries dropped by pressure or invalidation
+	MetricSigCacheHits        = "signature_cache_hits_total" // memoized signature verdicts reused
+	MetricBindingEntries      = "binding_cache_entries"      // live verified bindings (gauge)
 )
 
 // DefaultLatencyBuckets are the fetch-latency histogram bounds, in
@@ -72,12 +80,20 @@ type Telemetry struct {
 	// Pipeline instruments (core.Client).
 	BindingCacheHits      *Counter
 	BindingCacheMisses    *Counter
+	BindingCacheEntries   *Gauge
 	SingleflightShared    *Counter
 	PipelineRuns          *Counter
 	SecurityCheckFailures *CounterVec // {phase}
 	Failovers             *Counter
 	FetchLatency          *Histogram // seconds
 	SecurityOverhead      *Histogram // percent
+
+	// Verified-content cache instruments (core.Client + vcache.Cache).
+	VCacheHits          *Counter
+	VCacheMisses        *Counter
+	VCacheRevalidations *Counter
+	VCacheEvictions     *Counter
+	SigCacheHits        *Counter
 
 	// Location-cache instruments (location.CachingResolver).
 	LocationCacheHits   *Counter
@@ -110,12 +126,19 @@ func New(clk clock.Clock) *Telemetry {
 
 		BindingCacheHits:      reg.Counter(MetricBindingHits),
 		BindingCacheMisses:    reg.Counter(MetricBindingMisses),
+		BindingCacheEntries:   reg.Gauge(MetricBindingEntries),
 		SingleflightShared:    reg.Counter(MetricSingleflightShared),
 		PipelineRuns:          reg.Counter(MetricPipelineRuns),
 		SecurityCheckFailures: reg.CounterVec(MetricSecurityFailed, "phase"),
 		Failovers:             reg.Counter(MetricFailovers),
 		FetchLatency:          reg.Histogram(MetricFetchLatency, DefaultLatencyBuckets),
 		SecurityOverhead:      reg.Histogram(MetricSecurityOverhead, PercentBuckets),
+
+		VCacheHits:          reg.Counter(MetricVCacheHits),
+		VCacheMisses:        reg.Counter(MetricVCacheMisses),
+		VCacheRevalidations: reg.Counter(MetricVCacheRevalidations),
+		VCacheEvictions:     reg.Counter(MetricVCacheEvictions),
+		SigCacheHits:        reg.Counter(MetricSigCacheHits),
 
 		LocationCacheHits:   reg.Counter(MetricLocationHits),
 		LocationCacheMisses: reg.Counter(MetricLocationMisses),

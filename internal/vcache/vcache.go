@@ -1,0 +1,285 @@
+// Package vcache implements the verified-content cache: reuse of bytes
+// and signature verdicts that the GlobeDoc security pipeline has already
+// paid to verify.
+//
+// The paper's evaluation attributes nearly all of GlobeDoc's overhead
+// versus plain HTTP to per-request cryptography — the integrity
+// certificate's signature check and the per-element SHA-1 verification
+// (§3.2.2). The integrity certificate itself carries exactly what a cache
+// needs to make warm fetches nearly crypto-free: a content address (the
+// element hash, signed into the certificate) and a validity interval
+// (freshness). This package exploits both:
+//
+//   - Cache is a bounded, content-addressed element cache keyed by the
+//     certificate's SHA-1 element hash. An entry is served only after the
+//     caller has re-checked the CURRENT verified certificate's entry for
+//     the requested name — the hash match IS the authenticity check, so
+//     a hit costs neither an RPC nor a digest computation. Entry TTLs
+//     track the certificate validity interval; when the interval lapses
+//     the client revalidates by fetching a fresh certificate only, never
+//     the element bytes.
+//   - The same Cache memoizes signature verification verdicts (see
+//     sigcache.go): a bounded LRU keyed by (public key, message,
+//     signature) digests with singleflight on misses, so one certificate
+//     signature is checked once per validity window no matter how many
+//     fetches reuse it.
+//
+// Freshness-handling follows the signed-document approach of Berbecaru &
+// Marian (PAPERS.md): the signature's validity interval, not the bytes'
+// transport, decides reuse.
+//
+// This package is verify-only by project invariant (globedoclint
+// cryptoscope): it may consume the audited digest types from
+// internal/globeid and verify through internal/keys, but it must never
+// produce a signature.
+//
+// All methods are safe for concurrent use. The cache never reads the
+// wall clock: callers pass `now`, so fault-injection replays stay
+// deterministic.
+package vcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/telemetry"
+)
+
+// Default capacity bounds.
+const (
+	// DefaultMaxBytes bounds the summed element payload bytes retained.
+	DefaultMaxBytes = 64 << 20
+	// DefaultMaxSignatures bounds the memoized signature verdicts.
+	DefaultMaxSignatures = 4096
+)
+
+// Element is the cached unit: verified content plus the (unverified,
+// advisory) content type it was served with.
+type Element struct {
+	ContentType string
+	Data        []byte
+}
+
+// Config sizes a Cache. The zero value uses the documented defaults.
+type Config struct {
+	// MaxBytes bounds the summed cached element bytes (0 = DefaultMaxBytes).
+	MaxBytes int64
+	// MaxSignatures bounds the memoized signature verdicts
+	// (0 = DefaultMaxSignatures).
+	MaxSignatures int
+}
+
+// entry is one cached element, tagged with the object whose verified
+// certificate vouched for it (the invalidation handle).
+type entry struct {
+	hash    [globeid.Size]byte
+	oid     globeid.OID
+	elem    Element
+	expires time.Time // latest verified validity bound; zero = no bound
+}
+
+// Cache is the verified-content cache. Construct with New; the zero
+// value is not usable.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[[globeid.Size]byte]*list.Element
+	lru      *list.List // of *entry; front = most recently used
+	byOID    map[globeid.OID]map[[globeid.Size]byte]struct{}
+
+	evictions *telemetry.Counter
+
+	sig sigCache
+}
+
+// New returns an empty cache sized by cfg.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.MaxSignatures == 0 {
+		cfg.MaxSignatures = DefaultMaxSignatures
+	}
+	c := &Cache{
+		maxBytes: cfg.MaxBytes,
+		entries:  make(map[[globeid.Size]byte]*list.Element),
+		lru:      list.New(),
+		byOID:    make(map[globeid.OID]map[[globeid.Size]byte]struct{}),
+	}
+	c.sig.init(cfg.MaxSignatures)
+	return c
+}
+
+// WireMetrics attaches nil-safe telemetry instruments: evictions counts
+// every entry removed by capacity pressure or invalidation
+// (vcache_evictions_total), sigHits counts memoized signature verdicts
+// served without running crypto (signature_cache_hits_total). Fields
+// already wired are kept, so several clients can share one cache.
+func (c *Cache) WireMetrics(evictions, sigHits *telemetry.Counter) {
+	c.mu.Lock()
+	if c.evictions == nil {
+		c.evictions = evictions
+	}
+	c.mu.Unlock()
+	c.sig.wireMetrics(sigHits)
+}
+
+// Get returns the cached element for a content hash the caller has just
+// re-verified against the object's CURRENT integrity certificate.
+// validUntil is that certificate entry's expiry; the cached entry's TTL
+// is re-armed to it, which is how a certificate-only revalidation
+// re-freshens bytes without moving them.
+//
+// The returned Data slice is shared with the cache and must be treated
+// as read-only.
+func (c *Cache) Get(hash [globeid.Size]byte, now, validUntil time.Time) (Element, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node, ok := c.entries[hash]
+	if !ok {
+		return Element{}, false
+	}
+	e := node.Value.(*entry)
+	e.expires = validUntil
+	c.lru.MoveToFront(node)
+	return e.elem, true
+}
+
+// Contains reports whether the content hash is cached, without promoting
+// the entry. Revalidation accounting uses it: a lapsed certificate whose
+// bytes are still held means the refresh will move no content.
+func (c *Cache) Contains(hash [globeid.Size]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[hash]
+	return ok
+}
+
+// Put stores a freshly verified element under its certificate hash,
+// tagged with the object it was verified for. validUntil is the
+// certificate entry's expiry. Data is copied, so later caller-side
+// mutation cannot poison the cache. Elements larger than the whole
+// cache budget are not retained.
+func (c *Cache) Put(oid globeid.OID, hash [globeid.Size]byte, elem Element, validUntil time.Time) {
+	size := int64(len(elem.Data))
+	if size > c.maxBytes {
+		return
+	}
+	data := append([]byte(nil), elem.Data...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node, ok := c.entries[hash]; ok {
+		e := node.Value.(*entry)
+		c.untagLocked(e.oid, hash)
+		c.bytes += size - int64(len(e.elem.Data))
+		e.oid = oid
+		e.elem = Element{ContentType: elem.ContentType, Data: data}
+		e.expires = validUntil
+		c.tagLocked(oid, hash)
+		c.lru.MoveToFront(node)
+	} else {
+		e := &entry{hash: hash, oid: oid, elem: Element{ContentType: elem.ContentType, Data: data}, expires: validUntil}
+		c.entries[hash] = c.lru.PushFront(e)
+		c.tagLocked(oid, hash)
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail)
+	}
+}
+
+// InvalidateOID drops every entry verified under oid's certificate —
+// called when a binding to that object fails over or fails a security
+// check, so nothing vouched for by a now-distrusted interaction
+// survives.
+func (c *Cache) InvalidateOID(oid globeid.OID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for hash := range c.byOID[oid] {
+		if node, ok := c.entries[hash]; ok {
+			c.removeLocked(node)
+		}
+	}
+}
+
+// Reconcile drops every entry tagged with oid whose hash the object's
+// freshly verified certificate no longer lists — the "cache loses to
+// revocation" rule: a superseded certificate version immediately stops
+// vouching for its old bytes.
+func (c *Cache) Reconcile(oid globeid.OID, listed map[[globeid.Size]byte]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for hash := range c.byOID[oid] {
+		if !listed[hash] {
+			if node, ok := c.entries[hash]; ok {
+				c.removeLocked(node)
+			}
+		}
+	}
+}
+
+// Purge drops entries whose last verified validity bound is behind now.
+// Expiry is advisory (every Get is gated by a current-certificate
+// freshness check first); Purge just returns the memory early.
+func (c *Cache) Purge(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expired []*list.Element
+	for node := c.lru.Back(); node != nil; node = node.Prev() {
+		e := node.Value.(*entry)
+		if !e.expires.IsZero() && now.After(e.expires) {
+			expired = append(expired, node)
+		}
+	}
+	for _, node := range expired {
+		c.removeLocked(node)
+	}
+}
+
+// Len returns the number of cached elements.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the summed cached element payload size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *Cache) tagLocked(oid globeid.OID, hash [globeid.Size]byte) {
+	set, ok := c.byOID[oid]
+	if !ok {
+		set = make(map[[globeid.Size]byte]struct{})
+		c.byOID[oid] = set
+	}
+	set[hash] = struct{}{}
+}
+
+func (c *Cache) untagLocked(oid globeid.OID, hash [globeid.Size]byte) {
+	if set, ok := c.byOID[oid]; ok {
+		delete(set, hash)
+		if len(set) == 0 {
+			delete(c.byOID, oid)
+		}
+	}
+}
+
+func (c *Cache) removeLocked(node *list.Element) {
+	e := node.Value.(*entry)
+	c.lru.Remove(node)
+	delete(c.entries, e.hash)
+	c.untagLocked(e.oid, e.hash)
+	c.bytes -= int64(len(e.elem.Data))
+	c.evictions.Inc()
+}

@@ -1,0 +1,404 @@
+package vcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/telemetry"
+)
+
+var t0 = time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+
+func oidN(n byte) globeid.OID {
+	var oid globeid.OID
+	oid[0] = n
+	return oid
+}
+
+func elemN(n int) ([globeid.Size]byte, Element) {
+	data := []byte(fmt.Sprintf("element-%d", n))
+	return globeid.HashElement(data), Element{ContentType: "text/html", Data: data}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(Config{})
+	hash, elem := elemN(1)
+	if _, ok := c.Get(hash, t0, t0.Add(time.Hour)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(oidN(1), hash, elem, t0.Add(time.Hour))
+	got, ok := c.Get(hash, t0, t0.Add(time.Hour))
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.ContentType != elem.ContentType || !bytes.Equal(got.Data, elem.Data) {
+		t.Fatalf("got %+v, want %+v", got, elem)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(len(elem.Data)) {
+		t.Fatalf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	c := New(Config{})
+	data := []byte("mutate me")
+	hash := globeid.HashElement(data)
+	c.Put(oidN(1), hash, Element{Data: data}, t0.Add(time.Hour))
+	data[0] = 'X'
+	got, ok := c.Get(hash, t0, t0.Add(time.Hour))
+	if !ok || got.Data[0] != 'm' {
+		t.Fatalf("cache shares the caller's slice: %q", got.Data)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	h1, e1 := elemN(1)
+	h2, e2 := elemN(2)
+	h3, e3 := elemN(3)
+	budget := int64(len(e1.Data) + len(e2.Data))
+	reg := telemetry.NewRegistry()
+	evictions := reg.Counter(telemetry.MetricVCacheEvictions)
+	c := New(Config{MaxBytes: budget})
+	c.WireMetrics(evictions, nil)
+
+	c.Put(oidN(1), h1, e1, t0.Add(time.Hour))
+	c.Put(oidN(1), h2, e2, t0.Add(time.Hour))
+	// Touch e1 so e2 is the LRU victim.
+	if _, ok := c.Get(h1, t0, t0.Add(time.Hour)); !ok {
+		t.Fatal("e1 missing")
+	}
+	c.Put(oidN(1), h3, e3, t0.Add(time.Hour))
+
+	if _, ok := c.Get(h2, t0, t0.Add(time.Hour)); ok {
+		t.Fatal("LRU entry e2 survived eviction")
+	}
+	if _, ok := c.Get(h1, t0, t0.Add(time.Hour)); !ok {
+		t.Fatal("recently used e1 was evicted")
+	}
+	if _, ok := c.Get(h3, t0, t0.Add(time.Hour)); !ok {
+		t.Fatal("new entry e3 missing")
+	}
+	if evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions.Value())
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("Bytes=%d over budget %d", c.Bytes(), budget)
+	}
+}
+
+func TestOversizedElementNotCached(t *testing.T) {
+	c := New(Config{MaxBytes: 4})
+	hash, elem := elemN(1)
+	c.Put(oidN(1), hash, elem, t0.Add(time.Hour))
+	if c.Len() != 0 {
+		t.Fatal("oversized element was cached")
+	}
+}
+
+func TestInvalidateOID(t *testing.T) {
+	c := New(Config{})
+	h1, e1 := elemN(1)
+	h2, e2 := elemN(2)
+	c.Put(oidN(1), h1, e1, t0.Add(time.Hour))
+	c.Put(oidN(2), h2, e2, t0.Add(time.Hour))
+	c.InvalidateOID(oidN(1))
+	if _, ok := c.Get(h1, t0, t0.Add(time.Hour)); ok {
+		t.Fatal("invalidated OID entry survived")
+	}
+	if _, ok := c.Get(h2, t0, t0.Add(time.Hour)); !ok {
+		t.Fatal("unrelated OID entry was dropped")
+	}
+}
+
+func TestReconcileDropsDelisted(t *testing.T) {
+	c := New(Config{})
+	h1, e1 := elemN(1)
+	h2, e2 := elemN(2)
+	c.Put(oidN(1), h1, e1, t0.Add(time.Hour))
+	c.Put(oidN(1), h2, e2, t0.Add(time.Hour))
+	// The refreshed certificate only lists h1: h2's bytes were revoked.
+	c.Reconcile(oidN(1), map[[globeid.Size]byte]bool{h1: true})
+	if _, ok := c.Get(h2, t0, t0.Add(time.Hour)); ok {
+		t.Fatal("revoked entry survived Reconcile")
+	}
+	if _, ok := c.Get(h1, t0, t0.Add(time.Hour)); !ok {
+		t.Fatal("still-listed entry was dropped")
+	}
+}
+
+func TestPurgeDropsExpired(t *testing.T) {
+	c := New(Config{})
+	h1, e1 := elemN(1)
+	h2, e2 := elemN(2)
+	c.Put(oidN(1), h1, e1, t0.Add(time.Minute))
+	c.Put(oidN(1), h2, e2, t0.Add(time.Hour))
+	c.Purge(t0.Add(30 * time.Minute))
+	if c.Contains(h1) {
+		t.Fatal("expired entry survived Purge")
+	}
+	if !c.Contains(h2) {
+		t.Fatal("live entry was purged")
+	}
+}
+
+func TestGetRearmsExpiry(t *testing.T) {
+	c := New(Config{})
+	hash, elem := elemN(1)
+	c.Put(oidN(1), hash, elem, t0.Add(time.Minute))
+	// A certificate-only revalidation re-verifies freshness and re-arms
+	// the entry with the new interval; the bytes stay put.
+	if _, ok := c.Get(hash, t0.Add(2*time.Minute), t0.Add(time.Hour)); !ok {
+		t.Fatal("revalidated entry missing")
+	}
+	c.Purge(t0.Add(30 * time.Minute))
+	if !c.Contains(hash) {
+		t.Fatal("re-armed entry was purged inside its new interval")
+	}
+}
+
+func TestPutReplacesAndRetags(t *testing.T) {
+	c := New(Config{})
+	hash, elem := elemN(1)
+	c.Put(oidN(1), hash, elem, t0.Add(time.Minute))
+	c.Put(oidN(2), hash, elem, t0.Add(time.Hour))
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after same-hash Put, want 1", c.Len())
+	}
+	c.InvalidateOID(oidN(1))
+	if !c.Contains(hash) {
+		t.Fatal("entry retagged to oid2 was dropped by oid1 invalidation")
+	}
+	c.InvalidateOID(oidN(2))
+	if c.Contains(hash) {
+		t.Fatal("entry survived invalidation of its current OID")
+	}
+}
+
+func TestVerifySignatureMemoized(t *testing.T) {
+	kp := keytest.Ed()
+	msg := []byte("signed bytes")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	hits := reg.Counter(telemetry.MetricSigCacheHits)
+	c := New(Config{})
+	c.WireMetrics(nil, hits)
+
+	until := t0.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		if err := c.VerifySignature(kp.Public(), msg, sig, until, t0); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+	if hits.Value() != 4 {
+		t.Fatalf("signature cache hits = %d, want 4", hits.Value())
+	}
+	if c.SigLen() != 1 {
+		t.Fatalf("SigLen=%d, want 1", c.SigLen())
+	}
+}
+
+func TestVerifySignatureExpiryForcesRecheck(t *testing.T) {
+	kp := keytest.Ed()
+	msg := []byte("windowed")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	hits := reg.Counter(telemetry.MetricSigCacheHits)
+	c := New(Config{})
+	c.WireMetrics(nil, hits)
+
+	if err := c.VerifySignature(kp.Public(), msg, sig, t0.Add(time.Minute), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Past the validity window the memoized verdict no longer applies.
+	if err := c.VerifySignature(kp.Public(), msg, sig, t0.Add(time.Hour), t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 0 {
+		t.Fatalf("hits = %d, want 0 (verdict expired)", hits.Value())
+	}
+}
+
+func TestVerifySignatureFailureNotCached(t *testing.T) {
+	kp := keytest.Ed()
+	msg := []byte("message")
+	bad := bytes.Repeat([]byte{0x42}, 64)
+	c := New(Config{})
+	for i := 0; i < 3; i++ {
+		if err := c.VerifySignature(kp.Public(), msg, bad, t0.Add(time.Hour), t0); !errors.Is(err, keys.ErrBadSignature) {
+			t.Fatalf("verify %d: %v, want ErrBadSignature", i, err)
+		}
+	}
+	if c.SigLen() != 0 {
+		t.Fatalf("SigLen=%d, failures must not be cached", c.SigLen())
+	}
+}
+
+func TestVerifySignatureDistinguishesTriples(t *testing.T) {
+	kpA, kpB := keytest.Ed(), keytest.RSA()
+	msg := []byte("shared message")
+	sigA, err := kpA.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	if err := c.VerifySignature(kpA.Public(), msg, sigA, t0.Add(time.Hour), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Same message+signature under a different key must not hit.
+	if err := c.VerifySignature(kpB.Public(), msg, sigA, t0.Add(time.Hour), t0); !errors.Is(err, keys.ErrBadSignature) {
+		t.Fatalf("cross-key verify: %v, want ErrBadSignature", err)
+	}
+	// Tampered message under the right key must not hit either.
+	if err := c.VerifySignature(kpA.Public(), []byte("other message"), sigA, t0.Add(time.Hour), t0); !errors.Is(err, keys.ErrBadSignature) {
+		t.Fatalf("tampered-message verify: %v, want ErrBadSignature", err)
+	}
+}
+
+func TestSignatureLRUBound(t *testing.T) {
+	kp := keytest.Ed()
+	c := New(Config{MaxSignatures: 2})
+	for i := 0; i < 5; i++ {
+		msg := []byte(fmt.Sprintf("message-%d", i))
+		sig, err := kp.Sign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifySignature(kp.Public(), msg, sig, t0.Add(time.Hour), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.SigLen() != 2 {
+		t.Fatalf("SigLen=%d, want bound 2", c.SigLen())
+	}
+}
+
+// TestConcurrentElementCache hammers lookup/insert/evict/invalidate from
+// many goroutines; run under -race it is the data-race regression test
+// for the element side of the cache.
+func TestConcurrentElementCache(t *testing.T) {
+	const workers = 8
+	hashes := make([][globeid.Size]byte, 32)
+	elems := make([]Element, 32)
+	for i := range hashes {
+		hashes[i], elems[i] = elemN(i)
+	}
+	// A budget of roughly half the working set keeps eviction churning.
+	var budget int64
+	for _, e := range elems[:16] {
+		budget += int64(len(e.Data))
+	}
+	c := New(Config{MaxBytes: budget})
+	c.WireMetrics(telemetry.NewRegistry().Counter(telemetry.MetricVCacheEvictions), nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			until := t0.Add(time.Hour)
+			for i := 0; i < 500; i++ {
+				n := (i*7 + w*13) % len(hashes)
+				switch i % 5 {
+				case 0:
+					c.Put(oidN(byte(n%4)), hashes[n], elems[n], until)
+				case 1:
+					if got, ok := c.Get(hashes[n], t0, until); ok && !bytes.Equal(got.Data, elems[n].Data) {
+						panic("cache returned wrong bytes")
+					}
+				case 2:
+					c.Contains(hashes[n])
+				case 3:
+					c.InvalidateOID(oidN(byte(n % 4)))
+				default:
+					c.Purge(t0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() > budget {
+		t.Fatalf("Bytes=%d over budget %d after concurrent churn", c.Bytes(), budget)
+	}
+}
+
+// TestConcurrentSignatureSingleflight launches many goroutines verifying
+// the same signature at once and asserts the underlying crypto ran far
+// fewer times than the number of verifications — concurrent misses share
+// one in-flight check, later calls hit the memo.
+func TestConcurrentSignatureSingleflight(t *testing.T) {
+	kp := keytest.RSA()
+	msg := []byte("hot certificate bytes")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	reg := telemetry.NewRegistry()
+	hits := reg.Counter(telemetry.MetricSigCacheHits)
+	c.WireMetrics(nil, hits)
+
+	const goroutines = 16
+	const perG = 20
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				if err := c.VerifySignature(kp.Public(), msg, sig, t0.Add(time.Hour), t0); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	total := uint64(goroutines * perG)
+	cryptoRuns := total - hits.Value()
+	if cryptoRuns < 1 || cryptoRuns > goroutines {
+		t.Fatalf("crypto ran %d times for %d verifications; singleflight should bound it by %d", cryptoRuns, total, goroutines)
+	}
+	if c.SigLen() != 1 {
+		t.Fatalf("SigLen=%d, want 1", c.SigLen())
+	}
+}
+
+// TestNilMetricsSafe exercises every mutation path with no instruments
+// wired; the nil-safe telemetry contract means nothing may panic.
+func TestNilMetricsSafe(t *testing.T) {
+	c := New(Config{MaxBytes: 8})
+	hash, elem := elemN(1)
+	c.Put(oidN(1), hash, elem, t0.Add(time.Hour))
+	h2, e2 := elemN(2)
+	c.Put(oidN(1), h2, e2, t0.Add(time.Hour))
+	c.InvalidateOID(oidN(1))
+	c.Purge(t0.Add(2 * time.Hour))
+
+	kp := keytest.Ed()
+	sig, err := kp.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifySignature(kp.Public(), []byte("m"), sig, t0.Add(time.Hour), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifySignature(kp.Public(), []byte("m"), sig, t0.Add(time.Hour), t0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# cache_bench.sh — run the verified-content-cache experiment and check
+# the PR-5 acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment cache`, writing the globedoc-bench/1
+#      JSON report (cold/warm/revalidate latency quantiles and the
+#      cache counters);
+#   2. assert the warm (cached) fetch path is at least $MIN_SPEEDUP x
+#      faster than the cold path;
+#   3. assert the in-run ablation held: a client with the cache disabled
+#      fetched byte-identical content.
+#
+# Exits non-zero on any failure. Run via `make bench-cache`.
+set -eu
+
+GO=${GO:-go}
+MIN_SPEEDUP=${MIN_SPEEDUP:-5}
+SCALE=${SCALE:-1.0}
+ITERATIONS=${ITERATIONS:-5}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/cache.json}"
+
+echo "== running cache experiment (scale=$SCALE, iterations=$ITERATIONS)"
+$GO run ./cmd/benchmark -experiment cache \
+    -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checkcache "$JSON" "$MIN_SPEEDUP"
+
+echo "cache bench: ok"

@@ -1,0 +1,73 @@
+// Command checkcache validates the verified-content-cache acceptance
+// properties of a globedoc-bench/1 report: the warm (cached) fetch path
+// must beat the cold path by the given factor, every warm and
+// revalidation sample must have been served from the cache, and the
+// ablation check (a cache-disabled client fetches byte-identical
+// content) must have held. Used by scripts/cache_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkcache <report.json> <min-warm-speedup>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkcache:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, minSpeedupArg string) error {
+	minSpeedup, err := strconv.ParseFloat(minSpeedupArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad min-warm-speedup %q: %w", minSpeedupArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	c := report.Cache
+	if c == nil {
+		return fmt.Errorf("report has no cache experiment")
+	}
+	if !c.VCacheEnabled {
+		return fmt.Errorf("report is a -disable-vcache ablation run; the acceptance gate needs the cache enabled")
+	}
+	if c.Cold.Ops == 0 || c.Warm.Ops == 0 || c.Revalidate == nil || c.Revalidate.Ops == 0 {
+		return fmt.Errorf("missing phase samples: cold=%d warm=%d revalidate=%v",
+			c.Cold.Ops, c.Warm.Ops, c.Revalidate)
+	}
+	if c.WarmSpeedup < minSpeedup {
+		return fmt.Errorf("warm fetch speedup %.2fx is below the required %.1fx (cold %s, warm %s)",
+			c.WarmSpeedup, minSpeedup, c.Cold.Mean, c.Warm.Mean)
+	}
+	// Every warm sample and every revalidation must have hit the cache
+	// (RunCache fails a sample that re-transfers, but the counters are
+	// the report-level evidence).
+	wantHits := uint64(c.Warm.Ops + c.Revalidate.Ops)
+	if c.Hits < wantHits {
+		return fmt.Errorf("vcache hits = %d, want >= %d (warm + revalidate samples)", c.Hits, wantHits)
+	}
+	if c.Revalidations != uint64(c.Revalidate.Ops) {
+		return fmt.Errorf("revalidations = %d, want %d", c.Revalidations, c.Revalidate.Ops)
+	}
+	if !c.AblationIdentical {
+		return fmt.Errorf("ablation check failed: cache-disabled client fetched different bytes")
+	}
+	fmt.Printf("cache: cold %s, warm %s (%.0fx >= %.1fx), revalidate %s, hits=%d reval=%d, ablation identical\n",
+		c.Cold.Mean, c.Warm.Mean, c.WarmSpeedup, minSpeedup, c.Revalidate.Mean, c.Hits, c.Revalidations)
+	return nil
+}
