@@ -2,12 +2,14 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: check vet build test test-short lint fuzz-smoke chaos \
-	telemetry-smoke concurrent-smoke bench-concurrent bench-cache
+	telemetry-smoke concurrent-smoke bench-concurrent bench-cache \
+	bench-multiplex
 
 ## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
-## smoke, the concurrent race smoke, the end-to-end telemetry smoke, and
-## the verified-content-cache acceptance bench.
-check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke bench-cache
+## smoke, the concurrent race smoke, the end-to-end telemetry smoke, the
+## verified-content-cache acceptance bench, and the multiplexed-transport
+## acceptance bench.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke bench-cache bench-multiplex
 
 ## vet: the stock vet suite plus the two checks most relevant to the
 ## serving path, run explicitly so a vet default change cannot drop them.
@@ -37,6 +39,8 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseHybrid$$ -fuzztime=$(FUZZTIME) ./internal/document/
 	$(GO) test -run=^$$ -fuzz=FuzzExtractLinks$$ -fuzztime=$(FUZZTIME) ./internal/document/
 	$(GO) test -run=^$$ -fuzz=FuzzLintSuppression$$ -fuzztime=$(FUZZTIME) ./internal/lint/
+	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/transport/
+	$(GO) test -run=^$$ -fuzz=FuzzVersionNegotiation$$ -fuzztime=$(FUZZTIME) ./internal/transport/
 
 ## chaos: the seeded fault-injection suite (SEED overrides the schedule).
 SEED ?= 20050404
@@ -65,3 +69,9 @@ telemetry-smoke:
 ## ablation with the cache disabled).
 bench-cache:
 	GO=$(GO) sh scripts/cache_bench.sh
+
+## bench-multiplex: the batched-element-fetch experiment + acceptance
+## check (cold 16-element fetch <= MAX_RATIO x cold single-element fetch
+## over the v2 transport; byte-identical serial-RPC ablation).
+bench-multiplex:
+	GO=$(GO) sh scripts/multiplex_bench.sh

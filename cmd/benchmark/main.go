@@ -9,14 +9,19 @@
 //	benchmark -experiment concurrent -concurrency 16
 //	benchmark -experiment cache
 //	benchmark -experiment cache -disable-vcache
+//	benchmark -experiment multiplex
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, concurrent, cache, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, concurrent, cache,
+// multiplex, all.
 // The concurrent experiment drives a closed-loop warm-fetch workload at
 // concurrency 1 and at -concurrency, reporting throughput, tail latency
 // and the singleflight dedup counters from the cold burst. The cache
 // experiment measures cold/warm/revalidate fetch latency through the
 // verified-content cache; -disable-vcache runs the same workload with
-// the cache off (ablation — the bytes fetched must be identical).
+// the cache off (ablation — the bytes fetched must be identical). The
+// multiplex experiment measures a cold 16-element whole-object fetch
+// through the batched GetElements exchange against a cold
+// single-element fetch and the serial-RPC ablation.
 //
 // With -json the measured series are also written to the given file as a
 // machine-readable report (schema "globedoc-bench/1", see
@@ -35,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | all")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | all")
 		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations  = flag.Int("iterations", 5, "samples per measured point")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
@@ -77,6 +82,10 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 		if err := runCache(cfg, noVCache, report); err != nil {
 			return err
 		}
+	case "multiplex":
+		if err := runMultiplex(cfg, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -91,6 +100,9 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 			return err
 		}
 		if err := runCache(cfg, noVCache, report); err != nil {
+			return err
+		}
+		if err := runMultiplex(cfg, report); err != nil {
 			return err
 		}
 	default:
@@ -150,6 +162,16 @@ func runCache(cfg bench.Config, disableVCache bool, report *bench.Report) error 
 		return err
 	}
 	report.Cache = res
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runMultiplex(cfg bench.Config, report *bench.Report) error {
+	res, err := bench.RunMultiplex(cfg)
+	if err != nil {
+		return err
+	}
+	report.Multiplex = res
 	fmt.Println(res.Format())
 	return nil
 }

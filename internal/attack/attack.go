@@ -93,6 +93,11 @@ type MaliciousServer struct {
 	decoy   *ReplicaState // for WrongObject
 	srv     *transport.Server
 	tampers func([]byte) []byte
+	// tamperTarget, when non-empty, restricts TamperContent to that one
+	// element: every other element is served genuine. This models the
+	// batched-fetch adversary that interleaves a single corrupted element
+	// among honest ones inside one GetElements response.
+	tamperTarget string
 }
 
 type forgedState struct {
@@ -121,6 +126,7 @@ func NewMaliciousServer(mode Mode, state ReplicaState) *MaliciousServer {
 	m.srv.Handle(object.OpGetCert, m.handleGetCert)
 	m.srv.Handle(object.OpGetNameCerts, m.handleGetNameCerts)
 	m.srv.Handle(object.OpGetElement, m.handleGetElement)
+	m.srv.Handle(object.OpGetElements, m.handleGetElements)
 	m.srv.Handle(object.OpListElements, m.handleList)
 	m.srv.Handle(object.OpVersion, m.handleVersion)
 	return m
@@ -131,6 +137,15 @@ func (m *MaliciousServer) SetStale(old ReplicaState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stale = &old
+}
+
+// SetTamperTarget restricts TamperContent to one element name; all other
+// elements are served genuine. Used to hide a single corrupted element
+// inside an otherwise-honest batch response.
+func (m *MaliciousServer) SetTamperTarget(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tamperTarget = name
 }
 
 // SetDecoy gives a WrongObject server the foreign object to masquerade
@@ -206,14 +221,26 @@ func (m *MaliciousServer) handleGetElement(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return m.elementWire(name)
+}
+
+// elementWire serves one element through the mode's lie — shared by the
+// serial GetElement handler and the batched GetElements handler, so a
+// batch carries exactly the same corruption a serial fetch would see.
+func (m *MaliciousServer) elementWire(name string) ([]byte, error) {
 	st := m.current()
+	m.mu.RLock()
+	target := m.tamperTarget
+	m.mu.RUnlock()
 	switch m.Mode {
 	case TamperContent, ForgeCertificate:
 		e, err := st.Doc.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		e.Data = m.tampers(e.Data)
+		if target == "" || target == name {
+			e.Data = m.tampers(e.Data)
+		}
 		return object.EncodeElement(e), nil
 	case SubstituteElement:
 		// Serve some OTHER genuine element under the requested name.
@@ -235,6 +262,29 @@ func (m *MaliciousServer) handleGetElement(body []byte) ([]byte, error) {
 		}
 		return object.EncodeElement(e), nil
 	}
+}
+
+// handleGetElements serves a whole batch through the same per-element
+// lies as handleGetElement: a TamperContent server with a tamper target
+// interleaves one corrupted element among genuine ones, and a
+// StaleReplay server answers the batch from its old signed state.
+func (m *MaliciousServer) handleGetElements(body []byte) ([]byte, error) {
+	_, names, _, err := object.DecodeElementsRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]object.BatchWireItem, 0, len(names))
+	for _, name := range names {
+		it := object.BatchWireItem{Name: name}
+		wire, err := m.elementWire(name)
+		if err != nil {
+			it.ErrMsg = err.Error()
+		} else {
+			it.Wire = wire
+		}
+		items = append(items, it)
+	}
+	return object.EncodeElementsResponse(items), nil
 }
 
 func (m *MaliciousServer) handleList(body []byte) ([]byte, error) {

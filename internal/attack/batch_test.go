@@ -1,0 +1,91 @@
+package attack_test
+
+// Adversarial coverage for the batched GetElements path (transport v2):
+// a malicious replica that interleaves one tampered element among
+// otherwise-genuine ones inside a single batch response must be caught
+// with the same per-element verification and phase attribution as a
+// serial fetch, and replaying an old signed version through a batch must
+// fail the freshness check exactly like its serial counterpart.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"globedoc/internal/attack"
+	"globedoc/internal/cert"
+	"globedoc/internal/core"
+	"globedoc/internal/document"
+	"globedoc/internal/keys/keytest"
+	"globedoc/internal/telemetry"
+)
+
+func TestBatchInterleavedTamperDetectedPerElement(t *testing.T) {
+	owner := keytest.RSA()
+	state := genuineState(t, owner, map[string][]byte{
+		"index.html": []byte("genuine index"),
+		"logo.png":   []byte("genuine logo"),
+		"style.css":  []byte("genuine styles"),
+		"app.js":     []byte("genuine script"),
+	}, t0, time.Hour)
+	srv := attack.NewMaliciousServer(attack.TamperContent, state)
+	srv.SetTamperTarget("style.css") // every other batch item is honest
+	tel := telemetry.New(nil)
+	now := t0.Add(time.Minute)
+	client := newVictimClientOpts(t, srv, core.Options{
+		Now:       func() time.Time { return now },
+		Telemetry: tel,
+	})
+
+	failuresBefore := tel.SecurityCheckFailures.With("element").Value()
+	_, err := client.FetchAll(context.Background(), state.OID)
+	if !errors.Is(err, core.ErrSecurityCheckFailed) {
+		t.Fatalf("err = %v, want security check failure", err)
+	}
+	if !errors.Is(err, cert.ErrAuthenticity) {
+		t.Fatalf("err = %v, want authenticity violation on the interleaved element", err)
+	}
+	var sec *core.SecurityError
+	if !errors.As(err, &sec) || sec.Phase != "element" {
+		t.Fatalf("failure phase = %v, want \"element\" (same attribution as serial)", err)
+	}
+	if got := tel.SecurityCheckFailures.With("element").Value() - failuresBefore; got == 0 {
+		t.Error("security_check_failures_total{element} did not count the batched tamper")
+	}
+	if tel.BatchFetches.Value() == 0 {
+		t.Fatal("batch_fetch_total = 0: the tampered element never travelled in a batch")
+	}
+}
+
+func TestBatchStaleReplayFailsFreshness(t *testing.T) {
+	owner := keytest.RSA()
+	// v1 with a short TTL and several elements (so FetchAll batches);
+	// the owner later publishes v2.
+	v1 := genuineState(t, owner, map[string][]byte{
+		"news.html": []byte("old news"),
+		"feed.xml":  []byte("old feed"),
+	}, t0, time.Minute)
+	v2doc := document.New()
+	v2doc.Put(document.Element{Name: "news.html", Data: []byte("fresh news")})
+	v2doc.Put(document.Element{Name: "feed.xml", Data: []byte("fresh feed")})
+	v2cert, err := document.IssueCertificate(v2doc, v1.OID, owner, t0.Add(2*time.Minute), document.UniformTTL(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := attack.ReplicaState{OID: v1.OID, Key: owner.Public(), Doc: v2doc, Cert: v2cert}
+
+	srv := attack.NewMaliciousServer(attack.StaleReplay, current)
+	srv.SetStale(v1)
+	tel := telemetry.New(nil)
+	now := t0.Add(2*time.Minute + 30*time.Second) // past v1's validity
+	client := newVictimClientOpts(t, srv, core.Options{
+		Now:       func() time.Time { return now },
+		Telemetry: tel,
+	})
+
+	_, err = client.FetchAll(context.Background(), v1.OID)
+	if !errors.Is(err, core.ErrSecurityCheckFailed) || !errors.Is(err, cert.ErrFreshness) {
+		t.Fatalf("err = %v, want freshness violation on the replayed batch", err)
+	}
+}

@@ -1,0 +1,49 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"globedoc/internal/bench"
+)
+
+func TestRunMultiplexQuick(t *testing.T) {
+	res, err := bench.RunMultiplex(quickCfg())
+	if err != nil {
+		t.Fatalf("RunMultiplex: %v", err)
+	}
+	if res.Elements != 16 {
+		t.Errorf("Elements = %d, want 16", res.Elements)
+	}
+	if res.SingleCold.Ops != 2 || res.BatchCold.Ops != 2 || res.SerialCold.Ops != 2 {
+		t.Errorf("phase ops: single=%d batch=%d serial=%d, want 2 each",
+			res.SingleCold.Ops, res.BatchCold.Ops, res.SerialCold.Ops)
+	}
+	if res.SingleCold.Mean <= 0 || res.BatchCold.Mean <= 0 || res.SerialCold.Mean <= 0 {
+		t.Errorf("means: single=%v batch=%v serial=%v",
+			res.SingleCold.Mean, res.BatchCold.Mean, res.SerialCold.Mean)
+	}
+	// Each batch sample issues exactly one GetElements exchange carrying
+	// all 16 elements; the single and serial phases issue none.
+	if res.BatchFetches != 2 {
+		t.Errorf("batch_fetch_total = %d, want 2", res.BatchFetches)
+	}
+	if res.BatchElements != 32 {
+		t.Errorf("batch_fetch_elements_total = %d, want 32", res.BatchElements)
+	}
+	if res.NegotiatedV2 == 0 {
+		t.Error("no v2 negotiation recorded; the run fell back to v1")
+	}
+	if !res.AblationIdentical {
+		t.Error("serial-RPC client fetched different bytes")
+	}
+	if res.BatchRatio <= 0 || res.SerialRatio <= 0 {
+		t.Errorf("ratios: batch=%v serial=%v", res.BatchRatio, res.SerialRatio)
+	}
+	out := res.Format()
+	for _, want := range []string{"single cold", "batch cold", "serial cold", "batch ratio", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}

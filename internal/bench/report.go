@@ -49,6 +49,9 @@ type Report struct {
 	// Cache is the verified-content-cache experiment (cold vs. warm vs.
 	// revalidate fetch latency), when measured.
 	Cache *CacheResult `json:"cache,omitempty"`
+	// Multiplex is the batched-element-fetch experiment (wide-object cold
+	// fetch vs. single element vs. the serial ablation), when measured.
+	Multiplex *MultiplexResult `json:"multiplex,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

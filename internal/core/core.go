@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,13 @@ const (
 	StepVerifyAuthenticity = "element.verify.authenticity" // 13: SHA-1(content) == entry hash
 	StepVerifyFreshness    = "element.verify.freshness"    // 14: validity interval covers now
 )
+
+// StepBatchFetch is the span recorded when FetchAll retrieves the
+// document's not-yet-cached elements in one batched GetElements exchange
+// (transport v2 pipelines it over one connection). Each element served
+// from the batch credits an amortized share of the exchange to its
+// Timing.ElementFetch; verification still runs per element.
+const StepBatchFetch = "fetch.batch"
 
 // StepVCacheLookup is the span recorded when the verified-content cache
 // is consulted for a certificate-fresh element hash (Options.VCache).
@@ -292,6 +300,7 @@ type Client struct {
 	nowFn           func() time.Time
 	fetchWorkers    int
 	noSingleflight  bool
+	noBatchFetch    bool
 	vcache          *vcache.Cache
 	maxBindings     int
 
@@ -348,6 +357,7 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 		nowFn:           nowFn,
 		fetchWorkers:    workers,
 		noSingleflight:  opts.DisableSingleflight,
+		noBatchFetch:    opts.DisableBatchFetch,
 		vcache:          opts.VCache,
 		maxBindings:     maxBindings,
 		cache:           make(map[globeid.OID]*list.Element),
@@ -1073,6 +1083,12 @@ func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]
 		return nil, nil
 	}
 
+	// One pipelined GetElements exchange prefetches every element the
+	// verified-content cache cannot already serve; workers then verify
+	// from the prefetched bytes and fall back to individual fetches for
+	// anything the batch could not carry.
+	prefetched, batchShare := c.batchPrefetch(ctx, p, vb, entries, now)
+
 	workers := c.fetchWorkers
 	if workers > len(entries) {
 		workers = len(entries)
@@ -1098,7 +1114,7 @@ func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]
 				if i >= len(entries) || gctx.Err() != nil {
 					return
 				}
-				res, err := c.fetchVia(gctx, p.fresh(), vb, entries[i].Name, now, warm, shared)
+				res, err := c.fetchVia(gctx, p.fresh(), vb, entries[i].Name, now, warm, shared, prefetched, batchShare)
 				out[i] = slot{res: res, err: err, done: true}
 				if err != nil {
 					failOnce.Do(func() {
@@ -1130,7 +1146,54 @@ func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]
 	return results, nil
 }
 
-func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding, element string, now time.Time, warm, shared bool) (FetchResult, error) {
+// batchPrefetch retrieves the elements the verified-content cache cannot
+// serve in one GetElements exchange over the shared binding, returning
+// the successfully carried elements keyed by name plus the per-element
+// amortized share of the exchange's duration. Every failure mode — a v1
+// server without the batch operation, a transport fault, or per-item
+// declines — degrades to nil/partial prefill; the workers' individual
+// fetches then carry their own error handling, so batching never changes
+// failure semantics, only round trips. The prefetched bytes are NOT
+// trusted: each element still runs the full verification steps with the
+// same phase attribution as a serial fetch.
+func (c *Client) batchPrefetch(ctx context.Context, p *pipeline, vb *verifiedBinding, entries []cert.ElementEntry, now time.Time) (map[string]document.Element, time.Duration) {
+	if c.noBatchFetch || len(entries) < 2 {
+		return nil, 0
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if c.vcache != nil && e.CheckFreshness(now) == nil && c.vcache.Contains(e.Hash) {
+			continue // the per-element vcache consult will serve it
+		}
+		names = append(names, e.Name)
+	}
+	if len(names) < 2 {
+		return nil, 0
+	}
+	sp := p.root.StartChild(StepBatchFetch)
+	sp.Annotate("elements", strconv.Itoa(len(names)))
+	items, err := vb.client.GetElements(ctx, names)
+	if err != nil {
+		sp.Annotate("error", err.Error())
+		sp.End()
+		return nil, 0
+	}
+	sp.End()
+	got := make(map[string]document.Element, len(items))
+	for _, it := range items {
+		if it.Err == nil {
+			got[it.Name] = it.Element
+		}
+	}
+	c.tel().BatchFetches.Inc()
+	c.tel().BatchElements.Add(uint64(len(got)))
+	if len(got) == 0 {
+		return nil, 0
+	}
+	return got, sp.Duration() / time.Duration(len(got))
+}
+
+func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding, element string, now time.Time, warm, shared bool, prefetched map[string]document.Element, batchShare time.Duration) (FetchResult, error) {
 	// The verified-content cache serves FetchAll workers too; a
 	// whole-document download re-transfers only the elements whose bytes
 	// are not already held under the current certificate. Lapsed entries
@@ -1155,13 +1218,24 @@ func (c *Client) fetchVia(ctx context.Context, p *pipeline, vb *verifiedBinding,
 		}
 	}
 	var elem document.Element
-	err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
-		var ferr error
-		elem, ferr = vb.client.GetElement(ctx, element)
-		return ferr
-	})
-	if err != nil {
-		return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
+	if pre, ok := prefetched[element]; ok {
+		// Served from the batch exchange: credit this element's amortized
+		// slice of the batch duration to ElementFetch so the Figure-4
+		// phase accounting still describes where the time went.
+		sp := p.root.StartChild(StepElementFetch)
+		sp.Annotate("source", "batch")
+		sp.End()
+		p.timing.ElementFetch += batchShare
+		elem = pre
+	} else {
+		err := p.step(StepElementFetch, &p.timing.ElementFetch, func() error {
+			var ferr error
+			elem, ferr = vb.client.GetElement(ctx, element)
+			return ferr
+		})
+		if err != nil {
+			return FetchResult{}, fmt.Errorf("core: fetching element %q: %w", element, err)
+		}
 	}
 	if err := c.verifyElement(p, vb, element, elem.Data, now); err != nil {
 		return FetchResult{}, c.secErr("element", err)

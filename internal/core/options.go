@@ -70,6 +70,11 @@ type Options struct {
 	// establishment, making every cold fetch run its own pipeline — an
 	// ablation/debugging knob.
 	DisableSingleflight bool
+	// DisableBatchFetch makes FetchAll retrieve every element with
+	// individual GetElement calls instead of one pipelined GetElements
+	// exchange — the serial-RPC ablation the multiplex benchmark compares
+	// against. Verification is identical either way.
+	DisableBatchFetch bool
 	// VCache is the verified-content cache: element bytes reused under
 	// their certificate hash and memoized certificate-signature verdicts
 	// (DESIGN.md §11). Nil disables both, reproducing the uncached

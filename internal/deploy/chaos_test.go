@@ -19,7 +19,9 @@ package deploy_test
 import (
 	"context"
 	"flag"
+	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -59,11 +61,17 @@ func chaosConfig() transport.Config {
 // client it creates — so tests can assert on the failure counters the
 // chaos actually drove.
 func chaosWorld(t *testing.T, seed int64) (*deploy.World, *deploy.Publication, *telemetry.Telemetry) {
+	return chaosWorldCfg(t, seed, chaosConfig())
+}
+
+// chaosWorldCfg is chaosWorld with an explicit client transport config,
+// for tests that need to pin the wire-protocol version.
+func chaosWorldCfg(t *testing.T, seed int64, cfg transport.Config) (*deploy.World, *deploy.Publication, *telemetry.Telemetry) {
 	t.Helper()
 	tel := telemetry.New(nil)
 	w, err := deploy.NewWorld(deploy.Options{
 		TimeScale:         0,
-		Client:            chaosConfig(),
+		Client:            cfg,
 		ServerIdleTimeout: 2 * time.Second,
 		Telemetry:         tel,
 	})
@@ -301,6 +309,70 @@ func TestChaosZeroHonestReplicasFailsCleanly(t *testing.T) {
 	}
 }
 
+func TestChaosStalledStreamNoHeadOfLineBlocking(t *testing.T) {
+	// The multiplexed-transport chaos scenario: a replica handler that
+	// stalls indefinitely on one request while sibling requests keep
+	// arriving on the SAME connection (MaxConns=1 forces total sharing).
+	// Under v1 one-call-per-conn semantics the siblings would queue
+	// behind the stalled call until its slot freed; under v2 they must
+	// complete promptly on interleaved streams across the simulated
+	// transatlantic link, and the stalled stream must still complete
+	// once the replica recovers. Runs under -race via make test.
+	n := netsim.PaperTestbed(0)
+	t.Cleanup(n.Close)
+	l, err := n.Listen(netsim.Paris, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	arrived := make(chan struct{}, 1)
+	srv := transport.NewServer()
+	srv.Handle("stall", func(b []byte) ([]byte, error) {
+		arrived <- struct{}{}
+		<-release // the chaos: a replica wedged mid-request
+		return []byte("eventually"), nil
+	})
+	srv.Handle("fetch", func(b []byte) ([]byte, error) { return b, nil })
+	srv.Start(l)
+	t.Cleanup(srv.Close)
+
+	var dials int32
+	c := transport.NewClient(func() (net.Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		return n.Dialer(netsim.Ithaca, "paris:obj")()
+	})
+	c.Pool = transport.PoolConfig{MaxConns: 1}
+	defer c.Close()
+
+	stalled := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), "stall", nil)
+		stalled <- err
+	}()
+	<-arrived // the stalled stream is wedged server-side
+
+	// Siblings must complete while the stall persists; the deadline
+	// turns a head-of-line block into a clean failure, not a hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		resp, err := c.Call(ctx, "fetch", []byte("payload"))
+		if err != nil {
+			t.Fatalf("sibling fetch %d blocked behind a stalled stream: %v", i, err)
+		}
+		if string(resp) != "payload" {
+			t.Fatalf("sibling fetch %d = %q", i, resp)
+		}
+	}
+	close(release)
+	if err := <-stalled; err != nil {
+		t.Fatalf("stalled call after recovery: %v", err)
+	}
+	if got := atomic.LoadInt32(&dials); got != 1 {
+		t.Errorf("dialed %d conns, want 1 (siblings must interleave on the stalled stream's conn)", got)
+	}
+}
+
 // mustOID returns the single published OID in the world's home server.
 func mustOID(t *testing.T, w *deploy.World) globeid.OID {
 	t.Helper()
@@ -321,7 +393,14 @@ func TestChaosSameSeedReproducesFaultSchedule(t *testing.T) {
 		t.Skip("determinism replay skipped in -short mode")
 	}
 	run := func(seed int64) string {
-		w, _, _ := chaosWorld(t, seed)
+		// Pinned to wire-protocol v1: this test replays a byte-exact
+		// fault schedule, and v2's negotiation preamble and frame
+		// headers shift which bytes each seeded fault lands on. The
+		// multiplexed path gets its own chaos coverage elsewhere in
+		// this suite.
+		cfg := chaosConfig()
+		cfg.Version = transport.V1
+		w, _, _ := chaosWorldCfg(t, seed, cfg)
 		trace := w.Net.TraceFaults()
 		w.Net.SetFaults(netsim.Paris, netsim.Paris, netsim.FaultPlan{DropProb: 0.3, CorruptProb: 0.2})
 		client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})

@@ -19,11 +19,13 @@ import (
 // copy-pasted per main().
 
 // ClientFlags is the standard transport-robustness flag bundle:
-// dial/call timeouts and the per-RPC retry budget.
+// dial/call timeouts, the per-RPC retry budget, and the wire-protocol
+// version pin.
 type ClientFlags struct {
 	DialTimeout time.Duration
 	CallTimeout time.Duration
 	Retries     int
+	Version     int
 }
 
 // RegisterClientFlags registers the shared transport flags on fs (nil =
@@ -40,6 +42,8 @@ func RegisterClientFlags(fs *flag.FlagSet) *ClientFlags {
 		"per-RPC deadline, send through receive (0 = unbounded)")
 	fs.IntVar(&f.Retries, "retries", 3,
 		"attempts per RPC against a flaky replica (1 = no retry)")
+	fs.IntVar(&f.Version, "transport-version", 0,
+		"pin the wire protocol version: 0 = negotiate (prefer v2), 1 = classic v1 framing, 2 = require multiplexed v2")
 	return f
 }
 
@@ -49,6 +53,7 @@ func (f *ClientFlags) Config(tel *telemetry.Telemetry) transport.Config {
 		DialTimeout: f.DialTimeout,
 		CallTimeout: f.CallTimeout,
 		Telemetry:   tel,
+		Version:     byte(f.Version),
 	}
 	if f.Retries > 1 {
 		policy := transport.DefaultRetryPolicy()
@@ -62,10 +67,11 @@ func (f *ClientFlags) Config(tel *telemetry.Telemetry) transport.Config {
 // verified-content cache (size and signature-memo bounds, or disabled
 // entirely for ablation runs) and the binding-cache bound.
 type CacheFlags struct {
-	DisableVCache  bool
-	VCacheMaxBytes int64
-	VCacheMaxSigs  int
-	MaxBindings    int
+	DisableVCache     bool
+	DisableBatchFetch bool
+	VCacheMaxBytes    int64
+	VCacheMaxSigs     int
+	MaxBindings       int
 }
 
 // RegisterCacheFlags registers the shared caching flags on fs (nil =
@@ -78,6 +84,8 @@ func RegisterCacheFlags(fs *flag.FlagSet) *CacheFlags {
 	f := &CacheFlags{}
 	fs.BoolVar(&f.DisableVCache, "disable-vcache", false,
 		"disable the verified-content cache (every fetch re-transfers and re-verifies)")
+	fs.BoolVar(&f.DisableBatchFetch, "disable-batch-fetch", false,
+		"disable the batched GetElements exchange (whole-object fetches issue one RPC per element)")
 	fs.Int64Var(&f.VCacheMaxBytes, "vcache-max-bytes", 0,
 		"verified-content cache byte budget (0 = default 64 MiB)")
 	fs.IntVar(&f.VCacheMaxSigs, "vcache-max-signatures", 0,
@@ -97,6 +105,7 @@ func (f *CacheFlags) Apply(opts *core.Options) {
 			MaxSignatures: f.VCacheMaxSigs,
 		})
 	}
+	opts.DisableBatchFetch = f.DisableBatchFetch
 	opts.MaxBindings = f.MaxBindings
 }
 

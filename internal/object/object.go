@@ -40,6 +40,12 @@ const (
 	OpGetCert      = "obj.getcert"
 	OpGetNameCerts = "obj.getnamecerts"
 	OpGetElement   = "obj.getelement"
+	// OpGetElements returns many elements in one exchange — the batched
+	// fetch that lets a cold document ride one round trip over a
+	// multiplexed transport-v2 connection. Servers that predate it
+	// answer "unknown operation" and clients fall back to per-element
+	// calls.
+	OpGetElements  = "obj.getelements"
 	OpListElements = "obj.list"
 	OpVersion      = "obj.version"
 	OpPing         = "obj.ping"
@@ -120,6 +126,113 @@ func DecodeElement(body []byte) (document.Element, error) {
 		return document.Element{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
 	}
 	return e, nil
+}
+
+// maxBatchNames bounds how many element names one batch request may
+// carry — a defence against a malicious peer inflating allocations.
+const maxBatchNames = 1 << 16
+
+// EncodeElementsRequest encodes an (OID, element-name list, site-hint)
+// batch request.
+func EncodeElementsRequest(oid globeid.OID, names []string, fromSite string) []byte {
+	w := enc.NewWriter(globeid.Size + len(fromSite) + 16*(len(names)+1))
+	w.Raw(oid[:])
+	w.String(fromSite)
+	w.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+	}
+	return w.Bytes()
+}
+
+// DecodeElementsRequest decodes an (OID, element-name list, site-hint)
+// batch request.
+func DecodeElementsRequest(body []byte) (globeid.OID, []string, string, error) {
+	r := enc.NewReader(body)
+	var oid globeid.OID
+	copy(oid[:], r.Raw(globeid.Size))
+	fromSite := r.String()
+	n := r.Uvarint()
+	if n > maxBatchNames {
+		return globeid.Zero, nil, "", fmt.Errorf("%w: implausible batch size %d", ErrBadPayload, n)
+	}
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		names = append(names, r.String())
+	}
+	if err := r.Finish(); err != nil {
+		return globeid.Zero, nil, "", fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return oid, names, fromSite, nil
+}
+
+// BatchWireItem is one slot of an encoded batch response: the element's
+// already-encoded wire bytes, or the reason it could not be served.
+// Servers build these from their precomputed per-element payloads.
+type BatchWireItem struct {
+	Name   string
+	Wire   []byte // EncodeElement output; meaningful only when ErrMsg == ""
+	ErrMsg string
+}
+
+// BatchItem is one decoded slot of a batch response. Err is non-nil
+// when the server declined this element (unknown name, or the batch
+// overflowed the frame budget); the caller fetches such elements
+// individually.
+type BatchItem struct {
+	Name    string
+	Element document.Element
+	Err     error
+}
+
+// EncodeElementsResponse encodes a batch response. Items must be in
+// request order — clients verify the echo.
+func EncodeElementsResponse(items []BatchWireItem) []byte {
+	size := 16
+	for _, it := range items {
+		size += 16 + len(it.Name) + len(it.Wire) + len(it.ErrMsg)
+	}
+	w := enc.NewWriter(size)
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		w.String(it.Name)
+		if it.ErrMsg != "" {
+			w.Byte(1)
+			w.String(it.ErrMsg)
+		} else {
+			w.Byte(0)
+			w.BytesPrefixed(it.Wire)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeElementsResponse decodes a batch response.
+func DecodeElementsResponse(body []byte) ([]BatchItem, error) {
+	r := enc.NewReader(body)
+	n := r.Uvarint()
+	if n > maxBatchNames {
+		return nil, fmt.Errorf("%w: implausible batch size %d", ErrBadPayload, n)
+	}
+	items := make([]BatchItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var it BatchItem
+		it.Name = r.String()
+		if r.Byte() != 0 {
+			it.Err = fmt.Errorf("object: batch element %q: %s", it.Name, r.String())
+		} else {
+			e, err := DecodeElement(r.BytesPrefixed())
+			if err != nil {
+				return nil, err
+			}
+			it.Element = e
+		}
+		items = append(items, it)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return items, nil
 }
 
 // EncodeStringList encodes a list of strings.
@@ -246,6 +359,31 @@ func (c *Client) GetElement(ctx context.Context, name string) (document.Element,
 		return document.Element{}, err
 	}
 	return DecodeElement(body)
+}
+
+// GetElements fetches many elements' raw content in one exchange,
+// returned in request order. A per-item error means the server declined
+// that element (unknown name, or the batch outgrew the frame budget);
+// the caller fetches those individually. A server that predates the
+// batch operation fails the whole call with a RemoteError.
+func (c *Client) GetElements(ctx context.Context, names []string) ([]BatchItem, error) {
+	body, err := c.c.Call(ctx, OpGetElements, EncodeElementsRequest(c.oid, names, c.Site))
+	if err != nil {
+		return nil, err
+	}
+	items, err := DecodeElementsResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) != len(names) {
+		return nil, fmt.Errorf("%w: batch returned %d items for %d names", ErrBadPayload, len(items), len(names))
+	}
+	for i, it := range items {
+		if it.Name != names[i] {
+			return nil, fmt.Errorf("%w: batch item %d answers %q, want %q", ErrBadPayload, i, it.Name, names[i])
+		}
+	}
+	return items, nil
 }
 
 // ListElements fetches the element names of the object.

@@ -168,6 +168,7 @@ func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, lim
 	s.srv.Handle(object.OpGetCert, s.handleGetCert)
 	s.srv.Handle(object.OpGetNameCerts, s.handleGetNameCerts)
 	s.srv.Handle(object.OpGetElement, s.handleGetElement)
+	s.srv.Handle(object.OpGetElements, s.handleGetElements)
 	s.srv.Handle(object.OpListElements, s.handleListElements)
 	s.srv.Handle(object.OpVersion, s.handleVersion)
 	s.srv.Handle(object.OpGetBundle, s.handleGetBundle)
@@ -401,6 +402,53 @@ func (s *Server) handleGetElement(body []byte) ([]byte, error) {
 		obs(oid, name, fromSite)
 	}
 	return p.wire, nil
+}
+
+// handleGetElements serves a whole batch of elements from the replica's
+// precomputed wire payloads in one exchange. Items that cannot be
+// served — unknown names, or elements past the response frame budget —
+// are marked per item so the client fetches them individually;
+// per-element stats and the access observer fire exactly as they do for
+// serial fetches.
+func (s *Server) handleGetElements(body []byte) ([]byte, error) {
+	oid, names, fromSite, err := object.DecodeElementsRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	const budget = transport.MaxFrame - 64*1024 // headroom for item framing
+	items := make([]object.BatchWireItem, 0, len(names))
+	total := 0
+	for _, name := range names {
+		it := object.BatchWireItem{Name: name}
+		h.mu.RLock()
+		p, ok := h.wire.elements[name]
+		h.mu.RUnlock()
+		switch {
+		case !ok:
+			if _, derr := h.doc.Get(name); derr != nil {
+				it.ErrMsg = derr.Error()
+			} else {
+				it.ErrMsg = fmt.Sprintf("element %q has no precomputed payload", name)
+			}
+		case total+len(p.wire) > budget:
+			it.ErrMsg = "batch response frame budget exceeded; fetch element individually"
+		default:
+			it.Wire = p.wire
+			total += len(p.wire)
+			h.reads.Add(1)
+			s.statElementFetches.Add(1)
+			s.statBytesServed.Add(uint64(p.size))
+			if obs := s.AccessObserver; obs != nil {
+				obs(oid, name, fromSite)
+			}
+		}
+		items = append(items, it)
+	}
+	return object.EncodeElementsResponse(items), nil
 }
 
 func (s *Server) handleListElements(body []byte) ([]byte, error) {

@@ -118,6 +118,87 @@ func TestWireRebuiltOnUpdate(t *testing.T) {
 	}
 }
 
+func TestHandleGetElementsServesBatch(t *testing.T) {
+	s, oid, _ := newWireServer(t, 64)
+	names := []string{"index.html", "logo.png", "style.css"}
+	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, names, "paris"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := object.DecodeElementsResponse(resp)
+	if err != nil {
+		t.Fatalf("batch response does not decode: %v", err)
+	}
+	if len(items) != len(names) {
+		t.Fatalf("batch returned %d items, want %d", len(items), len(names))
+	}
+	for i, it := range items {
+		if it.Name != names[i] {
+			t.Fatalf("item %d = %q, want %q (order must match request)", i, it.Name, names[i])
+		}
+		if it.Err != nil {
+			t.Fatalf("item %q: %v", it.Name, it.Err)
+		}
+		if it.Element.Name != names[i] || len(it.Element.Data) != 64 {
+			t.Fatalf("item %q decoded to %q (%d bytes)", it.Name, it.Element.Name, len(it.Element.Data))
+		}
+	}
+	if got := s.Stats().BytesServed; got != 3*64 {
+		t.Fatalf("BytesServed = %d, want %d (per-element stats fire in batch)", got, 3*64)
+	}
+	if got := s.Stats().ElementFetches; got != 3 {
+		t.Fatalf("ElementFetches = %d, want 3", got)
+	}
+}
+
+func TestHandleGetElementsUnknownNameIsPerItem(t *testing.T) {
+	s, oid, _ := newWireServer(t, 64)
+	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, []string{"index.html", "missing.js"}, ""))
+	if err != nil {
+		t.Fatalf("a missing element must not fail the whole batch: %v", err)
+	}
+	items, err := object.DecodeElementsResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil {
+		t.Fatalf("known element errored: %v", items[0].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("unknown element returned no per-item error")
+	}
+}
+
+func TestHandleGetElementsBudgetOverflowMarksItems(t *testing.T) {
+	// Three 7 MiB elements cannot all fit under the ~16 MiB response
+	// frame budget: the overflowing tail must come back as per-item
+	// errors telling the client to fetch them individually, and its
+	// bytes must not count as served.
+	s, oid, _ := newWireServer(t, 7<<20)
+	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, []string{"index.html", "logo.png", "style.css"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := object.DecodeElementsResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, deferred := 0, 0
+	for _, it := range items {
+		if it.Err != nil {
+			deferred++
+		} else {
+			served++
+		}
+	}
+	if served != 2 || deferred != 1 {
+		t.Fatalf("served=%d deferred=%d, want 2 served and 1 deferred under the frame budget", served, deferred)
+	}
+	if got := s.Stats().ElementFetches; got != 2 {
+		t.Fatalf("ElementFetches = %d, want 2 (deferred items are not fetches)", got)
+	}
+}
+
 // TestGetCertZeroAllocs pins the satellite requirement: serving the
 // integrity-certificate table performs zero per-request allocations —
 // the marshalling happened once, at install/update time.

@@ -28,6 +28,15 @@ const (
 	MetricPoolIdleClosed = "transport_pool_idle_closed_total" // idle conns reaped past IdleTimeout
 	MetricPoolConns      = "transport_pool_conns"             // open pooled connections (gauge)
 
+	// Transport v2 multiplexing instruments (transport.Client/Server).
+	MetricStreamsOpened = "transport_streams_opened_total" // v2 streams opened
+	MetricStreamsActive = "transport_streams_active"       // in-flight v2 streams (gauge)
+	MetricNegotiations  = "transport_negotiations_total"   // {version} concluded version negotiations
+
+	// Batched element fetch instruments (core.Client).
+	MetricBatchFetches  = "batch_fetch_total"          // GetElements batch RPCs issued
+	MetricBatchElements = "batch_fetch_elements_total" // elements retrieved via batch RPCs
+
 	// Singleflight instruments (core.Client binding establishment).
 	MetricSingleflightShared = "binding_singleflight_shared_total" // fetches that joined another caller's pipeline run
 	MetricPipelineRuns       = "binding_pipeline_runs_total"       // full secure-binding pipeline executions
@@ -74,6 +83,13 @@ type Telemetry struct {
 	PoolReuse      *Counter
 	PoolIdleClosed *Counter
 	PoolConns      *Gauge
+	// Transport v2 multiplexing instruments.
+	StreamsOpened *Counter
+	StreamsActive *Gauge
+	Negotiations  *CounterVec // {version}
+	// Batched element fetch instruments (core.Client).
+	BatchFetches  *Counter
+	BatchElements *Counter
 	// Server-side RPC instruments (transport.Server).
 	RPCServed *CounterVec // {op,outcome}
 
@@ -123,6 +139,13 @@ func New(clk clock.Clock) *Telemetry {
 		PoolReuse:      reg.Counter(MetricPoolReuse),
 		PoolIdleClosed: reg.Counter(MetricPoolIdleClosed),
 		PoolConns:      reg.Gauge(MetricPoolConns),
+
+		StreamsOpened: reg.Counter(MetricStreamsOpened),
+		StreamsActive: reg.Gauge(MetricStreamsActive),
+		Negotiations:  reg.CounterVec(MetricNegotiations, "version"),
+
+		BatchFetches:  reg.Counter(MetricBatchFetches),
+		BatchElements: reg.Counter(MetricBatchElements),
 
 		BindingCacheHits:      reg.Counter(MetricBindingHits),
 		BindingCacheMisses:    reg.Counter(MetricBindingMisses),

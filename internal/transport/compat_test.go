@@ -1,0 +1,248 @@
+package transport_test
+
+// The v1/v2 compatibility matrix: every pairing of old and new clients
+// and servers must either interoperate (settling on the highest common
+// version, exactly once per connection) or fail fast with a permanent
+// version-mismatch error — and once a connection has negotiated, any
+// attempt to renegotiate mid-connection is refused by dropping the
+// connection, in both directions.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"globedoc/internal/telemetry"
+	"globedoc/internal/transport"
+)
+
+// rawPreamble is the 4-byte negotiation opener proposing v2, as raw
+// bytes (the tests below speak the wire format by hand).
+var rawPreamble = []byte{'G', 'D', 0xF2, 2}
+
+func TestCompatV1ClientNewServer(t *testing.T) {
+	// An old client never sends a preamble; a new server must serve it
+	// classic v1 frames without ever negotiating.
+	tel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Telemetry = tel
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	c := transport.NewClient(dial)
+	c.Version = transport.V1
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Call(context.Background(), "echo", []byte("classic"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp) != "classic" {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+	if got := tel.Negotiations.Total(); got != 0 {
+		t.Errorf("server negotiated %d times against a v1 client, want 0", got)
+	}
+}
+
+func TestCompatAutoClientOldServer(t *testing.T) {
+	// A pre-negotiation server reads the preamble as an oversized v1
+	// length header and hangs up. The auto client must latch the
+	// downgrade after that one wasted dial and speak v1 from then on.
+	tel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.DisableNegotiation = true
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn()).Configure(transport.Config{Telemetry: tel})
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		resp, err := c.Call(context.Background(), "echo", []byte("downgrade"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp) != "downgrade" {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+	// Dial 1 carried the refused preamble; dial 2 opened the v1 conn the
+	// remaining calls reuse. The latch means no further negotiation.
+	if got := cd.count.Load(); got != 2 {
+		t.Errorf("dialed %d conns against an old server, want 2 (one refused preamble + one pooled v1)", got)
+	}
+	if got := tel.Negotiations.With("fallback").Value(); got != 1 {
+		t.Errorf("negotiations{fallback} = %d, want 1", got)
+	}
+}
+
+func TestCompatAutoClientNewServer(t *testing.T) {
+	// Both sides speak v2: one negotiation, then every concurrent call
+	// multiplexes onto the single connection.
+	clientTel := telemetry.New(nil)
+	serverTel := telemetry.New(nil)
+	release := make(chan struct{})
+	arrived := make(chan struct{}, 16)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Telemetry = serverTel
+		s.Handle("park", func(b []byte) ([]byte, error) {
+			arrived <- struct{}{}
+			<-release
+			return []byte("ok"), nil
+		})
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn()).Configure(transport.Config{Telemetry: clientTel})
+	defer c.Close()
+
+	const calls = 8
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Call(context.Background(), "park", nil)
+		}(i)
+	}
+	for i := 0; i < calls; i++ {
+		<-arrived // all calls are in flight simultaneously
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := cd.count.Load(); got != 1 {
+		t.Errorf("%d concurrent calls dialed %d conns, want 1 (multiplexed)", calls, got)
+	}
+	if got := clientTel.Negotiations.With("v2").Value(); got != 1 {
+		t.Errorf("client negotiations{v2} = %d, want 1", got)
+	}
+	if got := serverTel.Negotiations.With("v2").Value(); got != 1 {
+		t.Errorf("server negotiations{v2} = %d, want 1", got)
+	}
+	if got := clientTel.StreamsOpened.Value(); got != calls {
+		t.Errorf("transport_streams_opened_total = %d, want %d", got, calls)
+	}
+}
+
+func TestCompatRequiredV2AgainstOldServerFailsPermanently(t *testing.T) {
+	dial := startServer(t, func(s *transport.Server) {
+		s.DisableNegotiation = true
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	c := transport.NewClient(dial)
+	c.Version = transport.V2
+	defer c.Close()
+	_, err := c.Call(context.Background(), "echo", nil)
+	if !errors.Is(err, transport.ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if transport.Retryable(err) {
+		t.Error("version mismatch must be permanent, not retryable")
+	}
+}
+
+func TestCompatServerCappedAtV1(t *testing.T) {
+	// A negotiation-aware server capped at v1 (MaxVersion): the auto
+	// client accepts the downgrade, latches it, and interoperates.
+	tel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.MaxVersion = transport.V1
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	cd := &countingDial{dial: dial}
+	c := transport.NewClient(cd.fn()).Configure(transport.Config{Telemetry: tel})
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := cd.count.Load(); got != 2 {
+		t.Errorf("dialed %d conns, want 2 (negotiated-down conn is replaced once, then pooled v1)", got)
+	}
+	if got := tel.Negotiations.With("v1").Value(); got != 1 {
+		t.Errorf("client negotiations{v1} = %d, want 1", got)
+	}
+}
+
+func TestCompatMidConnectionDowngradeRefusedByServer(t *testing.T) {
+	// After negotiating v2, a client re-sending the preamble is asking
+	// for a mid-connection downgrade; the server must drop the
+	// connection rather than renegotiate.
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(rawPreamble); err != nil {
+		t.Fatal(err)
+	}
+	accept := make([]byte, 4)
+	if _, err := io.ReadFull(conn, accept); err != nil {
+		t.Fatalf("reading accept: %v", err)
+	}
+	if accept[3] != 2 {
+		t.Fatalf("server agreed v%d, want v2", accept[3])
+	}
+	if _, err := conn.Write(rawPreamble); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("server answered %d bytes to a mid-connection renegotiation, want hangup", n)
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("server neither answered nor hung up on a mid-connection renegotiation")
+	}
+}
+
+func TestCompatMidConnectionDowngradeRefusedByClient(t *testing.T) {
+	// The mirror image: a server that negotiates v2 and then emits a
+	// preamble mid-stream (as if renegotiating) violates framing; the
+	// client must kill the connection and fail the in-flight call.
+	clientEnd, serverEnd := net.Pipe()
+	go func() {
+		pre := make([]byte, 4)
+		if _, err := io.ReadFull(serverEnd, pre); err != nil {
+			return
+		}
+		if _, err := serverEnd.Write(rawPreamble); err != nil { // accept v2
+			return
+		}
+		// Consume the request frame: length prefix, then body.
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(serverEnd, hdr); err != nil {
+			return
+		}
+		n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+		if _, err := io.ReadFull(serverEnd, make([]byte, n)); err != nil {
+			return
+		}
+		// "Renegotiate": raw preamble bytes where a response frame belongs.
+		serverEnd.Write(rawPreamble)
+	}()
+	c := transport.NewClient(func() (net.Conn, error) { return clientEnd, nil })
+	defer c.Close()
+	_, err := c.Call(context.Background(), "echo", []byte("x"))
+	if err == nil {
+		t.Fatal("call succeeded across a mid-connection renegotiation attempt")
+	}
+	if !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v, want the connection killed (ErrClosed)", err)
+	}
+}

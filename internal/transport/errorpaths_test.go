@@ -159,7 +159,12 @@ func TestCallErrorPaths(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			clientEnd, serverEnd := net.Pipe()
 			go tc.misbehave(t, serverEnd)
-			c := transport.NewClient(func() (net.Conn, error) { return clientEnd, nil }).Configure(tc.cfg)
+			// These peers hand-speak raw v1 frames: the client must be
+			// pinned to v1 so it does not open with a negotiation
+			// preamble they would misread as a gigantic length header.
+			cfg := tc.cfg
+			cfg.Version = transport.V1
+			c := transport.NewClient(func() (net.Conn, error) { return clientEnd, nil }).Configure(cfg)
 			defer c.Close()
 			_, err := c.Call(context.Background(), "echo", []byte("payload"))
 			if err == nil {

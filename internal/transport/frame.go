@@ -1,0 +1,177 @@
+package transport
+
+// Transport v2: negotiated, stream-multiplexed framing.
+//
+// A v2 connection opens with a 4-byte client preamble — the 3-byte magic
+// "GD\xF2" followed by the highest version the client speaks — answered
+// by a server accept of the same shape carrying the agreed version
+// (never above the proposal). After agreement, every frame is
+//
+//	uint32 length | type byte | flags byte | uint32 streamID | payload
+//
+// where length covers everything after itself. Requests and responses
+// from many concurrent calls interleave on one connection, matched by
+// stream ID; responses may arrive in any order. The flags byte is
+// reserved and must be zero.
+//
+// The magic's first byte (0x47) makes the preamble, read as a v1 length
+// header, decode to ~1.2 GiB — far above MaxFrame — so a pre-negotiation
+// v1 server deterministically rejects it and hangs up instead of
+// stalling. The client's fallback path keys on exactly that hangup.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol versions. V1 is the original length-prefixed one-call-per-
+// connection protocol; V2 adds the negotiated preamble and stream-
+// multiplexed frames.
+const (
+	V1 byte = 1
+	V2 byte = 2
+	// MaxSupportedVersion is the highest version this build speaks.
+	MaxSupportedVersion = V2
+)
+
+// Protocol-violation errors. ErrProtocol marks malformed v2 traffic (a
+// peer breaking framing rules); ErrVersionMismatch means negotiation
+// concluded the peer cannot speak a version the caller requires.
+var (
+	ErrProtocol        = errors.New("transport: protocol violation")
+	ErrVersionMismatch = errors.New("transport: peer cannot speak required protocol version")
+)
+
+// preambleLen is the size of both the client preamble and the server
+// accept: 3 magic bytes plus a version byte.
+const preambleLen = 4
+
+var preambleMagic = [3]byte{'G', 'D', 0xF2}
+
+// clientPreamble encodes the version-negotiation opener proposing
+// version v. The server accept has the same layout, so it doubles as
+// the accept encoder.
+func clientPreamble(v byte) []byte {
+	return []byte{preambleMagic[0], preambleMagic[1], preambleMagic[2], v}
+}
+
+// parsePreamble reports whether b is a well-formed negotiation preamble
+// (or accept) and extracts its version byte. A version of zero is not a
+// valid proposal, so such bytes fall through to v1 framing.
+func parsePreamble(b []byte) (version byte, ok bool) {
+	if len(b) != preambleLen {
+		return 0, false
+	}
+	if b[0] != preambleMagic[0] || b[1] != preambleMagic[1] || b[2] != preambleMagic[2] {
+		return 0, false
+	}
+	if b[3] < V1 {
+		return 0, false
+	}
+	return b[3], true
+}
+
+// parseAccept validates a server accept against the client's proposal:
+// it must be a well-formed preamble whose version does not exceed what
+// the client offered.
+func parseAccept(b []byte, proposed byte) (byte, error) {
+	v, ok := parsePreamble(b)
+	if !ok {
+		return 0, fmt.Errorf("%w: malformed negotiation accept % x", ErrProtocol, b)
+	}
+	if v > proposed {
+		return 0, fmt.Errorf("%w: server accepted version %d above proposal %d", ErrProtocol, v, proposed)
+	}
+	return v, nil
+}
+
+// versionLabel renders a version byte as a telemetry label.
+func versionLabel(v byte) string {
+	switch v {
+	case V1:
+		return "v1"
+	case V2:
+		return "v2"
+	}
+	return strconv.Itoa(int(v))
+}
+
+// v2 frame types. Anything else is a protocol violation and drops the
+// connection.
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+)
+
+// v2FrameOverhead is the fixed header inside a v2 frame's length-
+// delimited body: type, flags and stream ID.
+const v2FrameOverhead = 6
+
+// v2Frame is one parsed multiplexed frame.
+type v2Frame struct {
+	Type     byte
+	Flags    byte
+	StreamID uint32
+	Payload  []byte
+}
+
+// writeV2Frame sends one v2 frame with a single Write call, so the
+// network simulator charges one latency per frame.
+func writeV2Frame(w io.Writer, f v2Frame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+v2FrameOverhead+len(f.Payload))
+	binary.BigEndian.PutUint32(buf, uint32(v2FrameOverhead+len(f.Payload)))
+	buf[4] = f.Type
+	buf[5] = f.Flags
+	binary.BigEndian.PutUint32(buf[6:], f.StreamID)
+	copy(buf[10:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readV2Frame receives and validates one v2 frame.
+func readV2Frame(r io.Reader) (v2Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return v2Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame+v2FrameOverhead {
+		return v2Frame{}, ErrFrameTooLarge
+	}
+	if n < v2FrameOverhead {
+		return v2Frame{}, fmt.Errorf("%w: v2 frame length %d below header size", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return v2Frame{}, err
+	}
+	return parseV2Frame(body)
+}
+
+// parseV2Frame decodes a frame body (everything after the length
+// prefix), enforcing the framing invariants an untrusted peer might
+// break: known type, zero flags, complete header.
+func parseV2Frame(body []byte) (v2Frame, error) {
+	if len(body) < v2FrameOverhead {
+		return v2Frame{}, fmt.Errorf("%w: truncated v2 frame header (%d bytes)", ErrProtocol, len(body))
+	}
+	f := v2Frame{
+		Type:     body[0],
+		Flags:    body[1],
+		StreamID: binary.BigEndian.Uint32(body[2:6]),
+		Payload:  body[6:],
+	}
+	if f.Type != frameRequest && f.Type != frameResponse {
+		return v2Frame{}, fmt.Errorf("%w: unknown v2 frame type 0x%02x", ErrProtocol, f.Type)
+	}
+	if f.Flags != 0 {
+		return v2Frame{}, fmt.Errorf("%w: reserved v2 flag bits 0x%02x set", ErrProtocol, f.Flags)
+	}
+	return f, nil
+}

@@ -1,0 +1,107 @@
+package transport
+
+// Fuzz targets for the v2 wire surface an untrusted peer controls: the
+// multiplexed frame decoder and the version-negotiation preamble parser.
+// Both are driven from raw bytes exactly as they arrive off a
+// connection; the properties checked are memory-safety (no panics, no
+// unbounded allocation) and encode/decode round-trip consistency.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func FuzzFrameDecode(f *testing.F) {
+	// Well-formed request and response frames, and the classic traps:
+	// truncated header, unknown type, reserved flags, huge length.
+	ok := func(t byte, id uint32, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeV2Frame(&buf, v2Frame{Type: t, StreamID: id, Payload: payload}); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(ok(frameRequest, 1, []byte("hello")))
+	f.Add(ok(frameResponse, 0xFFFFFFFF, nil))
+	f.Add([]byte{0, 0, 0, 3, 1, 0, 0})             // length below header size
+	f.Add([]byte{0, 0, 0, 6, 9, 0, 0, 0, 0, 1})    // unknown frame type
+	f.Add([]byte{0, 0, 0, 6, 1, 0x80, 0, 0, 0, 1}) // reserved flags set
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})          // absurd length prefix
+	f.Add([]byte("GD\xF2\x02"))                    // a preamble is not a frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readV2Frame(bytes.NewReader(data))
+		if err != nil {
+			// Every rejection must be a typed error, never a panic; the
+			// only acceptable classes are framing violations, size bounds
+			// and plain truncation.
+			if !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("readV2Frame(%x) = unexpected error class %v", data, err)
+			}
+			return
+		}
+		// Decoded frames obey the invariants the mux relies on...
+		if fr.Type != frameRequest && fr.Type != frameResponse {
+			t.Fatalf("accepted frame with type 0x%02x", fr.Type)
+		}
+		if fr.Flags != 0 {
+			t.Fatalf("accepted frame with reserved flags 0x%02x", fr.Flags)
+		}
+		if len(fr.Payload) > MaxFrame {
+			t.Fatalf("accepted %d-byte payload above MaxFrame", len(fr.Payload))
+		}
+		// ...and round-trip: re-encoding reproduces the consumed bytes.
+		var buf bytes.Buffer
+		if err := writeV2Frame(&buf, fr); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		consumed := 4 + binary.BigEndian.Uint32(data[:4])
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatalf("round-trip mismatch:\n in %x\nout %x", data[:consumed], buf.Bytes())
+		}
+	})
+}
+
+func FuzzVersionNegotiation(f *testing.F) {
+	f.Add([]byte("GD\xF2\x01"), byte(2))
+	f.Add([]byte("GD\xF2\x02"), byte(2))
+	f.Add([]byte("GD\xF2\x00"), byte(2)) // version zero is not negotiable
+	f.Add([]byte("GD\xF3\x02"), byte(2)) // wrong magic
+	f.Add([]byte("GET "), byte(2))       // an HTTP client, say
+	f.Add([]byte{}, byte(1))
+	f.Add([]byte("GD\xF2\x7F"), byte(2)) // accept above proposal
+
+	f.Fuzz(func(t *testing.T, raw []byte, proposed byte) {
+		v, ok := parsePreamble(raw)
+		if ok {
+			if len(raw) != preambleLen || raw[0] != preambleMagic[0] || raw[1] != preambleMagic[1] || raw[2] != preambleMagic[2] {
+				t.Fatalf("parsePreamble accepted non-preamble bytes %x", raw)
+			}
+			if v < V1 {
+				t.Fatalf("parsePreamble accepted invalid version %d", v)
+			}
+			// Round-trip: re-encoding the parsed version reproduces raw.
+			if !bytes.Equal(clientPreamble(v), raw) {
+				t.Fatalf("preamble round-trip mismatch: %x -> v%d -> %x", raw, v, clientPreamble(v))
+			}
+		}
+		agreed, err := parseAccept(raw, proposed)
+		if err == nil {
+			if !ok {
+				t.Fatalf("parseAccept accepted bytes parsePreamble rejects: %x", raw)
+			}
+			if agreed > proposed {
+				t.Fatalf("parseAccept agreed on version %d above proposal %d", agreed, proposed)
+			}
+			if agreed < V1 {
+				t.Fatalf("parseAccept agreed on invalid version %d", agreed)
+			}
+		} else if !errors.Is(err, ErrProtocol) {
+			t.Fatalf("parseAccept(%x, %d) = unexpected error class %v", raw, proposed, err)
+		}
+	})
+}

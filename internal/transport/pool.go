@@ -26,6 +26,11 @@ type PoolConfig struct {
 	// sat unused longer than this. Reaping is lazy: a stale conn is
 	// closed when a call would otherwise reuse it.
 	IdleTimeout time.Duration
+	// StreamBudget bounds concurrent streams per negotiated-v2
+	// connection (0 = DefaultStreamBudget). It replaces the v1
+	// one-call-per-connection rule: a v2 client carries up to
+	// MaxConns × StreamBudget calls in flight. Ignored for v1 conns.
+	StreamBudget int
 }
 
 func (p PoolConfig) maxConns() int {
@@ -33,6 +38,13 @@ func (p PoolConfig) maxConns() int {
 		return p.MaxConns
 	}
 	return DefaultMaxConns
+}
+
+func (p PoolConfig) streamBudget() int {
+	if p.StreamBudget > 0 {
+		return p.StreamBudget
+	}
+	return DefaultStreamBudget
 }
 
 func (p PoolConfig) maxIdle() int {
@@ -180,7 +192,9 @@ func (c *Client) dialContext(ctx context.Context) (net.Conn, error) {
 
 // Close closes every idle pooled connection and marks the client closed:
 // in-flight calls finish, but their connections are closed on return
-// instead of being pooled. A later Call reopens the pool.
+// instead of being pooled. Multiplexed conns with streams in flight
+// drain — the last stream to finish closes them. A later Call reopens
+// the pool.
 func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
@@ -192,22 +206,66 @@ func (c *Client) Close() {
 		ic.conn.Close()
 		tel.PoolConns.Add(-1)
 	}
+	c.muxMu.Lock()
+	mconns := c.muxConns
+	c.muxConns = nil
+	c.muxWakeLocked()
+	c.muxMu.Unlock()
+	for _, mc := range mconns {
+		mc.mu.Lock()
+		if mc.dead {
+			mc.mu.Unlock()
+			continue
+		}
+		if mc.inflight > 0 {
+			mc.draining = true
+			mc.mu.Unlock()
+			continue
+		}
+		mc.dead = true
+		mc.deadErr = ErrClosed
+		mc.mu.Unlock()
+		mc.conn.Close()
+		tel.PoolConns.Add(-1)
+	}
 }
 
-// ConnsInUse reports how many calls currently hold a connection — a
-// test and debugging aid.
+// ConnsInUse reports how many connections are currently serving calls —
+// a test and debugging aid. For v1 that is one per in-flight call; a
+// multiplexed conn counts once however many streams it carries.
 func (c *Client) ConnsInUse() int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.slots == nil {
-		return 0
+	n := 0
+	if c.slots != nil {
+		n = len(c.slots)
 	}
-	return len(c.slots)
+	c.mu.Unlock()
+	c.muxMu.Lock()
+	for _, mc := range c.muxConns {
+		mc.mu.Lock()
+		if !mc.dead && mc.inflight > 0 {
+			n++
+		}
+		mc.mu.Unlock()
+	}
+	c.muxMu.Unlock()
+	return n
 }
 
-// IdleConns reports how many warm connections are parked in the pool.
+// IdleConns reports how many warm connections are parked for reuse:
+// v1 pooled conns plus multiplexed conns with no streams in flight.
 func (c *Client) IdleConns() int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.idle)
+	n := len(c.idle)
+	c.mu.Unlock()
+	c.muxMu.Lock()
+	for _, mc := range c.muxConns {
+		mc.mu.Lock()
+		if !mc.dead && mc.inflight == 0 {
+			n++
+		}
+		mc.mu.Unlock()
+	}
+	c.muxMu.Unlock()
+	return n
 }

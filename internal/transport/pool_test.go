@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"globedoc/internal/clock"
 	"globedoc/internal/transport"
 )
 
@@ -23,6 +24,23 @@ func (d *countingDial) fn() transport.DialFunc {
 		d.count.Add(1)
 		return d.dial()
 	}
+}
+
+// parkingServer starts a server whose "park" handler signals arrival on
+// the returned channel and then blocks until release is closed — the
+// deterministic replacement for sleep-and-poll synchronisation.
+func parkingServer(t *testing.T, release <-chan struct{}) (transport.DialFunc, <-chan struct{}) {
+	t.Helper()
+	arrived := make(chan struct{}, 64)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("park", func(body []byte) ([]byte, error) {
+			arrived <- struct{}{}
+			<-release
+			return nil, nil
+		})
+		s.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong"), nil })
+	})
+	return dial, arrived
 }
 
 func TestPoolReusesIdleConnection(t *testing.T) {
@@ -51,17 +69,15 @@ func TestPoolReusesIdleConnection(t *testing.T) {
 
 func TestPoolBoundsConcurrentConnections(t *testing.T) {
 	// Handlers park until released so all in-flight calls overlap; the
-	// pool must never open more than MaxConns connections.
+	// pool must never open more than MaxConns connections. Pinned to v1
+	// (one call per conn) — the v2 stream budget has its own bounds
+	// test in mux_test.go.
 	release := make(chan struct{})
-	dial := startServer(t, func(s *transport.Server) {
-		s.Handle("park", func(body []byte) ([]byte, error) {
-			<-release
-			return nil, nil
-		})
-	})
+	dial, arrived := parkingServer(t, release)
 	cd := &countingDial{dial: dial}
 	c := transport.NewClient(cd.fn())
 	c.Pool = transport.PoolConfig{MaxConns: 3}
+	c.Version = transport.V1
 	defer c.Close()
 
 	const calls = 12
@@ -75,9 +91,8 @@ func TestPoolBoundsConcurrentConnections(t *testing.T) {
 		}(i)
 	}
 	// Let the first wave occupy every slot, then drain.
-	deadline := time.Now().Add(5 * time.Second)
-	for c.ConnsInUse() < 3 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		<-arrived
 	}
 	close(release)
 	wg.Wait()
@@ -96,14 +111,16 @@ func TestPoolIdleTimeoutReapsStaleConns(t *testing.T) {
 		s.Handle("ping", func(body []byte) ([]byte, error) { return nil, nil })
 	})
 	cd := &countingDial{dial: dial}
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
 	c := transport.NewClient(cd.fn())
 	c.Pool = transport.PoolConfig{IdleTimeout: 10 * time.Millisecond}
+	c.Clock = clk
 	defer c.Close()
 
 	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	clk.Advance(30 * time.Millisecond)
 	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -135,28 +152,22 @@ func TestPoolNegativeMaxIdleDisablesPooling(t *testing.T) {
 }
 
 func TestPoolSlotWaitCancelledByContext(t *testing.T) {
+	// v1 semantics: one call per conn, so with MaxConns=1 a second call
+	// waits for the slot and must honour ctx while waiting. (A v2
+	// client would multiplex the second call onto the same conn; the
+	// stream-saturation wait has its own test in mux_test.go.)
 	release := make(chan struct{})
 	defer close(release)
-	dial := startServer(t, func(s *transport.Server) {
-		s.Handle("park", func(body []byte) ([]byte, error) {
-			<-release
-			return nil, nil
-		})
-	})
+	dial, arrived := parkingServer(t, release)
 	c := transport.NewClient(dial)
 	c.Pool = transport.PoolConfig{MaxConns: 1}
+	c.Version = transport.V1
 	defer c.Close()
 
-	started := make(chan struct{})
 	go func() {
-		close(started)
-		c.Call(context.Background(), "park", nil)
+		_, _ = c.Call(context.Background(), "park", nil)
 	}()
-	<-started
-	deadline := time.Now().Add(5 * time.Second)
-	for c.ConnsInUse() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	<-arrived // the parked call owns the only slot
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
@@ -169,12 +180,7 @@ func TestPoolSlotWaitCancelledByContext(t *testing.T) {
 func TestCallContextCancelInFlight(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	dial := startServer(t, func(s *transport.Server) {
-		s.Handle("park", func(body []byte) ([]byte, error) {
-			<-release
-			return nil, nil
-		})
-	})
+	dial, arrived := parkingServer(t, release)
 	c := transport.NewClient(dial)
 	defer c.Close()
 
@@ -184,7 +190,7 @@ func TestCallContextCancelInFlight(t *testing.T) {
 		_, err := c.Call(ctx, "park", nil)
 		done <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	<-arrived // the request reached the handler; cancel it in flight
 	cancel()
 	select {
 	case err := <-done:
@@ -198,12 +204,7 @@ func TestCallContextCancelInFlight(t *testing.T) {
 
 func TestCloseWhileInFlightDoesNotLeakConns(t *testing.T) {
 	release := make(chan struct{})
-	dial := startServer(t, func(s *transport.Server) {
-		s.Handle("park", func(body []byte) ([]byte, error) {
-			<-release
-			return nil, nil
-		})
-	})
+	dial, arrived := parkingServer(t, release)
 	c := transport.NewClient(dial)
 	defer c.Close()
 
@@ -212,10 +213,7 @@ func TestCloseWhileInFlightDoesNotLeakConns(t *testing.T) {
 		_, err := c.Call(context.Background(), "park", nil)
 		done <- err
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for c.ConnsInUse() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	<-arrived // the call is in flight on its conn
 	c.Close()
 	close(release)
 	if err := <-done; err != nil {
@@ -228,9 +226,9 @@ func TestCloseWhileInFlightDoesNotLeakConns(t *testing.T) {
 }
 
 func TestPoolConnNotPoisonedAfterContextTimeout(t *testing.T) {
-	// A call that times out poisons its connection (discarded); the next
-	// call must succeed on a fresh conn, and a successful call must not
-	// leave a stale deadline armed on the pooled conn.
+	// A v1 call that times out poisons its connection (discarded); the
+	// next call must succeed on a fresh conn, and a successful call
+	// must not leave a stale deadline armed on the pooled conn.
 	slow := make(chan struct{})
 	dial := startServer(t, func(s *transport.Server) {
 		s.Handle("slow", func(body []byte) ([]byte, error) {
@@ -240,6 +238,7 @@ func TestPoolConnNotPoisonedAfterContextTimeout(t *testing.T) {
 		s.Handle("ping", func(body []byte) ([]byte, error) { return []byte("pong"), nil })
 	})
 	c := transport.NewClient(dial)
+	c.Version = transport.V1 // v1 arms real conn deadlines; v2 streams never touch read deadlines
 	defer c.Close()
 	defer close(slow)
 
@@ -253,6 +252,9 @@ func TestPoolConnNotPoisonedAfterContextTimeout(t *testing.T) {
 		t.Fatalf("call after timeout: %v", err)
 	}
 	// Reused pooled conn: still healthy long after the earlier deadline.
+	// This wait must be real time — conn deadlines live in the kernel's
+	// clock, not the injectable one — and only needs to outlast the
+	// 30ms deadline armed above, so it cannot flake, only detect.
 	time.Sleep(50 * time.Millisecond)
 	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatalf("reused-conn call: %v", err)

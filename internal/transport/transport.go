@@ -72,7 +72,15 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	return readFrameBody(r, hdr[:])
+}
+
+// readFrameBody receives the payload of a v1 frame whose 4-byte length
+// header has already been consumed — the server peeks the first bytes
+// of every connection to detect the v2 negotiation preamble and hands
+// the header here when the peer turned out to speak v1.
+func readFrameBody(r io.Reader, hdr []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
@@ -132,13 +140,32 @@ func decodeResponse(op string, payload []byte) ([]byte, error) {
 // are transported to the caller as RemoteError.
 type Handler func(body []byte) ([]byte, error)
 
+// DefaultServerStreams bounds concurrently executing handlers per v2
+// connection when Server.StreamLimit is zero.
+const DefaultServerStreams = 64
+
 // Server dispatches framed requests to registered handlers.
 type Server struct {
 	// IdleTimeout, when positive, bounds how long a connection may sit
 	// between frames (and how long a response write may take) before the
 	// server drops it — a defence against stalled or half-dead peers
-	// pinning goroutines forever. Set before Serve.
+	// pinning goroutines forever. A v2 connection with streams in flight
+	// is not idle: the timer only runs while no handler is active. Set
+	// before Serve.
 	IdleTimeout time.Duration
+	// MaxVersion caps the protocol version the server will negotiate
+	// (0 = MaxSupportedVersion). V1 yields a negotiation-aware server
+	// that still refuses multiplexing. Set before Serve.
+	MaxVersion byte
+	// DisableNegotiation makes the server behave like a pre-v2 build:
+	// the preamble is read as an oversized v1 length header and the
+	// connection dropped. Compatibility tests use it to stand in for old
+	// deployments. Set before Serve.
+	DisableNegotiation bool
+	// StreamLimit bounds concurrently executing handlers per v2
+	// connection (0 = DefaultServerStreams); excess frames wait in the
+	// read loop, applying backpressure. Set before Serve.
+	StreamLimit int
 	// Telemetry records per-operation serve counts and spans; nil falls
 	// back to the process-wide telemetry.Default(). Set before Serve.
 	Telemetry *telemetry.Telemetry
@@ -216,54 +243,187 @@ func (s *Server) clock() clock.Clock {
 	return clock.Real
 }
 
+// maxVersion returns the highest protocol version this server will
+// agree to.
+func (s *Server) maxVersion() byte {
+	if s.MaxVersion >= V1 {
+		return s.MaxVersion
+	}
+	return MaxSupportedVersion
+}
+
+// serveConn peeks the connection's first four bytes: a negotiation
+// preamble selects the agreed protocol version, anything else is the
+// length header of a classic v1 frame.
 func (s *Server) serveConn(conn net.Conn) {
 	s.conns.Store(conn, struct{}{})
 	defer s.conns.Delete(conn)
 	defer conn.Close()
-	for {
-		if s.IdleTimeout > 0 {
-			// A failed SetDeadline means the conn is already dead; an
-			// unarmed idle timeout must not pin this goroutine forever.
-			if err := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); err != nil {
-				return
-			}
-		}
-		payload, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		op, body, err := decodeRequest(payload)
-		var respBody []byte
-		if err == nil {
-			s.mu.RLock()
-			h, ok := s.handlers[op]
-			s.mu.RUnlock()
-			if !ok {
-				err = fmt.Errorf("unknown operation %q", op)
-			} else {
-				s.Requests.Add(1)
-				tel := telemetry.Or(s.Telemetry)
-				sp := tel.Tracer.StartSpan("rpc.serve")
-				sp.Annotate("op", op)
-				respBody, err = h(body)
-				outcome := "ok"
-				if err != nil {
-					outcome = "error"
-				}
-				sp.Annotate("outcome", outcome)
-				sp.End()
-				tel.RPCServed.With(op, outcome).Inc()
-			}
-		}
-		if s.IdleTimeout > 0 {
-			if err := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); err != nil {
-				return
-			}
-		}
-		if werr := writeFrame(conn, encodeResponse(respBody, err)); werr != nil {
+	if s.IdleTimeout > 0 {
+		// A failed SetDeadline means the conn is already dead; an
+		// unarmed idle timeout must not pin this goroutine forever.
+		if err := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); err != nil {
 			return
 		}
 	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	if !s.DisableNegotiation {
+		if proposed, ok := parsePreamble(hdr[:]); ok {
+			agreed := s.maxVersion()
+			if proposed < agreed {
+				agreed = proposed
+			}
+			if _, err := conn.Write(clientPreamble(agreed)); err != nil {
+				return
+			}
+			telemetry.Or(s.Telemetry).Negotiations.With(versionLabel(agreed)).Inc()
+			if agreed >= V2 {
+				s.serveV2(conn)
+			} else {
+				s.serveV1(conn, nil)
+			}
+			return
+		}
+	}
+	s.serveV1(conn, hdr[:])
+}
+
+// serveV1 runs the classic one-call-at-a-time loop. preread, when
+// non-nil, is the already-consumed length header of the first frame.
+func (s *Server) serveV1(conn net.Conn, preread []byte) {
+	for {
+		var payload []byte
+		var err error
+		if preread != nil {
+			// The idle deadline for this first frame was armed before
+			// the header was peeked.
+			payload, err = readFrameBody(conn, preread)
+			preread = nil
+		} else {
+			if s.IdleTimeout > 0 {
+				if derr := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); derr != nil {
+					return
+				}
+			}
+			payload, err = readFrame(conn)
+		}
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(payload)
+		if s.IdleTimeout > 0 {
+			if derr := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); derr != nil {
+				return
+			}
+		}
+		if werr := writeFrame(conn, resp); werr != nil {
+			return
+		}
+	}
+}
+
+// serveV2 runs the multiplexed loop: each request frame is handled on
+// its own goroutine and answered on the stream it arrived on, so one
+// slow handler never blocks responses for its siblings. Any frame that
+// is not a well-formed request — including a re-sent negotiation
+// preamble attempting a mid-connection downgrade — drops the
+// connection.
+func (s *Server) serveV2(conn net.Conn) {
+	if s.IdleTimeout > 0 {
+		// Clear the negotiation deadline; from here on reads and writes
+		// are armed separately so a parked handler on one stream cannot
+		// leave a stale deadline that kills sibling traffic.
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return
+		}
+	}
+	limit := s.StreamLimit
+	if limit <= 0 {
+		limit = DefaultServerStreams
+	}
+	sem := make(chan struct{}, limit)
+	var (
+		wmu    sync.Mutex
+		active atomic.Int64
+		wg     sync.WaitGroup
+	)
+	defer wg.Wait()
+	for {
+		if s.IdleTimeout > 0 {
+			var deadline time.Time // zero: no idle reaping while streams are active
+			if active.Load() == 0 {
+				deadline = s.clock().Now().Add(s.IdleTimeout)
+			}
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return
+			}
+		}
+		f, err := readV2Frame(conn)
+		if err != nil {
+			return
+		}
+		if f.Type != frameRequest {
+			return
+		}
+		sem <- struct{}{} // backpressure: bound concurrent handlers
+		active.Add(1)
+		wg.Add(1)
+		go func(f v2Frame) {
+			defer wg.Done()
+			resp := s.dispatch(f.Payload)
+			wmu.Lock()
+			var werr error
+			if s.IdleTimeout > 0 {
+				werr = conn.SetWriteDeadline(s.clock().Now().Add(s.IdleTimeout))
+			}
+			if werr == nil {
+				werr = writeV2Frame(conn, v2Frame{Type: frameResponse, StreamID: f.StreamID, Payload: resp})
+			}
+			wmu.Unlock()
+			if active.Add(-1) == 0 && s.IdleTimeout > 0 && werr == nil {
+				// The conn just quiesced: restart the idle clock under
+				// the blocked read loop (SetReadDeadline takes effect on
+				// an in-progress Read).
+				werr = conn.SetReadDeadline(s.clock().Now().Add(s.IdleTimeout))
+			}
+			<-sem
+			if werr != nil {
+				conn.Close() // unblocks the read loop; conn is unusable
+			}
+		}(f)
+	}
+}
+
+// dispatch decodes one request payload, runs its handler and returns
+// the encoded response. Shared by the v1 loop and every v2 stream.
+func (s *Server) dispatch(payload []byte) []byte {
+	op, body, err := decodeRequest(payload)
+	var respBody []byte
+	if err == nil {
+		s.mu.RLock()
+		h, ok := s.handlers[op]
+		s.mu.RUnlock()
+		if !ok {
+			err = fmt.Errorf("unknown operation %q", op)
+		} else {
+			s.Requests.Add(1)
+			tel := telemetry.Or(s.Telemetry)
+			sp := tel.Tracer.StartSpan("rpc.serve")
+			sp.Annotate("op", op)
+			respBody, err = h(body)
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			sp.Annotate("outcome", outcome)
+			sp.End()
+			tel.RPCServed.With(op, outcome).Inc()
+		}
+	}
+	return encodeResponse(respBody, err)
 }
 
 // Close stops accepting connections on all listeners passed to Serve,
@@ -315,11 +475,24 @@ type Client struct {
 	// checks (nil = real clock). Tests inject a fake so deadline and
 	// reaping behaviour replays deterministically.
 	Clock clock.Clock
+	// Version pins the wire protocol: 0 negotiates on first contact
+	// (preferring v2, falling back to v1 against pre-negotiation
+	// servers), V1 forces classic framing with no preamble, V2 refuses
+	// peers that cannot speak v2. The negotiation outcome is latched for
+	// the client's lifetime. Set before the first call.
+	Version byte
 
 	mu     sync.Mutex
 	slots  chan struct{} // in-flight call permits; cap latched on first use
 	idle   []idleConn    // LIFO stack of warm connections
 	closed bool          // set by Close; cleared by the next acquire
+
+	// v2 multiplexing state (see mux.go).
+	peerVersion atomic.Uint32 // latched negotiation outcome (0 = unknown)
+	muxMu       sync.Mutex
+	muxConns    []*muxConn    // live negotiated-v2 connections
+	muxDialing  int           // dials in flight, counted against MaxConns
+	muxNotify   chan struct{} // closed+replaced when stream capacity frees up
 
 	// BytesSent and BytesReceived count frame payload bytes, used by the
 	// benchmark harness to report protocol overhead.
@@ -345,6 +518,7 @@ func (c *Client) Configure(cfg Config) *Client {
 	c.Retry = cfg.Retry
 	c.Telemetry = cfg.Telemetry
 	c.Pool = cfg.Pool
+	c.Version = cfg.Version
 	return c
 }
 
@@ -359,6 +533,9 @@ type Config struct {
 	Retry       *RetryPolicy
 	Telemetry   *telemetry.Telemetry
 	Pool        PoolConfig
+	// Version pins the wire protocol (see Client.Version): 0 negotiates
+	// preferring v2, V1 forces classic framing, V2 requires v2.
+	Version byte
 }
 
 // Call sends op with body and waits for the response. ctx cancellation
@@ -433,12 +610,37 @@ func (c *Client) CallNoCtx(op string, body []byte) ([]byte, error) {
 	return c.Call(context.Background(), op, body)
 }
 
-// attempt performs one complete call attempt: check a connection out of
-// the pool (dialling if necessary), exchange one frame pair, and return
-// the connection. Transport-level failures discard the connection so a
-// retry dials fresh; remote errors keep it warm. reused reports whether
-// the attempt ran on a pooled (possibly stale) connection.
+// attempt routes one call attempt to the negotiated protocol: v2
+// multiplexed streams by default, classic v1 framing when pinned or
+// when negotiation latched a v1-only peer. A fallback discovered
+// mid-dial re-routes the same attempt through the v1 path.
 func (c *Client) attempt(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
+	if !c.useV1() {
+		resp, reused, err = c.attemptMux(ctx, op, body)
+		if !errors.Is(err, errFellBackToV1) {
+			return resp, reused, err
+		}
+	}
+	return c.attemptV1(ctx, op, body)
+}
+
+// useV1 reports whether calls must speak classic v1 framing: either the
+// client is pinned to V1, or auto-negotiation already learned the peer
+// cannot speak v2.
+func (c *Client) useV1() bool {
+	if c.Version == V1 {
+		return true
+	}
+	return c.Version != V2 && byte(c.peerVersion.Load()) == V1
+}
+
+// attemptV1 performs one complete v1 call attempt: check a connection
+// out of the pool (dialling if necessary), exchange one frame pair, and
+// return the connection. Transport-level failures discard the
+// connection so a retry dials fresh; remote errors keep it warm. reused
+// reports whether the attempt ran on a pooled (possibly stale)
+// connection.
+func (c *Client) attemptV1(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
 	conn, reused, err := c.acquire(ctx)
 	if err != nil {
 		return nil, false, err

@@ -104,6 +104,23 @@ func CompositeDoc(imageSize int, seed uint64) *document.Document {
 	return d
 }
 
+// WideDoc builds a multiplex-experiment object: n equally sized
+// elements named el-00.bin, el-01.bin, … — wide enough that the number
+// of element round trips, not any single transfer, dominates a cold
+// whole-object fetch.
+func WideDoc(n, size int, seed uint64) *document.Document {
+	r := NewRand(seed)
+	d := document.New()
+	for i := 0; i < n; i++ {
+		d.Put(document.Element{
+			Name:        fmt.Sprintf("el-%02d.bin", i),
+			ContentType: "application/octet-stream",
+			Data:        r.Bytes(size),
+		})
+	}
+	return d
+}
+
 // FlashCrowd generates an access trace with a background request rate
 // from backgroundSite and a sudden spike from spikeSite: the scalability
 // scenario of the paper's introduction.

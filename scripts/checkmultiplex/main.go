@@ -1,0 +1,76 @@
+// Command checkmultiplex validates the batched-element-fetch acceptance
+// properties of a globedoc-bench/1 report: a cold wide-object fetch over
+// the multiplexed v2 transport must cost at most the given multiple of a
+// cold single-element fetch, the batch path must actually have carried
+// every element (one GetElements exchange per sample), and the
+// serial-RPC ablation must have fetched byte-identical content. Used by
+// scripts/multiplex_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkmultiplex <report.json> <max-batch-ratio>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkmultiplex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, maxRatioArg string) error {
+	maxRatio, err := strconv.ParseFloat(maxRatioArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad max-batch-ratio %q: %w", maxRatioArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	m := report.Multiplex
+	if m == nil {
+		return fmt.Errorf("report has no multiplex experiment")
+	}
+	if m.SingleCold.Ops == 0 || m.BatchCold.Ops == 0 || m.SerialCold.Ops == 0 {
+		return fmt.Errorf("missing phase samples: single=%d batch=%d serial=%d",
+			m.SingleCold.Ops, m.BatchCold.Ops, m.SerialCold.Ops)
+	}
+	if m.BatchRatio > maxRatio {
+		return fmt.Errorf("cold %d-element fetch is %.2fx a cold single-element fetch, want <= %.1fx (single %s, batch %s)",
+			m.Elements, m.BatchRatio, maxRatio, m.SingleCold.Mean, m.BatchCold.Mean)
+	}
+	// The batch path must actually have run: one GetElements exchange per
+	// batch sample, carrying every cert-listed element.
+	wantFetches := uint64(m.BatchCold.Ops)
+	if m.BatchFetches < wantFetches {
+		return fmt.Errorf("batch_fetch_total = %d, want >= %d (one exchange per batch sample)", m.BatchFetches, wantFetches)
+	}
+	wantElements := wantFetches * uint64(m.Elements)
+	if m.BatchElements < wantElements {
+		return fmt.Errorf("batch_fetch_elements_total = %d, want >= %d (%d elements per exchange)",
+			m.BatchElements, wantElements, m.Elements)
+	}
+	if m.NegotiatedV2 == 0 {
+		return fmt.Errorf("negotiations{v2} = 0: the run never negotiated the multiplexed transport")
+	}
+	if !m.AblationIdentical {
+		return fmt.Errorf("ablation check failed: serial-RPC client fetched different bytes")
+	}
+	fmt.Printf("multiplex: single %s, batch %s (%.2fx <= %.1fx), serial %s (%.2fx), batch_fetches=%d batch_elements=%d\n",
+		m.SingleCold.Mean, m.BatchCold.Mean, m.BatchRatio, maxRatio,
+		m.SerialCold.Mean, m.SerialRatio, m.BatchFetches, m.BatchElements)
+	return nil
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# multiplex_bench.sh — run the batched-element-fetch experiment and check
+# the PR-6 acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment multiplex`, writing the globedoc-bench/1
+#      JSON report (single/batch/serial cold latency quantiles and the
+#      transport counters);
+#   2. assert the cold 16-element whole-object fetch over the batched v2
+#      transport cost at most $MAX_RATIO x a cold single-element fetch;
+#   3. assert the batch path actually ran (one GetElements exchange per
+#      sample, all elements carried) and the serial ablation fetched
+#      byte-identical content.
+#
+# Exits non-zero on any failure. Run via `make bench-multiplex`.
+set -eu
+
+GO=${GO:-go}
+MAX_RATIO=${MAX_RATIO:-2}
+SCALE=${SCALE:-1.0}
+ITERATIONS=${ITERATIONS:-5}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/multiplex.json}"
+
+echo "== running multiplex experiment (scale=$SCALE, iterations=$ITERATIONS)"
+$GO run ./cmd/benchmark -experiment multiplex \
+    -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checkmultiplex "$JSON" "$MAX_RATIO"
+
+echo "multiplex bench: ok"
