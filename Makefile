@@ -2,14 +2,15 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: check vet build test test-short lint fuzz-smoke chaos \
-	telemetry-smoke concurrent-smoke bench-concurrent bench-cache \
-	bench-multiplex
+	telemetry-smoke trace-smoke concurrent-smoke bench-concurrent \
+	bench-cache bench-multiplex bench-trace
 
 ## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
-## smoke, the concurrent race smoke, the end-to-end telemetry smoke, the
-## verified-content-cache acceptance bench, and the multiplexed-transport
-## acceptance bench.
-check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke bench-cache bench-multiplex
+## smoke, the concurrent race smoke, the end-to-end telemetry and
+## distributed-tracing smokes, the verified-content-cache acceptance
+## bench, the multiplexed-transport acceptance bench, and the
+## tracing-cost ablation.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke trace-smoke bench-cache bench-multiplex bench-trace
 
 ## vet: the stock vet suite plus the two checks most relevant to the
 ## serving path, run explicitly so a vet default change cannot drop them.
@@ -64,6 +65,13 @@ bench-concurrent:
 telemetry-smoke:
 	GO=$(GO) sh scripts/telemetry_smoke.sh
 
+## trace-smoke: boot services + object server + proxy (race-enabled
+## builds), fetch one object end to end, and assert a single distributed
+## trace stitches across the proxy and server span rings (>= 10 spans,
+## process-boundary marker) with replica health samples on /debugz.
+trace-smoke:
+	GO=$(GO) sh scripts/trace_smoke.sh
+
 ## bench-cache: the verified-content-cache experiment + acceptance check
 ## (warm cached fetch >= MIN_SPEEDUP x faster than cold; byte-identical
 ## ablation with the cache disabled).
@@ -75,3 +83,9 @@ bench-cache:
 ## over the v2 transport; byte-identical serial-RPC ablation).
 bench-multiplex:
 	GO=$(GO) sh scripts/multiplex_bench.sh
+
+## bench-trace: the tracing-cost ablation + acceptance check (cold-fetch
+## p50 at sample rate 1.0 within MAX_RATIO of the -trace-sample 0
+## ablation; spans really exported / really dropped per phase).
+bench-trace:
+	GO=$(GO) sh scripts/trace_bench.sh

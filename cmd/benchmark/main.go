@@ -10,9 +10,10 @@
 //	benchmark -experiment cache
 //	benchmark -experiment cache -disable-vcache
 //	benchmark -experiment multiplex
+//	benchmark -experiment traceoverhead
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, concurrent, cache,
-// multiplex, all.
+// multiplex, traceoverhead, all.
 // The concurrent experiment drives a closed-loop warm-fetch workload at
 // concurrency 1 and at -concurrency, reporting throughput, tail latency
 // and the singleflight dedup counters from the cold burst. The cache
@@ -21,7 +22,10 @@
 // the cache off (ablation — the bytes fetched must be identical). The
 // multiplex experiment measures a cold 16-element whole-object fetch
 // through the batched GetElements exchange against a cold
-// single-element fetch and the serial-RPC ablation.
+// single-element fetch and the serial-RPC ablation. The traceoverhead
+// experiment measures the cost of distributed tracing: the same cold
+// fetch at -trace-sample 1.0 (every span exported) and at 0 (the
+// ablation — spans timed but dropped), reporting the p50 ratio.
 //
 // With -json the measured series are also written to the given file as a
 // machine-readable report (schema "globedoc-bench/1", see
@@ -40,7 +44,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | all")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | traceoverhead | all")
 		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations  = flag.Int("iterations", 5, "samples per measured point")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
@@ -86,6 +90,10 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 		if err := runMultiplex(cfg, report); err != nil {
 			return err
 		}
+	case "traceoverhead":
+		if err := runTraceOverhead(cfg, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -103,6 +111,9 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 			return err
 		}
 		if err := runMultiplex(cfg, report); err != nil {
+			return err
+		}
+		if err := runTraceOverhead(cfg, report); err != nil {
 			return err
 		}
 	default:
@@ -172,6 +183,16 @@ func runMultiplex(cfg bench.Config, report *bench.Report) error {
 		return err
 	}
 	report.Multiplex = res
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runTraceOverhead(cfg bench.Config, report *bench.Report) error {
+	res, err := bench.RunTraceOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	report.TraceOverhead = res
 	fmt.Println(res.Format())
 	return nil
 }

@@ -1,19 +1,30 @@
 // Command globedoc-debugz fetches a /debugz snapshot from a running
 // GlobeDoc binary and validates it against the documented schema — the
-// check behind `make telemetry-smoke`.
+// check behind `make telemetry-smoke` — and renders distributed traces
+// from the processes' span rings or a -trace-out JSON-lines file.
 //
 //	globedoc-debugz -addr 127.0.0.1:8081
 //	globedoc-debugz -addr 127.0.0.1:8081 -require-metric rpc_served_total
+//	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -traces
+//	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -trace 1234
+//	globedoc-debugz -spans trace.jsonl -trace 1234
 //
-// Exit status is 0 only when the endpoint answers with a well-formed
-// snapshot (schema "globedoc-debugz/1") containing every required
-// metric. A summary of the snapshot is printed either way.
+// -addr takes a comma-separated list; span queries merge the rings of
+// every listed process, which is how a client-side and a server-side
+// half of one distributed trace are stitched into a single tree. The
+// tree renderer indents children under parents, prints per-span
+// durations, and marks spans adopted across a process boundary with ⇄.
+//
+// Exit status is 0 only when the snapshot (schema "globedoc-debugz/1")
+// is well-formed and contains every required metric, or when the
+// requested trace has at least one span.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -24,19 +35,41 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8081", "host:port serving /debugz")
+		addr    = flag.String("addr", "127.0.0.1:8081", "comma-separated host:port list serving /debugz")
 		require = flag.String("require-metric", "", "comma-separated metric names that must be present")
+		health  = flag.Bool("require-health", false, "fail unless the snapshot carries per-address replica health samples")
 		timeout = flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+		traceID = flag.Uint64("trace", 0, "render this trace ID as an indented span tree and exit")
+		traces  = flag.Bool("traces", false, "list the trace IDs retained across the addressed processes and exit")
+		spans   = flag.String("spans", "", "read spans from this JSON-lines file (a -trace-out capture) instead of /debugz")
 	)
 	flag.Parse()
-	if err := run(*addr, *require, *timeout); err != nil {
+	var err error
+	switch {
+	case *traceID != 0:
+		err = runTrace(os.Stdout, *addr, *spans, *traceID, *timeout)
+	case *traces:
+		err = runTraceList(os.Stdout, *addr, *spans, *timeout)
+	default:
+		err = run(*addr, *require, *health, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "globedoc-debugz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, require string, timeout time.Duration) error {
+func run(addrs, require string, requireHealth bool, timeout time.Duration) error {
 	client := &http.Client{Timeout: timeout}
+	for _, addr := range splitList(addrs) {
+		if err := checkSnapshot(client, addr, require, requireHealth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkSnapshot(client *http.Client, addr, require string, requireHealth bool) error {
 	resp, err := client.Get("http://" + addr + "/debugz")
 	if err != nil {
 		return err
@@ -55,21 +88,119 @@ func run(addr, require string, timeout time.Duration) error {
 	if snap.TakenAt.IsZero() {
 		return fmt.Errorf("snapshot has no taken_at timestamp")
 	}
-	for _, name := range strings.Split(require, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
+	if snap.Health.Schema != telemetry.HealthSchema {
+		return fmt.Errorf("health schema %q, want %q", snap.Health.Schema, telemetry.HealthSchema)
+	}
+	for _, name := range splitList(require) {
 		if !hasMetric(snap.Metrics, name) {
 			return fmt.Errorf("required metric %q missing from snapshot", name)
 		}
 	}
-	fmt.Printf("debugz snapshot from %s ok: schema %s, %d counters, %d labeled counters, %d gauges, %d histograms, %d recent spans\n",
+	if requireHealth {
+		sampled := false
+		for _, a := range snap.Health.Addrs {
+			if a.Samples > 0 {
+				sampled = true
+			}
+		}
+		if !sampled {
+			return fmt.Errorf("no replica health samples in snapshot (%d addrs)", len(snap.Health.Addrs))
+		}
+	}
+	fmt.Printf("debugz snapshot from %s ok: schema %s, %d counters, %d labeled counters, %d gauges, %d histograms, %d recent spans, %d replica addrs\n",
 		addr, snap.Schema,
 		len(snap.Metrics.Counters), len(snap.Metrics.LabeledCounters),
 		len(snap.Metrics.Gauges), len(snap.Metrics.Histograms),
-		len(snap.Spans))
+		len(snap.Spans), len(snap.Health.Addrs))
 	return nil
+}
+
+// runTrace stitches one trace from every span source and renders it.
+func runTrace(w io.Writer, addrs, spansFile string, id uint64, timeout time.Duration) error {
+	records, err := loadSpans(addrs, spansFile, timeout)
+	if err != nil {
+		return err
+	}
+	return renderTrace(w, records, id)
+}
+
+// runTraceList prints the trace IDs present across every span source.
+func runTraceList(w io.Writer, addrs, spansFile string, timeout time.Duration) error {
+	records, err := loadSpans(addrs, spansFile, timeout)
+	if err != nil {
+		return err
+	}
+	counts := telemetry.TraceIDs(records)
+	if len(counts) == 0 {
+		return fmt.Errorf("no spans retained in any source")
+	}
+	for _, tc := range counts {
+		fmt.Fprintf(w, "%d\t%d spans\n", tc.TraceID, tc.Spans)
+	}
+	return nil
+}
+
+// loadSpans gathers span records from a JSON-lines file when set,
+// otherwise from the /debugz/spans ring of every listed address.
+func loadSpans(addrs, spansFile string, timeout time.Duration) ([]telemetry.SpanRecord, error) {
+	if spansFile != "" {
+		f, err := os.Open(spansFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return telemetry.ReadSpans(f)
+	}
+	client := &http.Client{Timeout: timeout}
+	var out []telemetry.SpanRecord
+	for _, addr := range splitList(addrs) {
+		resp, err := client.Get("http://" + addr + "/debugz/spans")
+		if err != nil {
+			return nil, err
+		}
+		var records []telemetry.SpanRecord
+		err = json.NewDecoder(resp.Body).Decode(&records)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("parsing spans from %s: %w", addr, err)
+		}
+		out = append(out, records...)
+	}
+	return out, nil
+}
+
+// renderTrace stitches the records of one trace into a tree and writes
+// the indented rendering: durations per span, children under parents,
+// process boundaries marked.
+func renderTrace(w io.Writer, records []telemetry.SpanRecord, id uint64) error {
+	roots := telemetry.BuildTrace(records, id)
+	if len(roots) == 0 {
+		return fmt.Errorf("no spans recorded for trace %d", id)
+	}
+	spans := 0
+	var count func(n *telemetry.TraceNode)
+	count = func(n *telemetry.TraceNode) {
+		spans++
+		for _, c := range n.Children {
+			count(c)
+		}
+	}
+	for _, r := range roots {
+		count(r)
+	}
+	fmt.Fprintf(w, "trace %d: %d spans\n", id, spans)
+	_, err := io.WriteString(w, telemetry.FormatTrace(roots))
+	return err
+}
+
+func splitList(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func hasMetric(m telemetry.MetricsSnapshot, name string) bool {

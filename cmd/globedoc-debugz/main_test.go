@@ -1,0 +1,104 @@
+package main
+
+// Round-trip test for the trace renderer: spans exported as JSON lines
+// by two tracers — a "client" and a "server" process joined by a
+// propagated span context — must parse back and render as one indented
+// tree with durations and a process-boundary marker.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"globedoc/internal/telemetry"
+)
+
+func TestTraceRenderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+
+	// The "client process": a fetch root with an RPC call under it.
+	client := telemetry.NewTracer(nil)
+	client.AddExporter(telemetry.NewJSONLExporter(&buf))
+	root := client.StartSpan("secure.fetch")
+	root.Annotate("element", "index.html")
+	call := root.StartChild("rpc.call")
+	call.Annotate("op", "obj.getelement")
+
+	// The "server process": a separate tracer adopting the propagated
+	// context, exactly as transport.Server does with a traced frame.
+	server := telemetry.NewTracer(nil)
+	server.AddExporter(telemetry.NewJSONLExporter(&buf))
+	serve := server.StartSpanFrom("rpc.serve", call.Context())
+	serve.Annotate("op", "obj.getelement")
+	serve.Annotate("remote", "true")
+	serve.End()
+
+	call.End()
+	root.End()
+
+	records, err := telemetry.ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("round-tripped %d spans, want 3", len(records))
+	}
+	for _, r := range records {
+		if r.TraceID != root.TraceID() {
+			t.Fatalf("span %s carries trace %d, want %d", r.Name, r.TraceID, root.TraceID())
+		}
+	}
+
+	var out strings.Builder
+	if err := renderTrace(&out, records, root.TraceID()); err != nil {
+		t.Fatalf("renderTrace: %v", err)
+	}
+	rendered := out.String()
+	lines := strings.Split(strings.TrimRight(rendered, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want header + 3 spans:\n%s", len(lines), rendered)
+	}
+	if !strings.Contains(lines[0], "3 spans") {
+		t.Errorf("header %q does not count 3 spans", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "secure.fetch  ") {
+		t.Errorf("root line %q not at depth 0 with a duration", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  rpc.call  ") {
+		t.Errorf("call line %q not indented under the root", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "    ⇄ rpc.serve  ") {
+		t.Errorf("serve line %q not indented under the call with a process-boundary marker", lines[3])
+	}
+	if !strings.Contains(lines[3], "op=obj.getelement") {
+		t.Errorf("serve line %q lost its op annotation", lines[3])
+	}
+
+	// A second round trip — re-serializing the parsed records — yields
+	// the same stream, and the listing mode counts the same single trace.
+	records2, err := telemetry.ReadSpans(strings.NewReader(bufFrom(records)))
+	if err != nil {
+		t.Fatalf("ReadSpans on re-serialized stream: %v", err)
+	}
+	counts := telemetry.TraceIDs(records2)
+	if len(counts) != 1 || counts[0].Spans != 3 {
+		t.Errorf("TraceIDs = %+v, want one trace of 3 spans", counts)
+	}
+}
+
+// bufFrom re-serializes records as JSON lines, proving the exported
+// stream is regenerable from parsed records (a true round trip).
+func bufFrom(records []telemetry.SpanRecord) string {
+	var buf bytes.Buffer
+	exp := telemetry.NewJSONLExporter(&buf)
+	for _, r := range records {
+		exp.ExportSpan(r)
+	}
+	return buf.String()
+}
+
+func TestRenderTraceUnknownID(t *testing.T) {
+	if err := renderTrace(&strings.Builder{}, nil, 42); err == nil {
+		t.Fatal("renderTrace on an empty record set succeeded, want error")
+	}
+}

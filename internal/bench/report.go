@@ -52,6 +52,9 @@ type Report struct {
 	// Multiplex is the batched-element-fetch experiment (wide-object cold
 	// fetch vs. single element vs. the serial ablation), when measured.
 	Multiplex *MultiplexResult `json:"multiplex,omitempty"`
+	// TraceOverhead is the tracing-cost ablation (cold fetch at sample
+	// rate 1.0 vs. rate 0), when measured.
+	TraceOverhead *TraceOverheadResult `json:"trace_overhead,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

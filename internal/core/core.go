@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -347,6 +348,9 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 		tel := telemetry.Or(opts.Telemetry)
 		opts.VCache.WireMetrics(tel.VCacheEvictions, tel.SigCacheHits)
 	}
+	if opts.TraceSampleRate != nil {
+		telemetry.Or(opts.Telemetry).Tracer.SetSampleRate(*opts.TraceSampleRate)
+	}
 	return &Client{
 		Binder:          binder,
 		trust:           opts.Trust,
@@ -401,7 +405,7 @@ func (c *Client) FlushBindings() { c.Close() }
 // transfer.
 func (c *Client) FetchNamed(ctx context.Context, name, element string) (FetchResult, error) {
 	ctx = orBackground(ctx)
-	p := c.newPipeline(SpanSecureFetch)
+	ctx, p := c.newPipeline(ctx, SpanSecureFetch)
 	p.root.Annotate("object", name)
 	p.root.Annotate("element", element)
 	var oid globeid.OID
@@ -420,7 +424,7 @@ func (c *Client) FetchNamed(ctx context.Context, name, element string) (FetchRes
 // Fetch securely fetches one element of the object identified by oid.
 func (c *Client) Fetch(ctx context.Context, oid globeid.OID, element string) (FetchResult, error) {
 	ctx = orBackground(ctx)
-	p := c.newPipeline(SpanSecureFetch)
+	ctx, p := c.newPipeline(ctx, SpanSecureFetch)
 	p.root.Annotate("oid", oid.Short())
 	p.root.Annotate("element", element)
 	return c.finishFetch(ctx, p, oid, element)
@@ -450,9 +454,16 @@ func orBackground(ctx context.Context) context.Context {
 	return ctx
 }
 
-func (c *Client) newPipeline(rootName string) *pipeline {
+// newPipeline starts the root span of one client operation and threads
+// its span context into ctx, so every RPC issued below it — including
+// name resolution — joins the same trace, and the servers on the far
+// side adopt it for their serve spans. A caller that already carries a
+// trace in ctx (the proxy's per-request span) is joined rather than
+// shadowed, keeping one trace per user-visible request.
+func (c *Client) newPipeline(ctx context.Context, rootName string) (context.Context, *pipeline) {
 	tel := c.tel()
-	return &pipeline{tel: tel, root: tel.Tracer.StartSpan(rootName)}
+	p := &pipeline{tel: tel, root: tel.Tracer.StartSpanFrom(rootName, telemetry.SpanContextFrom(ctx))}
+	return telemetry.ContextWith(ctx, p.root.Context()), p
 }
 
 func (p *pipeline) finish(outcome string) {
@@ -470,7 +481,13 @@ func (c *Client) finishFetch(ctx context.Context, p *pipeline, oid globeid.OID, 
 		return FetchResult{}, err
 	}
 	p.finish("ok")
-	p.tel.FetchLatency.Observe(res.Timing.Total().Seconds())
+	// Exemplar: stamp the latency bucket with this trace's ID (when the
+	// trace is exported) so an outlier bucket links to a concrete trace.
+	var exemplar uint64
+	if sc := p.root.Context(); sc.Sampled {
+		exemplar = sc.TraceID
+	}
+	p.tel.FetchLatency.ObserveExemplar(res.Timing.Total().Seconds(), exemplar)
 	p.tel.SecurityOverhead.Observe(res.Timing.OverheadPercent())
 	return res, nil
 }
@@ -751,6 +768,15 @@ func (c *Client) establish(ctx context.Context, p *pipeline, oid globeid.OID, no
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBindingFailed, err)
 	}
+	// Health tie-break: the location service's distance order stands
+	// between equally healthy replicas (the sort is stable), but a replica
+	// accumulating transport failures sinks below healthier ones, so
+	// fetches stop paying a failover round trip to a known-bad address.
+	if health := p.tel.Health; health != nil && len(candidates) > 1 {
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return health.Penalty(candidates[i].Address) < health.Penalty(candidates[j].Address)
+		})
+	}
 	lastErr := error(object.ErrNoReplica)
 	for _, ca := range candidates {
 		if excluded[ca.Address] {
@@ -985,7 +1011,7 @@ func (c *Client) ElementsNamed(ctx context.Context, name string) ([]cert.Element
 // Elements returns the verified certificate entries for oid.
 func (c *Client) Elements(ctx context.Context, oid globeid.OID) ([]cert.ElementEntry, error) {
 	ctx = orBackground(ctx)
-	p := c.newPipeline(SpanElements)
+	ctx, p := c.newPipeline(ctx, SpanElements)
 	p.root.Annotate("oid", oid.Short())
 	entries, err := c.elements(ctx, p, oid)
 	if err != nil {
@@ -1038,7 +1064,7 @@ func (c *Client) elements(ctx context.Context, p *pipeline, oid globeid.OID) ([]
 // alongside the error.
 func (c *Client) FetchAll(ctx context.Context, oid globeid.OID) ([]FetchResult, error) {
 	ctx = orBackground(ctx)
-	p := c.newPipeline(SpanFetchAll)
+	ctx, p := c.newPipeline(ctx, SpanFetchAll)
 	p.root.Annotate("oid", oid.Short())
 	out, err := c.fetchAll(ctx, p, oid)
 	if err != nil {

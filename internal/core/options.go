@@ -85,6 +85,13 @@ type Options struct {
 	// least-recently-used binding is evicted and its connection closed.
 	// 0 means DefaultMaxBindings. Only meaningful with CacheBindings.
 	MaxBindings int
+	// TraceSampleRate, when non-nil, configures head-based trace sampling
+	// on the client's tracer: the fraction of new traces exported, in
+	// [0, 1]. The decision is made once per trace at the root span and
+	// propagated with the trace context, so client and server export the
+	// same traces; spans recording errors export regardless. Nil leaves
+	// the tracer as-is (an unconfigured tracer samples everything).
+	TraceSampleRate *float64
 }
 
 // validate rejects nonsense configurations with errors that name the
@@ -104,6 +111,10 @@ func (o Options) validate(binder *object.Binder) error {
 	if o.MaxBindings < 0 {
 		return fmt.Errorf("%w: MaxBindings %d is negative (0 means the default %d)",
 			ErrInvalidOptions, o.MaxBindings, DefaultMaxBindings)
+	}
+	if r := o.TraceSampleRate; r != nil && (*r < 0 || *r > 1) {
+		return fmt.Errorf("%w: TraceSampleRate %v outside [0, 1] (nil means sample everything)",
+			ErrInvalidOptions, *r)
 	}
 	if binder.Transport.DialTimeout < 0 {
 		return fmt.Errorf("%w: binder dial timeout %v is negative (0 means unbounded)",

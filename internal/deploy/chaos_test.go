@@ -274,6 +274,63 @@ func TestChaosFailoverIsCountedWhenReplicaFlaps(t *testing.T) {
 	}
 }
 
+func TestChaosHealthTrackerObservesFaultedReplica(t *testing.T) {
+	// Per-address replica health must attribute faults to the address
+	// that caused them: crash the bound replica, fetch through the
+	// failover, and the crashed address's error EWMA and consecutive
+	// failures rise while the replica that actually served stays clean.
+	w, pub, tel := chaosWorld(t, *chaosSeed)
+	client, err := w.NewSecureClientOpts(netsim.Paris, core.Options{CacheBindings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	res, err := client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
+	if err != nil {
+		t.Fatalf("fetch before crash: %v", err)
+	}
+	faulted := res.ReplicaAddr
+	w.Servers[strings.SplitN(faulted, ":", 2)[0]].Close()
+	res, err = client.FetchNamed(context.Background(), "chaos.vu.nl", "index.html")
+	if err != nil {
+		t.Fatalf("fetch after crash did not fail over: %v", err)
+	}
+	verifyProperties(t, w, pub, "index.html", res.Element.Data, res.CertifiedAs)
+	healthy := res.ReplicaAddr
+
+	bad, ok := tel.Health.Lookup(faulted)
+	if !ok {
+		t.Fatalf("no health state for crashed replica %s", faulted)
+	}
+	if bad.ErrorRate == 0 || bad.ConsecutiveFailures == 0 {
+		t.Errorf("crashed replica %s: error EWMA %v, consecutive failures %d; both must rise",
+			faulted, bad.ErrorRate, bad.ConsecutiveFailures)
+	}
+	good, ok := tel.Health.Lookup(healthy)
+	if !ok {
+		t.Fatalf("no health state for serving replica %s", healthy)
+	}
+	if good.ErrorRate != 0 || good.ConsecutiveFailures != 0 {
+		t.Errorf("healthy replica %s: error EWMA %v, consecutive failures %d; both must stay zero",
+			healthy, good.ErrorRate, good.ConsecutiveFailures)
+	}
+	if good.Samples == 0 || good.RTTMillis <= 0 {
+		t.Errorf("healthy replica %s: samples %d, RTT EWMA %vms; successes must feed the tracker",
+			healthy, good.Samples, good.RTTMillis)
+	}
+
+	// The demoted address also sorts behind the healthy ones, so the next
+	// cold binding skips the known-bad replica without a failover.
+	if tel.Health.Penalty(faulted) <= tel.Health.Penalty(healthy) {
+		t.Errorf("Penalty(%s) = %v not above Penalty(%s) = %v",
+			faulted, tel.Health.Penalty(faulted), healthy, tel.Health.Penalty(healthy))
+	}
+	if snap := tel.Health.Snapshot(); snap.Schema != telemetry.HealthSchema {
+		t.Errorf("health snapshot schema = %q, want %q", snap.Schema, telemetry.HealthSchema)
+	}
+}
+
 func TestChaosZeroHonestReplicasFailsCleanly(t *testing.T) {
 	// Every path to every replica drops all frames; only the naming and
 	// location services stay reachable. The fetch must return an error —

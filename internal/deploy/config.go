@@ -110,10 +110,12 @@ func (f *CacheFlags) Apply(opts *core.Options) {
 }
 
 // DebugFlags is the standard observability flag bundle: the /debugz
-// listen address and the span JSON-lines output path.
+// listen address, the span JSON-lines output path, and the head-based
+// trace sampling rate.
 type DebugFlags struct {
-	Addr     string
-	TraceOut string
+	Addr        string
+	TraceOut    string
+	TraceSample float64
 }
 
 // RegisterDebugFlags registers the shared observability flags on fs
@@ -128,15 +130,22 @@ func RegisterDebugFlags(fs *flag.FlagSet) *DebugFlags {
 		"listen address for the /debugz diagnostics endpoint (empty = disabled)")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"file to append finished spans to as JSON lines (empty = disabled)")
+	fs.Float64Var(&f.TraceSample, "trace-sample", 1,
+		"fraction of traces to export, decided at the trace root and propagated to peers (1 = all, 0 = none; spans recording errors always export)")
 	return f
 }
 
-// Start applies the parsed observability flags to tel: it attaches a
+// Start applies the parsed observability flags to tel: it sets the
+// head-sampling rate when -trace-sample departs from 1, attaches a
 // JSON-lines span exporter when -trace-out is set and serves /debugz when
 // -debug-addr is set, announcing the bound address on stdout. The
 // returned stop function shuts both down; it is never nil.
 func (f *DebugFlags) Start(tel *telemetry.Telemetry) (stop func(), err error) {
 	tel = telemetry.Or(tel)
+	if f.TraceSample < 0 || f.TraceSample > 1 {
+		return nil, fmt.Errorf("deploy: -trace-sample %v outside [0, 1]", f.TraceSample)
+	}
+	tel.Tracer.SetSampleRate(f.TraceSample)
 	var closers []func()
 	if f.TraceOut != "" {
 		out, err := os.OpenFile(f.TraceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

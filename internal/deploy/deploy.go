@@ -76,7 +76,10 @@ type Options struct {
 	// Telemetry, when non-nil, is wired through every service, server and
 	// client this world builds (and into Client.Telemetry unless that is
 	// already set), so one registry observes the whole deployment. Nil
-	// components fall back to telemetry.Default().
+	// gives the world a fresh private registry: worlds are independent
+	// deployments, and sharing the process-global default would leak
+	// per-address replica-health state between them (test worlds reuse
+	// the same simulated addresses).
 	Telemetry *telemetry.Telemetry
 }
 
@@ -85,6 +88,9 @@ type Options struct {
 func NewWorld(opts Options) (*World, error) {
 	if opts.KeyAlgorithm == 0 {
 		opts.KeyAlgorithm = keys.Ed25519
+	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.New(nil)
 	}
 	if opts.Client.Telemetry == nil {
 		opts.Client.Telemetry = opts.Telemetry

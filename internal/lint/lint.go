@@ -49,6 +49,7 @@ func All() []*Analyzer {
 		CryptoScope,
 		ErrWrapf,
 		LockGuard,
+		SpanEnd,
 		UncheckedErr,
 	}
 }

@@ -1,0 +1,11 @@
+// Command tool proves cmd/ stays exempt: tool code may start throwaway
+// spans without the library-only lifetime rule firing.
+package main
+
+import "fixture/internal/telemetry"
+
+func main() {
+	t := &telemetry.Tracer{}
+	sp := t.StartSpan("oneshot")
+	sp.Annotate("tool", "true")
+}

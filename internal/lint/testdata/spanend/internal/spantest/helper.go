@@ -1,0 +1,10 @@
+// Package spantest is a test-fixture helper package ("test" in the path
+// segment); library-only rules skip it even when spans leak.
+package spantest
+
+import "fixture/internal/telemetry"
+
+func LeakOnPurpose(t *telemetry.Tracer) {
+	sp := t.StartSpan("scratch")
+	sp.Annotate("test", "true")
+}

@@ -305,9 +305,12 @@ type Client struct {
 }
 
 // NewClient creates a proxy LR for oid talking to the replica at addr,
-// connecting with dial.
+// connecting with dial. The transport client is labelled with addr so
+// every call attempt feeds the per-address replica-health tracker.
 func NewClient(oid globeid.OID, addr string, dial transport.DialFunc) *Client {
-	return &Client{oid: oid, addr: addr, c: transport.NewClient(dial)}
+	tc := transport.NewClient(dial)
+	tc.Addr = addr
+	return &Client{oid: oid, addr: addr, c: tc}
 }
 
 // OID returns the object the proxy is bound to.

@@ -189,6 +189,10 @@ func (p *Proxy) serveSecure(w http.ResponseWriter, r *http.Request, ref document
 	defer sp.End()
 	ctx, cancel := p.fetchContext(r.Context())
 	defer cancel()
+	// The pipeline joins this request's trace: its fetch.secure span
+	// (and everything under it, through to the server-side serve spans)
+	// nests under proxy.request instead of starting a trace of its own.
+	ctx = telemetry.ContextWith(ctx, sp.Context())
 	res, err := p.Secure.FetchNamed(ctx, ref.ObjectName, ref.Element)
 	if err != nil {
 		err = p.timeoutError(ctx, err)

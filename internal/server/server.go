@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -164,12 +165,12 @@ func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, lim
 		waiters:  newVersionWaiters(),
 	}
 	s.srv.Handle(object.OpPing, func(body []byte) ([]byte, error) { return nil, nil })
-	s.srv.Handle(object.OpGetKey, s.handleGetKey)
-	s.srv.Handle(object.OpGetCert, s.handleGetCert)
-	s.srv.Handle(object.OpGetNameCerts, s.handleGetNameCerts)
-	s.srv.Handle(object.OpGetElement, s.handleGetElement)
-	s.srv.Handle(object.OpGetElements, s.handleGetElements)
-	s.srv.Handle(object.OpListElements, s.handleListElements)
+	s.srv.HandleCtx(object.OpGetKey, s.traced("serve.getkey", s.handleGetKey))
+	s.srv.HandleCtx(object.OpGetCert, s.traced("serve.getcert", s.handleGetCert))
+	s.srv.HandleCtx(object.OpGetNameCerts, s.traced("serve.getnamecerts", s.handleGetNameCerts))
+	s.srv.HandleCtx(object.OpGetElement, s.traced("serve.getelement", s.handleGetElement))
+	s.srv.HandleCtx(object.OpGetElements, s.traced("serve.getelements", s.handleGetElements))
+	s.srv.HandleCtx(object.OpListElements, s.traced("serve.listelements", s.handleListElements))
 	s.srv.Handle(object.OpVersion, s.handleVersion)
 	s.srv.Handle(object.OpGetBundle, s.handleGetBundle)
 	s.srv.Handle(OpWaitVersion, s.handleWaitVersion)
@@ -332,7 +333,25 @@ func (s *Server) replica(oid globeid.OID) (*hostedReplica, error) {
 
 // --- public (anonymous) handlers -----------------------------------------
 
-func (s *Server) handleGetKey(body []byte) ([]byte, error) {
+// traced wraps a fetch-path handler in a server-side span that continues
+// the trace context the transport layer adopted from the wire (the
+// rpc.serve span). The wrapped handler sees a context carrying the new
+// span, so it can hang further child spans (e.g. per-element serves)
+// under it; handler errors are annotated so errored serves export even
+// when the trace is unsampled.
+func (s *Server) traced(name string, h transport.HandlerCtx) transport.HandlerCtx {
+	return func(ctx context.Context, body []byte) ([]byte, error) {
+		sp := telemetry.Or(s.srv.Telemetry).Tracer.StartSpanFrom(name, telemetry.SpanContextFrom(ctx))
+		defer sp.End()
+		resp, err := h(telemetry.ContextWith(ctx, sp.Context()), body)
+		if err != nil {
+			sp.Annotate("error", err.Error())
+		}
+		return resp, err
+	}
+}
+
+func (s *Server) handleGetKey(ctx context.Context, body []byte) ([]byte, error) {
 	oid, err := object.DecodeOIDRequest(body)
 	if err != nil {
 		return nil, err
@@ -347,7 +366,7 @@ func (s *Server) handleGetKey(body []byte) ([]byte, error) {
 	return h.wire.key, nil
 }
 
-func (s *Server) handleGetCert(body []byte) ([]byte, error) {
+func (s *Server) handleGetCert(ctx context.Context, body []byte) ([]byte, error) {
 	oid, err := object.DecodeOIDRequest(body)
 	if err != nil {
 		return nil, err
@@ -362,7 +381,7 @@ func (s *Server) handleGetCert(body []byte) ([]byte, error) {
 	return h.wire.icert, nil
 }
 
-func (s *Server) handleGetNameCerts(body []byte) ([]byte, error) {
+func (s *Server) handleGetNameCerts(ctx context.Context, body []byte) ([]byte, error) {
 	oid, err := object.DecodeOIDRequest(body)
 	if err != nil {
 		return nil, err
@@ -376,7 +395,22 @@ func (s *Server) handleGetNameCerts(body []byte) ([]byte, error) {
 	return h.wire.nameCerts, nil
 }
 
-func (s *Server) handleGetElement(body []byte) ([]byte, error) {
+// serveElement records stats, fires the access observer and emits the
+// per-element payload-serve span common to the single and batched
+// element paths.
+func (s *Server) serveElement(ctx context.Context, h *hostedReplica, oid globeid.OID, name, fromSite string, size int) {
+	sp := telemetry.Or(s.srv.Telemetry).Tracer.StartSpanFrom("serve.element", telemetry.SpanContextFrom(ctx))
+	sp.Annotate("element", name)
+	h.reads.Add(1)
+	s.statElementFetches.Add(1)
+	s.statBytesServed.Add(uint64(size))
+	if obs := s.AccessObserver; obs != nil {
+		obs(oid, name, fromSite)
+	}
+	sp.End()
+}
+
+func (s *Server) handleGetElement(ctx context.Context, body []byte) ([]byte, error) {
 	oid, name, fromSite, err := object.DecodeElementRequest(body)
 	if err != nil {
 		return nil, err
@@ -395,12 +429,7 @@ func (s *Server) handleGetElement(body []byte) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("server: element %q has no precomputed payload", name)
 	}
-	h.reads.Add(1)
-	s.statElementFetches.Add(1)
-	s.statBytesServed.Add(uint64(p.size))
-	if obs := s.AccessObserver; obs != nil {
-		obs(oid, name, fromSite)
-	}
+	s.serveElement(ctx, h, oid, name, fromSite, p.size)
 	return p.wire, nil
 }
 
@@ -410,7 +439,7 @@ func (s *Server) handleGetElement(body []byte) ([]byte, error) {
 // are marked per item so the client fetches them individually;
 // per-element stats and the access observer fire exactly as they do for
 // serial fetches.
-func (s *Server) handleGetElements(body []byte) ([]byte, error) {
+func (s *Server) handleGetElements(ctx context.Context, body []byte) ([]byte, error) {
 	oid, names, fromSite, err := object.DecodeElementsRequest(body)
 	if err != nil {
 		return nil, err
@@ -439,19 +468,14 @@ func (s *Server) handleGetElements(body []byte) ([]byte, error) {
 		default:
 			it.Wire = p.wire
 			total += len(p.wire)
-			h.reads.Add(1)
-			s.statElementFetches.Add(1)
-			s.statBytesServed.Add(uint64(p.size))
-			if obs := s.AccessObserver; obs != nil {
-				obs(oid, name, fromSite)
-			}
+			s.serveElement(ctx, h, oid, name, fromSite, p.size)
 		}
 		items = append(items, it)
 	}
 	return object.EncodeElementsResponse(items), nil
 }
 
-func (s *Server) handleListElements(body []byte) ([]byte, error) {
+func (s *Server) handleListElements(ctx context.Context, body []byte) ([]byte, error) {
 	oid, err := object.DecodeOIDRequest(body)
 	if err != nil {
 		return nil, err

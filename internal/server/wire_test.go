@@ -7,6 +7,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -49,7 +50,7 @@ func TestHandlersServePrecomputedPayloads(t *testing.T) {
 	s, oid, _ := newWireServer(t, 64)
 	req := object.EncodeOIDRequest(oid)
 
-	got, err := s.handleGetCert(req)
+	got, err := s.handleGetCert(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestHandlersServePrecomputedPayloads(t *testing.T) {
 	}
 
 	elemReq := object.EncodeElementRequest(oid, "index.html", "")
-	wire, err := s.handleGetElement(elemReq)
+	wire, err := s.handleGetElement(context.Background(), elemReq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestWireRebuiltOnUpdate(t *testing.T) {
 	s, oid, owner := newWireServer(t, 64)
 	req := object.EncodeOIDRequest(oid)
 
-	before, err := s.handleGetCert(req)
+	before, err := s.handleGetCert(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +99,14 @@ func TestWireRebuiltOnUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	after, err := s.handleGetCert(req)
+	after, err := s.handleGetCert(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Equal(before, after) {
 		t.Fatal("GetCert payload not rebuilt after update")
 	}
-	wire, err := s.handleGetElement(object.EncodeElementRequest(oid, "index.html", ""))
+	wire, err := s.handleGetElement(context.Background(), object.EncodeElementRequest(oid, "index.html", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestWireRebuiltOnUpdate(t *testing.T) {
 func TestHandleGetElementsServesBatch(t *testing.T) {
 	s, oid, _ := newWireServer(t, 64)
 	names := []string{"index.html", "logo.png", "style.css"}
-	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, names, "paris"))
+	resp, err := s.handleGetElements(context.Background(), object.EncodeElementsRequest(oid, names, "paris"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestHandleGetElementsServesBatch(t *testing.T) {
 
 func TestHandleGetElementsUnknownNameIsPerItem(t *testing.T) {
 	s, oid, _ := newWireServer(t, 64)
-	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, []string{"index.html", "missing.js"}, ""))
+	resp, err := s.handleGetElements(context.Background(), object.EncodeElementsRequest(oid, []string{"index.html", "missing.js"}, ""))
 	if err != nil {
 		t.Fatalf("a missing element must not fail the whole batch: %v", err)
 	}
@@ -175,7 +176,7 @@ func TestHandleGetElementsBudgetOverflowMarksItems(t *testing.T) {
 	// errors telling the client to fetch them individually, and its
 	// bytes must not count as served.
 	s, oid, _ := newWireServer(t, 7<<20)
-	resp, err := s.handleGetElements(object.EncodeElementsRequest(oid, []string{"index.html", "logo.png", "style.css"}, ""))
+	resp, err := s.handleGetElements(context.Background(), object.EncodeElementsRequest(oid, []string{"index.html", "logo.png", "style.css"}, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestGetCertZeroAllocs(t *testing.T) {
 	s, oid, _ := newWireServer(t, 1024)
 	req := object.EncodeOIDRequest(oid)
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := s.handleGetCert(req); err != nil {
+		if _, err := s.handleGetCert(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -221,7 +222,7 @@ func BenchmarkHandleGetCert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.handleGetCert(req); err != nil {
+		if _, err := s.handleGetCert(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,7 +234,7 @@ func BenchmarkHandleGetElement(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.handleGetElement(req); err != nil {
+		if _, err := s.handleGetElement(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -245,7 +246,7 @@ func BenchmarkHandleGetKey(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.handleGetKey(req); err != nil {
+		if _, err := s.handleGetKey(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,30 @@
+package telemetry
+
+import "context"
+
+// Span-context carriage through context.Context: the pipeline's root
+// span publishes its identity into the ctx it threads through the fetch,
+// and every RPC call site picks it up so the resulting rpc.call span —
+// and, across the wire, the server's rpc.serve span — joins the same
+// trace instead of starting its own.
+
+type spanContextKey struct{}
+
+// ContextWith returns ctx carrying sc. An invalid sc returns ctx
+// unchanged.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanContextKey{}, sc)
+}
+
+// SpanContextFrom extracts the span context carried by ctx, if any.
+// A nil ctx yields the zero (invalid) SpanContext.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanContextKey{}).(SpanContext)
+	return sc
+}

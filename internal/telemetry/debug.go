@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -20,6 +21,9 @@ type DebugSnapshot struct {
 	Metrics MetricsSnapshot `json:"metrics"`
 	// Spans are the most recent finished spans, oldest first.
 	Spans []SpanRecord `json:"spans"`
+	// Health is the per-contact-address replica health state
+	// (globedoc-health/1).
+	Health HealthSnapshot `json:"health"`
 }
 
 // DebugSchema is the current DebugSnapshot schema identifier.
@@ -34,7 +38,24 @@ func (t *Telemetry) Snapshot() DebugSnapshot {
 		TakenAt: t.Tracer.now().UTC(),
 		Metrics: t.Registry.Snapshot(),
 		Spans:   t.Ring.Spans(),
+		Health:  t.Health.Snapshot(),
 	}
+}
+
+// TraceSchema is the /debugz/trace payload schema identifier.
+const TraceSchema = "globedoc-trace/1"
+
+// TraceSnapshot is the /debugz/trace payload: without an id, the trace
+// IDs present in the span ring; with ?id=, that trace's retained spans
+// plus the stitched tree rendered as text.
+type TraceSnapshot struct {
+	Schema  string       `json:"schema"`
+	Traces  []TraceCount `json:"traces,omitempty"`
+	TraceID uint64       `json:"trace_id,omitempty"`
+	Spans   []SpanRecord `json:"spans,omitempty"`
+	// Rendered is the indented span tree (FormatTrace) for the requested
+	// trace ID.
+	Rendered string `json:"rendered,omitempty"`
 }
 
 // DebugHandler returns the operational HTTP surface for this Telemetry:
@@ -42,6 +63,7 @@ func (t *Telemetry) Snapshot() DebugSnapshot {
 //	/debugz          — full DebugSnapshot as JSON
 //	/debugz/metrics  — metrics snapshot only
 //	/debugz/spans    — recent spans only
+//	/debugz/trace    — trace IDs in the ring; ?id=N stitches that trace
 //	/debug/pprof/*   — the standard Go profiler endpoints
 //
 // Binaries mount it behind the -debug-addr flag; it is deliberately a
@@ -56,6 +78,34 @@ func (t *Telemetry) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("/debugz/spans", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, t.Ring.Spans())
+	})
+	mux.HandleFunc("/debugz/trace", func(w http.ResponseWriter, r *http.Request) {
+		idArg := r.URL.Query().Get("id")
+		if idArg == "" {
+			writeJSON(w, TraceSnapshot{Schema: TraceSchema, Traces: TraceIDs(t.Ring.Spans())})
+			return
+		}
+		id, err := strconv.ParseUint(idArg, 10, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad trace id "+strconv.Quote(idArg), http.StatusBadRequest)
+			return
+		}
+		var spans []SpanRecord
+		for _, rec := range t.Ring.Spans() {
+			if rec.TraceID == id {
+				spans = append(spans, rec)
+			}
+		}
+		if len(spans) == 0 {
+			http.Error(w, "no retained spans for trace "+idArg, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, TraceSnapshot{
+			Schema:   TraceSchema,
+			TraceID:  id,
+			Spans:    spans,
+			Rendered: FormatTrace(BuildTrace(spans, id)),
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -67,10 +67,11 @@ func (g *Gauge) Value() int64 {
 // lands in the first bucket whose upper bound satisfies v <= bound; the
 // implicit final bucket catches everything above the last bound.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
-	sum    atomic.Uint64   // float64 bits, updated by CAS
-	count  atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	exemplars []atomic.Uint64 // per-bucket trace ID of the last sampled observation
+	sum       atomic.Uint64   // float64 bits, updated by CAS
+	count     atomic.Uint64
 }
 
 // NewHistogram returns a histogram over the given ascending upper bounds.
@@ -78,8 +79,9 @@ func NewHistogram(bounds []float64) *Histogram {
 	sorted := append([]float64(nil), bounds...)
 	sort.Float64s(sorted)
 	return &Histogram{
-		bounds: sorted,
-		counts: make([]atomic.Uint64, len(sorted)+1),
+		bounds:    sorted,
+		counts:    make([]atomic.Uint64, len(sorted)+1),
+		exemplars: make([]atomic.Uint64, len(sorted)+1),
 	}
 }
 
@@ -88,8 +90,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bound
-	h.counts[i].Add(1)
+	h.counts[h.bucket(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -98,6 +99,26 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and remembers traceID as the
+// bucket's exemplar — the trace to look at to explain observations in
+// that latency range. A zero traceID (unsampled or absent trace) leaves
+// the previous exemplar in place.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if traceID != 0 {
+		h.exemplars[h.bucket(v)].Store(traceID)
+	}
+	h.Observe(v)
+}
+
+// bucket returns the index of the bucket v lands in: the first bound
+// satisfying v <= bound, or the overflow bucket.
+func (h *Histogram) bucket(v float64) int {
+	return sort.SearchFloat64s(h.bounds, v)
 }
 
 // Count returns the number of observations.
@@ -138,6 +159,10 @@ type HistogramSnapshot struct {
 type HistogramBucket struct {
 	Bound *float64 `json:"le"` // upper bound; null = +Inf
 	Count uint64   `json:"count"`
+	// ExemplarTraceID is the trace ID of the last sampled observation
+	// recorded into this bucket (0 = none): feed it to /debugz/trace to
+	// see one concrete trace behind the bucket's latency range.
+	ExemplarTraceID uint64 `json:"exemplar_trace_id,omitempty"`
 }
 
 // Snapshot captures the histogram's current state.
@@ -152,6 +177,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		snap.Buckets[i].Count = h.counts[i].Load()
+		snap.Buckets[i].ExemplarTraceID = h.exemplars[i].Load()
 		if i < len(h.bounds) {
 			bound := h.bounds[i]
 			snap.Buckets[i].Bound = &bound

@@ -74,6 +74,9 @@ type Telemetry struct {
 	Registry *Registry
 	// Ring retains the most recent spans for /debugz and span-tree tests.
 	Ring *RingExporter
+	// Health tracks per-contact-address RTT/error EWMAs, fed by
+	// transport.Client attempts and consumed by core's failover ordering.
+	Health *HealthTracker
 
 	// Client-side RPC instruments (transport.Client).
 	RPCCalls   *CounterVec // {op,outcome}
@@ -130,6 +133,7 @@ func New(clk clock.Clock) *Telemetry {
 		Tracer:   tracer,
 		Registry: reg,
 		Ring:     ring,
+		Health:   NewHealthTracker(clk),
 
 		RPCCalls:   reg.CounterVec(MetricRPCCalls, "op", "outcome"),
 		RPCRetries: reg.Counter(MetricRPCRetries),

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace stitching: rebuilding a span tree from exported records. The
+// records may come from several processes (one distributed trace) and
+// may be incomplete — the ring exporter overwrites old spans, so a
+// long trace can lose its middle. The stitcher therefore never assumes
+// a parent is present: a span whose parent record is missing becomes an
+// extra root, marked as orphaned, instead of disappearing.
+
+// TraceNode is one span in a stitched trace tree.
+type TraceNode struct {
+	Record   SpanRecord
+	Children []*TraceNode
+	// Orphaned marks a non-root span whose parent record was not among
+	// the input (lost to ring wraparound or an unsampled process).
+	Orphaned bool
+}
+
+// BuildTrace stitches the spans of one trace into a tree. Records whose
+// TraceID differs from traceID are ignored; duplicates (the same span
+// exported by two exporters) keep the first occurrence. Roots — true
+// roots plus orphans — and children are both ordered by start time.
+func BuildTrace(spans []SpanRecord, traceID uint64) []*TraceNode {
+	nodes := make(map[uint64]*TraceNode)
+	var order []*TraceNode
+	for _, r := range spans {
+		if r.TraceID != traceID || r.SpanID == 0 {
+			continue
+		}
+		if _, dup := nodes[r.SpanID]; dup {
+			continue
+		}
+		n := &TraceNode{Record: r}
+		nodes[r.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*TraceNode
+	for _, n := range order {
+		pid := n.Record.ParentID
+		if pid == 0 {
+			roots = append(roots, n)
+			continue
+		}
+		parent, ok := nodes[pid]
+		if !ok || parent == n {
+			n.Orphaned = true
+			roots = append(roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	sortNodes(roots)
+	for _, n := range order {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*TraceNode) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		return ns[i].Record.Start.Before(ns[j].Record.Start)
+	})
+}
+
+// TraceIDs returns the distinct trace IDs present in spans with the
+// number of spans recorded for each, ordered by first appearance.
+func TraceIDs(spans []SpanRecord) []TraceCount {
+	counts := make(map[uint64]int)
+	var order []uint64
+	for _, r := range spans {
+		if r.TraceID == 0 {
+			continue
+		}
+		if counts[r.TraceID] == 0 {
+			order = append(order, r.TraceID)
+		}
+		counts[r.TraceID]++
+	}
+	out := make([]TraceCount, 0, len(order))
+	for _, id := range order {
+		out = append(out, TraceCount{TraceID: id, Spans: counts[id]})
+	}
+	return out
+}
+
+// TraceCount is one trace ID with its span count.
+type TraceCount struct {
+	TraceID uint64 `json:"trace_id"`
+	Spans   int    `json:"spans"`
+}
+
+// FormatTrace renders a stitched trace as an indented tree, one span per
+// line with its duration. Spans adopted from a remote process (the
+// transport annotates them remote=true) are marked with a process-
+// boundary arrow, and orphaned subtrees say why they are not attached.
+func FormatTrace(roots []*TraceNode) string {
+	var b strings.Builder
+	for _, r := range roots {
+		formatNode(&b, r, 0)
+	}
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n *TraceNode, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if attrValue(n.Record.Attrs, "remote") == "true" {
+		b.WriteString("⇄ ") // process boundary: span adopted from the wire
+	}
+	fmt.Fprintf(b, "%s  %s", n.Record.Name, formatDuration(n.Record.Duration()))
+	if op := attrValue(n.Record.Attrs, "op"); op != "" {
+		fmt.Fprintf(b, "  op=%s", op)
+	}
+	if out := attrValue(n.Record.Attrs, "outcome"); out != "" && out != "ok" {
+		fmt.Fprintf(b, "  outcome=%s", out)
+	}
+	if n.Orphaned {
+		fmt.Fprintf(b, "  (orphaned: parent span %d not retained)", n.Record.ParentID)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		formatNode(b, c, depth+1)
+	}
+}
+
+func attrValue(attrs []Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// formatDuration renders d with sub-millisecond precision but without
+// the ns-level noise time.Duration.String produces for long intervals.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return d.String()
+}
+
+// ReadSpans parses a JSON-lines span stream — the JSONLExporter's output
+// — back into records. Blank lines are skipped; a malformed line is an
+// error (a half-written trailing line means the producer is still
+// running; callers decide whether that matters).
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: span line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading span stream: %w", err)
+	}
+	return out, nil
+}

@@ -16,8 +16,11 @@
 package telemetry
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +49,22 @@ type SpanRecord struct {
 // Duration returns the span's measured interval.
 func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
 
+// SpanContext is the propagatable identity of a span: everything a
+// remote process needs to continue the trace. It crosses the wire in
+// transport frames (v2) or the request envelope (v1), so a server-side
+// span exports with the same trace ID as the client span that caused it.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	// Sampled carries the head-based sampling decision made at the trace
+	// root; downstream processes honour it instead of re-deciding.
+	Sampled bool
+}
+
+// Valid reports whether sc identifies a real span (the zero SpanContext
+// means "no trace in progress").
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
 // Exporter receives finished spans. Implementations must be safe for
 // concurrent use.
 type Exporter interface {
@@ -64,7 +83,19 @@ type Tracer struct {
 	mu        sync.RWMutex
 	exporters []Exporter
 
-	ids atomic.Uint64 // shared ID sequence for traces and spans
+	// ids is the shared ID sequence for traces and spans. It is seeded
+	// once from crypto/rand so two processes stitching one distributed
+	// trace cannot mint colliding span IDs (a counter starting at 1 in
+	// every process would collide immediately).
+	ids      atomic.Uint64
+	seedOnce sync.Once
+
+	// sampleBits holds math.Float64bits of the head-sampling rate and
+	// sampleSet whether it was ever configured. Unconfigured means
+	// sample-everything: an unadorned tracer keeps the PR-2 behaviour of
+	// exporting every span.
+	sampleSet  atomic.Bool
+	sampleBits atomic.Uint64
 }
 
 // NewTracer returns a tracer over the given clock (nil = real clock).
@@ -86,19 +117,99 @@ func (t *Tracer) now() time.Time {
 	return clock.Real.Now()
 }
 
+// SetSampleRate configures head-based sampling: rate is the fraction of
+// new traces whose spans are exported (<= 0 none, >= 1 all). The
+// decision is made once at the trace root — from a deterministic hash of
+// the trace ID — and inherited by every child and every remote
+// continuation, so a trace is always exported whole or not at all.
+// Spans are still *timed* when unsampled (core.Timing is derived from
+// span durations), and a span that records an "error" attribute is
+// exported regardless of the decision. An unconfigured tracer samples
+// everything.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if t == nil {
+		return
+	}
+	t.sampleBits.Store(math.Float64bits(rate))
+	t.sampleSet.Store(true)
+}
+
+// sampleRoot decides sampling for a new trace identified by id.
+func (t *Tracer) sampleRoot(id uint64) bool {
+	if !t.sampleSet.Load() {
+		return true
+	}
+	rate := math.Float64frombits(t.sampleBits.Load())
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	// splitmix64 finalizer: a well-mixed hash of the trace ID compared
+	// against the rate as a fraction of the uint64 space. Deterministic,
+	// so re-deciding for the same trace always agrees.
+	h := id
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h < uint64(rate*float64(math.MaxUint64))
+}
+
+// nextID returns a fresh span ID, seeding the sequence on first use.
+func (t *Tracer) nextID() uint64 {
+	t.seedOnce.Do(func() {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			t.ids.CompareAndSwap(0, binary.BigEndian.Uint64(b[:]))
+		}
+	})
+	id := t.ids.Add(1)
+	if id == 0 { // zero is the nil-span sentinel; skip it on wraparound
+		id = t.ids.Add(1)
+	}
+	return id
+}
+
 // StartSpan begins a new root span (a new trace). Safe on a nil tracer,
 // which returns a nil (no-op) span.
 func (t *Tracer) StartSpan(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	id := t.ids.Add(1)
+	id := t.nextID()
 	return &Span{
 		tracer:  t,
 		name:    name,
 		traceID: id,
 		spanID:  id,
+		sampled: t.sampleRoot(id),
 		start:   t.now(),
+	}
+}
+
+// StartSpanFrom continues the trace identified by sc: the new span joins
+// sc's trace as a child of sc's span and inherits its sampling decision.
+// This is both how a client call span nests under the pipeline root
+// (sc from the local context) and how a server adopts the trace context
+// a frame carried across the wire. An invalid sc degrades to StartSpan.
+func (t *Tracer) StartSpanFrom(name string, sc SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !sc.Valid() {
+		return t.StartSpan(name)
+	}
+	return &Span{
+		tracer:   t,
+		name:     name,
+		traceID:  sc.TraceID,
+		spanID:   t.nextID(),
+		parentID: sc.SpanID,
+		sampled:  sc.Sampled,
+		start:    t.now(),
 	}
 }
 
@@ -109,6 +220,7 @@ type Span struct {
 	traceID  uint64
 	spanID   uint64
 	parentID uint64
+	sampled  bool // immutable after creation
 	start    time.Time
 
 	mu    sync.Mutex
@@ -117,7 +229,8 @@ type Span struct {
 	ended bool
 }
 
-// StartChild begins a child span within the same trace.
+// StartChild begins a child span within the same trace, inheriting the
+// parent's sampling decision.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
@@ -126,10 +239,21 @@ func (s *Span) StartChild(name string) *Span {
 		tracer:   s.tracer,
 		name:     name,
 		traceID:  s.traceID,
-		spanID:   s.tracer.ids.Add(1),
+		spanID:   s.tracer.nextID(),
 		parentID: s.spanID,
+		sampled:  s.sampled,
 		start:    s.tracer.now(),
 	}
+}
+
+// Context returns the span's propagatable identity, for carrying across
+// goroutines (via ContextWith) or across the wire (via the transport).
+// A nil span returns the zero (invalid) SpanContext.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: s.sampled}
 }
 
 // Annotate attaches a key/value attribute to the span.
@@ -142,7 +266,9 @@ func (s *Span) Annotate(key, value string) {
 	s.mu.Unlock()
 }
 
-// End finishes the span and exports it. Ending twice is a no-op.
+// End finishes the span and exports it, unless head sampling decided
+// against this trace — an "error" attribute overrides the decision, so
+// failing operations are always visible. Ending twice is a no-op.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -154,8 +280,15 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	s.end = s.tracer.now()
-	rec := s.recordLocked()
+	export := s.sampled || s.hasErrorLocked()
+	var rec SpanRecord
+	if export {
+		rec = s.recordLocked()
+	}
 	s.mu.Unlock()
+	if !export {
+		return
+	}
 
 	s.tracer.mu.RLock()
 	exporters := s.tracer.exporters
@@ -163,6 +296,16 @@ func (s *Span) End() {
 	for _, e := range exporters {
 		e.ExportSpan(rec)
 	}
+}
+
+// hasErrorLocked reports whether the span recorded an "error" attribute.
+func (s *Span) hasErrorLocked() bool {
+	for _, a := range s.attrs {
+		if a.Key == "error" {
+			return true
+		}
+	}
+	return false
 }
 
 // Duration returns the span's elapsed time: end-start once ended, the

@@ -246,3 +246,140 @@ func TestCompatMidConnectionDowngradeRefusedByClient(t *testing.T) {
 		t.Fatalf("err = %v, want the connection killed (ErrClosed)", err)
 	}
 }
+
+// findServe returns the rpc.serve spans retained by tel's ring.
+func findServe(tel *telemetry.Telemetry) []telemetry.SpanRecord {
+	var out []telemetry.SpanRecord
+	for _, rec := range tel.Ring.Spans() {
+		if rec.Name == "rpc.serve" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func TestCompatTracedClientV2Server(t *testing.T) {
+	// A tracing client against a tracing v2 server: the trace context
+	// rides the frame-header extension and the server's rpc.serve span
+	// exports with the client's trace ID, parented on the rpc.call span.
+	clientTel := telemetry.New(nil)
+	serverTel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Telemetry = serverTel
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: clientTel})
+	defer c.Close()
+
+	root := clientTel.Tracer.StartSpan("test.root")
+	ctx := telemetry.ContextWith(context.Background(), root.Context())
+	if _, err := c.Call(ctx, "echo", []byte("traced")); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	serves := findServe(serverTel)
+	if len(serves) != 1 {
+		t.Fatalf("server recorded %d rpc.serve spans, want 1", len(serves))
+	}
+	if serves[0].TraceID != root.TraceID() {
+		t.Errorf("server span trace = %d, want client trace %d", serves[0].TraceID, root.TraceID())
+	}
+	if serves[0].ParentID == 0 || serves[0].ParentID == root.Context().SpanID {
+		t.Errorf("server span parent = %d, want the rpc.call span (not 0, not the root %d)",
+			serves[0].ParentID, root.Context().SpanID)
+	}
+	var remote bool
+	for _, a := range serves[0].Attrs {
+		if a.Key == "remote" && a.Value == "true" {
+			remote = true
+		}
+	}
+	if !remote {
+		t.Error("adopted rpc.serve span is not marked remote=true")
+	}
+}
+
+func TestCompatTracedClientV1Envelope(t *testing.T) {
+	// Pinned to v1 there is no frame extension: the context must ride
+	// the request-envelope trailer and still be adopted.
+	clientTel := telemetry.New(nil)
+	serverTel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Telemetry = serverTel
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: clientTel, Version: transport.V1})
+	defer c.Close()
+
+	root := clientTel.Tracer.StartSpan("test.root")
+	ctx := telemetry.ContextWith(context.Background(), root.Context())
+	if _, err := c.Call(ctx, "echo", []byte("traced-v1")); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	serves := findServe(serverTel)
+	if len(serves) != 1 {
+		t.Fatalf("server recorded %d rpc.serve spans, want 1", len(serves))
+	}
+	if serves[0].TraceID != root.TraceID() {
+		t.Errorf("v1 envelope trace = %d, want client trace %d", serves[0].TraceID, root.TraceID())
+	}
+}
+
+func TestCompatTracedClientOldServer(t *testing.T) {
+	// A traced client against the old-deployment stand-in (negotiation
+	// disabled, so the fallback latches v1): the call must succeed; the
+	// trace simply ends at the process boundary.
+	tel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.DisableNegotiation = true
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: tel})
+	defer c.Close()
+
+	root := tel.Tracer.StartSpan("test.root")
+	ctx := telemetry.ContextWith(context.Background(), root.Context())
+	resp, err := c.Call(ctx, "echo", []byte("hello-old"))
+	if err != nil {
+		t.Fatalf("traced call against old server: %v", err)
+	}
+	if string(resp) != "hello-old" {
+		t.Fatalf("resp = %q", resp)
+	}
+	root.End()
+}
+
+func TestCompatUntracedClientNewServer(t *testing.T) {
+	// No trace context on the wire (an old or simply untraced caller):
+	// the server starts its own trace and must not mark it remote.
+	serverTel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Telemetry = serverTel
+		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+	})
+	for _, version := range []byte{0, transport.V1} {
+		c := transport.NewClient(dial)
+		c.Version = version
+		if _, err := c.Call(context.Background(), "echo", []byte("untraced")); err != nil {
+			t.Fatalf("version %d: %v", version, err)
+		}
+		c.Close()
+	}
+	serves := findServe(serverTel)
+	if len(serves) != 2 {
+		t.Fatalf("server recorded %d rpc.serve spans, want 2", len(serves))
+	}
+	for _, sp := range serves {
+		if sp.ParentID != 0 {
+			t.Errorf("untraced request produced a parented serve span (parent %d)", sp.ParentID)
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "remote" {
+				t.Errorf("untraced request marked remote=%s", a.Value)
+			}
+		}
+	}
+}

@@ -11,8 +11,10 @@ package transport
 //
 // where length covers everything after itself. Requests and responses
 // from many concurrent calls interleave on one connection, matched by
-// stream ID; responses may arrive in any order. The flags byte is
-// reserved and must be zero.
+// stream ID; responses may arrive in any order. The flags byte is a bit
+// set: bit 0x01 marks a trace-context extension (17 bytes — trace ID,
+// parent span ID, trace flags) between the frame header and the
+// payload; all other bits are reserved and must be zero.
 //
 // The magic's first byte (0x47) makes the preamble, read as a v1 length
 // header, decode to ~1.2 GiB — far above MaxFrame — so a pre-negotiation
@@ -25,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"globedoc/internal/telemetry"
 )
 
 // Protocol versions. V1 is the original length-prefixed one-call-per-
@@ -110,26 +114,66 @@ const (
 // delimited body: type, flags and stream ID.
 const v2FrameOverhead = 6
 
+// v2 frame flag bits. flagTrace marks the trace-context extension;
+// every other bit is reserved and rejected.
+const (
+	flagTrace      byte = 0x01
+	knownFlags          = flagTrace
+	traceExtLen         = 17 // trace ID u64 | parent span ID u64 | trace flags byte
+	traceFlagSampled    = 0x01
+)
+
 // v2Frame is one parsed multiplexed frame.
 type v2Frame struct {
 	Type     byte
 	Flags    byte
 	StreamID uint32
 	Payload  []byte
+	// Trace is the propagated span context when the frame carried the
+	// flagTrace extension (requests only; the zero value means untraced).
+	Trace telemetry.SpanContext
+}
+
+// appendTraceExt encodes sc as the 17-byte trace-context extension.
+func appendTraceExt(buf []byte, sc telemetry.SpanContext) []byte {
+	var ext [traceExtLen]byte
+	binary.BigEndian.PutUint64(ext[0:8], sc.TraceID)
+	binary.BigEndian.PutUint64(ext[8:16], sc.SpanID)
+	if sc.Sampled {
+		ext[16] = traceFlagSampled
+	}
+	return append(buf, ext[:]...)
+}
+
+// parseTraceExt decodes the 17-byte trace-context extension.
+func parseTraceExt(ext []byte) telemetry.SpanContext {
+	return telemetry.SpanContext{
+		TraceID: binary.BigEndian.Uint64(ext[0:8]),
+		SpanID:  binary.BigEndian.Uint64(ext[8:16]),
+		Sampled: ext[16]&traceFlagSampled != 0,
+	}
 }
 
 // writeV2Frame sends one v2 frame with a single Write call, so the
-// network simulator charges one latency per frame.
+// network simulator charges one latency per frame. A valid f.Trace is
+// written as the trace-context extension with flagTrace set.
 func writeV2Frame(w io.Writer, f v2Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+v2FrameOverhead+len(f.Payload))
-	binary.BigEndian.PutUint32(buf, uint32(v2FrameOverhead+len(f.Payload)))
-	buf[4] = f.Type
-	buf[5] = f.Flags
-	binary.BigEndian.PutUint32(buf[6:], f.StreamID)
-	copy(buf[10:], f.Payload)
+	ext := 0
+	if f.Trace.Valid() {
+		f.Flags |= flagTrace
+		ext = traceExtLen
+	}
+	buf := make([]byte, 0, 4+v2FrameOverhead+ext+len(f.Payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(v2FrameOverhead+ext+len(f.Payload)))
+	buf = append(buf, f.Type, f.Flags)
+	buf = binary.BigEndian.AppendUint32(buf, f.StreamID)
+	if ext > 0 {
+		buf = appendTraceExt(buf, f.Trace)
+	}
+	buf = append(buf, f.Payload...)
 	_, err := w.Write(buf)
 	return err
 }
@@ -141,7 +185,7 @@ func readV2Frame(r io.Reader) (v2Frame, error) {
 		return v2Frame{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame+v2FrameOverhead {
+	if n > MaxFrame+v2FrameOverhead+traceExtLen {
 		return v2Frame{}, ErrFrameTooLarge
 	}
 	if n < v2FrameOverhead {
@@ -156,7 +200,10 @@ func readV2Frame(r io.Reader) (v2Frame, error) {
 
 // parseV2Frame decodes a frame body (everything after the length
 // prefix), enforcing the framing invariants an untrusted peer might
-// break: known type, zero flags, complete header.
+// break: known type, known flag bits only, complete header, and a
+// complete, canonical trace extension when flagged (reserved trace
+// flag bits must be zero, so decode∘encode is the identity on every
+// accepted frame).
 func parseV2Frame(body []byte) (v2Frame, error) {
 	if len(body) < v2FrameOverhead {
 		return v2Frame{}, fmt.Errorf("%w: truncated v2 frame header (%d bytes)", ErrProtocol, len(body))
@@ -170,8 +217,21 @@ func parseV2Frame(body []byte) (v2Frame, error) {
 	if f.Type != frameRequest && f.Type != frameResponse {
 		return v2Frame{}, fmt.Errorf("%w: unknown v2 frame type 0x%02x", ErrProtocol, f.Type)
 	}
-	if f.Flags != 0 {
-		return v2Frame{}, fmt.Errorf("%w: reserved v2 flag bits 0x%02x set", ErrProtocol, f.Flags)
+	if f.Flags&^knownFlags != 0 {
+		return v2Frame{}, fmt.Errorf("%w: reserved v2 flag bits 0x%02x set", ErrProtocol, f.Flags&^knownFlags)
+	}
+	if f.Flags&flagTrace != 0 {
+		if len(f.Payload) < traceExtLen {
+			return v2Frame{}, fmt.Errorf("%w: truncated trace-context extension (%d bytes)", ErrProtocol, len(f.Payload))
+		}
+		if tf := f.Payload[traceExtLen-1]; tf&^traceFlagSampled != 0 {
+			return v2Frame{}, fmt.Errorf("%w: reserved trace flag bits 0x%02x set", ErrProtocol, tf&^traceFlagSampled)
+		}
+		f.Trace = parseTraceExt(f.Payload[:traceExtLen])
+		f.Payload = f.Payload[traceExtLen:]
+		if !f.Trace.Valid() {
+			return v2Frame{}, fmt.Errorf("%w: trace-context extension with zero trace or span ID", ErrProtocol)
+		}
 	}
 	return f, nil
 }

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"globedoc/internal/telemetry"
 )
 
 func FuzzFrameDecode(f *testing.F) {
@@ -24,13 +26,27 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		return buf.Bytes()
 	}
+	okTraced := func(t byte, id uint32, payload []byte, sc telemetry.SpanContext) []byte {
+		var buf bytes.Buffer
+		if err := writeV2Frame(&buf, v2Frame{Type: t, StreamID: id, Payload: payload, Trace: sc}); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
 	f.Add(ok(frameRequest, 1, []byte("hello")))
 	f.Add(ok(frameResponse, 0xFFFFFFFF, nil))
-	f.Add([]byte{0, 0, 0, 3, 1, 0, 0})             // length below header size
-	f.Add([]byte{0, 0, 0, 6, 9, 0, 0, 0, 0, 1})    // unknown frame type
-	f.Add([]byte{0, 0, 0, 6, 1, 0x80, 0, 0, 0, 1}) // reserved flags set
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})          // absurd length prefix
-	f.Add([]byte("GD\xF2\x02"))                    // a preamble is not a frame
+	f.Add(okTraced(frameRequest, 7, []byte("traced"), telemetry.SpanContext{TraceID: 42, SpanID: 43, Sampled: true}))
+	f.Add(okTraced(frameRequest, 8, nil, telemetry.SpanContext{TraceID: 1, SpanID: 1}))
+	f.Add([]byte{0, 0, 0, 3, 1, 0, 0})                   // length below header size
+	f.Add([]byte{0, 0, 0, 6, 9, 0, 0, 0, 0, 1})          // unknown frame type
+	f.Add([]byte{0, 0, 0, 6, 1, 0x80, 0, 0, 0, 1})       // reserved flags set
+	f.Add([]byte{0, 0, 0, 6, 1, 0x03, 0, 0, 0, 1})       // trace flag plus a reserved bit
+	f.Add([]byte{0, 0, 0, 8, 1, 0x01, 0, 0, 0, 1, 0, 0}) // trace flag with truncated extension
+	f.Add(append([]byte{0, 0, 0, 23, 1, 0x01, 0, 0, 0, 1}, make([]byte, 17)...)) // trace extension with zero IDs
+	f.Add(append([]byte{0, 0, 0, 23, 1, 0x01, 0, 0, 0, 1},
+		[]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0x30}...)) // reserved trace flag bits
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                // absurd length prefix
+	f.Add([]byte("GD\xF2\x02"))                          // a preamble is not a frame
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := readV2Frame(bytes.NewReader(data))
@@ -48,8 +64,14 @@ func FuzzFrameDecode(f *testing.F) {
 		if fr.Type != frameRequest && fr.Type != frameResponse {
 			t.Fatalf("accepted frame with type 0x%02x", fr.Type)
 		}
-		if fr.Flags != 0 {
+		if fr.Flags&^knownFlags != 0 {
 			t.Fatalf("accepted frame with reserved flags 0x%02x", fr.Flags)
+		}
+		if fr.Flags&flagTrace != 0 && !fr.Trace.Valid() {
+			t.Fatalf("accepted trace-flagged frame with invalid context %+v", fr.Trace)
+		}
+		if fr.Flags&flagTrace == 0 && fr.Trace.Valid() {
+			t.Fatalf("unflagged frame decoded a trace context %+v", fr.Trace)
 		}
 		if len(fr.Payload) > MaxFrame {
 			t.Fatalf("accepted %d-byte payload above MaxFrame", len(fr.Payload))

@@ -145,13 +145,13 @@ func (c *Client) muxWakeLocked() {
 
 // attemptMux performs one call attempt over a multiplexed stream.
 // reused reports whether the stream rode an already-open connection.
-func (c *Client) attemptMux(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
+func (c *Client) attemptMux(ctx context.Context, sc telemetry.SpanContext, op string, body []byte) (resp []byte, reused bool, err error) {
 	mc, reused, err := c.acquireStream(ctx)
 	if err != nil {
 		return nil, false, err
 	}
 	defer c.releaseStream(mc)
-	resp, err = c.muxRoundTrip(ctx, mc, op, body)
+	resp, err = c.muxRoundTrip(ctx, mc, sc, op, body)
 	return resp, reused, err
 }
 
@@ -400,7 +400,7 @@ func isPeerRejection(err error) bool {
 // stream that times out abandons only itself: the connection and its
 // sibling streams stay healthy (a genuinely dead conn is detected by
 // the read loop and fails everything at once).
-func (c *Client) muxRoundTrip(ctx context.Context, mc *muxConn, op string, body []byte) ([]byte, error) {
+func (c *Client) muxRoundTrip(ctx context.Context, mc *muxConn, sc telemetry.SpanContext, op string, body []byte) ([]byte, error) {
 	tel := telemetry.Or(c.Telemetry)
 	id, ch, err := mc.register()
 	if err != nil {
@@ -417,14 +417,16 @@ func (c *Client) muxRoundTrip(ctx context.Context, mc *muxConn, op string, body 
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
-	req := encodeRequest(op, body)
+	// v2 carries the trace context in the frame header extension, not
+	// the request envelope — hence the zero sc to encodeRequest.
+	req := encodeRequest(op, body, telemetry.SpanContext{})
 	mc.wmu.Lock()
 	var werr error
 	if !deadline.IsZero() {
 		werr = mc.conn.SetWriteDeadline(deadline)
 	}
 	if werr == nil {
-		werr = writeV2Frame(mc.conn, v2Frame{Type: frameRequest, StreamID: id, Payload: req})
+		werr = writeV2Frame(mc.conn, v2Frame{Type: frameRequest, StreamID: id, Payload: req, Trace: sc})
 	}
 	if werr == nil && !deadline.IsZero() {
 		werr = mc.conn.SetWriteDeadline(time.Time{})

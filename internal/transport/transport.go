@@ -91,21 +91,43 @@ func readFrameBody(r io.Reader, hdr []byte) ([]byte, error) {
 	return payload, nil
 }
 
-func encodeRequest(op string, body []byte) []byte {
-	w := enc.NewWriter(16 + len(op) + len(body))
+// encodeRequest encodes a v1 request envelope. A valid sc is appended
+// as a fixed-width trailing trace-context extension (trace ID, parent
+// span ID, trace flags) after the body — v2 carries the same context in
+// the frame header instead, so v2 requests pass the zero sc here.
+func encodeRequest(op string, body []byte, sc telemetry.SpanContext) []byte {
+	w := enc.NewWriter(16 + len(op) + len(body) + traceExtLen)
 	w.String(op)
 	w.BytesPrefixed(body)
+	if sc.Valid() {
+		w.Uint64(sc.TraceID)
+		w.Uint64(sc.SpanID)
+		var tf byte
+		if sc.Sampled {
+			tf = traceFlagSampled
+		}
+		w.Byte(tf)
+	}
 	return w.Bytes()
 }
 
-func decodeRequest(payload []byte) (op string, body []byte, err error) {
+func decodeRequest(payload []byte) (op string, body []byte, sc telemetry.SpanContext, err error) {
 	r := enc.NewReader(payload)
 	op = r.String()
 	body = r.BytesPrefixed()
-	if err := r.Finish(); err != nil {
-		return "", nil, err
+	if r.Err() == nil && r.Remaining() == traceExtLen {
+		// Optional trace-context trailer from a tracing v1 peer.
+		sc.TraceID = r.Uint64()
+		sc.SpanID = r.Uint64()
+		sc.Sampled = r.Byte()&traceFlagSampled != 0
 	}
-	return op, body, nil
+	if err := r.Finish(); err != nil {
+		return "", nil, telemetry.SpanContext{}, err
+	}
+	if sc != (telemetry.SpanContext{}) && !sc.Valid() {
+		return "", nil, telemetry.SpanContext{}, fmt.Errorf("request %q carries trace context with zero trace or span ID", op)
+	}
+	return op, body, sc, nil
 }
 
 func encodeResponse(body []byte, callErr error) []byte {
@@ -140,6 +162,12 @@ func decodeResponse(op string, payload []byte) ([]byte, error) {
 // are transported to the caller as RemoteError.
 type Handler func(body []byte) ([]byte, error)
 
+// HandlerCtx is a Handler that also receives the request's context,
+// which carries the adopted trace context (telemetry.SpanContextFrom)
+// so server-side spans started under it join the caller's distributed
+// trace.
+type HandlerCtx func(ctx context.Context, body []byte) ([]byte, error)
+
 // DefaultServerStreams bounds concurrently executing handlers per v2
 // connection when Server.StreamLimit is zero.
 const DefaultServerStreams = 64
@@ -173,7 +201,7 @@ type Server struct {
 	Clock clock.Clock
 
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 
 	listeners sync.Map // net.Listener -> struct{}
 	conns     sync.Map // net.Conn -> struct{}
@@ -186,12 +214,18 @@ type Server struct {
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler)}
+	return &Server{handlers: make(map[string]HandlerCtx)}
 }
 
 // Handle registers h for the given operation name, replacing any previous
 // handler.
 func (s *Server) Handle(op string, h Handler) {
+	s.HandleCtx(op, func(_ context.Context, body []byte) ([]byte, error) { return h(body) })
+}
+
+// HandleCtx registers a context-aware handler for the given operation
+// name, replacing any previous handler.
+func (s *Server) HandleCtx(op string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[op] = h
@@ -313,7 +347,7 @@ func (s *Server) serveV1(conn net.Conn, preread []byte) {
 		if err != nil {
 			return
 		}
-		resp := s.dispatch(payload)
+		resp := s.dispatch(payload, telemetry.SpanContext{})
 		if s.IdleTimeout > 0 {
 			if derr := conn.SetDeadline(s.clock().Now().Add(s.IdleTimeout)); derr != nil {
 				return
@@ -373,7 +407,7 @@ func (s *Server) serveV2(conn net.Conn) {
 		wg.Add(1)
 		go func(f v2Frame) {
 			defer wg.Done()
-			resp := s.dispatch(f.Payload)
+			resp := s.dispatch(f.Payload, f.Trace)
 			wmu.Lock()
 			var werr error
 			if s.IdleTimeout > 0 {
@@ -399,8 +433,16 @@ func (s *Server) serveV2(conn net.Conn) {
 
 // dispatch decodes one request payload, runs its handler and returns
 // the encoded response. Shared by the v1 loop and every v2 stream.
-func (s *Server) dispatch(payload []byte) []byte {
-	op, body, err := decodeRequest(payload)
+// frameTrace is the span context a v2 frame header carried (the zero
+// value for v1, whose context rides in the request envelope instead);
+// either way, a valid incoming context is adopted so the rpc.serve span
+// — and every handler span under it — exports with the caller's trace
+// ID.
+func (s *Server) dispatch(payload []byte, frameTrace telemetry.SpanContext) []byte {
+	op, body, sc, err := decodeRequest(payload)
+	if frameTrace.Valid() {
+		sc = frameTrace
+	}
 	var respBody []byte
 	if err == nil {
 		s.mu.RLock()
@@ -411,9 +453,16 @@ func (s *Server) dispatch(payload []byte) []byte {
 		} else {
 			s.Requests.Add(1)
 			tel := telemetry.Or(s.Telemetry)
-			sp := tel.Tracer.StartSpan("rpc.serve")
+			sp := tel.Tracer.StartSpanFrom("rpc.serve", sc)
 			sp.Annotate("op", op)
-			respBody, err = h(body)
+			if sc.Valid() {
+				// The parent span lives in the calling process: mark the
+				// boundary for the trace renderer.
+				sp.Annotate("remote", "true")
+			}
+			//lint:ignore ctxfirst the server is this process's request-tree root: there is no upstream ctx to inherit, and cancellation arrives as connection teardown, not ctx propagation
+			ctx := telemetry.ContextWith(context.Background(), sp.Context())
+			respBody, err = h(ctx, body)
 			outcome := "ok"
 			if err != nil {
 				outcome = "error"
@@ -481,6 +530,12 @@ type Client struct {
 	// peers that cannot speak v2. The negotiation outcome is latched for
 	// the client's lifetime. Set before the first call.
 	Version byte
+	// Addr, when set, is the contact address this client dials, used
+	// purely as the telemetry key for per-address replica health: every
+	// call attempt records a success (with its RTT) or failure sample
+	// into Telemetry.Health under this label. Empty disables health
+	// recording. Set before the first call.
+	Addr string
 
 	mu     sync.Mutex
 	slots  chan struct{} // in-flight call permits; cap latched on first use
@@ -519,6 +574,11 @@ func (c *Client) Configure(cfg Config) *Client {
 	c.Telemetry = cfg.Telemetry
 	c.Pool = cfg.Pool
 	c.Version = cfg.Version
+	if cfg.Addr != "" {
+		// An empty cfg.Addr preserves an address set at construction
+		// (object.NewClient knows it; a shared Config does not).
+		c.Addr = cfg.Addr
+	}
 	return c
 }
 
@@ -536,6 +596,9 @@ type Config struct {
 	// Version pins the wire protocol (see Client.Version): 0 negotiates
 	// preferring v2, V1 forces classic framing, V2 requires v2.
 	Version byte
+	// Addr labels health samples with the peer's contact address (see
+	// Client.Addr). Empty leaves any address set at construction.
+	Addr string
 }
 
 // Call sends op with body and waits for the response. ctx cancellation
@@ -545,16 +608,40 @@ type Config struct {
 // otherwise it retries once when the failure hit a reused pooled
 // connection. Every call is recorded as one rpc.call span (annotated
 // with the attempt count) and one rpc_calls_total{op,outcome} increment;
-// extra attempts also count into rpc_retries_total.
+// extra attempts also count into rpc_retries_total. When ctx carries a
+// span context the rpc.call span joins that trace, and the span's own
+// context rides the wire so the server's rpc.serve span joins it too.
+// Every attempt additionally records a per-address health sample when
+// Addr is set.
 func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, error) {
 	if ctx == nil {
 		//lint:ignore ctxfirst nil-ctx compatibility: legacy callers predate the ctx-first API and a nil ctx must mean "no cancellation", not a panic
 		ctx = context.Background()
 	}
 	tel := telemetry.Or(c.Telemetry)
-	sp := tel.Tracer.StartSpan("rpc.call")
+	caller := telemetry.SpanContextFrom(ctx)
+	sp := tel.Tracer.StartSpanFrom("rpc.call", caller)
 	sp.Annotate("op", op)
 	attempts := 1
+
+	// When the caller is tracing, the rpc.call span is the wire-
+	// propagated parent: the server's rpc.serve span nests under it,
+	// completing the client→server tree. A call outside any trace stays
+	// untraced on the wire (the peer starts its own root, unmarked).
+	var wire telemetry.SpanContext
+	if caller.Valid() {
+		wire = sp.Context()
+	}
+	run := func() ([]byte, bool, error) {
+		start := c.clock().Now()
+		resp, reused, err := c.attempt(ctx, wire, op, body)
+		if err != nil {
+			tel.Health.RecordFailure(c.Addr)
+		} else {
+			tel.Health.RecordSuccess(c.Addr, c.clock().Now().Sub(start))
+		}
+		return resp, reused, err
+	}
 
 	var resp []byte
 	var err error
@@ -562,12 +649,12 @@ func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, erro
 		// Legacy semantics: one immediate retry, only for failures on a
 		// connection that might simply have gone stale in the pool.
 		var reused bool
-		resp, reused, err = c.attempt(ctx, op, body)
+		resp, reused, err = run()
 		if err != nil && reused && Retryable(err) && ctx.Err() == nil {
 			c.Retries.Add(1)
 			tel.RPCRetries.Inc()
 			attempts++
-			resp, _, err = c.attempt(ctx, op, body)
+			resp, _, err = run()
 		}
 	} else {
 		for attempt := 0; attempt < c.Retry.Attempts(); attempt++ {
@@ -577,7 +664,7 @@ func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, erro
 				attempts++
 				c.Retry.clock().Sleep(c.Retry.Backoff(attempt))
 			}
-			resp, _, err = c.attempt(ctx, op, body)
+			resp, _, err = run()
 			if err == nil || !Retryable(err) || ctx.Err() != nil {
 				break
 			}
@@ -613,15 +700,17 @@ func (c *Client) CallNoCtx(op string, body []byte) ([]byte, error) {
 // attempt routes one call attempt to the negotiated protocol: v2
 // multiplexed streams by default, classic v1 framing when pinned or
 // when negotiation latched a v1-only peer. A fallback discovered
-// mid-dial re-routes the same attempt through the v1 path.
-func (c *Client) attempt(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
+// mid-dial re-routes the same attempt through the v1 path. sc is the
+// trace context to propagate (frame extension on v2, envelope trailer
+// on v1).
+func (c *Client) attempt(ctx context.Context, sc telemetry.SpanContext, op string, body []byte) (resp []byte, reused bool, err error) {
 	if !c.useV1() {
-		resp, reused, err = c.attemptMux(ctx, op, body)
+		resp, reused, err = c.attemptMux(ctx, sc, op, body)
 		if !errors.Is(err, errFellBackToV1) {
 			return resp, reused, err
 		}
 	}
-	return c.attemptV1(ctx, op, body)
+	return c.attemptV1(ctx, sc, op, body)
 }
 
 // useV1 reports whether calls must speak classic v1 framing: either the
@@ -640,12 +729,12 @@ func (c *Client) useV1() bool {
 // connection so a retry dials fresh; remote errors keep it warm. reused
 // reports whether the attempt ran on a pooled (possibly stale)
 // connection.
-func (c *Client) attemptV1(ctx context.Context, op string, body []byte) (resp []byte, reused bool, err error) {
+func (c *Client) attemptV1(ctx context.Context, sc telemetry.SpanContext, op string, body []byte) (resp []byte, reused bool, err error) {
 	conn, reused, err := c.acquire(ctx)
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err = c.exchange(ctx, conn, op, body)
+	resp, err = c.exchange(ctx, conn, sc, op, body)
 	if err != nil && Retryable(err) {
 		// The stream is broken or in an unknown state (includes a
 		// malformed, possibly corrupted, response): drop the conn.
@@ -659,13 +748,13 @@ func (c *Client) attemptV1(ctx context.Context, op string, body []byte) (resp []
 // exchange runs one framed request/response on conn, bounded by the
 // tighter of CallTimeout and ctx's deadline; ctx cancellation force-fails
 // the in-flight I/O.
-func (c *Client) exchange(ctx context.Context, conn net.Conn, op string, body []byte) ([]byte, error) {
+func (c *Client) exchange(ctx context.Context, conn net.Conn, sc telemetry.SpanContext, op string, body []byte) ([]byte, error) {
 	armed, err := c.armDeadline(ctx, conn)
 	if err != nil {
 		return nil, ctxError(ctx, fmt.Errorf("transport: arming deadline for %q: %w", op, err))
 	}
 	stopWatch := watchCancel(ctx, conn)
-	req := encodeRequest(op, body)
+	req := encodeRequest(op, body, sc)
 	if err := writeFrame(conn, req); err != nil {
 		stopWatch()
 		return nil, ctxError(ctx, fmt.Errorf("transport: send %q: %w", op, err))

@@ -1,0 +1,74 @@
+// Command checktrace validates the tracing-cost acceptance properties
+// of a globedoc-bench/1 report: a cold secure fetch with tracing fully
+// sampled (rate 1.0) must keep its p50 within the given ratio of the
+// -trace-sample 0 ablation, the sampled phase must actually have
+// exported spans (with exemplar trace IDs landing on the latency
+// histogram), and the ablation must have exported none. Used by
+// scripts/trace_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace <report.json> <max-p50-ratio>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, maxRatioArg string) error {
+	maxRatio, err := strconv.ParseFloat(maxRatioArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad max-p50-ratio %q: %w", maxRatioArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	t := report.TraceOverhead
+	if t == nil {
+		return fmt.Errorf("report has no traceoverhead experiment")
+	}
+	if t.SampledCold.Ops == 0 || t.UnsampledCold.Ops == 0 {
+		return fmt.Errorf("missing phase samples: sampled=%d ablation=%d",
+			t.SampledCold.Ops, t.UnsampledCold.Ops)
+	}
+	if t.P50Ratio > maxRatio {
+		return fmt.Errorf("cold-fetch p50 with full tracing is %.3fx the untraced ablation, want <= %.2fx (sampled %s, ablation %s)",
+			t.P50Ratio, maxRatio, t.SampledCold.P50, t.UnsampledCold.P50)
+	}
+	// The sampled phase must really have traced: at least the fetch root
+	// plus its pipeline children per sample, and an exemplar on the
+	// latency histogram.
+	wantSpans := uint64(t.SampledCold.Ops) * 2
+	if t.SpansSampled < wantSpans {
+		return fmt.Errorf("sampled phase exported %d spans, want >= %d", t.SpansSampled, wantSpans)
+	}
+	if t.ExemplarBuckets == 0 {
+		return fmt.Errorf("sampled phase left no exemplar trace IDs on the fetch-latency histogram")
+	}
+	// The ablation must really have dropped everything: nothing errored,
+	// so nothing may export at sample rate 0.
+	if t.SpansUnsampled != 0 {
+		return fmt.Errorf("ablation phase exported %d spans at sample rate 0, want 0", t.SpansUnsampled)
+	}
+	fmt.Printf("traceoverhead: sampled p50 %s, ablation p50 %s (%.3fx <= %.2fx), spans sampled=%d ablation=%d, exemplar buckets=%d\n",
+		t.SampledCold.P50, t.UnsampledCold.P50, t.P50Ratio, maxRatio,
+		t.SpansSampled, t.SpansUnsampled, t.ExemplarBuckets)
+	return nil
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# trace_bench.sh — run the tracing-cost ablation and check the PR-7
+# acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment traceoverhead`, writing the
+#      globedoc-bench/1 JSON report (cold-fetch quantiles at sample rate
+#      1.0 and at the -trace-sample 0 ablation, plus span-export totals);
+#   2. assert the fully-sampled cold-fetch p50 stayed within $MAX_RATIO x
+#      the untraced ablation;
+#   3. assert the sampled phase really exported spans (with exemplar
+#      trace IDs on the latency histogram) and the ablation exported
+#      exactly none.
+#
+# Exits non-zero on any failure. Run via `make bench-trace`.
+set -eu
+
+GO=${GO:-go}
+MAX_RATIO=${MAX_RATIO:-1.05}
+SCALE=${SCALE:-1.0}
+ITERATIONS=${ITERATIONS:-15}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/traceoverhead.json}"
+
+echo "== running traceoverhead experiment (scale=$SCALE, iterations=$ITERATIONS)"
+$GO run ./cmd/benchmark -experiment traceoverhead \
+    -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checktrace "$JSON" "$MAX_RATIO"
+
+echo "trace bench: ok"

@@ -1,0 +1,166 @@
+#!/bin/sh
+# trace_smoke.sh — boot a real multi-process GlobeDoc deployment and
+# validate distributed tracing and replica-health telemetry end to end:
+#
+#   1. build the binaries (race-enabled: the smoke doubles as a race
+#      check on the cross-process tracing path);
+#   2. start globedoc-services (naming + location), a globedoc-server
+#      with -debug-addr, and publish a small object to it;
+#   3. start globedoc-proxy with -debug-addr and fetch the object once
+#      through the full security pipeline;
+#   4. assert the proxy retained exactly ONE trace, and that stitching
+#      the proxy's and the server's span rings yields a single tree of
+#      >= 10 spans crossing the process boundary (the ⇄ marker);
+#   5. assert the proxy's /debugz health table has recorded samples for
+#      the replica it fetched from.
+#
+# Exits non-zero on any failure. Run via `make trace-smoke`.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+
+cleanup() {
+    [ -n "${PROXY_PID:-}" ] && kill "$PROXY_PID" 2>/dev/null || true
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "${SVC_PID:-}" ] && kill "$SVC_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries (-race)"
+$GO build -race -o "$BIN" ./cmd/globedoc-services ./cmd/globedoc-server \
+    ./cmd/globedoc-proxy ./cmd/globedoc-admin ./cmd/globedoc-keygen \
+    ./cmd/globedoc-debugz
+
+NAMING=127.0.0.1:17101
+LOCATION=127.0.0.1:17102
+SERVER=127.0.0.1:17110
+SRVDEBUG=127.0.0.1:17111
+PROXY=127.0.0.1:17180
+PDEBUG=127.0.0.1:17181
+
+echo "== generating keys"
+"$BIN/globedoc-keygen" -out "$WORK/owner.key" -algo ed25519 >/dev/null
+"$BIN/globedoc-keygen" -key "$WORK/owner.key" -keystore "$WORK/srv-ks.json" -add alice >/dev/null
+
+echo "== starting services"
+"$BIN/globedoc-services" -naming "$NAMING" -location "$LOCATION" \
+    -rootkey-out "$WORK/naming-root.pub" >"$WORK/services.log" 2>&1 &
+SVC_PID=$!
+
+i=0
+until [ -s "$WORK/naming-root.pub" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "services never wrote the naming root key" >&2
+        cat "$WORK/services.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== starting object server with -debug-addr $SRVDEBUG"
+"$BIN/globedoc-server" -listen "$SERVER" -name srv-ams -site amsterdam \
+    -keystore "$WORK/srv-ks.json" -debug-addr "$SRVDEBUG" \
+    >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+until "$BIN/globedoc-debugz" -addr "$SRVDEBUG" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "server debug endpoint never came up" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== publishing a test object"
+mkdir "$WORK/site"
+printf '<html><body>trace smoke</body></html>\n' >"$WORK/site/index.html"
+i=0
+until "$BIN/globedoc-admin" publish -dir "$WORK/site" -key "$WORK/owner.key" \
+    -principal alice -server "$SERVER" -server-site amsterdam \
+    -naming "$NAMING" -location "$LOCATION" -name home.smoke -ttl 1h \
+    >"$WORK/publish.log" 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 20 ]; then
+        echo "publish never succeeded" >&2
+        cat "$WORK/publish.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== starting proxy with -debug-addr $PDEBUG"
+"$BIN/globedoc-proxy" -listen "$PROXY" -naming "$NAMING" -location "$LOCATION" \
+    -rootkey "$WORK/naming-root.pub" -site paris -debug-addr "$PDEBUG" \
+    -dial-timeout 2s -call-timeout 5s -fetch-timeout 10s \
+    >"$WORK/proxy.log" 2>&1 &
+PROXY_PID=$!
+
+i=0
+until "$BIN/globedoc-debugz" -addr "$PDEBUG" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "proxy debug endpoint never came up" >&2
+        cat "$WORK/proxy.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== fetching through the full security pipeline"
+i=0
+until curl -sf -o "$WORK/fetched.html" "http://$PROXY/GlobeDoc/home.smoke/index.html"; do
+    i=$((i + 1))
+    if [ "$i" -ge 20 ]; then
+        echo "secure fetch through the proxy never succeeded" >&2
+        cat "$WORK/proxy.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if ! cmp -s "$WORK/site/index.html" "$WORK/fetched.html"; then
+    echo "fetched content differs from the published element" >&2
+    exit 1
+fi
+
+echo "== asserting one distributed trace spans both processes"
+"$BIN/globedoc-debugz" -addr "$PDEBUG" -traces >"$WORK/traces.txt"
+cat "$WORK/traces.txt"
+if [ "$(wc -l <"$WORK/traces.txt")" -ne 1 ]; then
+    echo "proxy retained more than one trace for a single fetch" >&2
+    exit 1
+fi
+TRACE_ID=$(awk 'NR==1 {print $1}' "$WORK/traces.txt")
+
+"$BIN/globedoc-debugz" -addr "$PDEBUG,$SRVDEBUG" -trace "$TRACE_ID" >"$WORK/trace.txt"
+cat "$WORK/trace.txt"
+SPANS=$(awk 'NR==1 {print $3}' "$WORK/trace.txt")
+if [ "${SPANS:-0}" -lt 10 ]; then
+    echo "stitched trace $TRACE_ID has only ${SPANS:-0} spans, want >= 10" >&2
+    exit 1
+fi
+if ! grep -q '⇄' "$WORK/trace.txt"; then
+    echo "stitched trace has no server-side (process-boundary) spans" >&2
+    exit 1
+fi
+# The server's own ring must hold part of the same trace: the stitched
+# tree must be strictly larger than the proxy-only view.
+"$BIN/globedoc-debugz" -addr "$PDEBUG" -trace "$TRACE_ID" >"$WORK/trace-proxy.txt"
+PROXY_SPANS=$(awk 'NR==1 {print $3}' "$WORK/trace-proxy.txt")
+if [ "${PROXY_SPANS:-0}" -ge "$SPANS" ]; then
+    echo "server ring contributed no spans to trace $TRACE_ID" >&2
+    exit 1
+fi
+
+echo "== validating /debugz health telemetry"
+"$BIN/globedoc-debugz" -addr "$PDEBUG" -require-health \
+    -require-metric rpc_calls_total,fetch_latency_seconds
+
+echo "trace smoke: ok (trace $TRACE_ID, $SPANS spans across 2 processes)"
