@@ -772,9 +772,18 @@ func (c *Client) establish(ctx context.Context, p *pipeline, oid globeid.OID, no
 	// between equally healthy replicas (the sort is stable), but a replica
 	// accumulating transport failures sinks below healthier ones, so
 	// fetches stop paying a failover round trip to a known-bad address.
+	// Penalties are snapshotted before sorting: Penalty re-decays under
+	// the tracker lock on every call, so comparing live values could give
+	// the comparator an inconsistent (time-shifting) order.
 	if health := p.tel.Health; health != nil && len(candidates) > 1 {
+		penalty := make(map[string]float64, len(candidates))
+		for _, ca := range candidates {
+			if _, ok := penalty[ca.Address]; !ok {
+				penalty[ca.Address] = health.Penalty(ca.Address)
+			}
+		}
 		sort.SliceStable(candidates, func(i, j int) bool {
-			return health.Penalty(candidates[i].Address) < health.Penalty(candidates[j].Address)
+			return penalty[candidates[i].Address] < penalty[candidates[j].Address]
 		})
 	}
 	lastErr := error(object.ErrNoReplica)

@@ -9,6 +9,7 @@ package transport_test
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"globedoc/internal/enc"
 	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
@@ -301,15 +303,20 @@ func TestCompatTracedClientV2Server(t *testing.T) {
 }
 
 func TestCompatTracedClientV1Envelope(t *testing.T) {
-	// Pinned to v1 there is no frame extension: the context must ride
-	// the request-envelope trailer and still be adopted.
+	// A negotiation-aware server capped at v1: there is no frame
+	// extension, but the well-formed accept proves the peer post-dates
+	// the trace trailer, so the context must ride the request-envelope
+	// trailer and still be adopted. (A pinned-V1 client never gains that
+	// proof and drops the context instead — see the strict-old-server
+	// test below.)
 	clientTel := telemetry.New(nil)
 	serverTel := telemetry.New(nil)
 	dial := startServer(t, func(s *transport.Server) {
+		s.MaxVersion = transport.V1
 		s.Telemetry = serverTel
 		s.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
 	})
-	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: clientTel, Version: transport.V1})
+	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: clientTel})
 	defer c.Close()
 
 	root := clientTel.Tracer.StartSpan("test.root")
@@ -350,6 +357,94 @@ func TestCompatTracedClientOldServer(t *testing.T) {
 		t.Fatalf("resp = %q", resp)
 	}
 	root.End()
+}
+
+// startStrictOldServer is a wire-level stand-in for a genuinely old
+// (pre-negotiation, pre-tracing) deployment: a length header above
+// MaxFrame — which is how the v2 preamble reads — hangs up the
+// connection, and the request envelope is decoded with the old
+// decoder's strictness, failing the call on any trailing bytes (such
+// as a trace-context trailer) exactly like enc.Reader.Finish did
+// before the trailer existed.
+func startStrictOldServer(t *testing.T) transport.DialFunc {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					hdr := make([]byte, 4)
+					if _, err := io.ReadFull(conn, hdr); err != nil {
+						return
+					}
+					n := binary.BigEndian.Uint32(hdr)
+					if n > transport.MaxFrame {
+						return // the preamble read as an oversized frame: hang up
+					}
+					payload := make([]byte, n)
+					if _, err := io.ReadFull(conn, payload); err != nil {
+						return
+					}
+					r := enc.NewReader(payload)
+					_ = r.String() // op
+					body := r.BytesPrefixed()
+					w := enc.NewWriter(16 + len(body))
+					if err := r.Finish(); err != nil {
+						w.Byte(1)
+						w.String(err.Error())
+						w.BytesPrefixed(nil)
+					} else {
+						w.Byte(0)
+						w.String("")
+						w.BytesPrefixed(body)
+					}
+					resp := w.Bytes()
+					out := make([]byte, 4+len(resp))
+					binary.BigEndian.PutUint32(out, uint32(len(resp)))
+					copy(out[4:], resp)
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	addr := l.Addr().String()
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func TestCompatTracedClientStrictOldServer(t *testing.T) {
+	// The regression the compat matrix exists to prevent: a traced call
+	// toward a genuinely old server must not carry the envelope trailer,
+	// because the old decoder errors on trailing bytes. Both routes into
+	// the v1 path — the hangup fallback (auto client) and a pinned-V1
+	// client — lack positive knowledge that the peer is trailer-aware,
+	// so the trace must end at the process boundary and the call succeed.
+	for _, version := range []byte{0, transport.V1} {
+		dial := startStrictOldServer(t)
+		tel := telemetry.New(nil)
+		c := transport.NewClient(dial).Configure(transport.Config{Telemetry: tel, Version: version})
+		root := tel.Tracer.StartSpan("test.root")
+		ctx := telemetry.ContextWith(context.Background(), root.Context())
+		resp, err := c.Call(ctx, "echo", []byte("strict"))
+		if err != nil {
+			t.Fatalf("version %d: traced call against strict old server: %v", version, err)
+		}
+		if string(resp) != "strict" {
+			t.Fatalf("version %d: resp = %q", version, resp)
+		}
+		root.End()
+		c.Close()
+	}
 }
 
 func TestCompatUntracedClientNewServer(t *testing.T) {

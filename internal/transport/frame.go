@@ -200,10 +200,13 @@ func readV2Frame(r io.Reader) (v2Frame, error) {
 
 // parseV2Frame decodes a frame body (everything after the length
 // prefix), enforcing the framing invariants an untrusted peer might
-// break: known type, known flag bits only, complete header, and a
+// break: known type, known flag bits only, complete header, a
 // complete, canonical trace extension when flagged (reserved trace
-// flag bits must be zero, so decode∘encode is the identity on every
-// accepted frame).
+// flag bits must be zero), and a payload within MaxFrame after the
+// extension is stripped — the readV2Frame length prefilter budgets for
+// the extension whether or not the frame carries one, so the exact
+// bound is enforced here. Together these make decode∘encode the
+// identity on every accepted frame.
 func parseV2Frame(body []byte) (v2Frame, error) {
 	if len(body) < v2FrameOverhead {
 		return v2Frame{}, fmt.Errorf("%w: truncated v2 frame header (%d bytes)", ErrProtocol, len(body))
@@ -232,6 +235,9 @@ func parseV2Frame(body []byte) (v2Frame, error) {
 		if !f.Trace.Valid() {
 			return v2Frame{}, fmt.Errorf("%w: trace-context extension with zero trace or span ID", ErrProtocol)
 		}
+	}
+	if len(f.Payload) > MaxFrame {
+		return v2Frame{}, ErrFrameTooLarge
 	}
 	return f, nil
 }

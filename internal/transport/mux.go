@@ -359,13 +359,17 @@ func (c *Client) dialMux(ctx context.Context) (*muxConn, error) {
 	if agreed < V2 {
 		// A negotiation-aware peer that tops out at v1. The conn now
 		// expects classic frames; close it and re-route — the latch
-		// means only the first contact pays the extra dial.
+		// means only the first contact pays the extra dial. Answering a
+		// well-formed accept proves the peer post-dates the trace
+		// trailer, so traced v1 calls may carry their context to it
+		// (the hangup fallback above latches no such proof).
 		conn.Close()
 		tel.Negotiations.With(versionLabel(agreed)).Inc()
 		if c.Version == V2 {
 			return nil, Permanent(fmt.Errorf("%w: peer negotiated v%d", ErrVersionMismatch, agreed))
 		}
 		c.peerVersion.Store(uint32(agreed))
+		c.peerTrailerAware.Store(true)
 		return nil, errFellBackToV1
 	}
 	if armed {

@@ -544,6 +544,13 @@ type Client struct {
 
 	// v2 multiplexing state (see mux.go).
 	peerVersion atomic.Uint32 // latched negotiation outcome (0 = unknown)
+	// peerTrailerAware latches that the v1 peer is positively known to
+	// tolerate the trace-context request-envelope trailer: only a
+	// negotiation-aware server capped at v1 proves it (it answered a
+	// well-formed accept, so it post-dates the trailer). A pre-v2 peer's
+	// decoder rejects trailing envelope bytes, so without this proof a
+	// traced v1 call drops its context at the process boundary instead.
+	peerTrailerAware atomic.Bool
 	muxMu       sync.Mutex
 	muxConns    []*muxConn    // live negotiated-v2 connections
 	muxDialing  int           // dials in flight, counted against MaxConns
@@ -612,7 +619,9 @@ type Config struct {
 // span context the rpc.call span joins that trace, and the span's own
 // context rides the wire so the server's rpc.serve span joins it too.
 // Every attempt additionally records a per-address health sample when
-// Addr is set.
+// Addr is set — except attempts that failed only because ctx was
+// already cancelled or past its deadline, which say nothing about the
+// replica and are not held against it.
 func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, error) {
 	if ctx == nil {
 		//lint:ignore ctxfirst nil-ctx compatibility: legacy callers predate the ctx-first API and a nil ctx must mean "no cancellation", not a panic
@@ -635,10 +644,14 @@ func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, erro
 	run := func() ([]byte, bool, error) {
 		start := c.clock().Now()
 		resp, reused, err := c.attempt(ctx, wire, op, body)
-		if err != nil {
-			tel.Health.RecordFailure(c.Addr)
-		} else {
+		switch {
+		case err == nil:
 			tel.Health.RecordSuccess(c.Addr, c.clock().Now().Sub(start))
+		case ctx.Err() == nil:
+			// A caller-side cancellation or expired deadline says nothing
+			// about the replica's health; only attempts the caller still
+			// wanted count as failure evidence.
+			tel.Health.RecordFailure(c.Addr)
 		}
 		return resp, reused, err
 	}
@@ -702,13 +715,20 @@ func (c *Client) CallNoCtx(op string, body []byte) ([]byte, error) {
 // when negotiation latched a v1-only peer. A fallback discovered
 // mid-dial re-routes the same attempt through the v1 path. sc is the
 // trace context to propagate (frame extension on v2, envelope trailer
-// on v1).
+// on v1) — but the trailer is only emitted toward a peer that latched
+// peerTrailerAware: a genuinely old server's decoder rejects trailing
+// envelope bytes, so against one (or a pinned-V1 peer of unknown
+// vintage) the trace ends at the process boundary instead of failing
+// every traced call.
 func (c *Client) attempt(ctx context.Context, sc telemetry.SpanContext, op string, body []byte) (resp []byte, reused bool, err error) {
 	if !c.useV1() {
 		resp, reused, err = c.attemptMux(ctx, sc, op, body)
 		if !errors.Is(err, errFellBackToV1) {
 			return resp, reused, err
 		}
+	}
+	if !c.peerTrailerAware.Load() {
+		sc = telemetry.SpanContext{}
 	}
 	return c.attemptV1(ctx, sc, op, body)
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 )
 
@@ -43,6 +44,38 @@ func TestCallRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(resp, []byte("echo:hello")) {
 		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestCallCancelledCtxDoesNotRecordHealthFailure(t *testing.T) {
+	// A cancelled or expired caller context says nothing about the
+	// replica: a burst of cancelled requests must not raise a healthy
+	// address's consecutive-failure count and demote it in failover
+	// ordering.
+	tel := telemetry.New(nil)
+	dial := startServer(t, func(s *transport.Server) {
+		s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	})
+	const addr = "paris:objsvc"
+	c := transport.NewClient(dial).Configure(transport.Config{Telemetry: tel, Addr: addr})
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
+		t.Fatalf("seeding call: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Call(ctx, "echo", nil); err == nil {
+		t.Fatal("call with cancelled ctx succeeded")
+	}
+	h, ok := tel.Health.Lookup(addr)
+	if !ok {
+		t.Fatalf("no health state recorded for %q", addr)
+	}
+	if h.ConsecutiveFailures != 0 {
+		t.Errorf("cancelled call recorded %d consecutive failures, want 0", h.ConsecutiveFailures)
+	}
+	if h.Samples != 1 {
+		t.Errorf("samples = %d, want 1 (the successful seeding call only)", h.Samples)
 	}
 }
 
