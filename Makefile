@@ -3,14 +3,14 @@ FUZZTIME ?= 5s
 
 .PHONY: check vet build test test-short lint fuzz-smoke chaos \
 	telemetry-smoke trace-smoke concurrent-smoke bench-concurrent \
-	bench-cache bench-multiplex bench-trace
+	bench-cache bench-multiplex bench-trace bench-placement
 
 ## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
 ## smoke, the concurrent race smoke, the end-to-end telemetry and
 ## distributed-tracing smokes, the verified-content-cache acceptance
-## bench, the multiplexed-transport acceptance bench, and the
-## tracing-cost ablation.
-check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke trace-smoke bench-cache bench-multiplex bench-trace
+## bench, the multiplexed-transport acceptance bench, the tracing-cost
+## ablation, and the sharded-fleet replica-selection bench.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke trace-smoke bench-cache bench-multiplex bench-trace bench-placement
 
 ## vet: the stock vet suite plus the two checks most relevant to the
 ## serving path, run explicitly so a vet default change cannot drop them.
@@ -43,10 +43,12 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzVersionNegotiation$$ -fuzztime=$(FUZZTIME) ./internal/transport/
 
-## chaos: the seeded fault-injection suite (SEED overrides the schedule).
+## chaos: the seeded fault-injection suite (SEED overrides the schedule)
+## plus the fleet degradation scenario (a bound replica dies mid-run and
+## the selector must re-rank away), both under the race detector.
 SEED ?= 20050404
 chaos:
-	$(GO) test -race -count=1 -run Chaos ./internal/deploy/ -seed $(SEED)
+	$(GO) test -race -count=1 -run 'Chaos|FleetSelector' ./internal/deploy/ -seed $(SEED)
 
 ## concurrent-smoke: the concurrent fetch engine under the race detector —
 ## pool bounds, singleflight dedup, cancellation, leak regressions.
@@ -89,3 +91,10 @@ bench-multiplex:
 ## ablation; spans really exported / really dropped per phase).
 bench-trace:
 	GO=$(GO) sh scripts/trace_bench.sh
+
+## bench-placement: the sharded-fleet replica-selection experiment +
+## acceptance check (health-ranked selector cold and warm fetch p99 at
+## most MAX_RATIO x the location-order ablation; byte-identical
+## ablation).
+bench-placement:
+	GO=$(GO) sh scripts/placement_bench.sh

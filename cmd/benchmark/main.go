@@ -11,9 +11,10 @@
 //	benchmark -experiment cache -disable-vcache
 //	benchmark -experiment multiplex
 //	benchmark -experiment traceoverhead
+//	benchmark -experiment placement
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, concurrent, cache,
-// multiplex, traceoverhead, all.
+// multiplex, traceoverhead, placement, all.
 // The concurrent experiment drives a closed-loop warm-fetch workload at
 // concurrency 1 and at -concurrency, reporting throughput, tail latency
 // and the singleflight dedup counters from the cold burst. The cache
@@ -25,7 +26,11 @@
 // single-element fetch and the serial-RPC ablation. The traceoverhead
 // experiment measures the cost of distributed tracing: the same cold
 // fetch at -trace-sample 1.0 (every span exported) and at 0 (the
-// ablation — spans timed but dropped), reporting the p50 ratio.
+// ablation — spans timed but dropped), reporting the p50 ratio. The
+// placement experiment measures replica selection over the sharded
+// twelve-server fleet: cold and warm fetch latency for the default
+// health-ranked selector against the location-order ablation, reporting
+// the p99 ratios.
 //
 // With -json the measured series are also written to the given file as a
 // machine-readable report (schema "globedoc-bench/1", see
@@ -44,7 +49,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | traceoverhead | all")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | traceoverhead | placement | all")
 		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations  = flag.Int("iterations", 5, "samples per measured point")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
@@ -94,6 +99,10 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 		if err := runTraceOverhead(cfg, report); err != nil {
 			return err
 		}
+	case "placement":
+		if err := runPlacement(cfg, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -114,6 +123,9 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 			return err
 		}
 		if err := runTraceOverhead(cfg, report); err != nil {
+			return err
+		}
+		if err := runPlacement(cfg, report); err != nil {
 			return err
 		}
 	default:
@@ -193,6 +205,16 @@ func runTraceOverhead(cfg bench.Config, report *bench.Report) error {
 		return err
 	}
 	report.TraceOverhead = res
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runPlacement(cfg bench.Config, report *bench.Report) error {
+	res, err := bench.RunPlacement(cfg)
+	if err != nil {
+		return err
+	}
+	report.Placement = res
 	fmt.Println(res.Format())
 	return nil
 }

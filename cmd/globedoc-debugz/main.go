@@ -8,12 +8,20 @@
 //	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -traces
 //	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -trace 1234
 //	globedoc-debugz -spans trace.jsonl -trace 1234
+//	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -health
+//	globedoc-debugz -addr 127.0.0.1:8081,127.0.0.1:8082 -selections
 //
 // -addr takes a comma-separated list; span queries merge the rings of
 // every listed process, which is how a client-side and a server-side
 // half of one distributed trace are stitched into a single tree. The
 // tree renderer indents children under parents, prints per-span
 // durations, and marks spans adopted across a process boundary with ⇄.
+//
+// -health merges the globedoc-health/1 sections of every listed process
+// (per address, the snapshot with the most samples wins) and prints one
+// fleet-wide replica-health table. -selections merges the
+// globedoc-selection/1 sections and prints the most recent per-OID
+// replica ranking each selector produced, best candidate first.
 //
 // Exit status is 0 only when the snapshot (schema "globedoc-debugz/1")
 // is well-formed and contains every required metric, or when the
@@ -42,6 +50,8 @@ func main() {
 		traceID = flag.Uint64("trace", 0, "render this trace ID as an indented span tree and exit")
 		traces  = flag.Bool("traces", false, "list the trace IDs retained across the addressed processes and exit")
 		spans   = flag.String("spans", "", "read spans from this JSON-lines file (a -trace-out capture) instead of /debugz")
+		healthM = flag.Bool("health", false, "print the merged replica-health table across the addressed processes and exit")
+		selects = flag.Bool("selections", false, "print the merged per-OID replica rankings across the addressed processes and exit")
 	)
 	flag.Parse()
 	var err error
@@ -50,6 +60,10 @@ func main() {
 		err = runTrace(os.Stdout, *addr, *spans, *traceID, *timeout)
 	case *traces:
 		err = runTraceList(os.Stdout, *addr, *spans, *timeout)
+	case *healthM:
+		err = runHealth(os.Stdout, *addr, *timeout)
+	case *selects:
+		err = runSelections(os.Stdout, *addr, *timeout)
 	default:
 		err = run(*addr, *require, *health, *timeout)
 	}
@@ -191,6 +205,80 @@ func renderTrace(w io.Writer, records []telemetry.SpanRecord, id uint64) error {
 	fmt.Fprintf(w, "trace %d: %d spans\n", id, spans)
 	_, err := io.WriteString(w, telemetry.FormatTrace(roots))
 	return err
+}
+
+// fetchSnapshots decodes the full /debugz snapshot of every listed
+// address, validating each schema.
+func fetchSnapshots(addrs string, timeout time.Duration) ([]telemetry.DebugSnapshot, error) {
+	client := &http.Client{Timeout: timeout}
+	var snaps []telemetry.DebugSnapshot
+	for _, addr := range splitList(addrs) {
+		resp, err := client.Get("http://" + addr + "/debugz")
+		if err != nil {
+			return nil, err
+		}
+		var snap telemetry.DebugSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("parsing snapshot from %s: %w", addr, err)
+		}
+		if snap.Schema != telemetry.DebugSchema {
+			return nil, fmt.Errorf("%s: schema %q, want %q", addr, snap.Schema, telemetry.DebugSchema)
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, nil
+}
+
+// runHealth prints one fleet-wide replica-health table merged across
+// every addressed process (per address, the most-sampled view wins).
+func runHealth(w io.Writer, addrs string, timeout time.Duration) error {
+	snaps, err := fetchSnapshots(addrs, timeout)
+	if err != nil {
+		return err
+	}
+	healths := make([]telemetry.HealthSnapshot, len(snaps))
+	for i, s := range snaps {
+		healths[i] = s.Health
+	}
+	merged := telemetry.MergeHealth(healths...)
+	if len(merged.Addrs) == 0 {
+		return fmt.Errorf("no replica health samples in any of the %d snapshots", len(snaps))
+	}
+	fmt.Fprintf(w, "replica health across %d processes (%d addrs)\n", len(snaps), len(merged.Addrs))
+	fmt.Fprintf(w, "%-32s %10s %8s %7s %8s\n", "addr", "rtt_ewma", "err_ewma", "consec", "samples")
+	for _, a := range merged.Addrs {
+		rtt := "-"
+		if a.HasRTT {
+			rtt = fmt.Sprintf("%.2fms", a.RTTMillis)
+		}
+		fmt.Fprintf(w, "%-32s %10s %8.3f %7d %8d\n", a.Addr, rtt, a.ErrorRate, a.ConsecutiveFailures, a.Samples)
+	}
+	return nil
+}
+
+// runSelections prints the most recent per-OID replica ranking of each
+// addressed process, merged (first non-empty ranking per OID wins, in
+// -addr order).
+func runSelections(w io.Writer, addrs string, timeout time.Duration) error {
+	snaps, err := fetchSnapshots(addrs, timeout)
+	if err != nil {
+		return err
+	}
+	sels := make([]telemetry.SelectionSnapshot, len(snaps))
+	for i, s := range snaps {
+		sels[i] = s.Selection
+	}
+	merged := telemetry.MergeSelections(sels...)
+	if len(merged.Rankings) == 0 {
+		return fmt.Errorf("no selector rankings in any of the %d snapshots", len(snaps))
+	}
+	fmt.Fprintf(w, "replica selections across %d processes (%d OIDs)\n", len(snaps), len(merged.Rankings))
+	for _, r := range merged.Rankings {
+		fmt.Fprintf(w, "%-14s %-14s %s\n", r.OID, r.Selector, strings.Join(r.Ranked, " > "))
+	}
+	return nil
 }
 
 func splitList(list string) []string {

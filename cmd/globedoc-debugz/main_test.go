@@ -7,8 +7,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"globedoc/internal/telemetry"
 )
@@ -100,5 +104,88 @@ func bufFrom(records []telemetry.SpanRecord) string {
 func TestRenderTraceUnknownID(t *testing.T) {
 	if err := renderTrace(&strings.Builder{}, nil, 42); err == nil {
 		t.Fatal("renderTrace on an empty record set succeeded, want error")
+	}
+}
+
+// debugzServer serves a fixed DebugSnapshot on /debugz for the merged
+// health/selection views.
+func debugzServer(t *testing.T, snap telemetry.DebugSnapshot) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debugz" {
+			http.NotFound(w, r)
+			return
+		}
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			t.Errorf("encoding snapshot: %v", err)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestMergedHealthAndSelections(t *testing.T) {
+	// Two processes: the first has sparse samples for the shared address
+	// and a ranking for oid-a; the second has richer samples and a
+	// ranking for oid-b. The merged health table must prefer the richer
+	// view per address, and the merged selections must carry both OIDs.
+	a := telemetry.DebugSnapshot{
+		Schema: telemetry.DebugSchema,
+		Health: telemetry.HealthSnapshot{
+			Schema: telemetry.HealthSchema,
+			Addrs: []telemetry.AddrHealth{
+				{Addr: "paris:objsvc", RTTMillis: 9, HasRTT: true, Samples: 2},
+			},
+		},
+		Selection: telemetry.SelectionSnapshot{
+			Schema: telemetry.SelectionSchema,
+			Rankings: []telemetry.SelectionRanking{
+				{OID: "oid-a", Selector: "health-ranked", Ranked: []string{"paris:objsvc", "ithaca:objsvc"}},
+			},
+		},
+	}
+	b := telemetry.DebugSnapshot{
+		Schema: telemetry.DebugSchema,
+		Health: telemetry.HealthSnapshot{
+			Schema: telemetry.HealthSchema,
+			Addrs: []telemetry.AddrHealth{
+				{Addr: "paris:objsvc", RTTMillis: 42, HasRTT: true, Samples: 10},
+				{Addr: "ithaca:objsvc", ErrorRate: 1, ConsecutiveFailures: 3, Samples: 4},
+			},
+		},
+		Selection: telemetry.SelectionSnapshot{
+			Schema: telemetry.SelectionSchema,
+			Rankings: []telemetry.SelectionRanking{
+				{OID: "oid-b", Selector: "ordered", Ranked: []string{"ithaca:objsvc"}},
+			},
+		},
+	}
+	srvA, srvB := debugzServer(t, a), debugzServer(t, b)
+	addrs := strings.TrimPrefix(srvA.URL, "http://") + "," + strings.TrimPrefix(srvB.URL, "http://")
+
+	var health bytes.Buffer
+	if err := runHealth(&health, addrs, time.Second); err != nil {
+		t.Fatalf("runHealth: %v", err)
+	}
+	out := health.String()
+	if !strings.Contains(out, "42.00ms") {
+		t.Errorf("merged health kept the sparse paris view:\n%s", out)
+	}
+	if strings.Contains(out, "9.00ms") {
+		t.Errorf("merged health shows the outvoted paris sample:\n%s", out)
+	}
+	if !strings.Contains(out, "ithaca:objsvc") {
+		t.Errorf("merged health missing ithaca:\n%s", out)
+	}
+
+	var sel bytes.Buffer
+	if err := runSelections(&sel, addrs, time.Second); err != nil {
+		t.Fatalf("runSelections: %v", err)
+	}
+	out = sel.String()
+	for _, want := range []string{"oid-a", "oid-b", "health-ranked", "ordered", "paris:objsvc > ithaca:objsvc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged selections missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -317,3 +317,52 @@ func (m MaliciousLocation) Lookup(_ context.Context, fromSite string, oid globei
 }
 
 var _ location.Resolver = MaliciousLocation{}
+
+// ReorderLocation wraps a genuine location resolver and manipulates
+// everything the replica Selector consumes instead of hiding the real
+// replicas outright: it prepends rogue contact addresses dressed in
+// forged advisory metadata (the client's own zone, a huge capacity
+// weight), strips the genuine addresses of their metadata, and reverses
+// their proximity order. A selector that trusted this advice blindly
+// would bind the rogue first and the farthest genuine replica next.
+//
+// The security argument (§3.1.2, restated for the selection API): zone,
+// weight and ordering are routing ADVICE, consumed only by the selector
+// to pick a trial order. Every candidate still runs the full
+// verification pipeline, so a lying location service can waste the
+// client's time on rogues and far replicas — denial of service — but can
+// never make a fetch return unverified bytes.
+type ReorderLocation struct {
+	// Genuine produces the real lookup results to corrupt.
+	Genuine location.Resolver
+	// Rogue addresses are prepended to every result.
+	Rogue []location.ContactAddress
+	// ForgeZone and ForgeWeight are stamped onto every rogue address to
+	// make it maximally attractive to a zone-aware selector.
+	ForgeZone   string
+	ForgeWeight uint32
+}
+
+// Lookup implements location.Resolver by corrupting the genuine result.
+func (m ReorderLocation) Lookup(ctx context.Context, fromSite string, oid globeid.OID) (location.LookupResult, error) {
+	res, err := m.Genuine.Lookup(ctx, fromSite, oid)
+	if err != nil {
+		return res, err
+	}
+	out := make([]location.ContactAddress, 0, len(m.Rogue)+len(res.Addresses))
+	for _, r := range m.Rogue {
+		r.Zone = m.ForgeZone
+		r.Weight = m.ForgeWeight
+		out = append(out, r)
+	}
+	for i := len(res.Addresses) - 1; i >= 0; i-- {
+		a := res.Addresses[i]
+		a.Zone = ""
+		a.Weight = 0
+		out = append(out, a)
+	}
+	res.Addresses = out
+	return res, nil
+}
+
+var _ location.Resolver = ReorderLocation{}

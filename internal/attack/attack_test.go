@@ -10,6 +10,7 @@ import (
 	"globedoc/internal/attack"
 	"globedoc/internal/cert"
 	"globedoc/internal/core"
+	"globedoc/internal/deploy"
 	"globedoc/internal/document"
 	"globedoc/internal/globeid"
 	"globedoc/internal/keys"
@@ -17,6 +18,7 @@ import (
 	"globedoc/internal/location"
 	"globedoc/internal/netsim"
 	"globedoc/internal/object"
+	"globedoc/internal/server"
 	"globedoc/internal/telemetry"
 	"globedoc/internal/transport"
 	"globedoc/internal/vcache"
@@ -534,5 +536,117 @@ func TestMaliciousLocationIsOnlyDoS(t *testing.T) {
 	defer client.Close()
 	if _, err := client.Fetch(context.Background(), oid, "index.html"); err == nil {
 		t.Fatal("fetch through dead rogue address succeeded")
+	}
+}
+
+func TestLocationReorderAndForgeIsOnlyDoS(t *testing.T) {
+	// The full selector-targeted location attack: a lying location
+	// service prepends a rogue replica dressed in forged same-zone,
+	// high-weight metadata (plus a dead address), strips and reverses the
+	// genuine results. The rogue serves tampered bytes for the real OID
+	// under a genuinely-signed certificate. The selector, trusting the
+	// forged advice, must be allowed to try the rogue first — and the
+	// pipeline must still only ever return genuine bytes from a genuine
+	// replica, at the price of failovers. At worst DoS, never corruption.
+	tel := telemetry.New(nil)
+	w, err := deploy.NewWorld(deploy.Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, site := range []string{netsim.AmsterdamPrimary, netsim.Paris} {
+		if _, err := w.StartServer(site, "srv-"+site, nil, nil, server.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	owner := keytest.RSA()
+	doc := document.New()
+	if err := doc.Put(document.Element{Name: "index.html", Data: []byte("the genuine page")}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := w.Publish(doc, deploy.PublishOptions{Name: "victim.example", OwnerKey: owner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ReplicateTo(pub, netsim.Paris); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rogue replica holds the genuine state (it could have fetched it
+	// like anyone) but tampers with every element it serves.
+	srv := attack.NewMaliciousServer(attack.TamperContent, attack.ReplicaState{
+		OID: pub.OID, Key: owner.Public(), Doc: pub.Doc, Cert: pub.Cert,
+	})
+	l, err := w.Net.Listen(netsim.Paris, "evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(l)
+	defer srv.Close()
+
+	clientHost := netsim.AmsterdamSecondary
+	binder := &object.Binder{
+		Locator: attack.ReorderLocation{
+			Genuine: w.LocationTree,
+			Rogue: []location.ContactAddress{
+				{Address: "paris:evil", Protocol: object.Protocol},
+				{Address: "ghost:void", Protocol: object.Protocol},
+			},
+			ForgeZone:   "europe", // the client's own zone
+			ForgeWeight: 1 << 20,
+		},
+		Dial: w.DialFrom(clientHost),
+		Site: clientHost,
+		Transport: transport.Config{
+			DialTimeout: 300 * time.Millisecond,
+			CallTimeout: 300 * time.Millisecond,
+			Telemetry:   tel,
+		},
+	}
+	client, err := core.NewClient(binder, core.Options{
+		Telemetry: tel,
+		Selector:  core.HealthRankedSelector{Zone: "europe"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	genuine := map[string]bool{
+		w.Addrs[pub.HomeSite]: true,
+		w.Addrs[netsim.Paris]: true,
+	}
+	for i := 0; i < 4; i++ {
+		res, err := client.Fetch(context.Background(), pub.OID, "index.html")
+		if err != nil {
+			t.Fatalf("fetch %d under location attack: %v", i, err)
+		}
+		if string(res.Element.Data) != "the genuine page" {
+			t.Fatalf("fetch %d ACCEPTED tampered data %q", i, res.Element.Data)
+		}
+		if !genuine[res.ReplicaAddr] {
+			t.Fatalf("fetch %d served from non-genuine replica %s", i, res.ReplicaAddr)
+		}
+		client.FlushBindings()
+	}
+
+	// The attack was visible — the rogue's forged metadata got it tried
+	// and its tampering detected — but strictly bounded: detected
+	// tampering and the dead dial both count as failure evidence, so the
+	// selector demotes the rogues and failovers stop accruing instead of
+	// costing every fetch.
+	failovers := tel.Failovers.Value()
+	if failovers < 2 {
+		t.Errorf("failovers_total = %d; forged metadata never got the rogues tried", failovers)
+	}
+	if failovers > 4 {
+		t.Errorf("failovers_total = %d across 4 fetches; re-ranking did not demote the rogues", failovers)
+	}
+	for _, rogue := range []string{"paris:evil", "ghost:void"} {
+		h, ok := tel.Health.Lookup(rogue)
+		if !ok || h.ConsecutiveFailures == 0 {
+			t.Errorf("no failure evidence recorded against rogue %s", rogue)
+		}
 	}
 }

@@ -55,6 +55,10 @@ type Report struct {
 	// TraceOverhead is the tracing-cost ablation (cold fetch at sample
 	// rate 1.0 vs. rate 0), when measured.
 	TraceOverhead *TraceOverheadResult `json:"trace_overhead,omitempty"`
+	// Placement is the sharded-fleet replica-selection experiment
+	// (health-ranked selector vs. the location-order ablation), when
+	// measured.
+	Placement *PlacementResult `json:"placement,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

@@ -38,7 +38,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -304,6 +303,7 @@ type Client struct {
 	noBatchFetch    bool
 	vcache          *vcache.Cache
 	maxBindings     int
+	selector        Selector
 
 	mu         sync.Mutex
 	cache      map[globeid.OID]*list.Element // of *bindingEntry
@@ -351,6 +351,10 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 	if opts.TraceSampleRate != nil {
 		telemetry.Or(opts.Telemetry).Tracer.SetSampleRate(*opts.TraceSampleRate)
 	}
+	selector := opts.Selector
+	if selector == nil {
+		selector = HealthRankedSelector{}
+	}
 	return &Client{
 		Binder:          binder,
 		trust:           opts.Trust,
@@ -364,6 +368,7 @@ func NewClient(binder *object.Binder, opts Options) (*Client, error) {
 		noBatchFetch:    opts.DisableBatchFetch,
 		vcache:          opts.VCache,
 		maxBindings:     maxBindings,
+		selector:        selector,
 		cache:           make(map[globeid.OID]*list.Element),
 		bindingLRU:      list.New(),
 		flights:         make(map[globeid.OID]*flight),
@@ -428,22 +433,6 @@ func (c *Client) Fetch(ctx context.Context, oid globeid.OID, element string) (Fe
 	p.root.Annotate("oid", oid.Short())
 	p.root.Annotate("element", element)
 	return c.finishFetch(ctx, p, oid, element)
-}
-
-// FetchNamedNoCtx is FetchNamed without a context.
-//
-// Deprecated: use FetchNamed with a context; this wrapper remains for
-// one release and is equivalent to FetchNamed(context.Background(), ...).
-func (c *Client) FetchNamedNoCtx(name, element string) (FetchResult, error) {
-	return c.FetchNamed(context.Background(), name, element)
-}
-
-// FetchNoCtx is Fetch without a context.
-//
-// Deprecated: use Fetch with a context; this wrapper remains for one
-// release and is equivalent to Fetch(context.Background(), ...).
-func (c *Client) FetchNoCtx(oid globeid.OID, element string) (FetchResult, error) {
-	return c.Fetch(context.Background(), oid, element)
 }
 
 func orBackground(ctx context.Context) context.Context {
@@ -644,6 +633,11 @@ func (c *Client) fetchExcluding(ctx context.Context, p *pipeline, oid globeid.OI
 			c.dropBinding(oid, vb)
 			c.invalidateContent(oid)
 			p.tel.Failovers.Inc()
+			// Tampering is detected above the transport layer, whose
+			// health sampling saw only successful RPCs — record the
+			// detected attack as failure evidence so the selector stops
+			// preferring this replica on future establishments.
+			p.tel.Health.RecordFailure(addr)
 			next := make(map[string]bool, len(excluded)+1)
 			for a := range excluded {
 				next[a] = true
@@ -768,23 +762,17 @@ func (c *Client) establish(ctx context.Context, p *pipeline, oid globeid.OID, no
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBindingFailed, err)
 	}
-	// Health tie-break: the location service's distance order stands
-	// between equally healthy replicas (the sort is stable), but a replica
-	// accumulating transport failures sinks below healthier ones, so
-	// fetches stop paying a failover round trip to a known-bad address.
-	// Penalties are snapshotted before sorting: Penalty re-decays under
-	// the tracker lock on every call, so comparing live values could give
-	// the comparator an inconsistent (time-shifting) order.
-	if health := p.tel.Health; health != nil && len(candidates) > 1 {
-		penalty := make(map[string]float64, len(candidates))
-		for _, ca := range candidates {
-			if _, ok := penalty[ca.Address]; !ok {
-				penalty[ca.Address] = health.Penalty(ca.Address)
-			}
+	// The Selector is the one ranking code path: it orders the location
+	// service's candidates (by health, RTT and zone metadata for the
+	// default HealthRankedSelector) and failover below simply walks that
+	// order. The chosen ranking is retained per OID for /debugz.
+	candidates = c.selector.Rank(candidates, p.tel.Health)
+	if len(candidates) > 0 {
+		ranked := make([]string, len(candidates))
+		for i, ca := range candidates {
+			ranked[i] = ca.Address
 		}
-		sort.SliceStable(candidates, func(i, j int) bool {
-			return penalty[candidates[i].Address] < penalty[candidates[j].Address]
-		})
+		p.tel.Selection.Record(oid.Short(), c.selector.Name(), ranked)
 	}
 	lastErr := error(object.ErrNoReplica)
 	for _, ca := range candidates {
@@ -799,6 +787,12 @@ func (c *Client) establish(ctx context.Context, p *pipeline, oid globeid.OID, no
 		if err != nil {
 			lastErr = err
 			p.tel.Failovers.Inc()
+			// A failed verification is failure evidence against the
+			// address even when every RPC succeeded at the transport
+			// layer (a rogue replica serving a bad key or certificate),
+			// so the selector demotes detected attackers exactly like
+			// dead replicas.
+			p.tel.Health.RecordFailure(ca.Address)
 			continue
 		}
 		return vb, nil
@@ -1031,22 +1025,6 @@ func (c *Client) Elements(ctx context.Context, oid globeid.OID) ([]cert.ElementE
 	return entries, nil
 }
 
-// ElementsNamedNoCtx is ElementsNamed without a context.
-//
-// Deprecated: use ElementsNamed with a context; this wrapper remains
-// for one release.
-func (c *Client) ElementsNamedNoCtx(name string) ([]cert.ElementEntry, error) {
-	return c.ElementsNamed(context.Background(), name)
-}
-
-// ElementsNoCtx is Elements without a context.
-//
-// Deprecated: use Elements with a context; this wrapper remains for one
-// release.
-func (c *Client) ElementsNoCtx(oid globeid.OID) ([]cert.ElementEntry, error) {
-	return c.Elements(context.Background(), oid)
-}
-
 func (c *Client) elements(ctx context.Context, p *pipeline, oid globeid.OID) ([]cert.ElementEntry, error) {
 	now := c.now()
 	vb, warm := c.cachedBinding(oid, now)
@@ -1082,14 +1060,6 @@ func (c *Client) FetchAll(ctx context.Context, oid globeid.OID) ([]FetchResult, 
 	}
 	p.finish("ok")
 	return out, nil
-}
-
-// FetchAllNoCtx is FetchAll without a context.
-//
-// Deprecated: use FetchAll with a context; this wrapper remains for one
-// release.
-func (c *Client) FetchAllNoCtx(oid globeid.OID) ([]FetchResult, error) {
-	return c.FetchAll(context.Background(), oid)
 }
 
 func (c *Client) fetchAll(ctx context.Context, p *pipeline, oid globeid.OID) ([]FetchResult, error) {

@@ -85,6 +85,12 @@ type Options struct {
 	// least-recently-used binding is evicted and its connection closed.
 	// 0 means DefaultMaxBindings. Only meaningful with CacheBindings.
 	MaxBindings int
+	// Selector is the replica-selection policy: it ranks the location
+	// service's candidate addresses before the pipeline tries them, and
+	// failover follows its order. Nil means HealthRankedSelector with no
+	// zone (rank by measured RTT and failure evidence alone);
+	// OrderedSelector restores the pre-selector location-order behaviour.
+	Selector Selector
 	// TraceSampleRate, when non-nil, configures head-based trace sampling
 	// on the client's tracer: the fraction of new traces exported, in
 	// [0, 1]. The decision is made once per trace at the root span and

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"globedoc/internal/location"
+	"globedoc/internal/telemetry"
+)
+
+// Selector is the replica-selection policy of a Client: given the
+// candidate contact addresses the (untrusted) location service returned
+// for an object — nearest-first in the location tree's expanding-ring
+// order — it decides the order in which the secure-binding pipeline will
+// try them. Failover iterates the returned order, so the Selector is the
+// ONE ranking code path: there is no separate failover sort.
+//
+// Selection is pure policy, never trust: whatever order a Selector
+// produces, every replica tried still runs the full verification
+// pipeline (self-certification, certificate checks, per-element
+// verification). A bad ranking — whether from a misconfigured selector
+// or from forged location metadata — costs latency, not integrity.
+//
+// Implementations must be safe for concurrent use; a Client calls Rank
+// from concurrent fetches.
+type Selector interface {
+	// Name identifies the policy in telemetry (globedoc-selection/1).
+	Name() string
+	// Rank returns the candidates in preference order, best first. The
+	// input slice must not be mutated; implementations return a new
+	// slice (or the input unchanged when no reordering is needed).
+	// health carries the client's per-address RTT/error-rate EWMAs and
+	// may be nil when the client records no health data.
+	Rank(candidates []location.ContactAddress, health *telemetry.HealthTracker) []location.ContactAddress
+}
+
+// OrderedSelector preserves the location service's nearest-first order
+// unchanged — the pre-PR-8 behaviour, kept as the ablation baseline for
+// the placement benchmark (and for deployments that want the location
+// tree's distance ranking to be authoritative).
+type OrderedSelector struct{}
+
+// Name implements Selector.
+func (OrderedSelector) Name() string { return "ordered" }
+
+// Rank implements Selector: the identity ranking.
+func (OrderedSelector) Rank(candidates []location.ContactAddress, _ *telemetry.HealthTracker) []location.ContactAddress {
+	return candidates
+}
+
+// Milli-second cost model of HealthRankedSelector: every candidate is
+// reduced to an expected-latency score and sorted ascending.
+const (
+	// failoverPenaltyMillis is the modelled cost of trying a failing
+	// replica first: roughly one worst-case (transatlantic) round trip
+	// wasted before failover moves on. Each consecutive failure adds a
+	// full penalty, so a dead replica sinks fast; the error-rate EWMA
+	// adds a proportional share, so a flaky one sinks gradually and
+	// heals (the EWMA decays) once it recovers.
+	failoverPenaltyMillis = 250
+	// sameZonePriorMillis is the RTT assumed for an unmeasured address
+	// advertising the client's own zone.
+	sameZonePriorMillis = 5
+	// unknownZonePriorMillis is the RTT assumed when zones cannot be
+	// compared (no metadata from a pre-PR-8 location service, or the
+	// client's zone is unset).
+	unknownZonePriorMillis = 100
+	// otherZonePriorMillis is the RTT assumed for an unmeasured address
+	// in a different zone than the client.
+	otherZonePriorMillis = 200
+)
+
+// HealthRankedSelector is the default policy: rank candidates by
+// expected fetch latency, combining three signals in one score —
+//
+//   - the measured per-address RTT EWMA, when the client has talked to
+//     the address before (telemetry.HealthTracker, fed by every
+//     transport call);
+//   - a zone prior standing in for RTT until it is measured: an address
+//     advertising the client's zone is presumed near, a foreign zone
+//     far, and missing metadata in between;
+//   - failure evidence, each consecutive failure costing one modelled
+//     failover round trip and the error-rate EWMA a proportional share,
+//     preserving PR 7's demote-known-bad ordering.
+//
+// An unmeasured candidate is never priored below what the location
+// service's own distance ordering implies: the expanding-ring order IS
+// distance information, so a candidate listed before a measured one is
+// presumed at least as fast as it (its estimate is capped at the best
+// measured RTT among later candidates). Without this, a newly created
+// nearby replica could lose to a well-measured far one forever and
+// never be tried.
+//
+// The sort is stable, so the location service's nearest-first order
+// breaks exact ties, and among same-scored candidates a higher
+// advertised Weight wins. Scores are computed once per address before
+// sorting: Penalty/Lookup re-decay under the tracker lock, so a live
+// comparator could see a time-shifting order.
+type HealthRankedSelector struct {
+	// Zone is the client's own zone label (the top-level region of its
+	// site). Empty disables the same/other-zone priors — every
+	// unmeasured address gets the neutral prior.
+	Zone string
+}
+
+// Name implements Selector.
+func (s HealthRankedSelector) Name() string { return "health-ranked" }
+
+// Rank implements Selector.
+func (s HealthRankedSelector) Rank(candidates []location.ContactAddress, health *telemetry.HealthTracker) []location.ContactAddress {
+	if len(candidates) < 2 {
+		return candidates
+	}
+	out := append([]location.ContactAddress(nil), candidates...)
+	// One health lookup per candidate, snapshotted before sorting.
+	rtt := make([]float64, len(out))  // measured EWMA, or -1
+	fail := make([]float64, len(out)) // consecutive failures + error rate
+	for i, ca := range out {
+		rtt[i] = -1
+		if ah, ok := health.Lookup(ca.Address); ok {
+			if ah.HasRTT {
+				rtt[i] = ah.RTTMillis
+			}
+			fail[i] = float64(ah.ConsecutiveFailures) + ah.ErrorRate
+		}
+	}
+	// Estimate per candidate IN LOCATION ORDER: measured RTT when
+	// available; otherwise the zone prior, capped at the best measured
+	// RTT among candidates the location service ranked farther (the
+	// distance-order optimism documented above). suffixBest[i] is that
+	// cap for position i.
+	score := make([]float64, len(out))
+	suffixBest := math.Inf(1)
+	for i := len(out) - 1; i >= 0; i-- {
+		est := rtt[i]
+		if est < 0 {
+			est = math.Min(s.rttPrior(out[i].Zone), suffixBest)
+		} else {
+			suffixBest = math.Min(suffixBest, est)
+		}
+		score[i] = est + fail[i]*failoverPenaltyMillis
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if score[idx[a]] != score[idx[b]] {
+			return score[idx[a]] < score[idx[b]]
+		}
+		return out[idx[a]].Weight > out[idx[b]].Weight
+	})
+	ranked := make([]location.ContactAddress, len(out))
+	for i, j := range idx {
+		ranked[i] = out[j]
+	}
+	return ranked
+}
+
+func (s HealthRankedSelector) rttPrior(zone string) float64 {
+	if s.Zone == "" || zone == "" {
+		return unknownZonePriorMillis
+	}
+	if zone == s.Zone {
+		return sameZonePriorMillis
+	}
+	return otherZonePriorMillis
+}
+
+var (
+	_ Selector = OrderedSelector{}
+	_ Selector = HealthRankedSelector{}
+)

@@ -58,8 +58,21 @@ type World struct {
 type Options struct {
 	// TimeScale scales simulated network delays (0 disables sleeping —
 	// the right setting for unit tests; 1.0 reproduces the paper's
-	// latencies).
+	// latencies). Ignored when Network is set.
 	TimeScale float64
+	// Network, when non-nil, is the simulated topology to deploy onto
+	// instead of the default four-host paper testbed — e.g.
+	// netsim.FleetTestbed for the multi-continent fleet. The world takes
+	// ownership and closes it.
+	Network *netsim.Network
+	// Domains, when non-nil, replaces location.PaperDomains as the
+	// location service's domain hierarchy. Every host that runs a server
+	// or client must be a site in it.
+	Domains *location.DomainSpec
+	// ServiceHost is where the naming and location services listen
+	// (defaults to the Amsterdam primary; fleet worlds pick one of their
+	// own hosts).
+	ServiceHost string
 	// KeyAlgorithm is used for service and CA keys. Object owners pick
 	// their own algorithm per publish. Defaults to Ed25519.
 	KeyAlgorithm keys.Algorithm
@@ -95,8 +108,14 @@ func NewWorld(opts Options) (*World, error) {
 	if opts.Client.Telemetry == nil {
 		opts.Client.Telemetry = opts.Telemetry
 	}
+	if opts.Network == nil {
+		opts.Network = netsim.PaperTestbed(opts.TimeScale)
+	}
+	if opts.ServiceHost == "" {
+		opts.ServiceHost = netsim.AmsterdamPrimary
+	}
 	w := &World{
-		Net:     netsim.PaperTestbed(opts.TimeScale),
+		Net:     opts.Network,
 		Servers: make(map[string]*server.Server),
 		Addrs:   make(map[string]string),
 		opts:    opts,
@@ -110,29 +129,33 @@ func NewWorld(opts Options) (*World, error) {
 		auth.Now = opts.Clock
 	}
 	w.NamingAuthority = auth
-	nl, err := w.Net.Listen(netsim.AmsterdamPrimary, NamingService)
+	nl, err := w.Net.Listen(opts.ServiceHost, NamingService)
 	if err != nil {
 		return nil, err
 	}
 	w.namingSvc = naming.NewService(auth)
 	w.namingSvc.SetTelemetry(opts.Telemetry)
 	w.namingSvc.Start(nl)
-	w.NamingAddr = netsim.AmsterdamPrimary + ":" + NamingService
+	w.NamingAddr = opts.ServiceHost + ":" + NamingService
 	w.closers = append(w.closers, w.namingSvc.Close)
 
-	tree, err := location.NewTree(location.PaperDomains())
+	domains := location.PaperDomains()
+	if opts.Domains != nil {
+		domains = *opts.Domains
+	}
+	tree, err := location.NewTree(domains)
 	if err != nil {
 		return nil, err
 	}
 	w.LocationTree = tree
-	ll, err := w.Net.Listen(netsim.AmsterdamPrimary, LocationService)
+	ll, err := w.Net.Listen(opts.ServiceHost, LocationService)
 	if err != nil {
 		return nil, err
 	}
 	w.locationSvc = location.NewService(tree)
 	w.locationSvc.SetTelemetry(opts.Telemetry)
 	w.locationSvc.Start(ll)
-	w.LocationAddr = netsim.AmsterdamPrimary + ":" + LocationService
+	w.LocationAddr = opts.ServiceHost + ":" + LocationService
 	w.closers = append(w.closers, w.locationSvc.Close)
 
 	ca, err := cert.NewCA("GlobeDoc Root CA", opts.KeyAlgorithm)
@@ -231,7 +254,20 @@ func (w *World) NewSecureClientOpts(host string, opts core.Options) (*core.Clien
 		trust.TrustCA(w.CA.Name, w.CA.Key.Public())
 		opts.Trust = trust
 	}
-	return core.NewClient(w.NewBinder(host), opts)
+	if opts.Selector == nil {
+		// Zone-aware default: the client knows which zone its own site is
+		// in, so the health-ranked selector can prefer unmeasured replicas
+		// advertising the same zone.
+		if zone, ok := w.LocationTree.ZoneOf(host); ok {
+			opts.Selector = core.HealthRankedSelector{Zone: zone}
+		}
+	}
+	// The client's replica connections must feed the same health tracker
+	// its selector reads, so a caller-supplied telemetry overrides the
+	// world default on the binder transport too.
+	binder := w.NewBinder(host)
+	binder.Transport.Telemetry = opts.Telemetry
+	return core.NewClient(binder, opts)
 }
 
 // Publication is one published GlobeDoc object: the owner-side state

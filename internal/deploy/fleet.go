@@ -1,0 +1,147 @@
+package deploy
+
+import (
+	"fmt"
+
+	"globedoc/internal/document"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/location"
+	"globedoc/internal/netsim"
+	"globedoc/internal/object"
+	"globedoc/internal/replication"
+	"globedoc/internal/server"
+)
+
+// FleetReplicationFactor is how many replicas of each object a fleet
+// world installs by default: one home plus two placement-chosen copies,
+// matching the paper's small static replica sets.
+const FleetReplicationFactor = 3
+
+// FleetDomains builds the location hierarchy matching
+// netsim.FleetTestbed: one region per continent, whose sites are that
+// continent's object servers plus its client vantage host. Region names
+// double as the zone labels the tree stamps onto contact addresses.
+func FleetDomains() location.DomainSpec {
+	world := location.DomainSpec{Name: "world"}
+	for _, c := range netsim.FleetContinents {
+		region := location.DomainSpec{Name: c}
+		for _, s := range netsim.FleetServers() {
+			if netsim.FleetContinentOf(s) == c {
+				region.Children = append(region.Children, location.DomainSpec{Name: s})
+			}
+		}
+		region.Children = append(region.Children, location.DomainSpec{Name: netsim.FleetClient(c)})
+		world.Children = append(world.Children, region)
+	}
+	return world
+}
+
+// FleetWorld is a World deployed on the multi-continent fleet testbed,
+// with an object server on each of the twelve fleet hosts and a
+// consistent-hash placement deciding which servers host each object.
+type FleetWorld struct {
+	*World
+	// Placement maps OIDs onto the fleet (replication.NewPlacement over
+	// the fleet's servers).
+	Placement *replication.Placement
+}
+
+// NewFleetWorld stands up the fleet: netsim.FleetTestbed (unless
+// opts.Network overrides it), the fleet location hierarchy, naming and
+// location services on the first europe server, and an object server on
+// every fleet host. TimeScale is honoured the same way as NewWorld.
+func NewFleetWorld(opts Options) (*FleetWorld, error) {
+	if opts.Network == nil {
+		opts.Network = netsim.FleetTestbed(opts.TimeScale)
+	}
+	if opts.Domains == nil {
+		d := FleetDomains()
+		opts.Domains = &d
+	}
+	if opts.ServiceHost == "" {
+		opts.ServiceHost = netsim.FleetServers()[netsim.FleetServersPerContinent] // europe-s1
+	}
+	w, err := NewWorld(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, site := range netsim.FleetServers() {
+		if _, err := w.StartServer(site, "srv-"+site, nil, nil, server.Limits{}); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("deploy: starting fleet server %d (%s): %w", i, site, err)
+		}
+	}
+	p, err := replication.NewPlacement(netsim.FleetServers(), 0, FleetReplicationFactor)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	return &FleetWorld{World: w, Placement: p}, nil
+}
+
+// PublishPlaced publishes doc and installs its replicas on the servers
+// the placement assigns to the resulting OID: the first assigned server
+// becomes the home site, the rest receive static replicas. Any HomeSite
+// in opts is overridden.
+func (w *FleetWorld) PublishPlaced(doc *document.Document, opts PublishOptions) (*Publication, error) {
+	// The placement needs the OID, and the OID is the hash of the object
+	// key — so the key must exist before the home site can be chosen.
+	if opts.OwnerKey == nil {
+		if opts.KeyAlgorithm == 0 {
+			opts.KeyAlgorithm = keys.RSA2048
+		}
+		k, err := keys.Generate(opts.KeyAlgorithm)
+		if err != nil {
+			return nil, err
+		}
+		opts.OwnerKey = k
+	}
+	oid := globeid.FromPublicKey(opts.OwnerKey.Public())
+	sites := w.Placement.ServersFor(oid)
+	opts.HomeSite = sites[0]
+	pub, err := w.Publish(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, site := range sites[1:] {
+		if err := w.ReplicateTo(pub, site); err != nil {
+			return nil, fmt.Errorf("deploy: placing replica of %s on %s: %w", oid.Short(), site, err)
+		}
+	}
+	return pub, nil
+}
+
+// ApplyRebalance executes the placement diff for the given publications
+// against a new placement: servers gaining a replica receive the bundle
+// and a location record; servers losing one have their location record
+// withdrawn (the stale bundle ages out server-side — clients can no
+// longer find it, which is what correctness needs). It returns the
+// number of replica installs performed and switches the world to the new
+// placement.
+func (w *FleetWorld) ApplyRebalance(next *replication.Placement, pubs ...*Publication) (int, error) {
+	byOID := make(map[globeid.OID]*Publication, len(pubs))
+	oids := make([]globeid.OID, 0, len(pubs))
+	for _, pub := range pubs {
+		byOID[pub.OID] = pub
+		oids = append(oids, pub.OID)
+	}
+	installs := 0
+	for _, m := range w.Placement.Rebalance(next, oids) {
+		pub := byOID[m.OID]
+		for _, site := range m.Add {
+			if err := w.ReplicateTo(pub, site); err != nil {
+				return installs, fmt.Errorf("deploy: rebalancing %s onto %s: %w", m.OID.Short(), site, err)
+			}
+			installs++
+		}
+		for _, site := range m.Remove {
+			addr := location.ContactAddress{Address: w.Addrs[site], Protocol: object.Protocol}
+			if err := w.LocationTree.Delete(site, m.OID, addr); err != nil {
+				return installs, fmt.Errorf("deploy: withdrawing %s from %s: %w", m.OID.Short(), site, err)
+			}
+		}
+	}
+	w.Placement = next
+	return installs, nil
+}

@@ -95,7 +95,7 @@ func lockAcrossRPC(p *Package, fd *ast.FuncDecl) []Diagnostic {
 				if isSyncMethod(p, sel) {
 					events = append(events, lockEvent{pos: call.Pos(), kind: "unlock", key: types.ExprString(sel.X), deferred: deferred})
 				}
-			case "Call", "CallNoCtx":
+			case "Call":
 				// A method named Call is the transport boundary shape;
 				// package-level functions (e.g. reflect.Value.Call
 				// lookalikes) do not occur in this codebase.

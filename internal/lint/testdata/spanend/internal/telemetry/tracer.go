@@ -9,8 +9,8 @@ type Span struct{}
 
 type SpanContext struct{}
 
-func (t *Tracer) StartSpan(name string) *Span                      { return &Span{} }
-func (t *Tracer) StartSpanFrom(name string, sc SpanContext) *Span  { return &Span{} }
-func (s *Span) StartChild(name string) *Span                       { return &Span{} }
-func (s *Span) End()                                               {}
-func (s *Span) Annotate(key, value string)                         {}
+func (t *Tracer) StartSpan(name string) *Span                     { return &Span{} }
+func (t *Tracer) StartSpanFrom(name string, sc SpanContext) *Span { return &Span{} }
+func (s *Span) StartChild(name string) *Span                      { return &Span{} }
+func (s *Span) End()                                              {}
+func (s *Span) Annotate(key, value string)                        {}

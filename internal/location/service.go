@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 
 	"globedoc/internal/enc"
 	"globedoc/internal/globeid"
@@ -12,11 +13,22 @@ import (
 )
 
 // Wire operation names of the location service.
+//
+// OpLookup2 is the extended lookup introduced in PR 8: same request body
+// as OpLookup, but the response carries per-address metadata (zone label,
+// advertised weight). The v1 encodings are frozen — enc.Reader.Finish
+// rejects trailing bytes, so appending fields to an existing operation
+// would break BOTH old-decodes-new and new-decodes-old. A new client
+// probes OpLookup2 and, on the peer's "unknown operation" refusal,
+// latches a permanent fallback to OpLookup (metadata-less results); an
+// old client never sends OpLookup2 and sees byte-identical OpLookup
+// responses.
 const (
-	OpInsert = "loc.insert"
-	OpDelete = "loc.delete"
-	OpLookup = "loc.lookup"
-	OpAll    = "loc.all"
+	OpInsert  = "loc.insert"
+	OpDelete  = "loc.delete"
+	OpLookup  = "loc.lookup"
+	OpLookup2 = "loc.lookup2"
+	OpAll     = "loc.all"
 )
 
 // Resolver is the client-side view of the location service: anything that
@@ -45,6 +57,7 @@ func NewService(tree *Tree) *Service {
 	s.srv.Handle(OpInsert, s.handleInsert)
 	s.srv.Handle(OpDelete, s.handleDelete)
 	s.srv.Handle(OpLookup, s.handleLookup)
+	s.srv.Handle(OpLookup2, s.handleLookup2)
 	s.srv.Handle(OpAll, s.handleAll)
 	return s
 }
@@ -129,20 +142,61 @@ func decodeLookupResult(body []byte) (LookupResult, error) {
 	return res, nil
 }
 
-func (s *Service) handleLookup(body []byte) ([]byte, error) {
+// encodeLookupResultExt is the OpLookup2 response body: the same shape
+// as the v1 encoding with per-address metadata appended to each entry.
+func encodeLookupResultExt(res LookupResult) []byte {
+	w := enc.NewWriter(64)
+	w.Uvarint(uint64(res.Rings))
+	w.Uvarint(uint64(len(res.Addresses)))
+	for _, a := range res.Addresses {
+		a.MarshalExt(w)
+	}
+	return w.Bytes()
+}
+
+func decodeLookupResultExt(body []byte) (LookupResult, error) {
+	r := enc.NewReader(body)
+	var res LookupResult
+	res.Rings = int(r.Uvarint())
+	n := r.Uvarint()
+	if n > 1<<16 {
+		return LookupResult{}, fmt.Errorf("location: implausible address count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		res.Addresses = append(res.Addresses, UnmarshalContactAddressExt(r))
+	}
+	if err := r.Finish(); err != nil {
+		return LookupResult{}, err
+	}
+	return res, nil
+}
+
+func (s *Service) lookup(body []byte) (LookupResult, error) {
 	r := enc.NewReader(body)
 	site := r.String()
 	var oid globeid.OID
 	copy(oid[:], r.Raw(globeid.Size))
 	if err := r.Finish(); err != nil {
-		return nil, err
+		return LookupResult{}, err
 	}
 	//lint:ignore ctxfirst the transport handler boundary carries no request context; per-request cancellation would need a wire protocol change
-	res, err := s.tree.Lookup(context.Background(), site, oid)
+	return s.tree.Lookup(context.Background(), site, oid)
+}
+
+func (s *Service) handleLookup(body []byte) ([]byte, error) {
+	res, err := s.lookup(body)
 	if err != nil {
 		return nil, err
 	}
 	return encodeLookupResult(res), nil
+}
+
+func (s *Service) handleLookup2(body []byte) ([]byte, error) {
+	res, err := s.lookup(body)
+	if err != nil {
+		return nil, err
+	}
+	return encodeLookupResultExt(res), nil
 }
 
 func (s *Service) handleAll(body []byte) ([]byte, error) {
@@ -158,6 +212,12 @@ func (s *Service) handleAll(body []byte) ([]byte, error) {
 // Client is a typed client for a remote location service.
 type Client struct {
 	c *transport.Client
+	// lookup2Unsupported latches after the peer refuses OpLookup2 with an
+	// unknown-operation error: the service predates per-address metadata,
+	// so every further Lookup goes straight to the v1 operation. One
+	// wasted round trip per client lifetime, mirroring the transport's
+	// version-negotiation fallback.
+	lookup2Unsupported atomic.Bool
 }
 
 // NewClient returns a client that dials the service with dial.
@@ -192,11 +252,25 @@ func (c *Client) Delete(ctx context.Context, site string, oid globeid.OID, addr 
 }
 
 // Lookup finds contact addresses for oid, nearest-first from fromSite.
+// It prefers the metadata-carrying OpLookup2 and falls back permanently
+// to OpLookup against a service that does not implement it; results from
+// such a service simply carry no zone/weight metadata.
 func (c *Client) Lookup(ctx context.Context, fromSite string, oid globeid.OID) (LookupResult, error) {
 	w := enc.NewWriter(64)
 	w.String(fromSite)
 	w.Raw(oid[:])
-	body, err := c.c.Call(ctx, OpLookup, w.Bytes())
+	req := w.Bytes()
+	if !c.lookup2Unsupported.Load() {
+		body, err := c.c.Call(ctx, OpLookup2, req)
+		if err == nil {
+			return decodeLookupResultExt(body)
+		}
+		if !transport.IsUnknownOp(err) {
+			return LookupResult{}, err
+		}
+		c.lookup2Unsupported.Store(true)
+	}
+	body, err := c.c.Call(ctx, OpLookup, req)
 	if err != nil {
 		return LookupResult{}, err
 	}

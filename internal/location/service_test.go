@@ -44,7 +44,11 @@ func TestServiceInsertLookupDelete(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
-	if len(res.Addresses) != 1 || res.Addresses[0] != a || res.Rings != 1 {
+	if len(res.Addresses) != 1 || !res.Addresses[0].SameEndpoint(a) || res.Rings != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	// OpLookup2 carries the metadata the tree filled in at insert.
+	if res.Addresses[0].Zone != "europe" {
 		t.Errorf("res = %+v", res)
 	}
 	all, err := client.All(context.Background(), oid)

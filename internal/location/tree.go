@@ -38,24 +38,64 @@ var (
 )
 
 // ContactAddress tells a client where and how to contact an object
-// replica.
+// replica. Address and Protocol identify the endpoint; Zone and Weight
+// are advisory per-address metadata for client-side replica selection.
+// Like everything the location service says, the metadata is UNTRUSTED:
+// a forged zone or weight can at worst steer a client toward a slower
+// (or dead) replica — the security pipeline still verifies whatever the
+// replica serves, so misdirection is denial of service, never corruption.
 type ContactAddress struct {
 	// Address is the network address of the hosting object server, in
 	// the simulator's "host:service" form.
 	Address string
 	// Protocol names the wire protocol spoken at the address.
 	Protocol string
+	// Zone labels the address's coarse network locality (the top-level
+	// region of the site the address is recorded at, e.g. "europe").
+	// Empty when unknown — pre-PR-8 services never report one.
+	Zone string
+	// Weight is the advertised capacity preference among otherwise
+	// equivalent replicas; higher is preferred. Zero means unspecified.
+	Weight uint32
 }
 
-// Marshal appends the address to w.
+// SameEndpoint reports whether b names the same replica endpoint,
+// ignoring the advisory metadata.
+func (a ContactAddress) SameEndpoint(b ContactAddress) bool {
+	return a.Address == b.Address && a.Protocol == b.Protocol
+}
+
+// Marshal appends the address to w in the v1 wire form: endpoint only,
+// no metadata. This layout is FROZEN — pre-PR-8 decoders reject trailing
+// bytes (enc.Reader.Finish), so the extended form must travel on new wire
+// operations (OpLookup2), never by appending here.
 func (a ContactAddress) Marshal(w *enc.Writer) {
 	w.String(a.Address)
 	w.String(a.Protocol)
 }
 
-// UnmarshalContactAddress reads an address from r.
+// UnmarshalContactAddress reads a v1 (endpoint-only) address from r.
 func UnmarshalContactAddress(r *enc.Reader) ContactAddress {
 	return ContactAddress{Address: r.String(), Protocol: r.String()}
+}
+
+// MarshalExt appends the address with its metadata — the extended form
+// carried by the v2 lookup operation.
+func (a ContactAddress) MarshalExt(w *enc.Writer) {
+	w.String(a.Address)
+	w.String(a.Protocol)
+	w.String(a.Zone)
+	w.Uvarint(uint64(a.Weight))
+}
+
+// UnmarshalContactAddressExt reads an extended address from r.
+func UnmarshalContactAddressExt(r *enc.Reader) ContactAddress {
+	return ContactAddress{
+		Address:  r.String(),
+		Protocol: r.String(),
+		Zone:     r.String(),
+		Weight:   uint32(r.Uvarint()),
+	}
 }
 
 // DomainSpec declares one node of the domain hierarchy. A node with no
@@ -145,7 +185,12 @@ func (t *Tree) Sites() []string {
 }
 
 // Insert records a contact address for oid at the given site and installs
-// forwarding pointers in every enclosing region up to the root.
+// forwarding pointers in every enclosing region up to the root. The
+// endpoint (Address, Protocol) is the record's identity: re-inserting an
+// existing endpoint refreshes its metadata instead of duplicating it. An
+// address inserted without a zone label inherits the site's zone, so
+// every stored record carries locality metadata even when the registrar
+// predates it.
 func (t *Tree) Insert(site string, oid globeid.OID, addr ContactAddress) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -153,9 +198,13 @@ func (t *Tree) Insert(site string, oid globeid.OID, addr ContactAddress) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSite, site)
 	}
-	for _, existing := range s.addrs[oid] {
-		if existing == addr {
-			return nil // idempotent
+	if addr.Zone == "" {
+		addr.Zone = zoneOfNode(s)
+	}
+	for i, existing := range s.addrs[oid] {
+		if existing.SameEndpoint(addr) {
+			s.addrs[oid][i] = addr // idempotent; refresh metadata
+			return nil
 		}
 	}
 	s.addrs[oid] = append(s.addrs[oid], addr)
@@ -172,7 +221,8 @@ func (t *Tree) Insert(site string, oid globeid.OID, addr ContactAddress) error {
 }
 
 // Delete removes a contact address for oid at site and prunes pointers
-// that no longer lead to any record.
+// that no longer lead to any record. Matching is by endpoint: the caller
+// does not need to know the stored metadata to remove a record.
 func (t *Tree) Delete(site string, oid globeid.OID, addr ContactAddress) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -184,7 +234,7 @@ func (t *Tree) Delete(site string, oid globeid.OID, addr ContactAddress) error {
 	kept := addrs[:0]
 	removed := false
 	for _, a := range addrs {
-		if a == addr {
+		if a.SameEndpoint(addr) {
 			removed = true
 			continue
 		}
@@ -302,17 +352,40 @@ func (t *Tree) AllAddresses(oid globeid.OID) []ContactAddress {
 }
 
 // SiteOf returns the site at which addr is recorded for oid, if any.
+// Matching is by endpoint.
 func (t *Tree) SiteOf(oid globeid.OID, addr ContactAddress) (string, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for name, s := range t.sites {
 		for _, a := range s.addrs[oid] {
-			if a == addr {
+			if a.SameEndpoint(addr) {
 				return name, true
 			}
 		}
 	}
 	return "", false
+}
+
+// ZoneOf returns the zone label of a site: the name of the top-level
+// region (child of the root) containing it, or the site's own name when
+// the site hangs directly off the root.
+func (t *Tree) ZoneOf(site string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.sites[site]
+	if !ok {
+		return "", false
+	}
+	return zoneOfNode(s), true
+}
+
+// zoneOfNode walks up from n to the child of the root. Caller holds a
+// tree lock.
+func zoneOfNode(n *node) string {
+	for n.parent != nil && n.parent.parent != nil {
+		n = n.parent
+	}
+	return n.name
 }
 
 // String renders the tree structure, for debugging and the admin tool.

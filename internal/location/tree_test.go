@@ -82,8 +82,11 @@ func TestInsertAndLocalLookup(t *testing.T) {
 	if res.Rings != 0 {
 		t.Errorf("Rings = %d, want 0 (local hit)", res.Rings)
 	}
-	if len(res.Addresses) != 1 || res.Addresses[0] != a {
+	if len(res.Addresses) != 1 || !res.Addresses[0].SameEndpoint(a) {
 		t.Errorf("Addresses = %v", res.Addresses)
+	}
+	if res.Addresses[0].Zone != "europe" {
+		t.Errorf("Zone = %q, want europe (auto-filled at insert)", res.Addresses[0].Zone)
 	}
 }
 
@@ -110,7 +113,7 @@ func TestExpandingRingSearch(t *testing.T) {
 	if res.Rings != 2 {
 		t.Errorf("ithaca Rings = %d, want 2", res.Rings)
 	}
-	if len(res.Addresses) != 1 || res.Addresses[0] != a {
+	if len(res.Addresses) != 1 || !res.Addresses[0].SameEndpoint(a) {
 		t.Errorf("Addresses = %v", res.Addresses)
 	}
 }
@@ -132,7 +135,7 @@ func TestNearestFirstOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Rings != 0 || len(res.Addresses) != 2 || res.Addresses[0] != parisAddr || res.Addresses[1] != amsAddr {
+	if res.Rings != 0 || len(res.Addresses) != 2 || !res.Addresses[0].SameEndpoint(parisAddr) || !res.Addresses[1].SameEndpoint(amsAddr) {
 		t.Errorf("paris lookup = %+v", res)
 	}
 	// From amsterdam-secondary both are in ring 1 (europe).
@@ -218,7 +221,7 @@ func TestDeleteKeepsOtherReplicas(t *testing.T) {
 	if err != nil {
 		t.Fatalf("lookup: %v", err)
 	}
-	if len(res.Addresses) != 1 || res.Addresses[0] != a2 {
+	if len(res.Addresses) != 1 || !res.Addresses[0].SameEndpoint(a2) {
 		t.Errorf("Addresses = %v", res.Addresses)
 	}
 }
@@ -270,7 +273,7 @@ func TestQuickInsertLookupDelete(t *testing.T) {
 		}
 		found := false
 		for _, got := range res.Addresses {
-			if got == a {
+			if got.SameEndpoint(a) {
 				found = true
 			}
 		}
@@ -284,7 +287,7 @@ func TestQuickInsertLookupDelete(t *testing.T) {
 		res, err = tree.Lookup(context.Background(), from, oid)
 		if err == nil {
 			for _, got := range res.Addresses {
-				if got == a {
+				if got.SameEndpoint(a) {
 					return false
 				}
 			}

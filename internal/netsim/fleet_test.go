@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestFleetServers(t *testing.T) {
+	servers := FleetServers()
+	if len(servers) != 12 {
+		t.Fatalf("fleet has %d servers, want 12", len(servers))
+	}
+	perContinent := make(map[string]int)
+	for _, s := range servers {
+		perContinent[FleetContinentOf(s)]++
+	}
+	for _, c := range FleetContinents {
+		if perContinent[c] != FleetServersPerContinent {
+			t.Errorf("continent %s has %d servers, want %d", c, perContinent[c], FleetServersPerContinent)
+		}
+	}
+}
+
+func TestFleetTestbedLinks(t *testing.T) {
+	n := FleetTestbed(1.0)
+	defer n.Close()
+
+	// Distinct RTT bands: intra-continent << eu-na < na-asia < eu-asia.
+	cases := []struct {
+		a, b string
+		want LinkProfile
+	}{
+		{"europe-s1", "europe-s2", FleetIntraLink},
+		{"europe-client", "europe-s4", FleetIntraLink},
+		{"europe-s1", "northamerica-s1", FleetEuNaLink},
+		{"northamerica-client", "asia-s2", FleetNaAsiaLink},
+		{"europe-client", "asia-s1", FleetEuAsiaLink},
+		{"asia-s3", "europe-s2", FleetEuAsiaLink},
+	}
+	for _, c := range cases {
+		got := n.Link(c.a, c.b)
+		if got != c.want {
+			t.Errorf("Link(%s, %s) = %+v, want %+v", c.a, c.b, got, c.want)
+		}
+	}
+	if !(FleetIntraLink.Latency < FleetEuNaLink.Latency &&
+		FleetEuNaLink.Latency < FleetNaAsiaLink.Latency &&
+		FleetNaAsiaLink.Latency < FleetEuAsiaLink.Latency) {
+		t.Error("fleet latency bands are not strictly ordered")
+	}
+}
+
+func TestFleetContinentNamesDefeatLexicalOrder(t *testing.T) {
+	// The design premise of the placement benchmark: for a client in
+	// europe or northamerica, the lexically-first continent (asia) is the
+	// farthest or near-farthest, so location-order selection is provably
+	// suboptimal. Keep the names that way.
+	if !(ContinentAsia < ContinentEurope && ContinentEurope < ContinentNorthAmerica) {
+		t.Fatal("continent names no longer sort asia < europe < northamerica")
+	}
+	if FleetEuAsiaLink.Latency <= FleetEuNaLink.Latency {
+		t.Fatal("asia is no longer the far continent for a europe client")
+	}
+}

@@ -1,0 +1,189 @@
+package replication
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"globedoc/internal/globeid"
+)
+
+// DefaultVirtualNodes is how many ring positions each server occupies
+// when Placement is built with vnodes == 0. Enough that a 12-server
+// fleet's arc lengths even out to within a few percent, small enough
+// that ring construction stays trivial.
+const DefaultVirtualNodes = 64
+
+// Placement assigns object replicas to servers of a fleet by consistent
+// hashing: every server occupies VirtualNodes positions on a 64-bit hash
+// ring, and an OID's replicas live on the first Factor distinct servers
+// found walking clockwise from the OID's own hash. Adding or removing a
+// server moves only the arcs adjacent to its virtual nodes — on average
+// a 1/N share of the objects — which Rebalance reports as an explicit
+// per-OID diff for the deployment layer to execute.
+//
+// Placement is deterministic and immutable after construction: the same
+// fleet and parameters yield the same ring on every process, so any
+// component (deploy tooling, servers, debugging CLIs) can compute where
+// an object belongs without coordination.
+type Placement struct {
+	servers []string // sorted, deduplicated
+	factor  int
+	vnodes  int
+	ring    []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	server int // index into servers
+}
+
+// NewPlacement builds the ring for the given fleet. factor is the
+// replication factor (replicas per object); it is capped at the fleet
+// size. vnodes == 0 means DefaultVirtualNodes. The server list is
+// deduplicated; order does not matter (the ring depends only on the
+// set). An empty fleet or non-positive factor is an error.
+func NewPlacement(servers []string, vnodes, factor int) (*Placement, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("replication: placement needs at least one server")
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("replication: replication factor %d is not positive", factor)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("replication: virtual node count %d is negative", vnodes)
+	}
+	seen := make(map[string]bool, len(servers))
+	uniq := make([]string, 0, len(servers))
+	for _, s := range servers {
+		if s == "" {
+			return nil, fmt.Errorf("replication: empty server name in fleet")
+		}
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	if factor > len(uniq) {
+		factor = len(uniq)
+	}
+	p := &Placement{
+		servers: uniq,
+		factor:  factor,
+		vnodes:  vnodes,
+		ring:    make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for si, s := range uniq {
+		for v := 0; v < vnodes; v++ {
+			p.ring = append(p.ring, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", s, v)), server: si})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].hash != p.ring[j].hash {
+			return p.ring[i].hash < p.ring[j].hash
+		}
+		return p.ring[i].server < p.ring[j].server
+	})
+	return p, nil
+}
+
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key)) // fnv never errors
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV-1a values of short,
+// similar keys ("srv-03#17") differ mostly in their low bits and cluster
+// on the ring, skewing arc lengths badly; the avalanche spreads them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Servers returns the fleet, sorted.
+func (p *Placement) Servers() []string {
+	return append([]string(nil), p.servers...)
+}
+
+// Factor returns the effective replication factor.
+func (p *Placement) Factor() int { return p.factor }
+
+// ServersFor returns the factor distinct servers that should host oid's
+// replicas, in ring order starting at the OID's hash. The first entry is
+// the object's home server.
+func (p *Placement) ServersFor(oid globeid.OID) []string {
+	start := sort.Search(len(p.ring), func(i int) bool {
+		return p.ring[i].hash >= ringHash(oid.String())
+	})
+	out := make([]string, 0, p.factor)
+	taken := make(map[int]bool, p.factor)
+	for i := 0; i < len(p.ring) && len(out) < p.factor; i++ {
+		pt := p.ring[(start+i)%len(p.ring)]
+		if !taken[pt.server] {
+			taken[pt.server] = true
+			out = append(out, p.servers[pt.server])
+		}
+	}
+	return out
+}
+
+// Move is one replica relocation a fleet change requires for one object.
+type Move struct {
+	OID globeid.OID
+	// Add lists servers that must gain a replica of OID.
+	Add []string
+	// Remove lists servers that must drop their replica of OID.
+	Remove []string
+}
+
+// Rebalance diffs this placement against next for the given objects: for
+// each OID whose server set changes it reports which servers gain and
+// lose a replica. OIDs whose placement is unchanged are omitted, so the
+// result's size is the migration cost of the fleet change. The output is
+// ordered like oids (deduplicated, first occurrence wins).
+func (p *Placement) Rebalance(next *Placement, oids []globeid.OID) []Move {
+	var moves []Move
+	done := make(map[globeid.OID]bool, len(oids))
+	for _, oid := range oids {
+		if done[oid] {
+			continue
+		}
+		done[oid] = true
+		cur := p.ServersFor(oid)
+		nxt := next.ServersFor(oid)
+		curSet := make(map[string]bool, len(cur))
+		for _, s := range cur {
+			curSet[s] = true
+		}
+		nxtSet := make(map[string]bool, len(nxt))
+		for _, s := range nxt {
+			nxtSet[s] = true
+		}
+		var m Move
+		for _, s := range nxt {
+			if !curSet[s] {
+				m.Add = append(m.Add, s)
+			}
+		}
+		for _, s := range cur {
+			if !nxtSet[s] {
+				m.Remove = append(m.Remove, s)
+			}
+		}
+		if len(m.Add) == 0 && len(m.Remove) == 0 {
+			continue
+		}
+		m.OID = oid
+		moves = append(moves, m)
+	}
+	return moves
+}

@@ -1,0 +1,152 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"globedoc/internal/globeid"
+)
+
+func placementOID(i int) globeid.OID {
+	var oid globeid.OID
+	oid[0] = byte(i)
+	oid[1] = byte(i >> 8)
+	oid[19] = 0x5a
+	return oid
+}
+
+func fleet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("srv-%02d", i)
+	}
+	return out
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(nil, 0, 3); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewPlacement(fleet(3), 0, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := NewPlacement([]string{"a", ""}, 0, 1); err == nil {
+		t.Error("empty server name accepted")
+	}
+	if _, err := NewPlacement(fleet(3), -1, 1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+	// Factor beyond the fleet is capped, not an error.
+	p, err := NewPlacement(fleet(2), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Factor() != 2 {
+		t.Errorf("Factor = %d, want capped to 2", p.Factor())
+	}
+}
+
+func TestPlacementDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := NewPlacement(fleet(12), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fleet, shuffled and with duplicates: identical ring.
+	shuffled := append(fleet(12)[6:], fleet(12)[:6]...)
+	shuffled = append(shuffled, "srv-03", "srv-09")
+	b, err := NewPlacement(shuffled, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		oid := placementOID(i)
+		sa, sb := a.ServersFor(oid), b.ServersFor(oid)
+		if len(sa) != 3 || len(sb) != 3 {
+			t.Fatalf("oid %d: %v vs %v", i, sa, sb)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("oid %d: placement differs: %v vs %v", i, sa, sb)
+			}
+		}
+		// Distinct servers.
+		if sa[0] == sa[1] || sa[1] == sa[2] || sa[0] == sa[2] {
+			t.Fatalf("oid %d: duplicate server in %v", i, sa)
+		}
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	p, err := NewPlacement(fleet(12), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects = 1200
+	load := make(map[string]int)
+	for i := 0; i < objects; i++ {
+		for _, s := range p.ServersFor(placementOID(i)) {
+			load[s]++
+		}
+	}
+	if len(load) != 12 {
+		t.Fatalf("only %d of 12 servers received replicas: %v", len(load), load)
+	}
+	// Perfect balance is 300 replicas per server; consistent hashing with
+	// 64 vnodes stays within a loose 2x band.
+	for s, n := range load {
+		if n < 100 || n > 600 {
+			t.Errorf("server %s carries %d replicas (expected ~300)", s, n)
+		}
+	}
+}
+
+func TestPlacementRebalanceIsMinimal(t *testing.T) {
+	cur, err := NewPlacement(fleet(12), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One server leaves the fleet.
+	next, err := NewPlacement(fleet(11), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects = 600
+	oids := make([]globeid.OID, objects)
+	for i := range oids {
+		oids[i] = placementOID(i)
+	}
+	moves := cur.Rebalance(next, oids)
+	// Every move must only add replicas for objects that lost srv-11 (or
+	// whose walk order shifted past its vnodes); no object should move
+	// more than one replica for a single-server removal.
+	for _, m := range moves {
+		if len(m.Add) > 1 || len(m.Remove) > 1 {
+			t.Errorf("oid %s: non-minimal move %+v", m.OID.Short(), m)
+		}
+		for _, s := range m.Add {
+			if s == "srv-11" {
+				t.Errorf("oid %s: rebalance added a replica on the removed server", m.OID.Short())
+			}
+		}
+	}
+	// With factor 3 of 12 servers, removing one should move roughly
+	// 3/12 = 25% of objects; allow a broad band around it.
+	if n := len(moves); n < objects/10 || n > objects/2 {
+		t.Errorf("rebalance moved %d/%d objects, want roughly 25%%", n, objects)
+	}
+	// Identity rebalance is empty.
+	if n := len(cur.Rebalance(cur, oids)); n != 0 {
+		t.Errorf("identity rebalance produced %d moves", n)
+	}
+}
+
+func TestPlacementSingleServer(t *testing.T) {
+	p, err := NewPlacement([]string{"only"}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.ServersFor(placementOID(7))
+	if len(got) != 1 || got[0] != "only" {
+		t.Errorf("ServersFor = %v", got)
+	}
+}

@@ -24,6 +24,9 @@ type DebugSnapshot struct {
 	// Health is the per-contact-address replica health state
 	// (globedoc-health/1).
 	Health HealthSnapshot `json:"health"`
+	// Selection is the per-OID replica ranking most recently produced by
+	// the client's Selector (globedoc-selection/1).
+	Selection SelectionSnapshot `json:"selection"`
 }
 
 // DebugSchema is the current DebugSnapshot schema identifier.
@@ -34,11 +37,12 @@ const DebugSchema = "globedoc-debugz/1"
 // replay identically.
 func (t *Telemetry) Snapshot() DebugSnapshot {
 	return DebugSnapshot{
-		Schema:  DebugSchema,
-		TakenAt: t.Tracer.now().UTC(),
-		Metrics: t.Registry.Snapshot(),
-		Spans:   t.Ring.Spans(),
-		Health:  t.Health.Snapshot(),
+		Schema:    DebugSchema,
+		TakenAt:   t.Tracer.now().UTC(),
+		Metrics:   t.Registry.Snapshot(),
+		Spans:     t.Ring.Spans(),
+		Health:    t.Health.Snapshot(),
+		Selection: t.Selection.Snapshot(),
 	}
 }
 

@@ -35,6 +35,10 @@ type AddrHealth struct {
 	// RTTMillis is the time-decayed EWMA of successful-call round-trip
 	// times, in milliseconds. Zero until the first success.
 	RTTMillis float64 `json:"rtt_ewma_ms"`
+	// HasRTT reports whether RTTMillis is backed by at least one
+	// successful call. A zero RTTMillis is ambiguous without it: an
+	// address that has only ever failed has samples but no RTT estimate.
+	HasRTT bool `json:"has_rtt"`
 	// ErrorRate is the time-decayed EWMA of per-attempt failure (each
 	// sample is 1 for a failure, 0 for a success), in [0, 1].
 	ErrorRate float64 `json:"error_ewma"`
@@ -171,19 +175,20 @@ func (h *HealthTracker) Lookup(addr string) (AddrHealth, bool) {
 	return AddrHealth{
 		Addr:                addr,
 		RTTMillis:           st.rttMs,
+		HasRTT:              st.hasRTT,
 		ErrorRate:           st.errRate,
 		ConsecutiveFailures: st.consec,
 		Samples:             st.samples,
 	}, true
 }
 
-// Penalty reduces addr's health to one ordinal for failover ordering:
-// zero for an unknown or healthy address, dominated by consecutive
-// failures, with the error-rate EWMA breaking ties among addresses that
-// are equally failing right now. Lower is healthier. RTT deliberately
-// does not contribute — candidate order from the location service is
-// the distance ranking, and this PR only demotes addresses with failure
-// evidence (full RTT-aware selection is ROADMAP item 1).
+// Penalty reduces addr's failure evidence to one ordinal: zero for an
+// unknown or healthy address, dominated by consecutive failures, with
+// the error-rate EWMA breaking ties among addresses that are equally
+// failing right now. Lower is healthier. RTT deliberately does not
+// contribute — core's HealthRankedSelector folds the same failure score
+// together with the RTT EWMA and zone priors into its latency estimate;
+// Penalty remains the RTT-free view for chaos assertions and tooling.
 func (h *HealthTracker) Penalty(addr string) float64 {
 	st, ok := h.Lookup(addr)
 	if !ok {
@@ -207,6 +212,7 @@ func (h *HealthTracker) Snapshot() HealthSnapshot {
 		snap.Addrs = append(snap.Addrs, AddrHealth{
 			Addr:                addr,
 			RTTMillis:           st.rttMs,
+			HasRTT:              st.hasRTT,
 			ErrorRate:           st.errRate,
 			ConsecutiveFailures: st.consec,
 			Samples:             st.samples,
@@ -214,4 +220,27 @@ func (h *HealthTracker) Snapshot() HealthSnapshot {
 	}
 	sort.Slice(snap.Addrs, func(i, j int) bool { return snap.Addrs[i].Addr < snap.Addrs[j].Addr })
 	return snap
+}
+
+// MergeHealth folds several health snapshots — typically scraped from the
+// /debugz endpoints of different processes — into one view. When the same
+// contact address appears in more than one snapshot the entry backed by
+// more samples wins: each process only knows about the replicas it talked
+// to, so the richer history is the better estimate. Output is sorted by
+// address like Snapshot.
+func MergeHealth(snaps ...HealthSnapshot) HealthSnapshot {
+	merged := HealthSnapshot{Schema: HealthSchema}
+	best := make(map[string]AddrHealth)
+	for _, snap := range snaps {
+		for _, ah := range snap.Addrs {
+			if prev, ok := best[ah.Addr]; !ok || ah.Samples > prev.Samples {
+				best[ah.Addr] = ah
+			}
+		}
+	}
+	for _, ah := range best {
+		merged.Addrs = append(merged.Addrs, ah)
+	}
+	sort.Slice(merged.Addrs, func(i, j int) bool { return merged.Addrs[i].Addr < merged.Addrs[j].Addr })
+	return merged
 }

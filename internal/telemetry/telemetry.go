@@ -75,8 +75,11 @@ type Telemetry struct {
 	// Ring retains the most recent spans for /debugz and span-tree tests.
 	Ring *RingExporter
 	// Health tracks per-contact-address RTT/error EWMAs, fed by
-	// transport.Client attempts and consumed by core's failover ordering.
+	// transport.Client attempts and consumed by core's replica Selector.
 	Health *HealthTracker
+	// Selection retains the most recent per-OID replica ranking produced
+	// by core's Selector, for /debugz and cmd/globedoc-debugz.
+	Selection *SelectionTracker
 
 	// Client-side RPC instruments (transport.Client).
 	RPCCalls   *CounterVec // {op,outcome}
@@ -130,10 +133,11 @@ func New(clk clock.Clock) *Telemetry {
 	tracer := NewTracer(clk)
 	tracer.AddExporter(ring)
 	return &Telemetry{
-		Tracer:   tracer,
-		Registry: reg,
-		Ring:     ring,
-		Health:   NewHealthTracker(clk),
+		Tracer:    tracer,
+		Registry:  reg,
+		Ring:      ring,
+		Health:    NewHealthTracker(clk),
+		Selection: NewSelectionTracker(),
 
 		RPCCalls:   reg.CounterVec(MetricRPCCalls, "op", "outcome"),
 		RPCRetries: reg.Counter(MetricRPCRetries),

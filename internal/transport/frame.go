@@ -117,10 +117,10 @@ const v2FrameOverhead = 6
 // v2 frame flag bits. flagTrace marks the trace-context extension;
 // every other bit is reserved and rejected.
 const (
-	flagTrace      byte = 0x01
-	knownFlags          = flagTrace
-	traceExtLen         = 17 // trace ID u64 | parent span ID u64 | trace flags byte
-	traceFlagSampled    = 0x01
+	flagTrace        byte = 0x01
+	knownFlags            = flagTrace
+	traceExtLen           = 17 // trace ID u64 | parent span ID u64 | trace flags byte
+	traceFlagSampled      = 0x01
 )
 
 // v2Frame is one parsed multiplexed frame.

@@ -37,16 +37,16 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(ok(frameResponse, 0xFFFFFFFF, nil))
 	f.Add(okTraced(frameRequest, 7, []byte("traced"), telemetry.SpanContext{TraceID: 42, SpanID: 43, Sampled: true}))
 	f.Add(okTraced(frameRequest, 8, nil, telemetry.SpanContext{TraceID: 1, SpanID: 1}))
-	f.Add([]byte{0, 0, 0, 3, 1, 0, 0})                   // length below header size
-	f.Add([]byte{0, 0, 0, 6, 9, 0, 0, 0, 0, 1})          // unknown frame type
-	f.Add([]byte{0, 0, 0, 6, 1, 0x80, 0, 0, 0, 1})       // reserved flags set
-	f.Add([]byte{0, 0, 0, 6, 1, 0x03, 0, 0, 0, 1})       // trace flag plus a reserved bit
-	f.Add([]byte{0, 0, 0, 8, 1, 0x01, 0, 0, 0, 1, 0, 0}) // trace flag with truncated extension
+	f.Add([]byte{0, 0, 0, 3, 1, 0, 0})                                           // length below header size
+	f.Add([]byte{0, 0, 0, 6, 9, 0, 0, 0, 0, 1})                                  // unknown frame type
+	f.Add([]byte{0, 0, 0, 6, 1, 0x80, 0, 0, 0, 1})                               // reserved flags set
+	f.Add([]byte{0, 0, 0, 6, 1, 0x03, 0, 0, 0, 1})                               // trace flag plus a reserved bit
+	f.Add([]byte{0, 0, 0, 8, 1, 0x01, 0, 0, 0, 1, 0, 0})                         // trace flag with truncated extension
 	f.Add(append([]byte{0, 0, 0, 23, 1, 0x01, 0, 0, 0, 1}, make([]byte, 17)...)) // trace extension with zero IDs
 	f.Add(append([]byte{0, 0, 0, 23, 1, 0x01, 0, 0, 0, 1},
 		[]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0x30}...)) // reserved trace flag bits
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                // absurd length prefix
-	f.Add([]byte("GD\xF2\x02"))                          // a preamble is not a frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length prefix
+	f.Add([]byte("GD\xF2\x02"))           // a preamble is not a frame
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := readV2Frame(bytes.NewReader(data))

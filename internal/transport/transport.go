@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,20 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote error from %q: %s", e.Op, e.Message)
+}
+
+// unknownOpPrefix starts the error message a Server returns for an
+// unregistered operation. IsUnknownOp matches on it, so it is part of the
+// wire contract: clients probe for newer operations (e.g. loc.lookup2)
+// and latch a fallback when the peer predates them.
+const unknownOpPrefix = "unknown operation "
+
+// IsUnknownOp reports whether err is a remote refusal for an operation
+// the serving process does not implement — the signal version-probing
+// clients use to fall back to an older wire operation.
+func IsUnknownOp(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Message, unknownOpPrefix)
 }
 
 // writeFrame sends a length-prefixed payload with a single Write call, so
@@ -449,7 +464,7 @@ func (s *Server) dispatch(payload []byte, frameTrace telemetry.SpanContext) []by
 		h, ok := s.handlers[op]
 		s.mu.RUnlock()
 		if !ok {
-			err = fmt.Errorf("unknown operation %q", op)
+			err = fmt.Errorf("%s%q", unknownOpPrefix, op)
 		} else {
 			s.Requests.Add(1)
 			tel := telemetry.Or(s.Telemetry)
@@ -551,10 +566,10 @@ type Client struct {
 	// decoder rejects trailing envelope bytes, so without this proof a
 	// traced v1 call drops its context at the process boundary instead.
 	peerTrailerAware atomic.Bool
-	muxMu       sync.Mutex
-	muxConns    []*muxConn    // live negotiated-v2 connections
-	muxDialing  int           // dials in flight, counted against MaxConns
-	muxNotify   chan struct{} // closed+replaced when stream capacity frees up
+	muxMu            sync.Mutex
+	muxConns         []*muxConn    // live negotiated-v2 connections
+	muxDialing       int           // dials in flight, counted against MaxConns
+	muxNotify        chan struct{} // closed+replaced when stream capacity frees up
 
 	// BytesSent and BytesReceived count frame payload bytes, used by the
 	// benchmark harness to report protocol overhead.
@@ -700,14 +715,6 @@ func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, erro
 		return nil, err
 	}
 	return resp, nil
-}
-
-// CallNoCtx is Call without a context.
-//
-// Deprecated: use Call with a context; CallNoCtx remains for one release
-// to ease migration and is equivalent to Call(context.Background(), ...).
-func (c *Client) CallNoCtx(op string, body []byte) ([]byte, error) {
-	return c.Call(context.Background(), op, body)
 }
 
 // attempt routes one call attempt to the negotiated protocol: v2

@@ -1,0 +1,70 @@
+// Command checkplacement validates the sharded-fleet replica-selection
+// acceptance properties of a globedoc-bench/1 report: the default
+// health-ranked selector's cold AND warm fetch p99 must be at most the
+// given ratio of the location-order ablation's, both variants must have
+// measured every sample, and the ablation check (the ordered client
+// fetched byte-identical content) must have held. Used by
+// scripts/placement_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkplacement <report.json> <max-p99-ratio>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkplacement:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, maxRatioArg string) error {
+	maxRatio, err := strconv.ParseFloat(maxRatioArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad max-p99-ratio %q: %w", maxRatioArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	p := report.Placement
+	if p == nil {
+		return fmt.Errorf("report has no placement experiment")
+	}
+	for _, v := range []bench.PlacementVariant{p.HealthRanked, p.Ordered} {
+		if v.Cold.Ops == 0 || v.Warm.Ops == 0 {
+			return fmt.Errorf("missing %s phase samples: cold=%d warm=%d", v.Selector, v.Cold.Ops, v.Warm.Ops)
+		}
+	}
+	if p.FarObjects == 0 {
+		return fmt.Errorf("workload has no far-placed objects; the selectors were never differentiated")
+	}
+	if p.ColdP99Ratio <= 0 || p.ColdP99Ratio > maxRatio {
+		return fmt.Errorf("cold p99 ratio %.2fx exceeds the required <= %.2fx (health-ranked %s, ordered %s)",
+			p.ColdP99Ratio, maxRatio, p.HealthRanked.Cold.P99, p.Ordered.Cold.P99)
+	}
+	if p.WarmP99Ratio <= 0 || p.WarmP99Ratio > maxRatio {
+		return fmt.Errorf("warm p99 ratio %.2fx exceeds the required <= %.2fx (health-ranked %s, ordered %s)",
+			p.WarmP99Ratio, maxRatio, p.HealthRanked.Warm.P99, p.Ordered.Warm.P99)
+	}
+	if !p.AblationIdentical {
+		return fmt.Errorf("ablation check failed: ordered client fetched different bytes")
+	}
+	fmt.Printf("placement: cold p99 %s vs %s (%.2fx <= %.2fx), warm p99 %s vs %s (%.2fx), %d objects (%d far), ablation identical\n",
+		p.HealthRanked.Cold.P99, p.Ordered.Cold.P99, p.ColdP99Ratio, maxRatio,
+		p.HealthRanked.Warm.P99, p.Ordered.Warm.P99, p.WarmP99Ratio, p.Objects, p.FarObjects)
+	return nil
+}

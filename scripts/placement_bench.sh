@@ -1,0 +1,36 @@
+#!/bin/sh
+# placement_bench.sh — run the sharded-fleet replica-selection experiment
+# and check the PR-8 acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment placement`, writing the globedoc-bench/1
+#      JSON report (cold/warm latency quantiles per selector variant over
+#      the twelve-server, three-continent fleet);
+#   2. assert the default health-ranked selector's cold and warm fetch
+#      p99 are at most $MAX_RATIO x the location-order ablation's;
+#   3. assert the in-run ablation held: the ordered client fetched
+#      byte-identical content.
+#
+# SCALE defaults below 1.0 to keep the gate quick; the ratio is
+# latency-dominated and stable across scales (see EXPERIMENTS.md).
+# Exits non-zero on any failure. Run via `make bench-placement`.
+set -eu
+
+GO=${GO:-go}
+MAX_RATIO=${MAX_RATIO:-0.7}
+SCALE=${SCALE:-0.5}
+ITERATIONS=${ITERATIONS:-3}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/placement.json}"
+
+echo "== running placement experiment (scale=$SCALE, iterations=$ITERATIONS)"
+$GO run ./cmd/benchmark -experiment placement \
+    -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checkplacement "$JSON" "$MAX_RATIO"
+
+echo "placement bench: ok"
