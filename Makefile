@@ -18,8 +18,10 @@ vet:
 	$(GO) vet ./...
 	$(GO) vet -copylocks -loopclosure ./...
 
-## lint: the project-invariant analyzer suite (cmd/globedoclint); exits
-## nonzero on any finding, so `check` fails on a new violation.
+## lint: the project-invariant analyzer suite (cmd/globedoclint),
+## including the trustflow taint pass (unverified wire bytes must never
+## reach a trusted sink) and the deadignore stale-suppression check;
+## exits nonzero on any finding, so `check` fails on a new violation.
 lint:
 	GO=$(GO) sh scripts/lint.sh
 

@@ -2,6 +2,14 @@
 // (internal/lint) over every package in the module and exits nonzero on
 // any finding. It is wired into the tier-1 gate via `make lint`.
 //
+// The suite covers clock injection (clocknow), ctx-first APIs
+// (ctxfirst), crypto import hygiene (cryptoscope), error wrapping
+// (errwrapf), lock/goroutine discipline (lockguard), span lifetimes
+// (spanend), unchecked errors (uncheckederr), the trust boundary of
+// the paper's §3.2.2 — wire-derived bytes must pass verification
+// before any trusted sink (trustflow) — and stale-suppression rot
+// (deadignore).
+//
 // Usage:
 //
 //	globedoclint [-json] [-rules rule1,rule2] [packages]

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeadIgnore flags //lint:ignore directives that no longer silence any
+// finding. A suppression is a standing claim ("this rule fires here and
+// the firing is acceptable"); once the code drifts so the rule no
+// longer fires, the stale directive hides the next real violation
+// someone introduces on that line. The pass is computed by the Run
+// harness itself — it is the complement of the suppression match
+// relation, so it needs neither a Run nor a RunModule of its own.
+//
+// A directive is only reported dead when the current run actually
+// exercised every rule it names: rules in the suite but outside the
+// run set leave the directive undecidable and it is skipped, while
+// rule IDs unknown to the whole suite can never fire and make the
+// directive dead by construction. Malformed directives are already
+// "lintignore" findings and are not double-reported. deadignore
+// findings cannot themselves be suppressed — the fix for a stale
+// directive is deleting it, not ignoring the report.
+var DeadIgnore = &Analyzer{
+	Name: "deadignore",
+	Doc:  "flag //lint:ignore directives that no longer suppress any finding",
+}
+
+// deadDirectives computes the deadignore findings for one Run: the
+// well-formed directives that silenced nothing, restricted to those the
+// run set makes decidable.
+func deadDirectives(dirs []*Directive, silenced map[*Directive]int, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range dirs {
+		if dir.Err != "" || silenced[dir] > 0 {
+			continue
+		}
+		decidable := true
+		for _, r := range dir.Rules {
+			if known[r] && !ran[r] {
+				decidable = false
+				break
+			}
+		}
+		if !decidable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     dir.Pos,
+			Rule:    DeadIgnore.Name,
+			Message: fmt.Sprintf("//lint:ignore %s suppresses nothing; delete the stale directive", strings.Join(dir.Rules, ",")),
+		})
+	}
+	return out
+}

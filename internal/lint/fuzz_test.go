@@ -25,6 +25,11 @@ func FuzzLintSuppression(f *testing.F) {
 	f.Add("//lint:ignore , empty rule id")
 	f.Add("//lint:ignore clocknow,\tmixed separators")
 	f.Add("//lint:ignore\tclocknow tab separated")
+	// Seed the directive form of every registered analyzer — a pass
+	// added to the suite enters the fuzz corpus automatically.
+	for _, a := range lint.All() {
+		f.Add("//lint:ignore " + a.Name + " seeded for every registered analyzer")
+	}
 	f.Fuzz(func(t *testing.T, text string) {
 		dir, ok := lint.ParseIgnoreDirective(text)
 

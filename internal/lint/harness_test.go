@@ -34,11 +34,17 @@ func TestGoldenFixtures(t *testing.T) {
 		name := e.Name()
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			// The suppress tree exercises directive handling; any rule
-			// serves as the carrier, clocknow is the simplest.
+			// Most trees run exactly the analyzer they are named for.
+			// The suppress tree exercises directive handling and needs a
+			// carrier rule (clocknow is the simplest); the deadignore
+			// tree needs a carrier too, so live and stale directives can
+			// be told apart.
 			rule := name
-			if name == "suppress" {
+			switch name {
+			case "suppress":
 				rule = "clocknow"
+			case "deadignore":
+				rule = "clocknow,deadignore"
 			}
 			analyzers, err := lint.ByName(rule)
 			if err != nil {

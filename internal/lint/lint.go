@@ -35,10 +35,17 @@ func (d Diagnostic) String() string {
 
 // Analyzer is one rule: a name (the suppression ID), a one-line doc
 // string, and a Run function producing diagnostics for one package.
+// Analyzers that need a whole-module view — cross-package dataflow
+// summaries (trustflow), or the full directive/finding relation
+// (deadignore) — set RunModule instead; it is invoked once with every
+// loaded package. Exactly one of Run and RunModule is set (deadignore,
+// which is computed by the Run harness itself from the suppression
+// match relation, sets neither).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Diagnostic
+	RunModule func(pkgs []*Package) []Diagnostic
 }
 
 // All returns the full analyzer suite in stable order.
@@ -47,9 +54,11 @@ func All() []*Analyzer {
 		ClockNow,
 		CtxFirst,
 		CryptoScope,
+		DeadIgnore,
 		ErrWrapf,
 		LockGuard,
 		SpanEnd,
+		TrustFlow,
 		UncheckedErr,
 	}
 }
@@ -93,38 +102,66 @@ type SuppressedFinding struct {
 
 // Run executes analyzers over pkgs, applies //lint:ignore suppressions,
 // and reports directives that are malformed (no reason) as findings of
-// rule "lintignore".
+// rule "lintignore". Per-package analyzers run over each package;
+// module analyzers (RunModule) run once over the whole load. When the
+// deadignore meta-pass is in the analyzer set, directives that silenced
+// nothing during this run are reported as "deadignore" findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	var res Result
+	var dirs []*Directive
+	var raw []Diagnostic
 	for _, p := range pkgs {
-		dirs := collectDirectives(p)
-		res.Directives = append(res.Directives, dirs...)
-		var raw []Diagnostic
+		pd := collectDirectives(p)
+		for i := range pd {
+			dirs = append(dirs, &pd[i])
+		}
 		for _, a := range analyzers {
-			raw = append(raw, a.Run(p)...)
-		}
-		for _, d := range raw {
-			if dir := matchDirective(dirs, d); dir != nil {
-				res.Suppressed = append(res.Suppressed, SuppressedFinding{Diagnostic: d, Reason: dir.Reason})
-				continue
-			}
-			res.Findings = append(res.Findings, d)
-		}
-		for _, dir := range dirs {
-			if dir.Err != "" {
-				res.Findings = append(res.Findings, Diagnostic{
-					Pos:     dir.Pos,
-					Rule:    "lintignore",
-					Message: dir.Err,
-				})
+			if a.Run != nil {
+				raw = append(raw, a.Run(p)...)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			raw = append(raw, a.RunModule(pkgs)...)
+		}
+	}
+	silenced := make(map[*Directive]int)
+	for _, d := range raw {
+		if dir := matchDirective(dirs, d); dir != nil {
+			silenced[dir]++
+			res.Suppressed = append(res.Suppressed, SuppressedFinding{Diagnostic: d, Reason: dir.Reason})
+			continue
+		}
+		res.Findings = append(res.Findings, d)
+	}
+	for _, dir := range dirs {
+		res.Directives = append(res.Directives, *dir)
+		if dir.Err != "" {
+			res.Findings = append(res.Findings, Diagnostic{
+				Pos:     dir.Pos,
+				Rule:    "lintignore",
+				Message: dir.Err,
+			})
+		}
+	}
+	if hasAnalyzer(analyzers, DeadIgnore.Name) {
+		res.Findings = append(res.Findings, deadDirectives(dirs, silenced, analyzers)...)
 	}
 	sortDiagnostics(res.Findings)
 	sort.Slice(res.Suppressed, func(i, j int) bool {
 		return diagLess(res.Suppressed[i].Diagnostic, res.Suppressed[j].Diagnostic)
 	})
 	return res
+}
+
+func hasAnalyzer(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -71,9 +71,8 @@ func collectDirectives(p *Package) []Directive {
 
 // matchDirective returns the directive suppressing d, if any: same file,
 // rule listed, and the directive sits on d's line or the line above.
-func matchDirective(dirs []Directive, d Diagnostic) *Directive {
-	for i := range dirs {
-		dir := &dirs[i]
+func matchDirective(dirs []*Directive, d Diagnostic) *Directive {
+	for _, dir := range dirs {
 		if dir.Err != "" || dir.Pos.Filename != d.Pos.Filename {
 			continue
 		}

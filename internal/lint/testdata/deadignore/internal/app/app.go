@@ -1,0 +1,44 @@
+// Package app exercises the deadignore meta-pass. The harness runs the
+// clocknow,deadignore pair over this tree: one directive is live, one
+// went stale, one names a rule the suite never had, one names a rule
+// outside the run set (undecidable), and one is malformed (lintignore
+// owns that case, deadignore must not double-report it).
+package app
+
+import "time"
+
+// Stamp keeps a live suppression: the directive silences a real
+// clocknow finding and must not be reported dead.
+func Stamp() time.Time {
+	//lint:ignore clocknow fixture keeps a live suppression for contrast
+	return time.Now()
+}
+
+// Fixed shows the rot deadignore exists for: the time.Now call this
+// directive once silenced was refactored away, and the stale directive
+// would hide the next violation someone writes on that line.
+func Fixed() time.Time {
+	//lint:ignore clocknow the call this silenced was refactored away
+	return time.Time{}
+}
+
+// Legacy names a rule the suite does not have: it can never silence
+// anything, so it is dead by construction.
+func Legacy() int {
+	//lint:ignore oldrule the rule this silenced was deleted from the suite
+	return 1
+}
+
+// Half names a real rule outside this run's analyzer set: deadignore
+// cannot decide its fate and must stay silent.
+func Half() int {
+	//lint:ignore ctxfirst this run does not include ctxfirst, so the directive is undecidable
+	return 2
+}
+
+// Bare is malformed (no reason): that is lintignore's finding, and
+// deadignore must not pile a second report onto the same directive.
+func Bare() time.Time {
+	//lint:ignore clocknow
+	return time.Now()
+}

@@ -1,0 +1,55 @@
+// Package cert stands in for the integrity-certificate machinery: its
+// verification entry points are trustflow sanitizers.
+package cert
+
+import (
+	"bytes"
+	"errors"
+	"time"
+)
+
+type ElementEntry struct {
+	Name    string
+	Digest  []byte
+	Expires time.Time
+}
+
+type IntegrityCertificate struct {
+	Entries []ElementEntry
+}
+
+// VerifyElement is the one-shot sanitizer: consistency, authenticity
+// and freshness in a single call.
+func (c *IntegrityCertificate) VerifyElement(requested string, content []byte, now time.Time) error {
+	e, err := c.CheckConsistency(requested)
+	if err != nil {
+		return err
+	}
+	if err := e.CheckAuthenticity(content); err != nil {
+		return err
+	}
+	return e.CheckFreshness(now)
+}
+
+func (c *IntegrityCertificate) CheckConsistency(requested string) (ElementEntry, error) {
+	for _, e := range c.Entries {
+		if e.Name == requested {
+			return e, nil
+		}
+	}
+	return ElementEntry{}, errors.New("cert: no such element")
+}
+
+func (e ElementEntry) CheckAuthenticity(content []byte) error {
+	if !bytes.Equal(e.Digest, content) {
+		return errors.New("cert: digest mismatch")
+	}
+	return nil
+}
+
+func (e ElementEntry) CheckFreshness(now time.Time) error {
+	if now.After(e.Expires) {
+		return errors.New("cert: entry expired")
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package core exercises the heart of the rule: the verified fetch
+// pipeline. Clean functions sanitize wire bytes before the cache or
+// the FetchResult output; the seeded violations skip verification.
+package core
+
+import (
+	"context"
+	"time"
+
+	"fixture/internal/cert"
+	"fixture/internal/replica"
+	"fixture/internal/transport"
+	"fixture/internal/vcache"
+)
+
+type Element struct {
+	Name string
+	Data []byte
+}
+
+// FetchResult is the trusted fetch output: its Element field is a
+// trustflow sink.
+type FetchResult struct {
+	Element     Element
+	ReplicaAddr string
+}
+
+type Client struct {
+	tc    *transport.Client
+	cache *vcache.Cache
+	icert *cert.IntegrityCertificate
+}
+
+// FetchVerified is the paper's pipeline in miniature: fetch, verify,
+// then cache and return. Clean: VerifyElement washes body before both
+// sinks.
+func (c *Client) FetchVerified(ctx context.Context, oid, name string) (FetchResult, error) {
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if err := c.icert.VerifyElement(name, body, time.Now()); err != nil {
+		return FetchResult{}, err
+	}
+	c.cache.Put(oid, [20]byte{}, vcache.Element{Name: name, Data: body}, time.Now().Add(time.Minute))
+	return FetchResult{Element: Element{Name: name, Data: body}}, nil
+}
+
+// FetchChecked runs the three-phase trio instead of the one-shot
+// verifier. Clean: CheckAuthenticity washes body before the sinks.
+func (c *Client) FetchChecked(ctx context.Context, oid, name string, now time.Time) (FetchResult, error) {
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return FetchResult{}, err
+	}
+	entry, err := c.icert.CheckConsistency(name)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if err := entry.CheckAuthenticity(body); err != nil {
+		return FetchResult{}, err
+	}
+	if err := entry.CheckFreshness(now); err != nil {
+		return FetchResult{}, err
+	}
+	c.cache.Put(oid, [20]byte{}, vcache.Element{Name: name, Data: body}, entry.Expires)
+	return FetchResult{Element: Element{Name: name, Data: body}}, nil
+}
+
+// verify is an in-module sanitizer wrapper: its summary records that it
+// washes the data parameter, so callers may verify through it.
+func (c *Client) verify(name string, data []byte) error {
+	return c.icert.VerifyElement(name, data, time.Now())
+}
+
+// FetchViaOwnVerify verifies through the local wrapper. Clean: the
+// sanitizer summary of verify propagates to this call site.
+func (c *Client) FetchViaOwnVerify(ctx context.Context, oid, name string) error {
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return err
+	}
+	if err := c.verify(name, body); err != nil {
+		return err
+	}
+	c.cache.Put(oid, [20]byte{}, vcache.Element{Name: name, Data: body}, time.Now().Add(time.Minute))
+	return nil
+}
+
+// PrefetchUnverified is the seeded violation: reply bytes go straight
+// into the verified-content cache with no verification at all.
+func (c *Client) PrefetchUnverified(ctx context.Context, oid, name string) error {
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return err
+	}
+	c.cache.Put(oid, [20]byte{}, vcache.Element{Name: name, Data: body}, time.Now().Add(time.Minute))
+	return nil
+}
+
+// FillFromHelper launders the bytes through a helper in another
+// package: the tainted result summary of replica.FetchRaw must carry
+// the taint across the package boundary into the Put.
+func (c *Client) FillFromHelper(ctx context.Context, oid, name string) error {
+	data, err := replica.FetchRaw(ctx, c.tc, name)
+	if err != nil {
+		return err
+	}
+	c.cache.Put(oid, [20]byte{}, vcache.Element{Name: name, Data: data}, time.Now().Add(time.Minute))
+	return nil
+}
+
+// StashViaHelper hands wire bytes to a helper that stores them: the
+// sink-parameter summary of replica.Stash must flag this call site.
+func (c *Client) StashViaHelper(ctx context.Context, oid, name string) error {
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return err
+	}
+	replica.Stash(c.cache, oid, name, body)
+	return nil
+}
+
+// ResultFromWire builds the trusted output from raw wire bytes via a
+// field assignment rather than a composite literal: still a sink.
+func (c *Client) ResultFromWire(ctx context.Context, name string) (FetchResult, error) {
+	var res FetchResult
+	body, err := c.tc.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return res, err
+	}
+	res.Element = Element{Name: name, Data: body}
+	return res, nil
+}

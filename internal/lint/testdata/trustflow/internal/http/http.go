@@ -1,0 +1,8 @@
+// Package http fakes net/http's ResponseWriter: writes to it are
+// trustflow sinks (bytes leave the process toward a browser).
+package http
+
+type ResponseWriter interface {
+	Write(b []byte) (int, error)
+	WriteHeader(status int)
+}

@@ -1,0 +1,18 @@
+// Package keys stands in for the signature machinery: PublicKey.Verify
+// is a trustflow sanitizer for the message and signature it checks.
+package keys
+
+import (
+	"bytes"
+	"errors"
+)
+
+type PublicKey struct{ raw []byte }
+
+func (pk PublicKey) Verify(message, sig []byte) error {
+	if !bytes.Equal(sig, pk.raw) {
+		return errors.New("keys: bad signature")
+	}
+	_ = message
+	return nil
+}

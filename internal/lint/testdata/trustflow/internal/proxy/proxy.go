@@ -1,0 +1,61 @@
+// Package proxy exercises the ResponseWriter sink: bytes leaving
+// toward a browser must be verified first, and the one deliberate
+// exception carries a //lint:ignore trustflow justification.
+package proxy
+
+import (
+	"context"
+	"time"
+
+	"fixture/internal/cert"
+	"fixture/internal/http"
+	"fixture/internal/location"
+	"fixture/internal/transport"
+)
+
+// ServeRaw writes reply bytes straight to the client: flagged.
+func ServeRaw(w http.ResponseWriter, c *transport.Client) {
+	body, err := c.Call(context.Background(), "obj.getelement", []byte("index"))
+	if err != nil {
+		w.WriteHeader(502)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// ServeVerified verifies before writing. Clean.
+func ServeVerified(w http.ResponseWriter, c *transport.Client, ic *cert.IntegrityCertificate) {
+	body, err := c.Call(context.Background(), "obj.getelement", []byte("index"))
+	if err != nil {
+		w.WriteHeader(502)
+		return
+	}
+	if err := ic.VerifyElement("index", body, time.Now()); err != nil {
+		w.WriteHeader(502)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// ServeLocation mirrors an untrusted location answer to the browser:
+// flagged — the location service is untrusted by design.
+func ServeLocation(w http.ResponseWriter, r *location.Resolver) {
+	res, err := r.Lookup(context.Background(), "site", "oid")
+	if err != nil {
+		w.WriteHeader(502)
+		return
+	}
+	_, _ = w.Write([]byte(res.Addrs[0]))
+}
+
+// ServeDebug deliberately mirrors raw replica bytes; the suppression
+// must carry a justification and lands in the suppressed list.
+func ServeDebug(w http.ResponseWriter, c *transport.Client) {
+	body, err := c.Call(context.Background(), "debug.raw", nil)
+	if err != nil {
+		w.WriteHeader(502)
+		return
+	}
+	//lint:ignore trustflow debug endpoint intentionally mirrors raw replica bytes for operators; it never serves document content
+	_, _ = w.Write(body)
+}

@@ -1,0 +1,22 @@
+// Package replica holds cross-package helpers the summary pass must
+// see through: FetchRaw launders wire bytes into its result (a tainted
+// result summary), and store.go's Stash forwards its argument into the
+// cache sink (a sink-parameter summary). The package is deliberately
+// multi-file so the harness covers summaries assembled across files.
+package replica
+
+import (
+	"context"
+
+	"fixture/internal/transport"
+)
+
+// FetchRaw returns the reply bytes untouched: its result summary is
+// tainted, so callers inherit the taint across the package boundary.
+func FetchRaw(ctx context.Context, c *transport.Client, name string) ([]byte, error) {
+	body, err := c.Call(ctx, "obj.getelement", []byte(name))
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,16 @@
+// Package transport stands in for the real wire transport: Call is a
+// trustflow root source, so every reply it returns is untrusted until
+// sanitized.
+package transport
+
+import "context"
+
+type Client struct{ addr string }
+
+func Dial(addr string) *Client { return &Client{addr: addr} }
+
+func (c *Client) Call(ctx context.Context, op string, body []byte) ([]byte, error) {
+	_ = ctx
+	_ = op
+	return append([]byte(nil), body...), nil
+}

@@ -1,9 +1,11 @@
 #!/bin/sh
 # lint.sh — run the project-invariant static analyzer suite
 # (cmd/globedoclint) over the whole module. The suite is the enforcement
-# arm of DESIGN.md §10: injectable clocks, ctx-first RPC, crypto
-# primitive containment, %w sentinel wrapping, lock/goroutine hygiene
-# and checked I/O errors.
+# arm of DESIGN.md §10 and §15: injectable clocks, ctx-first RPC, crypto
+# primitive containment, %w sentinel wrapping, lock/goroutine hygiene,
+# checked I/O errors, the trustflow taint pass (wire-derived bytes must
+# pass cert/signature verification before any trusted sink), and the
+# deadignore meta-pass that flags stale //lint:ignore directives.
 #
 # Usage:
 #   sh scripts/lint.sh            # human-readable findings, exit 1 on any
