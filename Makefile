@@ -3,14 +3,15 @@ FUZZTIME ?= 5s
 
 .PHONY: check vet build test test-short lint fuzz-smoke chaos \
 	telemetry-smoke trace-smoke concurrent-smoke bench-concurrent \
-	bench-cache bench-multiplex bench-trace bench-placement
+	bench-cache bench-multiplex bench-trace bench-placement bench-delta
 
 ## check: the tier-1 gate — vet, lint, build, race-enabled tests, fuzz
 ## smoke, the concurrent race smoke, the end-to-end telemetry and
 ## distributed-tracing smokes, the verified-content-cache acceptance
 ## bench, the multiplexed-transport acceptance bench, the tracing-cost
-## ablation, and the sharded-fleet replica-selection bench.
-check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke trace-smoke bench-cache bench-multiplex bench-trace bench-placement
+## ablation, the sharded-fleet replica-selection bench, and the
+## Merkle-delta replication bench.
+check: vet lint build test fuzz-smoke concurrent-smoke telemetry-smoke trace-smoke bench-cache bench-multiplex bench-trace bench-placement bench-delta
 
 ## vet: the stock vet suite plus the two checks most relevant to the
 ## serving path, run explicitly so a vet default change cannot drop them.
@@ -44,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzLintSuppression$$ -fuzztime=$(FUZZTIME) ./internal/lint/
 	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzVersionNegotiation$$ -fuzztime=$(FUZZTIME) ./internal/transport/
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaDecode$$ -fuzztime=$(FUZZTIME) ./internal/server/
 
 ## chaos: the seeded fault-injection suite (SEED overrides the schedule)
 ## plus the fleet degradation scenario (a bound replica dies mid-run and
@@ -87,6 +89,13 @@ bench-cache:
 ## over the v2 transport; byte-identical serial-RPC ablation).
 bench-multiplex:
 	GO=$(GO) sh scripts/multiplex_bench.sh
+
+## bench-delta: the Merkle-delta replication experiment + acceptance
+## check (a one-element update to the 64-element document moves >=
+## MIN_RATIO x fewer bytes over obj.getdelta than a full pull; the
+## full-pull ablation replica ends byte-identical).
+bench-delta:
+	GO=$(GO) sh scripts/delta_bench.sh
 
 ## bench-trace: the tracing-cost ablation + acceptance check (cold-fetch
 ## p50 at sample rate 1.0 within MAX_RATIO of the -trace-sample 0

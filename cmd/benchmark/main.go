@@ -49,7 +49,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | traceoverhead | placement | all")
+		experiment  = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | concurrent | cache | multiplex | traceoverhead | placement | delta | all")
 		scale       = flag.Float64("scale", 1.0, "time scale for simulated link delays (1.0 = the paper's latencies)")
 		iterations  = flag.Int("iterations", 5, "samples per measured point")
 		concurrency = flag.Int("concurrency", 16, "closed-loop workers for the concurrent experiment")
@@ -103,6 +103,10 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 		if err := runPlacement(cfg, report); err != nil {
 			return err
 		}
+	case "delta":
+		if err := runDelta(cfg, report); err != nil {
+			return err
+		}
 	case "all":
 		fmt.Println(bench.RunTable1(scale))
 		if err := runFig4(cfg, report); err != nil {
@@ -126,6 +130,9 @@ func run(experiment string, scale float64, iterations, concurrency int, noVCache
 			return err
 		}
 		if err := runPlacement(cfg, report); err != nil {
+			return err
+		}
+		if err := runDelta(cfg, report); err != nil {
 			return err
 		}
 	default:
@@ -195,6 +202,16 @@ func runMultiplex(cfg bench.Config, report *bench.Report) error {
 		return err
 	}
 	report.Multiplex = res
+	fmt.Println(res.Format())
+	return nil
+}
+
+func runDelta(cfg bench.Config, report *bench.Report) error {
+	res, err := bench.RunDelta(cfg)
+	if err != nil {
+		return err
+	}
+	report.Delta = res
 	fmt.Println(res.Format())
 	return nil
 }

@@ -1,0 +1,195 @@
+package attack
+
+import (
+	"net"
+	"sync/atomic"
+
+	"globedoc/internal/document"
+	"globedoc/internal/enc"
+	"globedoc/internal/object"
+	"globedoc/internal/server"
+	"globedoc/internal/transport"
+)
+
+// DeltaMode selects how a malicious primary corrupts obj.getdelta
+// replies. The delta path hands the composed bundle to the same
+// signature/hash validation as a full transfer, so every one of these
+// lies must degrade to denial of service: the victim falls back to a
+// full obj.getbundle pull and converges on genuine state.
+type DeltaMode int
+
+// Delta attack modes.
+const (
+	// DeltaHonest relays genuine deltas (control case).
+	DeltaHonest DeltaMode = iota
+	// DeltaForgeContent flips bytes in a changed element's payload while
+	// leaving the certificate and chain intact.
+	DeltaForgeContent
+	// DeltaTruncate drops a changed item from the reply, so the composed
+	// bundle no longer matches the chain head's element-root commitment.
+	DeltaTruncate
+	// DeltaReorderHeaders swaps chain headers, breaking the monotonic
+	// have..new linkage.
+	DeltaReorderHeaders
+	// DeltaBreakChain corrupts a header's Prev link.
+	DeltaBreakChain
+	// DeltaLieUnchanged marks a changed element unchanged, trying to pin
+	// the victim's stale bytes under the new certificate.
+	DeltaLieUnchanged
+)
+
+// String names the mode for logs and reports.
+func (m DeltaMode) String() string {
+	switch m {
+	case DeltaHonest:
+		return "delta-honest"
+	case DeltaForgeContent:
+		return "delta-forge-content"
+	case DeltaTruncate:
+		return "delta-truncate"
+	case DeltaReorderHeaders:
+		return "delta-reorder-headers"
+	case DeltaBreakChain:
+		return "delta-break-chain"
+	case DeltaLieUnchanged:
+		return "delta-lie-unchanged"
+	default:
+		return "unknown"
+	}
+}
+
+// AllDeltaModes lists every adversarial delta mode (excluding the honest
+// control).
+var AllDeltaModes = []DeltaMode{
+	DeltaForgeContent, DeltaTruncate, DeltaReorderHeaders, DeltaBreakChain, DeltaLieUnchanged,
+}
+
+// MaliciousDeltaPrimary is a wire-compatible primary that serves genuine
+// versions and full bundles but corrupts obj.getdelta replies according
+// to its Mode. It wraps a genuine server's state, modelling a compromised
+// primary (or a man-in-the-middle on the delta channel) that tries to
+// smuggle unvalidated bytes through the incremental path.
+type MaliciousDeltaPrimary struct {
+	Mode DeltaMode
+
+	inner       *server.Server
+	srv         *transport.Server
+	deltaServed atomic.Uint64
+}
+
+// NewMaliciousDeltaPrimary wraps a genuine server holding the object's
+// true state.
+func NewMaliciousDeltaPrimary(mode DeltaMode, inner *server.Server) *MaliciousDeltaPrimary {
+	m := &MaliciousDeltaPrimary{Mode: mode, inner: inner, srv: transport.NewServer()}
+	m.srv.Handle(object.OpVersion, m.handleVersion)
+	m.srv.Handle(object.OpGetBundle, m.handleGetBundle)
+	m.srv.Handle(server.OpGetDelta, m.handleGetDelta)
+	return m
+}
+
+// Start serves on a background goroutine.
+func (m *MaliciousDeltaPrimary) Start(l net.Listener) { m.srv.Start(l) }
+
+// Close shuts the server down.
+func (m *MaliciousDeltaPrimary) Close() { m.srv.Close() }
+
+// DeltaServed reports how many obj.getdelta replies were sent, so tests
+// can assert the corrupted path was actually exercised.
+func (m *MaliciousDeltaPrimary) DeltaServed() uint64 { return m.deltaServed.Load() }
+
+func (m *MaliciousDeltaPrimary) handleVersion(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	b, err := m.inner.ExportBundle(oid)
+	if err != nil {
+		return nil, err
+	}
+	w := enc.NewWriter(8)
+	w.Uvarint(b.Version)
+	return w.Bytes(), nil
+}
+
+func (m *MaliciousDeltaPrimary) handleGetBundle(body []byte) ([]byte, error) {
+	oid, err := object.DecodeOIDRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	// The full path stays honest: the attack targets the delta channel,
+	// and a corrupted full bundle is already covered by the bundle
+	// validation tests.
+	b, err := m.inner.ExportBundle(oid)
+	if err != nil {
+		return nil, err
+	}
+	return b.Marshal(), nil
+}
+
+func (m *MaliciousDeltaPrimary) handleGetDelta(body []byte) ([]byte, error) {
+	oid, have, err := server.DecodeDeltaRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	d, err := m.inner.DeltaSince(oid, have)
+	if err != nil {
+		return nil, err
+	}
+	m.corrupt(d)
+	m.deltaServed.Add(1)
+	return d.Marshal(), nil
+}
+
+// corrupt applies the mode's lie to a genuine delta reply. The reply
+// aliases the inner server's chain headers and element data, so every
+// mutation copies first.
+func (m *MaliciousDeltaPrimary) corrupt(d *server.DeltaReply) {
+	if d.FullRequired {
+		return
+	}
+	switch m.Mode {
+	case DeltaForgeContent:
+		for i := range d.Items {
+			if !d.Items[i].Changed {
+				continue
+			}
+			data := append([]byte(nil), d.Items[i].Element.Data...)
+			if len(data) == 0 {
+				data = []byte{0x66}
+			} else {
+				data[0] ^= 0xff
+			}
+			d.Items[i].Element.Data = data
+			return
+		}
+	case DeltaTruncate:
+		for i := len(d.Items) - 1; i >= 0; i-- {
+			if d.Items[i].Changed {
+				d.Items = append(d.Items[:i:i], d.Items[i+1:]...)
+				return
+			}
+		}
+	case DeltaReorderHeaders:
+		if len(d.Headers) >= 2 {
+			hs := append([]*server.VersionHeader(nil), d.Headers...)
+			hs[0], hs[len(hs)-1] = hs[len(hs)-1], hs[0]
+			d.Headers = hs
+		}
+	case DeltaBreakChain:
+		if n := len(d.Headers); n > 0 {
+			hs := append([]*server.VersionHeader(nil), d.Headers...)
+			broken := *hs[n-1]
+			broken.Prev[0] ^= 0xff
+			hs[n-1] = &broken
+			d.Headers = hs
+		}
+	case DeltaLieUnchanged:
+		for i := range d.Items {
+			if d.Items[i].Changed {
+				d.Items[i].Changed = false
+				d.Items[i].Element = document.Element{}
+				return
+			}
+		}
+	}
+}

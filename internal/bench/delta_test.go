@@ -1,0 +1,41 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"globedoc/internal/bench"
+)
+
+func TestRunDeltaQuick(t *testing.T) {
+	res, err := bench.RunDelta(quickCfg())
+	if err != nil {
+		t.Fatalf("RunDelta: %v", err)
+	}
+	if res.Elements != 64 || res.ChangedPerUpdate != 1 {
+		t.Errorf("Elements=%d ChangedPerUpdate=%d, want 64 and 1", res.Elements, res.ChangedPerUpdate)
+	}
+	if res.DeltaPull.Ops != 2 || res.FullPull.Ops != 2 {
+		t.Errorf("phase ops: delta=%d full=%d, want 2 each", res.DeltaPull.Ops, res.FullPull.Ops)
+	}
+	// Every pull in the delta run took the delta path.
+	if res.DeltaPulls != 2 || res.DeltaDeclines != 0 || res.DeltaFallbacks != 0 {
+		t.Errorf("delta run counters: pulls=%d declines=%d fallbacks=%d, want 2/0/0",
+			res.DeltaPulls, res.DeltaDeclines, res.DeltaFallbacks)
+	}
+	// A one-element change to a 64-element document must move far fewer
+	// bytes than the full bundle; the gate is 4x, the expectation ~30x.
+	if res.ByteRatio < 4 {
+		t.Errorf("byte ratio = %.2fx (delta %d vs full %d bytes/pull), want >= 4x",
+			res.ByteRatio, res.BytesDeltaPerPull, res.BytesFullPerPull)
+	}
+	if !res.AblationIdentical {
+		t.Error("full-pull ablation replica ended with different bytes")
+	}
+	out := res.Format()
+	for _, want := range []string{"delta", "full", "byte ratio", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -59,6 +59,9 @@ type Report struct {
 	// (health-ranked selector vs. the location-order ablation), when
 	// measured.
 	Placement *PlacementResult `json:"placement,omitempty"`
+	// Delta is the Merkle-delta replication experiment (incremental
+	// obj.getdelta pull vs. the full-bundle ablation), when measured.
+	Delta *DeltaResult `json:"delta,omitempty"`
 }
 
 // NewReport returns a Report shell for one run of cfg.

@@ -1,0 +1,56 @@
+// The delta replication path: UnmarshalDeltaReply decodes an
+// obj.getdelta reply a lying primary fully controls, so it is a taint
+// source even when the bytes arrive from storage rather than a live
+// transport call. A bundle composed from a delta must pass the same
+// Validate gate as a full transfer before reaching any trusted sink.
+package server
+
+import (
+	"context"
+	"errors"
+
+	"fixture/internal/keys"
+	"fixture/internal/transport"
+)
+
+type DeltaReply struct {
+	Key      []byte
+	Sig      []byte
+	Elements map[string][]byte
+}
+
+func UnmarshalDeltaReply(data []byte) (*DeltaReply, error) {
+	if len(data) == 0 {
+		return nil, errors.New("server: empty delta reply")
+	}
+	return &DeltaReply{Key: data, Elements: map[string][]byte{}}, nil
+}
+
+// PullDelta is the clean incremental path: the candidate bundle
+// composed from the reply passes the same Validate gate as a full
+// transfer before the wire table is built.
+func PullDelta(ctx context.Context, tc *transport.Client, pk keys.PublicKey) error {
+	body, err := tc.Call(ctx, "obj.getdelta", nil)
+	if err != nil {
+		return err
+	}
+	d, err := UnmarshalDeltaReply(body)
+	if err != nil {
+		return err
+	}
+	b := &Bundle{Key: d.Key, Sig: d.Sig, Elements: d.Elements}
+	_, err = Install(b, pk)
+	return err
+}
+
+// ApplyDeltaUnchecked installs a composed delta bundle without
+// validation: flagged through the UnmarshalDeltaReply source even with
+// no transport call in sight.
+func ApplyDeltaUnchecked(raw []byte) (map[string][]byte, error) {
+	d, err := UnmarshalDeltaReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{Key: d.Key, Sig: d.Sig, Elements: d.Elements}
+	return InstallUnchecked(b), nil
+}

@@ -80,6 +80,7 @@ var taintSources = []taintRule{
 	{"internal/object", "Client", "GetNameCerts", "name certs from object.Client.GetNameCerts"},
 	{"internal/location", "*", "Lookup", "location lookup answer"},
 	{"internal/server", "", "UnmarshalBundle", "unmarshalled publish bundle"},
+	{"internal/server", "", "UnmarshalDeltaReply", "decoded obj.getdelta reply"},
 }
 
 // sanitizeRule: calling the function vouches for the listed argument

@@ -90,8 +90,8 @@ func TestTrustflowMultiFilePackage(t *testing.T) {
 // the golden diff.
 func TestTrustflowCleanConstructsSilent(t *testing.T) {
 	res := loadFixture(t, "trustflow", "trustflow")
-	if got := len(res.Findings); got != 7 {
-		t.Errorf("findings = %d, want 7 (the seeded violations and nothing else)", got)
+	if got := len(res.Findings); got != 8 {
+		t.Errorf("findings = %d, want 8 (the seeded violations and nothing else)", got)
 	}
 	if got := len(res.Suppressed); got != 1 {
 		t.Errorf("suppressed = %d, want 1 (the justified debug-endpoint directive)", got)

@@ -1,0 +1,68 @@
+package merkle
+
+import (
+	"sort"
+
+	"globedoc/internal/globeid"
+)
+
+// This file provides the version-diff helpers behind Merkle-delta
+// replication (DESIGN.md §16): a compact root commitment over a
+// version's (element name, cert-listed content hash) set, and the set
+// difference between two versions' leaf maps. The leaves here are the
+// content *hashes* the integrity certificate already lists — not raw
+// element bytes — so a root can be recomputed from a certificate alone,
+// without transferring any element.
+
+// RootFromLeaves folds a version's element-hash set into a single root
+// commitment. Leaves are (name, content hash) pairs hashed with the
+// tree's leaf domain separator and folded exactly like Build, so the
+// root depends on every name and every hash but on nothing else. The
+// empty set has the zero root.
+func RootFromLeaves(leaves map[string][globeid.Size]byte) [globeid.Size]byte {
+	if len(leaves) == 0 {
+		return [globeid.Size]byte{}
+	}
+	names := make([]string, 0, len(leaves))
+	for name := range leaves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	level := make([][globeid.Size]byte, len(names))
+	for i, name := range names {
+		h := leaves[name]
+		level[i] = hashLeaf(name, h[:])
+	}
+	for len(level) > 1 {
+		next := make([][globeid.Size]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashInterior(level[i], level[i+1]))
+			} else {
+				next = append(next, hashInterior(level[i], level[i]))
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// DiffLeaves compares two versions' element-hash sets and returns the
+// names a delta transfer must move: changed holds names present in to
+// whose hash differs from (or is absent in) from; removed holds names
+// present in from but gone in to. Both lists are sorted.
+func DiffLeaves(from, to map[string][globeid.Size]byte) (changed, removed []string) {
+	for name, h := range to {
+		if prev, ok := from[name]; !ok || prev != h {
+			changed = append(changed, name)
+		}
+	}
+	for name := range from {
+		if _, ok := to[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(changed)
+	sort.Strings(removed)
+	return changed, removed
+}

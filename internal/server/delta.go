@@ -1,0 +1,294 @@
+package server
+
+import (
+	"fmt"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/keys"
+	"globedoc/internal/merkle"
+)
+
+// OpGetDelta is the Merkle-delta consistency transfer (DESIGN.md §16):
+// the request carries (OID, have-version); the reply carries the chain
+// headers linking have to the current version, the new version's key and
+// certificate tables, and — per element, tagged with a status byte —
+// either nothing (cert-listed hash unchanged since have) or the new
+// element bytes. When have has been evicted from the primary's retained
+// chain the reply is a full-bundle-required decline. The reply is
+// UNTRUSTED input: the puller composes a candidate bundle from it and
+// hands that to the same Update validation a full pull goes through, so
+// a lying primary can at worst force a fallback (DoS), never install a
+// byte that does not verify.
+const OpGetDelta = "obj.getdelta"
+
+// deltaWireVersion versions both the request and reply encodings, so the
+// format can evolve the way the transport's frame version does.
+const deltaWireVersion = 1
+
+// Reply status bytes.
+const (
+	deltaStatusOK           byte = 1
+	deltaStatusFullRequired byte = 2
+)
+
+// Per-item status bytes.
+const (
+	deltaItemUnchanged byte = 0
+	deltaItemChanged   byte = 1
+)
+
+// Decoder bounds, mirroring UnmarshalBundle's.
+const (
+	maxDeltaHeaders = 1024
+	maxDeltaItems   = 1 << 16
+)
+
+// DeltaItem is one element's entry in a delta reply. Unchanged items
+// carry only the name: the client already holds bytes with the
+// cert-listed hash. Changed items carry the new element.
+type DeltaItem struct {
+	Name    string
+	Changed bool
+	Element document.Element // set only when Changed
+}
+
+// DeltaReply is the decoded obj.getdelta reply.
+type DeltaReply struct {
+	// FullRequired reports a decline: the have-version is not in the
+	// primary's retained chain, so the client must fall back to a full
+	// obj.getbundle transfer. Only NewVersion is populated.
+	FullRequired bool
+	// NewVersion is the primary's current version.
+	NewVersion uint64
+	// Headers is the retained chain from the have-version to the current
+	// version inclusive, oldest first.
+	Headers []*VersionHeader
+	Key     keys.PublicKey
+	Cert    *cert.IntegrityCertificate
+	NameCerts []*cert.NameCertificate
+	// Items lists every element of the new version, sorted by name.
+	Items []DeltaItem
+}
+
+// EncodeDeltaRequest encodes an obj.getdelta request.
+func EncodeDeltaRequest(oid globeid.OID, have uint64) []byte {
+	w := enc.NewWriter(globeid.Size + 16)
+	w.Byte(deltaWireVersion)
+	w.Raw(oid[:])
+	w.Uvarint(have)
+	return w.Bytes()
+}
+
+// DecodeDeltaRequest decodes an encoding from EncodeDeltaRequest.
+func DecodeDeltaRequest(body []byte) (globeid.OID, uint64, error) {
+	r := enc.NewReader(body)
+	var oid globeid.OID
+	if v := r.Byte(); r.Err() == nil && v != deltaWireVersion {
+		return oid, 0, fmt.Errorf("server: unsupported delta request version %d", v)
+	}
+	copy(oid[:], r.Raw(globeid.Size))
+	have := r.Uvarint()
+	if err := r.Finish(); err != nil {
+		return oid, 0, fmt.Errorf("server: delta request decode: %w", err)
+	}
+	return oid, have, nil
+}
+
+// Marshal encodes the reply for the wire.
+func (d *DeltaReply) Marshal() []byte {
+	w := enc.NewWriter(1024)
+	w.Byte(deltaWireVersion)
+	if d.FullRequired {
+		w.Byte(deltaStatusFullRequired)
+		w.Uvarint(d.NewVersion)
+		return w.Bytes()
+	}
+	w.Byte(deltaStatusOK)
+	w.Uvarint(d.NewVersion)
+	w.Uvarint(uint64(len(d.Headers)))
+	for _, h := range d.Headers {
+		w.BytesPrefixed(h.Marshal())
+	}
+	w.BytesPrefixed(d.Key.Marshal())
+	w.BytesPrefixed(d.Cert.Marshal())
+	w.Uvarint(uint64(len(d.NameCerts)))
+	for _, nc := range d.NameCerts {
+		w.BytesPrefixed(nc.Marshal())
+	}
+	w.Uvarint(uint64(len(d.Items)))
+	for _, it := range d.Items {
+		w.String(it.Name)
+		if !it.Changed {
+			w.Byte(deltaItemUnchanged)
+			continue
+		}
+		w.Byte(deltaItemChanged)
+		w.String(it.Element.ContentType)
+		w.BytesPrefixed(it.Element.Data)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalDeltaReply decodes an encoding from Marshal. The result is
+// untrusted: callers must route any state composed from it through
+// Bundle.Validate (via Server.Update) before trusting a byte of it.
+func UnmarshalDeltaReply(data []byte) (*DeltaReply, error) {
+	r := enc.NewReader(data)
+	if v := r.Byte(); r.Err() == nil && v != deltaWireVersion {
+		return nil, fmt.Errorf("server: unsupported delta reply version %d", v)
+	}
+	status := r.Byte()
+	var d DeltaReply
+	switch status {
+	case deltaStatusFullRequired:
+		d.FullRequired = true
+		d.NewVersion = r.Uvarint()
+		if err := r.Finish(); err != nil {
+			return nil, fmt.Errorf("server: delta reply decode: %w", err)
+		}
+		return &d, nil
+	case deltaStatusOK:
+	default:
+		if r.Err() == nil {
+			return nil, fmt.Errorf("server: unknown delta reply status %d", status)
+		}
+	}
+	d.NewVersion = r.Uvarint()
+	nh := r.Uvarint()
+	if r.Err() == nil && nh > maxDeltaHeaders {
+		return nil, fmt.Errorf("server: implausible delta header count %d", nh)
+	}
+	rawHeaders := make([][]byte, 0, nh)
+	for i := uint64(0); i < nh && r.Err() == nil; i++ {
+		rawHeaders = append(rawHeaders, r.BytesPrefixed())
+	}
+	rawKey := r.BytesPrefixed()
+	rawCert := r.BytesPrefixed()
+	nc := r.Uvarint()
+	if r.Err() == nil && nc > 1024 {
+		return nil, fmt.Errorf("server: implausible delta name-cert count %d", nc)
+	}
+	rawNameCerts := make([][]byte, 0, nc)
+	for i := uint64(0); i < nc && r.Err() == nil; i++ {
+		rawNameCerts = append(rawNameCerts, r.BytesPrefixed())
+	}
+	ni := r.Uvarint()
+	if r.Err() == nil && ni > maxDeltaItems {
+		return nil, fmt.Errorf("server: implausible delta item count %d", ni)
+	}
+	for i := uint64(0); i < ni && r.Err() == nil; i++ {
+		var it DeltaItem
+		it.Name = r.String()
+		switch st := r.Byte(); st {
+		case deltaItemUnchanged:
+		case deltaItemChanged:
+			it.Changed = true
+			it.Element.Name = it.Name
+			it.Element.ContentType = r.String()
+			it.Element.Data = append([]byte(nil), r.BytesPrefixed()...)
+		default:
+			if r.Err() == nil {
+				return nil, fmt.Errorf("server: unknown delta item status %d", st)
+			}
+		}
+		d.Items = append(d.Items, it)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("server: delta reply decode: %w", err)
+	}
+	for _, raw := range rawHeaders {
+		h, err := UnmarshalVersionHeader(raw)
+		if err != nil {
+			return nil, err
+		}
+		d.Headers = append(d.Headers, h)
+	}
+	key, err := keys.UnmarshalPublicKey(rawKey)
+	if err != nil {
+		return nil, fmt.Errorf("server: delta key decode: %w", err)
+	}
+	d.Key = key
+	c, err := cert.UnmarshalIntegrityCertificate(rawCert)
+	if err != nil {
+		return nil, fmt.Errorf("server: delta cert decode: %w", err)
+	}
+	d.Cert = c
+	for _, raw := range rawNameCerts {
+		ncert, err := cert.UnmarshalNameCertificate(raw)
+		if err != nil {
+			return nil, fmt.Errorf("server: delta name cert decode: %w", err)
+		}
+		d.NameCerts = append(d.NameCerts, ncert)
+	}
+	return &d, nil
+}
+
+// DeltaSince computes the delta reply for a hosted replica from the
+// client's have-version to the current head. When have is not among the
+// retained versions (evicted, never existed, or from a divergent reset
+// history) the reply is a full-required decline.
+func (s *Server) DeltaSince(oid globeid.OID, have uint64) (*DeltaReply, error) {
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	chain := h.chain
+	head := chain[len(chain)-1]
+	base := -1
+	for i, snap := range chain {
+		if snap.header.Version == have {
+			base = i
+			break
+		}
+	}
+	if base < 0 {
+		return &DeltaReply{FullRequired: true, NewVersion: head.header.Version}, nil
+	}
+	changed, _ := merkle.DiffLeaves(chain[base].hashes, head.hashes)
+	changedSet := make(map[string]bool, len(changed))
+	for _, name := range changed {
+		changedSet[name] = true
+	}
+	d := &DeltaReply{
+		NewVersion: head.header.Version,
+		Key:        h.key,
+		Cert:       head.cert,
+		NameCerts:  head.nameCerts,
+	}
+	for _, snap := range chain[base:] {
+		d.Headers = append(d.Headers, snap.header)
+	}
+	for _, name := range h.doc.Names() {
+		it := DeltaItem{Name: name}
+		if changedSet[name] {
+			e, err := h.doc.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			it.Changed = true
+			it.Element = e
+		}
+		d.Items = append(d.Items, it)
+	}
+	return d, nil
+}
+
+// handleGetDelta serves obj.getdelta. Like obj.getbundle, everything in
+// the reply is public data the anonymous read protocol already exposes
+// piecewise.
+func (s *Server) handleGetDelta(body []byte) ([]byte, error) {
+	oid, have, err := DecodeDeltaRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.DeltaSince(oid, have)
+	if err != nil {
+		return nil, err
+	}
+	return d.Marshal(), nil
+}

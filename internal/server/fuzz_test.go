@@ -41,3 +41,46 @@ func FuzzUnmarshalBundle(f *testing.F) {
 		_ = got.Validate()
 	})
 }
+
+// FuzzDeltaDecode checks the obj.getdelta reply decoder — bytes a lying
+// primary fully controls — never panics and only accepts canonical
+// encodings, so a forged delta can at worst fail validation later.
+func FuzzDeltaDecode(f *testing.F) {
+	owner := keytest.Ed()
+	oid := globeid.FromPublicKey(owner.Public())
+	doc := document.New()
+	if err := doc.Put(document.Element{Name: "index.html", ContentType: "text/html", Data: []byte("seed")}); err != nil {
+		f.Fatal(err)
+	}
+	if err := doc.Put(document.Element{Name: "logo.png", ContentType: "image/png", Data: []byte("png")}); err != nil {
+		f.Fatal(err)
+	}
+	icert, err := document.IssueCertificate(doc, oid, owner, time.Unix(1e9, 0), document.UniformTTL(time.Hour))
+	if err != nil {
+		f.Fatal(err)
+	}
+	hdr := &server.VersionHeader{OID: oid, Version: doc.Version(), CertHash: globeid.HashElement(icert.Marshal())}
+	ok := &server.DeltaReply{
+		NewVersion: doc.Version(),
+		Headers:    []*server.VersionHeader{hdr},
+		Key:        owner.Public(),
+		Cert:       icert,
+		Items: []server.DeltaItem{
+			{Name: "index.html", Changed: true, Element: document.Element{Name: "index.html", ContentType: "text/html", Data: []byte("seed")}},
+			{Name: "logo.png"},
+		},
+	}
+	f.Add(ok.Marshal())
+	f.Add((&server.DeltaReply{FullRequired: true, NewVersion: 7}).Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 21))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := server.UnmarshalDeltaReply(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.Marshal(), data) {
+			t.Fatalf("accepted non-canonical delta encoding")
+		}
+	})
+}

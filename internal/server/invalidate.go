@@ -33,13 +33,35 @@ func newVersionWaiters() *versionWaiters {
 	return &versionWaiters{waiters: make(map[globeid.OID][]chan struct{})}
 }
 
-// wait returns a channel closed at the next update notification for oid.
-func (v *versionWaiters) wait(oid globeid.OID) <-chan struct{} {
+// wait returns a channel closed at the next update notification for oid,
+// plus a cancel function that unsubscribes the channel. A waiter that
+// returns without being notified — timeout, cancelled long-poll, early
+// answer — MUST call cancel, or its channel would sit in the map until
+// the next update for that OID (or forever, for an object never updated
+// again): the long-poll waiter leak. cancel is idempotent and safe to
+// call after notify.
+func (v *versionWaiters) wait(oid globeid.OID) (<-chan struct{}, func()) {
 	ch := make(chan struct{})
 	v.mu.Lock()
 	v.waiters[oid] = append(v.waiters[oid], ch)
 	v.mu.Unlock()
-	return ch
+	cancel := func() {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		list := v.waiters[oid]
+		for i, c := range list {
+			if c == ch {
+				list[i] = list[len(list)-1]
+				list[len(list)-1] = nil
+				v.waiters[oid] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(v.waiters[oid]) == 0 {
+			delete(v.waiters, oid)
+		}
+	}
+	return ch, cancel
 }
 
 // notify wakes every parked waiter for oid.
@@ -51,6 +73,13 @@ func (v *versionWaiters) notify(oid globeid.OID) {
 	for _, ch := range chans {
 		close(ch)
 	}
+}
+
+// pending reports how many waiters are parked for oid (leak tests).
+func (v *versionWaiters) pending(oid globeid.OID) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters[oid])
 }
 
 // handleWaitVersion parks until the hosted replica's version exceeds the
@@ -65,11 +94,7 @@ func (s *Server) handleWaitVersion(body []byte) ([]byte, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
-	timeout := time.Duration(timeoutMillis) * time.Millisecond
-	if timeout <= 0 || timeout > MaxWaitVersion {
-		timeout = MaxWaitVersion
-	}
-	deadline := time.NewTimer(timeout)
+	deadline := time.NewTimer(clampWaitTimeout(time.Duration(timeoutMillis) * time.Millisecond))
 	defer deadline.Stop()
 	for {
 		h, err := s.replica(oid)
@@ -81,10 +106,11 @@ func (s *Server) handleWaitVersion(body []byte) ([]byte, error) {
 			w.Uvarint(v)
 			return w.Bytes(), nil
 		}
-		updated := s.waiters.wait(oid)
+		updated, cancelWait := s.waiters.wait(oid)
 		// Re-check after subscribing: an update may have landed between
 		// the version read and the subscription.
 		if v := h.doc.Version(); v > known {
+			cancelWait()
 			w := enc.NewWriter(8)
 			w.Uvarint(v)
 			return w.Bytes(), nil
@@ -93,11 +119,25 @@ func (s *Server) handleWaitVersion(body []byte) ([]byte, error) {
 		case <-updated:
 			// Loop to read the fresh version.
 		case <-deadline.C:
+			// Sweep the subscription: without this, every timed-out
+			// long-poll leaves a dead channel parked until the next
+			// update for the OID.
+			cancelWait()
 			w := enc.NewWriter(8)
 			w.Uvarint(h.doc.Version())
 			return w.Bytes(), nil
 		}
 	}
+}
+
+// clampWaitTimeout bounds a client-requested long-poll timeout to
+// (0, MaxWaitVersion]: non-positive and over-limit requests both park
+// for the maximum.
+func clampWaitTimeout(d time.Duration) time.Duration {
+	if d <= 0 || d > MaxWaitVersion {
+		return MaxWaitVersion
+	}
+	return d
 }
 
 // WaitVersion long-polls the primary at the puller's address until its

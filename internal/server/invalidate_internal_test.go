@@ -1,0 +1,120 @@
+package server
+
+// Internal tests for the long-poll machinery: the timeout clamp, and the
+// waiter sweep that keeps cancelled or timed-out long-polls from leaking
+// channels in the versionWaiters map.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+)
+
+func TestClampWaitTimeout(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, MaxWaitVersion},
+		{-time.Second, MaxWaitVersion},
+		{time.Millisecond, time.Millisecond},
+		{MaxWaitVersion, MaxWaitVersion},
+		{MaxWaitVersion + time.Second, MaxWaitVersion},
+		{24 * time.Hour, MaxWaitVersion},
+	}
+	for _, c := range cases {
+		if got := clampWaitTimeout(c.in); got != c.want {
+			t.Errorf("clampWaitTimeout(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func waitVersionReq(oid globeid.OID, known uint64, timeout time.Duration) []byte {
+	w := enc.NewWriter(32)
+	w.Raw(oid[:])
+	w.Uvarint(known)
+	w.Uvarint(uint64(timeout / time.Millisecond))
+	return w.Bytes()
+}
+
+func TestWaitVersionTimeoutSweepsWaiter(t *testing.T) {
+	s, oid, _ := newWireServer(t, 16)
+	known := mustVersion(t, s, oid)
+	// Several long-polls time out with no intervening update; each must
+	// remove its subscription on the way out.
+	for i := 0; i < 4; i++ {
+		if _, err := s.handleWaitVersion(waitVersionReq(oid, known, 20*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.waiters.pending(oid); n != 0 {
+		t.Fatalf("%d waiters leaked after timed-out long-polls", n)
+	}
+}
+
+func TestWaitVersionEarlyAnswerSweepsWaiter(t *testing.T) {
+	s, oid, _ := newWireServer(t, 16)
+	known := mustVersion(t, s, oid)
+	// known-1 answers immediately on the first loop iteration, before
+	// any subscription; known with an update racing in answers on the
+	// re-check path, which must also cancel its fresh subscription.
+	if _, err := s.handleWaitVersion(waitVersionReq(oid, known-1, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.waiters.pending(oid); n != 0 {
+		t.Fatalf("%d waiters leaked after immediate answer", n)
+	}
+}
+
+func TestVersionWaitersCancelIsIdempotentAndNotifySafe(t *testing.T) {
+	v := newVersionWaiters()
+	var oid globeid.OID
+	oid[0] = 1
+
+	ch1, cancel1 := v.wait(oid)
+	_, cancel2 := v.wait(oid)
+	if v.pending(oid) != 2 {
+		t.Fatalf("pending = %d, want 2", v.pending(oid))
+	}
+	cancel2()
+	cancel2() // idempotent
+	if v.pending(oid) != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", v.pending(oid))
+	}
+	v.notify(oid)
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("surviving waiter was not notified")
+	}
+	cancel1() // cancel after notify is a safe no-op
+	if v.pending(oid) != 0 {
+		t.Fatalf("pending after notify = %d, want 0", v.pending(oid))
+	}
+}
+
+func TestVersionWaitersConcurrentCancelAndNotify(t *testing.T) {
+	v := newVersionWaiters()
+	var oid globeid.OID
+	oid[0] = 2
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		_, cancel := v.wait(oid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancel()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.notify(oid)
+	}()
+	wg.Wait()
+	if v.pending(oid) != 0 {
+		t.Fatalf("pending = %d after concurrent cancel/notify", v.pending(oid))
+	}
+}

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -68,6 +69,79 @@ func TestWaitVersionWakesOnUpdate(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("long-poll never woke on update")
+	}
+}
+
+func TestWaitVersionManyWaitersOneOID(t *testing.T) {
+	// Many concurrent long-polls park on the same OID; a single update
+	// must wake every one of them with the new version. Run under -race
+	// this also exercises the waiter list's concurrent subscribe/notify.
+	w, pub, puller := pullWorld(t)
+	v := pub.Doc.Version()
+
+	const waiters = 16
+	results := make(chan uint64, waiters)
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			got, err := puller.WaitVersion(context.Background(), v, 10*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- got
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let the polls park
+	pub.Doc.Put(document.Element{Name: "index.html", Data: []byte("wake all")})
+	if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case got := <-results:
+			if got <= v {
+				t.Errorf("waiter woke with version %d, want > %d", got, v)
+			}
+		case err := <-errs:
+			t.Fatalf("WaitVersion: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d waiters woke", i, waiters)
+		}
+	}
+}
+
+func TestWaitVersionUpdateRacesPark(t *testing.T) {
+	// Fire updates concurrently with long-polls so some polls arrive
+	// before the update, some after, and some land exactly in the
+	// subscribe window. Every poll must return promptly with a version
+	// at least as new as the one it asked about — none may park for the
+	// full timeout, and none may deadlock.
+	w, pub, puller := pullWorld(t)
+
+	for round := 0; round < 5; round++ {
+		v := pub.Doc.Version()
+		done := make(chan error, 1)
+		go func() {
+			got, err := puller.WaitVersion(context.Background(), v, 5*time.Second)
+			if err == nil && got <= v {
+				err = fmt.Errorf("woke with version %d, want > %d", got, v)
+			}
+			done <- err
+		}()
+		// No parking delay: the update races the poll's subscription.
+		pub.Doc.Put(document.Element{Name: "index.html", Data: []byte(fmt.Sprintf("race round %d", round))})
+		if err := w.Reissue(pub, time.Hour, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case <-time.After(4 * time.Second):
+			t.Fatalf("round %d: long-poll missed the racing update and parked", round)
+		}
 	}
 }
 

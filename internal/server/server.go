@@ -61,6 +61,11 @@ type hostedReplica struct {
 	// per-request marshalling — dominated by the O(elements) certificate
 	// table — would be pure waste.
 	wire wirePayloads
+	// chain holds the retained versions as immutable snapshots linked by
+	// a hash chain, oldest first; the last entry is the version currently
+	// served (its wire payloads ARE h.wire). Guarded by mu. See
+	// version.go and DESIGN.md §16.
+	chain []*versionSnapshot
 
 	// administrative metadata
 	owner string // principal that created this replica (may manage it)
@@ -106,6 +111,23 @@ func buildWire(key keys.PublicKey, doc *document.Document, icert *cert.Integrity
 	return w
 }
 
+// wireFromBundle precomputes the wire payloads for a validated bundle's
+// state, byte-identical to buildWire over a document holding the same
+// elements. update uses it so the version chain can be extended and
+// verified before the bundle's state commits.
+func wireFromBundle(b *Bundle) wirePayloads {
+	w := wirePayloads{
+		key:       b.Key.Marshal(),
+		icert:     b.Cert.Marshal(),
+		nameCerts: object.EncodeCertList(b.NameCerts),
+		elements:  make(map[string]elementPayload, len(b.Elements)),
+	}
+	for _, e := range b.Elements {
+		w.elements[e.Name] = elementPayload{wire: object.EncodeElement(e), size: len(e.Data)}
+	}
+	return w
+}
+
 // Stats are cumulative per-category request counters, split the way the
 // paper's Figure 4 instrumentation splits time: security-specific
 // operations (key and certificate retrieval) versus data operations.
@@ -126,6 +148,11 @@ type Server struct {
 	keystore *keys.Keystore
 	identity *keys.KeyPair // the server's own key pair (for pushing to peers)
 	limits   Limits
+
+	// VersionRetention caps how many versions of each hosted replica are
+	// retained for delta serving (0 = DefaultVersionRetention). Set
+	// before the server starts hosting replicas.
+	VersionRetention int
 
 	mu     sync.RWMutex
 	hosted map[globeid.OID]*hostedReplica
@@ -173,6 +200,7 @@ func New(name, site string, keystore *keys.Keystore, identity *keys.KeyPair, lim
 	s.srv.HandleCtx(object.OpListElements, s.traced("serve.listelements", s.handleListElements))
 	s.srv.Handle(object.OpVersion, s.handleVersion)
 	s.srv.Handle(object.OpGetBundle, s.handleGetBundle)
+	s.srv.Handle(OpGetDelta, s.handleGetDelta)
 	s.srv.Handle(OpWaitVersion, s.handleWaitVersion)
 	s.srv.Handle(OpChallenge, s.handleChallenge)
 	s.srv.Handle(OpAdmin, s.handleAdmin)
@@ -255,6 +283,11 @@ func (s *Server) Install(b *Bundle, owner string) error {
 	}
 	doc := document.New()
 	doc.Replace(b.Elements, b.Version)
+	wire := buildWire(b.Key, doc, b.Cert, b.NameCerts)
+	chain := []*versionSnapshot{newSnapshot(b, [globeid.Size]byte{}, wire)}
+	if err := verifyChain(chain); err != nil {
+		return err
+	}
 	s.hosted[b.OID] = &hostedReplica{
 		oid:       b.OID,
 		key:       b.Key,
@@ -262,7 +295,8 @@ func (s *Server) Install(b *Bundle, owner string) error {
 		icert:     b.Cert,
 		nameCerts: b.NameCerts,
 		owner:     owner,
-		wire:      buildWire(b.Key, doc, b.Cert, b.NameCerts),
+		wire:      wire,
+		chain:     chain,
 	}
 	s.bytes += size
 	return nil
@@ -294,11 +328,21 @@ func (s *Server) update(b *Bundle, principal string) error {
 	if s.limits.MaxBytes > 0 && s.bytes-oldSize+newSize > s.limits.MaxBytes {
 		return fmt.Errorf("%w: byte limit %d", ErrOverCapacity, s.limits.MaxBytes)
 	}
-	h.doc.Replace(b.Elements, b.Version)
+	// The new wire table is computed from the validated bundle directly
+	// so the chain can be extended and checked before any state commits;
+	// it is byte-identical to rebuilding from the document afterwards.
+	wire := wireFromBundle(b)
 	h.mu.Lock()
+	chain, err := appendVersion(h.chain, b, wire, s.retention())
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.doc.Replace(b.Elements, b.Version)
 	h.icert = b.Cert
 	h.nameCerts = b.NameCerts
-	h.wire = buildWire(h.key, h.doc, b.Cert, b.NameCerts)
+	h.wire = wire
+	h.chain = chain
 	h.mu.Unlock()
 	s.bytes += newSize - oldSize
 	s.waiters.notify(b.OID)

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+
+	"globedoc/internal/cert"
+	"globedoc/internal/document"
+	"globedoc/internal/enc"
+	"globedoc/internal/globeid"
+	"globedoc/internal/merkle"
+)
+
+// DefaultVersionRetention is how many versions of a hosted replica a
+// server keeps when Server.VersionRetention is unset. Retained versions
+// are what obj.getdelta can diff against; a client whose have-version has
+// been evicted gets a full-bundle-required decline.
+const DefaultVersionRetention = 8
+
+// VersionHeader commits one replica version to the hash chain
+// (DESIGN.md §16). CertHash and ElemRoot commit to the version's
+// *content* (the integrity certificate and the element-hash set it
+// lists); Prev commits to the entire history by naming the previous
+// header's hash. Two servers that applied the same bundle always agree
+// on CertHash/ElemRoot even when their local histories differ, which is
+// what lets a delta client match a remote chain against its own state.
+type VersionHeader struct {
+	OID     globeid.OID
+	Version uint64
+	// CertHash is the hash of the version's marshalled integrity
+	// certificate.
+	CertHash [globeid.Size]byte
+	// ElemRoot is merkle.RootFromLeaves over the version's present
+	// elements' cert-listed content hashes.
+	ElemRoot [globeid.Size]byte
+	// Prev is the previous header's Hash (zero for a chain genesis).
+	Prev [globeid.Size]byte
+}
+
+// Marshal encodes the header canonically.
+func (h *VersionHeader) Marshal() []byte {
+	w := enc.NewWriter(4 * globeid.Size)
+	w.Raw(h.OID[:])
+	w.Uvarint(h.Version)
+	w.Raw(h.CertHash[:])
+	w.Raw(h.ElemRoot[:])
+	w.Raw(h.Prev[:])
+	return w.Bytes()
+}
+
+// UnmarshalVersionHeader decodes an encoding from Marshal.
+func UnmarshalVersionHeader(data []byte) (*VersionHeader, error) {
+	r := enc.NewReader(data)
+	var h VersionHeader
+	copy(h.OID[:], r.Raw(globeid.Size))
+	h.Version = r.Uvarint()
+	copy(h.CertHash[:], r.Raw(globeid.Size))
+	copy(h.ElemRoot[:], r.Raw(globeid.Size))
+	copy(h.Prev[:], r.Raw(globeid.Size))
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("server: version header decode: %w", err)
+	}
+	return &h, nil
+}
+
+// Hash returns the header's chain hash: the content hash of its
+// canonical encoding.
+func (h *VersionHeader) Hash() [globeid.Size]byte {
+	return globeid.HashElement(h.Marshal())
+}
+
+// versionSnapshot is one immutable retained version of a hosted replica:
+// its chain header, the element-hash leaf set the header's ElemRoot
+// commits to, the certificates, and the precomputed wire payloads
+// (reused as the live wire table while the snapshot is the head).
+type versionSnapshot struct {
+	header    *VersionHeader
+	hashes    map[string][globeid.Size]byte
+	cert      *cert.IntegrityCertificate
+	nameCerts []*cert.NameCertificate
+	wire      wirePayloads
+}
+
+// bundleLeaves extracts a bundle's (element name -> cert-listed content
+// hash) leaf map. Bundle.Validate has already pinned each present
+// element's data to the certificate entry, so the cert hash and the
+// content hash agree.
+func bundleLeaves(b *Bundle) map[string][globeid.Size]byte {
+	leaves := make(map[string][globeid.Size]byte, len(b.Elements))
+	for _, e := range b.Elements {
+		if entry, err := b.Cert.Lookup(e.Name); err == nil {
+			leaves[e.Name] = entry.Hash
+		}
+	}
+	return leaves
+}
+
+// newSnapshot builds the retained version for a validated bundle, linked
+// to the previous header's hash (zero for a genesis).
+func newSnapshot(b *Bundle, prev [globeid.Size]byte, wire wirePayloads) *versionSnapshot {
+	leaves := bundleLeaves(b)
+	return &versionSnapshot{
+		header: &VersionHeader{
+			OID:      b.OID,
+			Version:  b.Version,
+			CertHash: globeid.HashElement(b.Cert.Marshal()),
+			ElemRoot: merkle.RootFromLeaves(leaves),
+			Prev:     prev,
+		},
+		hashes:    leaves,
+		cert:      b.Cert,
+		nameCerts: b.NameCerts,
+		wire:      wire,
+	}
+}
+
+// verifyChain walks a replica's retained chain and checks the hash-chain
+// invariants: one OID throughout, strictly increasing versions, and
+// every header's Prev equal to its predecessor's hash. The oldest
+// retained header may point at an evicted predecessor (or be a genesis);
+// only the links between retained headers are checkable. Install and
+// update run this before committing, so a broken chain can never become
+// the served state.
+func verifyChain(chain []*versionSnapshot) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("server: empty version chain")
+	}
+	for i, snap := range chain {
+		if snap.header.OID != chain[0].header.OID {
+			return fmt.Errorf("server: version chain mixes OIDs at index %d", i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := chain[i-1].header
+		if snap.header.Version <= prev.Version {
+			return fmt.Errorf("server: version chain not increasing: %d after %d", snap.header.Version, prev.Version)
+		}
+		if snap.header.Prev != prev.Hash() {
+			return fmt.Errorf("server: version chain broken between %d and %d", prev.Version, snap.header.Version)
+		}
+	}
+	return nil
+}
+
+// appendVersion produces the replica's next retained chain for a
+// validated update bundle. A bundle whose version does not advance past
+// the current head (owners may republish or reset version counters)
+// starts a fresh genesis chain — the old history cannot commit to it, so
+// retaining the old links would break the chain invariant. Otherwise the
+// new header links to the head and the chain is trimmed to retention.
+func appendVersion(chain []*versionSnapshot, b *Bundle, wire wirePayloads, retention int) ([]*versionSnapshot, error) {
+	head := chain[len(chain)-1]
+	var next []*versionSnapshot
+	if b.Version <= head.header.Version {
+		next = []*versionSnapshot{newSnapshot(b, [globeid.Size]byte{}, wire)}
+	} else {
+		next = append(next, chain...)
+		next = append(next, newSnapshot(b, head.header.Hash(), wire))
+		if len(next) > retention {
+			next = next[len(next)-retention:]
+		}
+	}
+	if err := verifyChain(next); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// retention returns the effective per-replica version retention.
+func (s *Server) retention() int {
+	if s.VersionRetention > 0 {
+		return s.VersionRetention
+	}
+	return DefaultVersionRetention
+}
+
+// VersionChain returns copies of the retained version headers for a
+// hosted replica, oldest first. The head entry describes the currently
+// served state.
+func (s *Server) VersionChain(oid globeid.OID) ([]VersionHeader, error) {
+	h, err := s.replica(oid)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]VersionHeader, len(h.chain))
+	for i, snap := range h.chain {
+		out[i] = *snap.header
+	}
+	return out, nil
+}
+
+// snapshotElements returns copies of the head snapshot's elements from
+// the live document; callers must hold h.mu (read or write) so the doc
+// and the chain head agree.
+func snapshotElements(h *hostedReplica, names []string) ([]document.Element, error) {
+	out := make([]document.Element, 0, len(names))
+	for _, name := range names {
+		e, err := h.doc.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

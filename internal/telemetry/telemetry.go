@@ -41,6 +41,16 @@ const (
 	MetricSingleflightShared = "binding_singleflight_shared_total" // fetches that joined another caller's pipeline run
 	MetricPipelineRuns       = "binding_pipeline_runs_total"       // full secure-binding pipeline executions
 
+	// Delta replication instruments (server.Puller). The mode label is
+	// "full" (whole-bundle transfer) or "delta" (obj.getdelta transfer);
+	// bytes count request+reply payloads, the quantity the bench-delta
+	// gate bounds.
+	MetricPullerPulls          = "puller_pulls_total"           // {mode} completed state transfers
+	MetricPullerBytes          = "puller_bytes_total"           // {mode} payload bytes moved
+	MetricPullerElements       = "puller_elements_total"        // {mode} element bodies transferred
+	MetricPullerDeltaDeclines  = "puller_delta_declines_total"  // full-required declines from the primary
+	MetricPullerDeltaFallbacks = "puller_delta_fallbacks_total" // delta attempts that fell back to full
+
 	// Verified-content cache instruments (vcache.Cache via core.Client).
 	MetricVCacheHits          = "vcache_hits_total"          // element fetches served from verified bytes
 	MetricVCacheMisses        = "vcache_misses_total"        // element fetches that had to move bytes
@@ -110,6 +120,13 @@ type Telemetry struct {
 	FetchLatency          *Histogram // seconds
 	SecurityOverhead      *Histogram // percent
 
+	// Delta replication instruments (server.Puller).
+	PullerPulls          *CounterVec // {mode}
+	PullerBytes          *CounterVec // {mode}
+	PullerElements       *CounterVec // {mode}
+	PullerDeltaDeclines  *Counter
+	PullerDeltaFallbacks *Counter
+
 	// Verified-content cache instruments (core.Client + vcache.Cache).
 	VCacheHits          *Counter
 	VCacheMisses        *Counter
@@ -164,6 +181,12 @@ func New(clk clock.Clock) *Telemetry {
 		Failovers:             reg.Counter(MetricFailovers),
 		FetchLatency:          reg.Histogram(MetricFetchLatency, DefaultLatencyBuckets),
 		SecurityOverhead:      reg.Histogram(MetricSecurityOverhead, PercentBuckets),
+
+		PullerPulls:          reg.CounterVec(MetricPullerPulls, "mode"),
+		PullerBytes:          reg.CounterVec(MetricPullerBytes, "mode"),
+		PullerElements:       reg.CounterVec(MetricPullerElements, "mode"),
+		PullerDeltaDeclines:  reg.Counter(MetricPullerDeltaDeclines),
+		PullerDeltaFallbacks: reg.Counter(MetricPullerDeltaFallbacks),
 
 		VCacheHits:          reg.Counter(MetricVCacheHits),
 		VCacheMisses:        reg.Counter(MetricVCacheMisses),

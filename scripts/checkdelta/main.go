@@ -1,0 +1,73 @@
+// Command checkdelta validates the Merkle-delta replication acceptance
+// properties of a globedoc-bench/1 report: a one-element update to the
+// wide document must move at least the given multiple fewer bytes over
+// obj.getdelta than over the full obj.getbundle transfer, every pull in
+// the delta run must actually have taken the delta path (no declines or
+// fallbacks), and the full-pull ablation replica must have ended
+// byte-identical to the delta-synced one. Used by scripts/delta_bench.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"globedoc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checkdelta <report.json> <min-byte-ratio>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkdelta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, minRatioArg string) error {
+	minRatio, err := strconv.ParseFloat(minRatioArg, 64)
+	if err != nil {
+		return fmt.Errorf("bad min-byte-ratio %q: %w", minRatioArg, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	report, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	d := report.Delta
+	if d == nil {
+		return fmt.Errorf("report has no delta experiment")
+	}
+	if d.DeltaPull.Ops == 0 || d.FullPull.Ops == 0 {
+		return fmt.Errorf("missing phase samples: delta=%d full=%d", d.DeltaPull.Ops, d.FullPull.Ops)
+	}
+	if d.BytesDeltaPerPull == 0 || d.BytesFullPerPull == 0 {
+		return fmt.Errorf("missing byte counters: delta=%d full=%d", d.BytesDeltaPerPull, d.BytesFullPerPull)
+	}
+	if d.ByteRatio < minRatio {
+		return fmt.Errorf("delta pull moved %d bytes vs %d full (%.2fx), want >= %.1fx reduction",
+			d.BytesDeltaPerPull, d.BytesFullPerPull, d.ByteRatio, minRatio)
+	}
+	// Every pull in the delta run must have taken the delta path: a
+	// decline or fallback would mean full-bundle bytes hid in the delta
+	// column.
+	if d.DeltaPulls != uint64(d.DeltaPull.Ops) {
+		return fmt.Errorf("delta_pulls = %d, want %d (one per sample)", d.DeltaPulls, d.DeltaPull.Ops)
+	}
+	if d.DeltaDeclines != 0 || d.DeltaFallbacks != 0 {
+		return fmt.Errorf("delta run was not pure: declines=%d fallbacks=%d", d.DeltaDeclines, d.DeltaFallbacks)
+	}
+	if !d.AblationIdentical {
+		return fmt.Errorf("ablation check failed: full-pull replica ended with different bytes")
+	}
+	fmt.Printf("delta: %d bytes/pull vs %d full (%.2fx >= %.1fx), p50 %s vs %s, pulls=%d declines=%d fallbacks=%d\n",
+		d.BytesDeltaPerPull, d.BytesFullPerPull, d.ByteRatio, minRatio,
+		d.DeltaPull.P50, d.FullPull.P50, d.DeltaPulls, d.DeltaDeclines, d.DeltaFallbacks)
+	return nil
+}

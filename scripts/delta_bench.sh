@@ -1,0 +1,36 @@
+#!/bin/sh
+# delta_bench.sh — run the Merkle-delta replication experiment and check
+# the PR-10 acceptance properties on the resulting report:
+#
+#   1. run `benchmark -experiment delta`, writing the globedoc-bench/1
+#      JSON report (bytes per pull and pull latency quantiles for the
+#      delta path vs. the full-bundle ablation);
+#   2. assert a one-element update to the 64-element document moved at
+#      least $MIN_RATIO x fewer bytes over obj.getdelta than over the
+#      full obj.getbundle transfer;
+#   3. assert every pull in the delta run actually took the delta path
+#      (no declines, no fallbacks) and the full-pull ablation replica
+#      ended byte-identical to the delta-synced one.
+#
+# Exits non-zero on any failure. Run via `make bench-delta`.
+set -eu
+
+GO=${GO:-go}
+MIN_RATIO=${MIN_RATIO:-4}
+SCALE=${SCALE:-1.0}
+ITERATIONS=${ITERATIONS:-5}
+OUT=${OUT:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+JSON="${OUT:-$WORK/delta.json}"
+
+echo "== running delta experiment (scale=$SCALE, iterations=$ITERATIONS)"
+$GO run ./cmd/benchmark -experiment delta \
+    -scale "$SCALE" -iterations "$ITERATIONS" \
+    -json "$JSON"
+
+echo "== checking report"
+$GO run ./scripts/checkdelta "$JSON" "$MIN_RATIO"
+
+echo "delta bench: ok"
